@@ -1,0 +1,50 @@
+// Figure 4 — Profiling Overhead.
+//
+// Paper: Tx of native Gromacs runs vs runs under the Synapse profiler at
+// sampling rates 0.1..10 Hz, for iteration counts 10^4..10^7. Result:
+// profiling overhead is negligible (curves coincide); the largest
+// configuration loses one sample to the 16 MB database document limit.
+//
+// Here: mdsim on the `thinkie` virtual resource (the paper's profiling
+// host), iteration axis scaled down ~50x (see bench_util.hpp), sampling
+// rates 0.5..20 Hz (our sampler has no perf-stat fork, so it sustains
+// rates above the paper's 10 Hz ceiling).
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bench;
+  synapse::resource::activate_resource("thinkie");
+
+  const std::vector<uint64_t> step_counts = {20, 50, 100, 200, 500, 1000};
+  const std::vector<double> rates = {0.5, 1.0, 2.0, 5.0, 10.0, 20.0};
+
+  heading("Fig. 4: Profiling vs. Execution (Tx seconds, resource=thinkie)");
+  std::string header = "  steps   native";
+  for (const double r : rates) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  %5.1fHz", r);
+    header += buf;
+  }
+  row("%s", header.c_str());
+
+  for (const uint64_t steps : step_counts) {
+    const auto native = run_md(steps);
+    std::string line;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%7llu  %6.3fs",
+                  static_cast<unsigned long long>(steps),
+                  native.wall_seconds);
+    line = buf;
+    for (const double rate : rates) {
+      const auto p = profile_md(steps, rate);
+      std::snprintf(buf, sizeof(buf), "  %6.3fs", p.runtime());
+      line += buf;
+    }
+    row("%s", line.c_str());
+  }
+
+  row("\nexpectation (paper): profiled Tx tracks native Tx at every rate;"
+      "\noverhead does not grow with sampling rate or problem size.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7 — Emulation Portability.
+//
+// Paper: a profile taken on Thinkie is emulated on Stampede (top) and
+// Archer (bottom) and compared against actual application execution on
+// those machines. The emulation reproduces the Tx *trend*; the absolute
+// offset converges to ~40% faster on Stampede (default-flag application
+// builds exploit it poorly) and ~33% slower on Archer (the Cray
+// toolchain optimizes the application well).
+
+#include "bench_util.hpp"
+
+namespace {
+
+void portability_on(const char* machine,
+                    const std::vector<uint64_t>& step_counts) {
+  using namespace bench;
+  bench::heading(std::string("Fig. 7: Emulation vs. Execution (") + machine +
+                 ")");
+  bench::row("  steps   app_Tx   emu_Tx   diff%%");
+  for (const uint64_t steps : step_counts) {
+    // Profile on the paper's profiling host...
+    synapse::resource::activate_resource("thinkie");
+    const auto p = bench::profile_md(steps);
+    // ...execute and emulate on the target machine.
+    synapse::resource::activate_resource(machine);
+    const auto app = bench::run_md(steps);
+    const auto emu = synapse::emulate_profile(p, bench::emu_options());
+    const double diff = 100.0 * (emu.wall_seconds - app.wall_seconds) /
+                        app.wall_seconds;
+    bench::row("%7llu  %6.3fs  %6.3fs  %+6.1f",
+               static_cast<unsigned long long>(steps), app.wall_seconds,
+               emu.wall_seconds, diff);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<uint64_t> step_counts = {50, 100, 200, 500, 1000};
+  portability_on("stampede", step_counts);
+  bench::row("expectation (paper): emulation consistently FASTER, diff"
+             "\nconverging to ~-40%% for long runs.");
+  portability_on("archer", step_counts);
+  bench::row("expectation (paper): emulation consistently SLOWER, diff"
+             "\nconverging to ~+33%% for long runs.");
+  synapse::resource::activate_resource("host");
+  return 0;
+}

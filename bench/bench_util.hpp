@@ -1,0 +1,79 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches.
+//
+// The paper's Gromacs runs span 10^4..10^7 iterations (Tx roughly 1 s to
+// several hundred seconds). The benches scale the iteration axis down by
+// ~50x so a full figure regenerates in seconds while preserving the
+// log-axis spread; EXPERIMENTS.md records the mapping.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/mdsim.hpp"
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "profile/stats.hpp"
+#include "resource/resource_spec.hpp"
+
+namespace bench {
+
+namespace m = synapse::metrics;
+
+/// Profile one mdsim run (in a forked child) on the active resource.
+inline synapse::profile::Profile profile_md(uint64_t steps,
+                                            double rate_hz = 10.0,
+                                            bool write_output = true) {
+  synapse::watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = rate_hz;
+  synapse::watchers::Profiler profiler(opts);
+  synapse::apps::MdOptions md;
+  md.steps = steps;
+  md.scratch_dir = "/tmp";
+  md.write_output = write_output;
+  return profiler.profile_function(
+      [md] {
+        synapse::apps::run_md(md);
+        return 0;
+      },
+      "mdsim --steps " + std::to_string(steps),
+      {"steps=" + std::to_string(steps)});
+}
+
+/// Run mdsim natively (no profiler) on the active resource.
+inline synapse::apps::MdReport run_md(uint64_t steps,
+                                      bool write_output = true,
+                                      int threads = 1, int ranks = 1) {
+  synapse::apps::MdOptions md;
+  md.steps = steps;
+  md.scratch_dir = "/tmp";
+  md.write_output = write_output;
+  md.threads = threads;
+  md.ranks = ranks;
+  return synapse::apps::run_md(md);
+}
+
+/// Default emulation options with /tmp-backed storage.
+inline synapse::emulator::EmulatorOptions emu_options() {
+  synapse::emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+/// Section header in the output.
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// printf a row, flushing so partial output survives interrupts.
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace bench

@@ -1,0 +1,63 @@
+// I/O malleability (experiment E.5): the same profiled workload emulated
+// with different I/O block sizes and toward different filesystems —
+// dimensions the original application does not expose.
+
+#include <cstdio>
+
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "profile/profile.hpp"
+#include "resource/resource_spec.hpp"
+
+namespace m = synapse::metrics;
+
+namespace {
+
+/// A synthetic write-heavy profile (an application that emitted 8 MiB
+/// over two sampling periods).
+synapse::profile::Profile write_heavy_profile() {
+  synapse::profile::Profile p;
+  p.command = "synthetic-writer";
+  p.sample_rate_hz = 10.0;
+  synapse::profile::TimeSeries io;
+  io.watcher = "io";
+  for (int i = 0; i < 2; ++i) {
+    synapse::profile::Sample s;
+    s.timestamp = 100.0 + i * 0.1;
+    s.set(m::kBytesWritten, (i + 1) * 4.0 * 1024 * 1024);
+    io.samples.push_back(std::move(s));
+  }
+  p.series.push_back(std::move(io));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = write_heavy_profile();
+
+  std::printf("emulating an 8 MiB write workload on supermic:\n\n");
+  synapse::resource::activate_resource("supermic");
+
+  std::printf("%-8s %10s %12s\n", "fs", "block", "emulated Tx");
+  for (const char* fs : {"local", "lustre"}) {
+    for (const uint64_t block_kib : {64ull, 512ull, 4096ull}) {
+      synapse::emulator::EmulatorOptions opts;
+      opts.emulate_compute = false;
+      opts.emulate_memory = false;
+      opts.storage.base_dir = "/tmp";
+      opts.storage.filesystem = fs;
+      opts.storage.write_block_bytes = block_kib * 1024;
+      const auto r = synapse::emulate_profile(profile, opts);
+      std::printf("%-8s %7lluKiB %10.3f s\n", fs,
+                  static_cast<unsigned long long>(block_kib),
+                  r.wall_seconds);
+    }
+  }
+  std::printf(
+      "\nsmaller blocks pay the per-operation latency more often, and the\n"
+      "shared filesystem (lustre) is slower than the node-local disk —\n"
+      "without touching the profiled application.\n");
+  synapse::resource::activate_resource("host");
+  return 0;
+}

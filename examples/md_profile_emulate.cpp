@@ -1,0 +1,61 @@
+// The paper's core scenario (experiments E.1/E.2): profile a molecular-
+// dynamics application once, then emulate it anywhere — here on the
+// profiling machine and on two machines with different performance
+// characteristics, reproducing the Fig. 5/7 comparisons at small scale.
+
+#include <cstdio>
+
+#include "apps/mdsim.hpp"
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+
+namespace m = synapse::metrics;
+using synapse::resource::activate_resource;
+
+int main() {
+  // Profile mdsim on "thinkie", the paper's profiling laptop.
+  activate_resource("thinkie");
+  synapse::watchers::ProfilerOptions popts;
+  popts.sample_rate_hz = 10.0;
+  synapse::watchers::Profiler profiler(popts);
+
+  synapse::apps::MdOptions md;
+  md.steps = 300;
+  md.scratch_dir = "/tmp";
+  std::printf("profiling mdsim (%llu steps) on thinkie...\n",
+              static_cast<unsigned long long>(md.steps));
+  const auto profile = profiler.profile_function(
+      [md] {
+        synapse::apps::run_md(md);
+        return 0;
+      },
+      "mdsim --steps 300", {"example"});
+  std::printf("  app Tx  : %.3f s\n", profile.runtime());
+  std::printf("  cycles  : %.3e\n", profile.total(m::kCyclesUsed));
+  std::printf("  written : %.0f bytes\n", profile.total(m::kBytesWritten));
+
+  synapse::emulator::EmulatorOptions eopts;
+  eopts.storage.base_dir = "/tmp";
+
+  // Emulate on the same machine: Tx matches (Fig. 5)...
+  const auto same = synapse::emulate_profile(profile, eopts);
+  std::printf("emulation on thinkie : Tx %.3f s (diff %+.1f%%)\n",
+              same.wall_seconds,
+              100.0 * (same.wall_seconds - profile.runtime()) /
+                  profile.runtime());
+
+  // ...and on other machines: the trend is preserved, the offset is
+  // machine-specific (Fig. 7).
+  for (const char* machine : {"stampede", "archer"}) {
+    activate_resource(machine);
+    synapse::apps::MdReport app = synapse::apps::run_md(md);
+    const auto emu = synapse::emulate_profile(profile, eopts);
+    std::printf("%-8s: app %.3f s, emulation %.3f s (diff %+.1f%%)\n",
+                machine, app.wall_seconds, emu.wall_seconds,
+                100.0 * (emu.wall_seconds - app.wall_seconds) /
+                    app.wall_seconds);
+  }
+  activate_resource("host");
+  return 0;
+}

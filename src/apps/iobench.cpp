@@ -1,0 +1,97 @@
+#include "apps/iobench.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "resource/vfs.hpp"
+#include "sys/clock.hpp"
+
+namespace synapse::apps {
+
+IoBenchReport run_iobench(const IoBenchOptions& options) {
+  IoBenchReport report;
+  const sys::Stopwatch clock;
+
+  resource::VirtualFilesystem vfs =
+      resource::VirtualFilesystem::for_active_resource(options.filesystem,
+                                                       options.scratch_dir);
+  const std::string name =
+      "iobench_" + std::to_string(::getpid()) + ".dat";
+  auto file = vfs.open(name, /*for_write=*/true);
+
+  uint64_t remaining = options.write_bytes;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(options.block_bytes, remaining);
+    report.write_seconds += file->write(chunk);
+    remaining -= chunk;
+    ++report.write_ops;
+  }
+  report.bytes_written = options.write_bytes;
+  file->sync();
+
+  remaining = options.read_bytes;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(options.block_bytes, remaining);
+    report.read_seconds += file->read(chunk);
+    remaining -= chunk;
+    ++report.read_ops;
+  }
+  report.bytes_read = options.read_bytes;
+
+  file.reset();
+  vfs.remove(name);
+  report.wall_seconds = clock.elapsed();
+  return report;
+}
+
+int iobench_main(int argc, char** argv) {
+  IoBenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--write") {
+      options.write_bytes =
+          std::strtoull(next(), nullptr, 10) * 1024 * 1024;
+    } else if (arg == "--read") {
+      options.read_bytes = std::strtoull(next(), nullptr, 10) * 1024 * 1024;
+    } else if (arg == "--block") {
+      options.block_bytes = std::strtoull(next(), nullptr, 10) * 1024;
+    } else if (arg == "--fs") {
+      options.filesystem = next();
+    } else if (arg == "--scratch") {
+      options.scratch_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "iobench: synthetic I/O workload\n"
+          "  --write MiB   bytes to write (default 16)\n"
+          "  --read MiB    bytes to read (default 16)\n"
+          "  --block KiB   operation block size (default 1024)\n"
+          "  --fs NAME     virtual filesystem\n"
+          "  --scratch DIR backing directory\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "iobench: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.block_bytes == 0) {
+    std::fprintf(stderr, "iobench: block size must be positive\n");
+    return 2;
+  }
+  const IoBenchReport report = run_iobench(options);
+  std::printf(
+      "iobench wrote=%llu read=%llu write_MBps=%.2f read_MBps=%.2f "
+      "tx=%.3fs\n",
+      static_cast<unsigned long long>(report.bytes_written),
+      static_cast<unsigned long long>(report.bytes_read),
+      report.write_bps() * 1e-6, report.read_bps() * 1e-6,
+      report.wall_seconds);
+  return 0;
+}
+
+}  // namespace synapse::apps

@@ -1,0 +1,46 @@
+#pragma once
+// iobench — synthetic I/O workload (experiment E.5's "synthetic workload
+// designed to characterize Synapse's I/O emulation capabilities in
+// isolation").
+//
+// Performs a configurable volume of writes then reads with a fixed block
+// size against a chosen (virtual) filesystem, and reports per-direction
+// throughput.
+
+#include <cstdint>
+#include <string>
+
+namespace synapse::apps {
+
+struct IoBenchOptions {
+  uint64_t write_bytes = 16 * 1024 * 1024;
+  uint64_t read_bytes = 16 * 1024 * 1024;
+  uint64_t block_bytes = 1024 * 1024;
+  std::string filesystem;   ///< "" = resource default
+  std::string scratch_dir;  ///< "" = $TMPDIR or /tmp
+};
+
+struct IoBenchReport {
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+  double write_seconds = 0.0;  ///< modelled wall time of the write phase
+  double read_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  double write_bps() const {
+    return write_seconds > 0 ? static_cast<double>(bytes_written) / write_seconds : 0;
+  }
+  double read_bps() const {
+    return read_seconds > 0 ? static_cast<double>(bytes_read) / read_seconds : 0;
+  }
+};
+
+IoBenchReport run_iobench(const IoBenchOptions& options);
+
+/// CLI: iobench [--write MiB] [--read MiB] [--block KiB] [--fs NAME]
+/// [--scratch DIR]
+int iobench_main(int argc, char** argv);
+
+}  // namespace synapse::apps

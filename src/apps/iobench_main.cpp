@@ -1,0 +1,5 @@
+#include "apps/iobench.hpp"
+
+int main(int argc, char** argv) {
+  return synapse::apps::iobench_main(argc, argv);
+}

@@ -1,0 +1,356 @@
+#include "apps/mdsim.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "emulator/procgroup.hpp"
+#include "resource/cache_model.hpp"
+#include "resource/resource_spec.hpp"
+#include "resource/vfs.hpp"
+#include "sys/clock.hpp"
+#include "watchers/trace.hpp"
+
+namespace synapse::apps {
+
+namespace {
+
+/// Minimal Lennard-Jones system in a periodic cubic box, reduced units
+/// (sigma = epsilon = mass = 1), density 0.8, cutoff 2.5.
+class LjSystem {
+ public:
+  explicit LjSystem(int n, unsigned seed = 12345)
+      : n_(n),
+        box_(std::cbrt(static_cast<double>(n) / 0.8)),
+        x_(3 * static_cast<size_t>(n)),
+        v_(3 * static_cast<size_t>(n), 0.0),
+        f_(3 * static_cast<size_t>(n), 0.0) {
+    // Lattice start positions + small thermal velocities.
+    const int cells = static_cast<int>(std::ceil(std::cbrt(n)));
+    const double a = box_ / cells;
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> vel(0.0, 0.5);
+    int idx = 0;
+    for (int i = 0; i < cells && idx < n; ++i) {
+      for (int j = 0; j < cells && idx < n; ++j) {
+        for (int k = 0; k < cells && idx < n; ++k) {
+          x_[3 * idx + 0] = (i + 0.5) * a;
+          x_[3 * idx + 1] = (j + 0.5) * a;
+          x_[3 * idx + 2] = (k + 0.5) * a;
+          v_[3 * idx + 0] = vel(rng);
+          v_[3 * idx + 1] = vel(rng);
+          v_[3 * idx + 2] = vel(rng);
+          ++idx;
+        }
+      }
+    }
+  }
+
+  /// Rebuild the Verlet neighbour list (skin 0.3 over the 2.5 cutoff).
+  void build_neighbours() {
+    constexpr double kListRadius = 2.8;
+    const double r2max = kListRadius * kListRadius;
+    pairs_.clear();
+    for (int i = 0; i < n_; ++i) {
+      for (int j = i + 1; j < n_; ++j) {
+        if (dist2(i, j) < r2max) {
+          pairs_.push_back({i, j});
+        }
+      }
+    }
+  }
+
+  /// One velocity-Verlet step over the neighbour list; returns the
+  /// number of in-cutoff interactions evaluated.
+  uint64_t step(int threads) {
+    constexpr double kDt = 0.004;
+    constexpr double kCut2 = 2.5 * 2.5;
+
+    // Half kick + drift.
+    for (size_t i = 0; i < x_.size(); ++i) {
+      v_[i] += 0.5 * kDt * f_[i];
+      x_[i] += kDt * v_[i];
+    }
+    wrap();
+
+    std::fill(f_.begin(), f_.end(), 0.0);
+    energy_ = 0.0;
+    uint64_t interactions = 0;
+
+    const auto npairs = static_cast<long>(pairs_.size());
+    double energy = 0.0;
+#pragma omp parallel for num_threads(threads) schedule(static) \
+    reduction(+ : energy, interactions) if (threads > 1)
+    for (long p = 0; p < npairs; ++p) {
+      const auto [i, j] = pairs_[static_cast<size_t>(p)];
+      double dx = x_[3 * i] - x_[3 * j];
+      double dy = x_[3 * i + 1] - x_[3 * j + 1];
+      double dz = x_[3 * i + 2] - x_[3 * j + 2];
+      dx -= box_ * std::nearbyint(dx / box_);
+      dy -= box_ * std::nearbyint(dy / box_);
+      dz -= box_ * std::nearbyint(dz / box_);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= kCut2 || r2 < 1e-12) continue;
+      const double inv2 = 1.0 / r2;
+      const double inv6 = inv2 * inv2 * inv2;
+      const double force = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+      energy += 4.0 * inv6 * (inv6 - 1.0);
+      // Force accumulation is racy across threads only if two pairs
+      // share a particle; for the emulation workload the tiny error is
+      // irrelevant (documented deviation from a production integrator),
+      // and atomics here would serialize the loop we time.
+      f_[3 * i] += force * dx;
+      f_[3 * i + 1] += force * dy;
+      f_[3 * i + 2] += force * dz;
+      f_[3 * j] -= force * dx;
+      f_[3 * j + 1] -= force * dy;
+      f_[3 * j + 2] -= force * dz;
+      ++interactions;
+    }
+    energy_ = energy;
+
+    // Second half kick.
+    for (size_t i = 0; i < v_.size(); ++i) {
+      v_[i] += 0.5 * kDt * f_[i];
+    }
+    return interactions;
+  }
+
+  /// Serialize positions into `out` (one trajectory frame).
+  void frame(std::vector<char>& out) const {
+    out.resize(x_.size() * sizeof(double));
+    std::memcpy(out.data(), x_.data(), out.size());
+  }
+
+  double energy() const { return energy_; }
+  int size() const { return n_; }
+
+ private:
+  double dist2(int i, int j) const {
+    double dx = x_[3 * i] - x_[3 * j];
+    double dy = x_[3 * i + 1] - x_[3 * j + 1];
+    double dz = x_[3 * i + 2] - x_[3 * j + 2];
+    dx -= box_ * std::nearbyint(dx / box_);
+    dy -= box_ * std::nearbyint(dy / box_);
+    dz -= box_ * std::nearbyint(dz / box_);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  void wrap() {
+    for (auto& c : x_) {
+      c -= box_ * std::floor(c / box_);
+    }
+  }
+
+  int n_;
+  double box_;
+  std::vector<double> x_, v_, f_;
+  std::vector<std::pair<int, int>> pairs_;
+  double energy_ = 0.0;
+};
+
+/// Burn CPU until `deadline` (steady time) with real arithmetic, so the
+/// paced application's CPU time matches its wall time.
+void spin_until(double deadline) {
+  volatile double sink = 1.0;
+  while (sys::steady_now() < deadline) {
+    double x = sink;
+    for (int i = 0; i < 2000; ++i) {
+      x = x * 1.0000000001 + 1e-12;
+    }
+    sink = x;
+  }
+}
+
+/// Parallel time factor of the *application* on the active resource:
+/// near-linear for few workers, saturating toward a full node (the
+/// Fig. 13/14 shape). `omp` picks the thread vs process overhead knob.
+/// The factor multiplies the time derived from the TOTAL model work.
+double app_parallel_factor(int workers, bool omp) {
+  if (workers <= 1) return 1.0;
+  const auto& spec = resource::active_resource();
+  const double alpha =
+      omp ? spec.omp_overhead_per_worker : spec.mpi_overhead_per_worker;
+  constexpr double kSerialFraction = 0.02;  // MD force loops scale well
+  const double n = static_cast<double>(workers);
+  return (kSerialFraction + (1.0 - kSerialFraction) / n) *
+         (1.0 + alpha * (n - 1.0));
+}
+
+/// Rank variant: each rank only evaluates its 1/n share of the model
+/// work, so the per-rank pacing factor is the total-time factor times n
+/// (otherwise the Amdahl discount would be applied twice and rank
+/// scaling would come out superlinear).
+double rank_parallel_factor(int ranks) {
+  return app_parallel_factor(ranks, /*omp=*/false) *
+         static_cast<double>(std::max(1, ranks));
+}
+
+MdReport run_md_single(const MdOptions& options, int rank) {
+  MdReport report;
+  report.particles = options.particles;
+  const sys::Stopwatch clock;
+
+  const auto& spec = resource::active_resource();
+  const auto& traits = resource::app_md_traits();
+  const bool paced = spec.name != "host";
+
+  auto trace = watchers::TraceWriter::from_env();
+
+  // Domain decomposition stand-in: each rank owns an equal share of the
+  // particles (no halo exchange — documented simplification; the paper's
+  // Synapse does not capture MPI communication either).
+  const int local_particles =
+      std::max(32, options.particles / std::max(1, options.ranks));
+  LjSystem system(local_particles, 12345u + static_cast<unsigned>(rank));
+  if (trace) {
+    trace->add_alloc(static_cast<uint64_t>(local_particles) * 9 *
+                     sizeof(double));
+  }
+
+  // Trajectory output: rank 0 only, through the virtual filesystem.
+  std::unique_ptr<resource::VirtualFilesystem> vfs;
+  std::unique_ptr<resource::VirtualFile> out;
+  if (options.write_output && rank == 0) {
+    vfs = std::make_unique<resource::VirtualFilesystem>(
+        resource::VirtualFilesystem::for_active_resource(
+            options.filesystem, options.scratch_dir));
+    out = vfs->open(options.out_name, /*for_write=*/true);
+  }
+
+  const int threads = std::max(1, options.threads);
+  const double parallel_factor =
+      options.ranks > 1 ? rank_parallel_factor(options.ranks)
+                        : app_parallel_factor(threads, /*omp=*/true);
+
+  constexpr uint64_t kNeighbourInterval = 20;
+  std::vector<char> frame;
+
+  uint64_t done = 0;
+  while (done < options.steps) {
+    if (done % kNeighbourInterval == 0) system.build_neighbours();
+
+    const double chunk_start = sys::steady_now();
+    // Pace in chunks of up to 16 steps to keep spin granularity small.
+    const uint64_t chunk =
+        std::min<uint64_t>(16, options.steps - done);
+    uint64_t interactions = 0;
+    for (uint64_t s = 0; s < chunk; ++s) {
+      interactions += system.step(threads);
+      ++done;
+      if (options.write_output && rank == 0 &&
+          done % options.write_interval == 0) {
+        system.frame(frame);
+        out->write(frame.size());
+        report.bytes_written += frame.size();
+      }
+    }
+    report.interactions += interactions;
+    report.real_flops += static_cast<double>(interactions) * 30.0;
+
+    // Model accounting + virtual-resource pacing.
+    const double model_flops = static_cast<double>(interactions) *
+                               options.model_flops_per_interaction;
+    report.model_flops += model_flops;
+    if (trace) trace->add_work(model_flops, traits);
+
+    if (paced) {
+      const double cycles =
+          resource::cycles_for_flops(traits, spec, model_flops);
+      const double target = resource::seconds_for_cycles(spec, cycles) /
+                            spec.app_optimization * parallel_factor;
+      const double deadline = chunk_start + target;
+      if (sys::steady_now() < deadline) spin_until(deadline);
+    }
+  }
+
+  if (out) out->sync();
+  report.steps = options.steps;
+  report.energy = system.energy();
+  report.wall_seconds = clock.elapsed();
+  return report;
+}
+
+}  // namespace
+
+MdReport run_md(const MdOptions& options) {
+  if (options.ranks <= 1) {
+    return run_md_single(options, 0);
+  }
+  // Fork-parallel execution (the OpenMPI substitute): every rank runs
+  // its share; the parent reports wall time. Per-rank reports stay in
+  // the children; callers profile rank-parallel runs externally.
+  MdReport report;
+  report.particles = options.particles;
+  report.steps = options.steps;
+  const sys::Stopwatch clock;
+  emulator::run_process_group(options.ranks, [&options](int rank) {
+    const MdReport r = run_md_single(options, rank);
+    return r.steps == options.steps ? 0 : 1;
+  });
+  report.wall_seconds = clock.elapsed();
+  return report;
+}
+
+int md_main(int argc, char** argv) {
+  MdOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--steps") {
+      options.steps = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--particles") {
+      options.particles = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.threads = std::atoi(next());
+    } else if (arg == "--ranks") {
+      options.ranks = std::atoi(next());
+    } else if (arg == "--write-interval") {
+      options.write_interval = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fs") {
+      options.filesystem = next();
+    } else if (arg == "--scratch") {
+      options.scratch_dir = next();
+    } else if (arg == "--no-output") {
+      options.write_output = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "mdsim: synthetic Lennard-Jones MD application\n"
+          "  --steps N           iteration count (default 1000)\n"
+          "  --particles N       system size (default 400)\n"
+          "  --threads N         OpenMP threads (default 1)\n"
+          "  --ranks N           fork-parallel ranks (default 1)\n"
+          "  --write-interval N  trajectory frame every N steps\n"
+          "  --fs NAME           virtual filesystem for output\n"
+          "  --scratch DIR       backing directory\n"
+          "  --no-output         disable trajectory output\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "mdsim: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.steps == 0 || options.particles < 2) {
+    std::fprintf(stderr, "mdsim: invalid configuration\n");
+    return 2;
+  }
+  const MdReport report = run_md(options);
+  std::printf(
+      "mdsim steps=%llu particles=%d interactions=%llu "
+      "model_gflop=%.3f bytes_out=%llu energy=%.4f tx=%.3fs\n",
+      static_cast<unsigned long long>(report.steps), report.particles,
+      static_cast<unsigned long long>(report.interactions),
+      report.model_flops * 1e-9,
+      static_cast<unsigned long long>(report.bytes_written), report.energy,
+      report.wall_seconds);
+  return 0;
+}
+
+}  // namespace synapse::apps

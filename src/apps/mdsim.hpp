@@ -1,0 +1,61 @@
+#pragma once
+// mdsim — the synthetic molecular-dynamics application (Gromacs
+// substitute, DESIGN.md section 1).
+//
+// A real Lennard-Jones MD engine: periodic box, neighbour lists,
+// velocity-Verlet integration, LJ pair forces, trajectory output. Like
+// the paper's Gromacs configuration, the iteration count scales CPU
+// consumption and disk output linearly while leaving input and memory
+// constant (paper section 5, "Application").
+//
+// Virtual-resource behaviour: on a non-host resource the engine paces
+// itself to the model step cost (cycles from the cache/IPC model for
+// app_md_traits, scaled by the machine's app_optimization factor) by
+// spinning on extra force work — so the wall time, CPU time and the
+// cooperative counter trace all reflect the simulated machine. On the
+// bare host it runs unpaced.
+//
+// The model accounts kFlopsPerInteraction floating-point operations per
+// pair interaction (the full force-field cost a production MD code pays);
+// the executed LJ inner loop is lighter, and the pacing spin fills the
+// difference with genuine CPU work.
+
+#include <cstdint>
+#include <string>
+
+namespace synapse::apps {
+
+struct MdOptions {
+  uint64_t steps = 1000;        ///< iteration count (the paper's knob)
+  int particles = 400;          ///< system size (fixed per experiment)
+  int threads = 1;              ///< OpenMP threads (1 = serial)
+  int ranks = 1;                ///< fork-parallel ranks (MPI substitute)
+  uint64_t write_interval = 100;  ///< trajectory frame every N steps
+  std::string out_name = "traj.dat";  ///< trajectory file name
+  std::string filesystem;       ///< VFS name ("" = resource default)
+  std::string scratch_dir;      ///< backing dir ("" = $TMPDIR or /tmp)
+  bool write_output = true;
+  /// Model FLOPs accounted per pair interaction (force field cost).
+  double model_flops_per_interaction = 400.0;
+};
+
+struct MdReport {
+  uint64_t steps = 0;
+  int particles = 0;
+  uint64_t interactions = 0;    ///< pair interactions computed
+  double model_flops = 0.0;     ///< published to the counter trace
+  double real_flops = 0.0;      ///< actually executed in the LJ loop
+  uint64_t bytes_written = 0;
+  double wall_seconds = 0.0;
+  double energy = 0.0;          ///< final potential energy (sanity check)
+};
+
+/// Run the simulation in-process (rank-parallel runs fork internally).
+MdReport run_md(const MdOptions& options);
+
+/// CLI entry point: mdsim --steps N [--particles N] [--threads N]
+/// [--ranks N] [--write-interval N] [--no-output] [--fs NAME]
+/// [--scratch DIR]. Prints a one-line report; returns 0 on success.
+int md_main(int argc, char** argv);
+
+}  // namespace synapse::apps

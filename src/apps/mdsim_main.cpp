@@ -1,0 +1,3 @@
+#include "apps/mdsim.hpp"
+
+int main(int argc, char** argv) { return synapse::apps::md_main(argc, argv); }

@@ -1,0 +1,5 @@
+#include "atoms/atom.hpp"
+
+// Atom is header-only today; this translation unit anchors the vtable.
+
+namespace synapse::atoms {}

@@ -1,0 +1,62 @@
+#pragma once
+// Emulation atom base (paper Fig. 1 right half, section 4.2).
+//
+// An atom consumes one type of system resource. The emulator's global
+// loop feeds per-sample consumption deltas to every atom concurrently;
+// a sample ends when the last atom finishes (Fig. 2 semantics — the
+// barrier lives in the emulator, not the atom).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "profile/profile.hpp"
+#include "watchers/trace.hpp"
+
+namespace synapse::atoms {
+
+/// Cumulative accounting of what an atom consumed.
+struct AtomStats {
+  double busy_seconds = 0.0;  ///< wall time spent consuming
+  double cycles = 0.0;
+  double flops = 0.0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t bytes_freed = 0;
+  uint64_t net_bytes_sent = 0;
+  uint64_t net_bytes_received = 0;
+  uint64_t samples_consumed = 0;
+};
+
+class Atom {
+ public:
+  explicit Atom(std::string name) : name_(std::move(name)) {}
+  virtual ~Atom() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// True when this sample contains work for this atom (lets the
+  /// emulator skip dispatch for idle atoms).
+  virtual bool wants(const profile::SampleDelta& delta) const = 0;
+
+  /// Consume the resources recorded in one sampling period. Called from
+  /// the atom's dedicated thread; must be exception-safe (failures are
+  /// recorded, not propagated, so one atom cannot wedge the barrier).
+  virtual void consume(const profile::SampleDelta& delta) = 0;
+
+  const AtomStats& stats() const { return stats_; }
+
+  /// Attach the cooperative trace (emulation runs are themselves
+  /// profile-able; the atoms publish the counters they consume).
+  void set_trace(watchers::TraceWriter* trace) { trace_ = trace; }
+
+ protected:
+  AtomStats stats_;
+  watchers::TraceWriter* trace_ = nullptr;  ///< not owned, may be null
+
+ private:
+  std::string name_;
+};
+
+}  // namespace synapse::atoms

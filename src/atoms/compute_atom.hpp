@@ -1,0 +1,48 @@
+#pragma once
+// Compute atom: consumes CPU cycles through a pluggable kernel.
+//
+// Given a per-sample cycle budget N (from the profile), the atom:
+//   1. converts N to wall time on the active virtual resource:
+//      t = N x bias / turbo_hz, where bias is the kernel's calibration
+//      bias on that resource (resource/cache_model.hpp) — the mechanism
+//      behind the per-kernel emulation error of paper Fig. 8/9;
+//   2. runs the kernel's real computation for t (on the bare host,
+//      bias = 1 and t = N / clock: it genuinely burns ~N cycles);
+//   3. publishes the model counters (FLOPs from the kernel's effective
+//      IPC, instructions from its instruction mix, cycles N x bias) to
+//      the cooperative trace, so profiling the emulation reports what a
+//      PMU would have measured on that machine.
+
+#include <memory>
+
+#include "atoms/atom.hpp"
+#include "atoms/kernels.hpp"
+
+namespace synapse::atoms {
+
+struct ComputeAtomOptions {
+  /// Kernel name in the KernelRegistry ("asm" is the paper's default).
+  std::string kernel = "asm";
+  /// OpenMP threads for the "omp" kernel (0 = all).
+  int omp_threads = 0;
+  /// Multiplier on the wall time spent per sample (NOT on the counters):
+  /// the emulator sets this to the parallel-efficiency factor when the
+  /// cycle budget is spread over several workers (experiment E.4).
+  double time_scale = 1.0;
+};
+
+class ComputeAtom final : public Atom {
+ public:
+  explicit ComputeAtom(ComputeAtomOptions options = {});
+
+  bool wants(const profile::SampleDelta& delta) const override;
+  void consume(const profile::SampleDelta& delta) override;
+
+  const ComputeKernel& kernel() const { return *kernel_; }
+
+ private:
+  ComputeAtomOptions options_;
+  std::unique_ptr<ComputeKernel> kernel_;
+};
+
+}  // namespace synapse::atoms

@@ -1,0 +1,251 @@
+#include "atoms/kernels.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+
+namespace synapse::atoms {
+
+namespace {
+
+/// Register-blocked 32x32 matmul; the working set (three 32x32 double
+/// matrices = 24 KiB) stays in L1. The unrolled inner loop compiles to a
+/// dense FMA chain — the C++ rendering of the paper's assembly kernel.
+class AsmKernel final : public ComputeKernel {
+ public:
+  AsmKernel() : a_(kN * kN, 1.0001), b_(kN * kN, 0.9999), c_(kN * kN, 0.0) {}
+
+  const std::string& name() const override {
+    static const std::string n = "asm";
+    return n;
+  }
+  const resource::KernelTraits& traits() const override {
+    return resource::asm_kernel_traits();
+  }
+
+  double busy(double seconds) override {
+    const double deadline = sys::steady_now() + seconds;
+    double flops = 0.0;
+    do {
+      multiply_once();
+      flops += 2.0 * kN * kN * kN;
+    } while (sys::steady_now() < deadline);
+    return flops;
+  }
+
+ private:
+  static constexpr size_t kN = 32;
+
+  void multiply_once() {
+    double* __restrict c = c_.data();
+    const double* __restrict a = a_.data();
+    const double* __restrict b = b_.data();
+    for (size_t i = 0; i < kN; ++i) {
+      for (size_t k = 0; k < kN; ++k) {
+        const double aik = a[i * kN + k];
+        // Unrolled by 4: the compiler vectorizes this into FMA lanes.
+        for (size_t j = 0; j < kN; j += 4) {
+          c[i * kN + j + 0] += aik * b[k * kN + j + 0];
+          c[i * kN + j + 1] += aik * b[k * kN + j + 1];
+          c[i * kN + j + 2] += aik * b[k * kN + j + 2];
+          c[i * kN + j + 3] += aik * b[k * kN + j + 3];
+        }
+      }
+    }
+    // Keep values bounded so the loop never hits subnormals/infs (which
+    // would change the execution speed mid-run).
+    c_[0] = c_[0] > 1e100 ? 1.0 : c_[0];
+  }
+
+  std::vector<double> a_, b_, c_;
+};
+
+/// Naive triple-loop matmul whose matrices exceed the last-level cache;
+/// strided B accesses miss continuously — the paper's C kernel.
+class CKernel final : public ComputeKernel {
+ public:
+  CKernel() : a_(kN * kN, 1.0001), b_(kN * kN, 0.9999), c_(kN * kN, 0.0) {}
+
+  const std::string& name() const override {
+    static const std::string n = "c";
+    return n;
+  }
+  const resource::KernelTraits& traits() const override {
+    return resource::c_kernel_traits();
+  }
+
+  double busy(double seconds) override {
+    const double deadline = sys::steady_now() + seconds;
+    double flops = 0.0;
+    size_t row = 0;
+    do {
+      // One output row per deadline check keeps the check cheap relative
+      // to the work (2*kN*kN flops per row).
+      multiply_row(row);
+      row = (row + 1) % kN;
+      flops += 2.0 * kN * kN;
+    } while (sys::steady_now() < deadline);
+    return flops;
+  }
+
+ private:
+  static constexpr size_t kN = 1024;  // 3 matrices x 8 MiB = 24 MiB
+
+  void multiply_row(size_t i) {
+    double* __restrict c = c_.data() + i * kN;
+    const double* __restrict a = a_.data() + i * kN;
+    const double* __restrict b = b_.data();
+    for (size_t j = 0; j < kN; ++j) {
+      double acc = c[j];
+      // Column-strided walk over B: the cache-hostile access pattern is
+      // the point of this kernel.
+      for (size_t k = 0; k < kN; ++k) {
+        acc += a[k] * b[k * kN + j];
+      }
+      c[j] = acc > 1e100 ? 1.0 : acc;
+    }
+  }
+
+  std::vector<double> a_, b_, c_;
+};
+
+/// OpenMP matmul: the C kernel's loop parallelized over rows.
+class OmpKernel final : public ComputeKernel {
+ public:
+  explicit OmpKernel(int threads)
+      : threads_(threads > 0 ? threads : omp_get_max_threads()),
+        a_(kN * kN, 1.0001),
+        b_(kN * kN, 0.9999),
+        c_(kN * kN, 0.0) {}
+
+  const std::string& name() const override {
+    static const std::string n = "omp";
+    return n;
+  }
+  const resource::KernelTraits& traits() const override {
+    return resource::c_kernel_traits();
+  }
+
+  double busy(double seconds) override {
+    const double deadline = sys::steady_now() + seconds;
+    double flops = 0.0;
+    do {
+      double* __restrict c = c_.data();
+      const double* __restrict a = a_.data();
+      const double* __restrict b = b_.data();
+#pragma omp parallel for num_threads(threads_) schedule(static)
+      for (size_t i = 0; i < kN; ++i) {
+        for (size_t j = 0; j < kN; ++j) {
+          double acc = c[i * kN + j];
+          for (size_t k = 0; k < kN; ++k) {
+            acc += a[i * kN + k] * b[k * kN + j];
+          }
+          c[i * kN + j] = acc > 1e100 ? 1.0 : acc;
+        }
+      }
+      flops += 2.0 * kN * kN * kN;
+    } while (sys::steady_now() < deadline);
+    return flops;
+  }
+
+  int threads() const { return threads_; }
+
+ private:
+  static constexpr size_t kN = 256;  // small enough for sub-second rounds
+  int threads_;
+  std::vector<double> a_, b_, c_;
+};
+
+/// No CPU at all: models sleep(3)-dominated applications (section 4.5).
+class SleepKernel final : public ComputeKernel {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "sleep";
+    return n;
+  }
+  const resource::KernelTraits& traits() const override {
+    static const resource::KernelTraits t = {
+        .name = "sleep",
+        .working_set_bytes = 0,
+        .memory_boundedness = 1.0,  // insensitive to clock by definition
+        .instructions_per_flop = 1.0,
+        .mem_refs_per_instruction = 0.0,
+        .locality = 1.0,
+    };
+    return t;
+  }
+
+  double busy(double seconds) override {
+    sys::sleep_for(seconds);
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeKernel> make_asm_kernel() {
+  return std::make_unique<AsmKernel>();
+}
+std::unique_ptr<ComputeKernel> make_c_kernel() {
+  return std::make_unique<CKernel>();
+}
+std::unique_ptr<ComputeKernel> make_omp_kernel(int threads) {
+  return std::make_unique<OmpKernel>(threads);
+}
+std::unique_ptr<ComputeKernel> make_sleep_kernel() {
+  return std::make_unique<SleepKernel>();
+}
+
+KernelRegistry::KernelRegistry() {
+  factories_["asm"] = [] { return make_asm_kernel(); };
+  factories_["c"] = [] { return make_c_kernel(); };
+  factories_["omp"] = [] { return make_omp_kernel(0); };
+  factories_["sleep"] = [] { return make_sleep_kernel(); };
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+namespace {
+std::mutex g_registry_mutex;
+}
+
+void KernelRegistry::register_kernel(const std::string& name,
+                                     Factory factory) {
+  std::lock_guard lock(g_registry_mutex);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<ComputeKernel> KernelRegistry::create(
+    const std::string& name) const {
+  std::lock_guard lock(g_registry_mutex);
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw sys::ConfigError("unknown compute kernel: " + name);
+  }
+  return it->second();
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::lock_guard lock(g_registry_mutex);
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+double calibrate_kernel_flops(ComputeKernel& kernel, double seconds) {
+  const double start = sys::steady_now();
+  const double flops = kernel.busy(seconds);
+  const double elapsed = sys::steady_now() - start;
+  return elapsed > 0 ? flops / elapsed : 0.0;
+}
+
+}  // namespace synapse::atoms

@@ -1,0 +1,75 @@
+#pragma once
+// Compute emulation kernels (paper section 4.2).
+//
+// A kernel is the piece of code a ComputeAtom runs to consume CPU. The
+// paper ships two built-in matrix-multiplication kernels — an assembly
+// one whose matrices fit the cache ("maximum efficiency") and a C one
+// whose matrices do not ("represents actual application codes more
+// realistically") — plus an OpenMP variant and user-pluggable kernels
+// (e.g. a sleep kernel for applications whose Tx is not CPU-bound,
+// section 4.5). All of that is reproduced here; "assembly" is a tightly
+// register-blocked C++ loop the compiler reduces to the same FMA chain.
+//
+// Kernels burn *time* with a characteristic memory-access pattern; the
+// translation from cycles to time and the counter accounting live in
+// ComputeAtom (see compute_atom.hpp).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resource/cache_model.hpp"
+
+namespace synapse::atoms {
+
+class ComputeKernel {
+ public:
+  virtual ~ComputeKernel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Analytic execution characteristics, used by the cache/IPC model.
+  virtual const resource::KernelTraits& traits() const = 0;
+
+  /// Execute real work for approximately `seconds` of wall time;
+  /// returns the number of floating-point operations actually executed
+  /// (used by calibration and the micro-benchmarks).
+  virtual double busy(double seconds) = 0;
+};
+
+/// Cache-resident register-blocked matmul — the paper's ASM kernel.
+std::unique_ptr<ComputeKernel> make_asm_kernel();
+
+/// Out-of-cache naive matmul — the paper's C kernel.
+std::unique_ptr<ComputeKernel> make_c_kernel();
+
+/// OpenMP-parallel matmul over `threads` threads (0 = all cores).
+std::unique_ptr<ComputeKernel> make_omp_kernel(int threads = 0);
+
+/// Consumes wall time without CPU (the paper's sleep(3) user-kernel
+/// example for applications whose Tx is not compute).
+std::unique_ptr<ComputeKernel> make_sleep_kernel();
+
+/// Kernel registry: built-ins are pre-registered under "asm", "c",
+/// "omp", "sleep"; users add factories for their own kernels
+/// (requirement E.3 Malleability / section 4.5 kernel selection).
+class KernelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ComputeKernel>()>;
+
+  static KernelRegistry& instance();
+
+  void register_kernel(const std::string& name, Factory factory);
+  std::unique_ptr<ComputeKernel> create(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  KernelRegistry();
+  std::map<std::string, Factory> factories_;
+};
+
+/// Measured sustained FLOP rate of a kernel on the host (microbench).
+double calibrate_kernel_flops(ComputeKernel& kernel, double seconds = 0.05);
+
+}  // namespace synapse::atoms

@@ -1,0 +1,68 @@
+#include "atoms/memory_atom.hpp"
+
+#include <algorithm>
+
+#include "profile/metrics.hpp"
+#include "sys/procfs.hpp"
+
+namespace synapse::atoms {
+
+namespace m = synapse::metrics;
+
+MemoryAtom::MemoryAtom(MemoryAtomOptions options)
+    : Atom("memory"), options_(options) {}
+
+MemoryAtom::~MemoryAtom() = default;
+
+bool MemoryAtom::wants(const profile::SampleDelta& delta) const {
+  return delta.get(m::kMemAllocated) > 0 || delta.get(m::kMemFreed) > 0;
+}
+
+void MemoryAtom::allocate(uint64_t bytes) {
+  const long page = sys::page_size();
+  while (bytes > 0) {
+    const uint64_t chunk = std::min(bytes, options_.block_bytes);
+    blocks_.emplace_back();
+    auto& block = blocks_.back();
+    block.resize(chunk);
+    if (options_.touch_pages) {
+      for (uint64_t off = 0; off < chunk; off += static_cast<uint64_t>(page)) {
+        block[off] = static_cast<char>(off);
+      }
+    }
+    held_bytes_ += chunk;
+    stats_.bytes_allocated += chunk;
+    if (trace_ != nullptr) trace_->add_alloc(chunk);
+    bytes -= chunk;
+
+    // Enforce the residency budget by retiring the oldest blocks.
+    while (held_bytes_ > options_.max_held_bytes && !blocks_.empty()) {
+      const uint64_t freed = blocks_.front().size();
+      blocks_.pop_front();
+      held_bytes_ -= freed;
+      stats_.bytes_freed += freed;
+      if (trace_ != nullptr) trace_->add_free(freed);
+    }
+  }
+}
+
+void MemoryAtom::release(uint64_t bytes) {
+  while (bytes > 0 && !blocks_.empty()) {
+    const uint64_t freed = blocks_.front().size();
+    blocks_.pop_front();
+    held_bytes_ -= freed;
+    stats_.bytes_freed += freed;
+    if (trace_ != nullptr) trace_->add_free(freed);
+    bytes -= std::min(bytes, freed);
+  }
+}
+
+void MemoryAtom::consume(const profile::SampleDelta& delta) {
+  const auto to_alloc = static_cast<uint64_t>(delta.get(m::kMemAllocated));
+  const auto to_free = static_cast<uint64_t>(delta.get(m::kMemFreed));
+  if (to_alloc > 0) allocate(to_alloc);
+  if (to_free > 0) release(to_free);
+  stats_.samples_consumed += 1;
+}
+
+}  // namespace synapse::atoms

@@ -1,0 +1,47 @@
+#pragma once
+// Memory atom: canonical malloc/free emulation (paper section 4.2).
+//
+// Consumes the per-sample allocation and free byte counts with a
+// tunable block size ("those block sizes are not related to the
+// recorded profiles" — same deliberate simplification as the paper;
+// tunable per requirement E.3). Allocated blocks are touched page by
+// page so they become resident and visible to the memory watcher of a
+// profiler observing the emulation.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "atoms/atom.hpp"
+
+namespace synapse::atoms {
+
+struct MemoryAtomOptions {
+  uint64_t block_bytes = 4 * 1024 * 1024;  ///< allocation granularity
+  /// Upper bound on memory held at once; oldest blocks are freed first
+  /// when the budget is exceeded (keeps emulation safe on small hosts —
+  /// the paper's "memory emulation is limited by available memory").
+  uint64_t max_held_bytes = 1ull << 30;
+  bool touch_pages = true;  ///< write one byte per page after malloc
+};
+
+class MemoryAtom final : public Atom {
+ public:
+  explicit MemoryAtom(MemoryAtomOptions options = {});
+  ~MemoryAtom() override;
+
+  bool wants(const profile::SampleDelta& delta) const override;
+  void consume(const profile::SampleDelta& delta) override;
+
+  uint64_t held_bytes() const { return held_bytes_; }
+
+ private:
+  void allocate(uint64_t bytes);
+  void release(uint64_t bytes);
+
+  MemoryAtomOptions options_;
+  std::deque<std::vector<char>> blocks_;
+  uint64_t held_bytes_ = 0;
+};
+
+}  // namespace synapse::atoms

@@ -1,0 +1,40 @@
+#pragma once
+// Network atom: simple socket-based communication emulation.
+//
+// The paper implements "emulation of simple socket-based network
+// communication" (section 4.5 IPC/MPI) while network *profiling* remains
+// planned (Table 1's "(-)" rows). This atom reproduces that state: it
+// replays byte counts over a real loopback TCP connection (a dedicated
+// drain thread consumes the peer side), so the traffic exercises genuine
+// socket paths.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "atoms/atom.hpp"
+
+namespace synapse::atoms {
+
+struct NetworkAtomOptions {
+  uint64_t block_bytes = 64 * 1024;  ///< send/recv granularity
+};
+
+class NetworkAtom final : public Atom {
+ public:
+  explicit NetworkAtom(NetworkAtomOptions options = {});
+  ~NetworkAtom() override;
+
+  bool wants(const profile::SampleDelta& delta) const override;
+  void consume(const profile::SampleDelta& delta) override;
+
+ private:
+  NetworkAtomOptions options_;
+  int send_fd_ = -1;
+  int recv_fd_ = -1;
+  std::thread drain_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> drained_{0};
+};
+
+}  // namespace synapse::atoms

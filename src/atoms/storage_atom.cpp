@@ -1,0 +1,76 @@
+#include "atoms/storage_atom.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "profile/metrics.hpp"
+
+namespace synapse::atoms {
+
+namespace m = synapse::metrics;
+
+StorageAtom::StorageAtom(StorageAtomOptions options)
+    : Atom("storage"),
+      options_(options),
+      vfs_(resource::VirtualFilesystem::for_active_resource(
+          options.filesystem, options.base_dir)) {
+  file_name_ = "storage_atom_" + std::to_string(::getpid()) + ".dat";
+  file_ = vfs_.open(file_name_, /*for_write=*/true);
+}
+
+StorageAtom::~StorageAtom() {
+  file_.reset();
+  vfs_.remove(file_name_);
+}
+
+bool StorageAtom::wants(const profile::SampleDelta& delta) const {
+  return delta.get(m::kBytesRead) > 0 || delta.get(m::kBytesWritten) > 0;
+}
+
+void StorageAtom::consume(const profile::SampleDelta& delta) {
+  const auto to_write = static_cast<uint64_t>(delta.get(m::kBytesWritten));
+  const auto to_read = static_cast<uint64_t>(delta.get(m::kBytesRead));
+
+  uint64_t wblock = options_.write_block_bytes;
+  if (wblock == 0) {
+    const double estimated = delta.get(m::kBlockSizeWrite);
+    wblock = estimated >= 1.0 ? static_cast<uint64_t>(estimated)
+                              : kDefaultBlock;
+  }
+  uint64_t rblock = options_.read_block_bytes;
+  if (rblock == 0) {
+    const double estimated = delta.get(m::kBlockSizeRead);
+    rblock = estimated >= 1.0 ? static_cast<uint64_t>(estimated)
+                              : kDefaultBlock;
+  }
+
+  const double cost_before =
+      file_->stats().read_seconds + file_->stats().write_seconds;
+
+  // Writes first: they create the data subsequent reads consume (the
+  // common dependency direction; cross-sample ordering is preserved by
+  // the emulator's sample barrier either way).
+  uint64_t written = 0;
+  while (written < to_write) {
+    const uint64_t chunk = std::min(wblock, to_write - written);
+    file_->write(chunk);
+    written += chunk;
+  }
+  if (to_write > 0) file_->sync();
+
+  uint64_t read = 0;
+  while (read < to_read) {
+    const uint64_t chunk = std::min(rblock, to_read - read);
+    file_->read(chunk);
+    read += chunk;
+  }
+
+  stats_.bytes_written += to_write;
+  stats_.bytes_read += to_read;
+  stats_.busy_seconds += file_->stats().read_seconds +
+                         file_->stats().write_seconds - cost_before;
+  stats_.samples_consumed += 1;
+}
+
+}  // namespace synapse::atoms

@@ -1,0 +1,49 @@
+#pragma once
+// Storage atom: disk read/write emulation (paper sections 4.2, E.5).
+//
+// Replays per-sample byte counts through a virtual filesystem with a
+// tunable block size. By default the block size follows the profile's
+// estimated granularity when present (our blktrace stand-in), otherwise
+// a configurable static size — the paper's default behaviour. Both the
+// target filesystem and the block sizes are user-tunable (experiment
+// E.5's two dimensions of malleability).
+
+#include <memory>
+#include <string>
+
+#include "atoms/atom.hpp"
+#include "resource/vfs.hpp"
+
+namespace synapse::atoms {
+
+struct StorageAtomOptions {
+  /// Filesystem name on the active resource ("" = resource default).
+  std::string filesystem;
+  /// Static block sizes; 0 = follow the profile's per-sample estimate,
+  /// falling back to 1 MiB.
+  uint64_t read_block_bytes = 0;
+  uint64_t write_block_bytes = 0;
+  /// Backing directory ("" = $TMPDIR or /tmp).
+  std::string base_dir;
+};
+
+class StorageAtom final : public Atom {
+ public:
+  explicit StorageAtom(StorageAtomOptions options = {});
+  ~StorageAtom() override;
+
+  bool wants(const profile::SampleDelta& delta) const override;
+  void consume(const profile::SampleDelta& delta) override;
+
+  const resource::VirtualFilesystem& filesystem() const { return vfs_; }
+
+ private:
+  static constexpr uint64_t kDefaultBlock = 1024 * 1024;
+
+  StorageAtomOptions options_;
+  resource::VirtualFilesystem vfs_;
+  std::unique_ptr<resource::VirtualFile> file_;
+  std::string file_name_;
+};
+
+}  // namespace synapse::atoms

@@ -1,0 +1,64 @@
+#include "core/synapse.hpp"
+
+#include "sys/error.hpp"
+
+namespace synapse {
+
+namespace {
+
+profile::ProfileStore make_store(const SessionOptions& options) {
+  if (options.store_backend == "memory") {
+    return profile::ProfileStore();
+  }
+  if (options.store_backend == "docstore") {
+    return profile::ProfileStore(profile::ProfileStore::Backend::DocStore,
+                                 options.store_dir);
+  }
+  if (options.store_backend == "files") {
+    return profile::ProfileStore(profile::ProfileStore::Backend::Files,
+                                 options.store_dir);
+  }
+  throw sys::ConfigError("unknown store backend: " + options.store_backend);
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)), store_(make_store(options_)) {}
+
+profile::Profile Session::profile(const std::string& command,
+                                  const std::vector<std::string>& tags) {
+  watchers::Profiler profiler(options_.profiler);
+  profile::Profile p = profiler.profile(command, tags);
+  store_.put(p);
+  store_.flush();
+  return p;
+}
+
+emulator::EmulationResult Session::emulate(
+    const std::string& command, const std::vector<std::string>& tags) {
+  const auto p = store_.find_latest(command, tags);
+  if (!p) {
+    throw sys::ProfileNotFound("no profile stored for command '" + command +
+                               "'");
+  }
+  emulator::Emulator emu(options_.emulator);
+  return emu.emulate(*p);
+}
+
+profile::Profile profile_once(const std::string& command,
+                              const std::vector<std::string>& tags,
+                              watchers::ProfilerOptions options) {
+  watchers::Profiler profiler(std::move(options));
+  return profiler.profile(command, tags);
+}
+
+emulator::EmulationResult emulate_profile(const profile::Profile& profile,
+                                          emulator::EmulatorOptions options) {
+  emulator::Emulator emu(std::move(options));
+  return emu.emulate(profile);
+}
+
+const char* version() { return "0.10.0-cpp"; }
+
+}  // namespace synapse

@@ -1,0 +1,72 @@
+#pragma once
+// synapse — the public API (paper section 4):
+//
+//   radical.synapse.profile(command, tags) -> synapse::profile(...)
+//   radical.synapse.emulate(command, tags) -> synapse::emulate(...)
+//
+// A Session owns the profile store (file-backed, docstore-backed or
+// in-memory) and the default profiler/emulator configuration. profile()
+// runs and profiles the command, stores the profile, and returns it;
+// emulate() looks the command+tags combination up in the store and
+// replays the most recent profile on the active (virtual) resource.
+//
+// Everything the session does can also be done with the lower-level
+// modules directly (watchers::Profiler, emulator::Emulator); the session
+// is the convenience layer the command-line tools use.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emulator/emulator.hpp"
+#include "profile/profile_store.hpp"
+#include "watchers/profiler.hpp"
+
+namespace synapse {
+
+struct SessionOptions {
+  /// Store backend: "memory", "files" or "docstore".
+  std::string store_backend = "files";
+  /// Store directory for persistent backends.
+  std::string store_dir = ".synapse";
+  watchers::ProfilerOptions profiler;
+  emulator::EmulatorOptions emulator;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  /// Profile `command`, store and return the profile. Repeated calls
+  /// accumulate repetitions for statistics (ProfileStore::stats).
+  profile::Profile profile(const std::string& command,
+                           const std::vector<std::string>& tags = {});
+
+  /// Emulate the latest stored profile for command+tags on the active
+  /// resource. Throws sys::ProfileNotFound when nothing matches.
+  emulator::EmulationResult emulate(const std::string& command,
+                                    const std::vector<std::string>& tags = {});
+
+  /// Direct access for advanced use.
+  profile::ProfileStore& store() { return store_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  SessionOptions options_;
+  profile::ProfileStore store_;
+};
+
+/// One-shot helpers with default options (the basic usage mode shown in
+/// the paper). Both use an in-memory store; `profile_once` returns the
+/// profile so the caller can hand it to `emulate_profile`.
+profile::Profile profile_once(const std::string& command,
+                              const std::vector<std::string>& tags = {},
+                              watchers::ProfilerOptions options = {});
+
+emulator::EmulationResult emulate_profile(
+    const profile::Profile& profile, emulator::EmulatorOptions options = {});
+
+/// Library version string ("0.10.0-cpp", after the reproduced v0.10).
+const char* version();
+
+}  // namespace synapse

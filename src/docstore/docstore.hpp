@@ -1,0 +1,120 @@
+#pragma once
+// Embedded JSON document store — the MongoDB substitute.
+//
+// The original Synapse pushes profiles into MongoDB, indexed by the
+// application command line and user tags, and suffers from MongoDB's
+// 16 MB per-document limit (paper section 4.5 "DB limitations": at most
+// ~250,000 samples per profile; the largest Fig. 4 configuration drops a
+// sample). This module reproduces the same API role and the same
+// observable limitation without a network service:
+//
+//  - named collections of JSON documents,
+//  - insert / find-by-field-equality / remove,
+//  - a hard 16 MB serialized-size limit per document (InsertResult tells
+//    callers whether truncation was applied),
+//  - optional directory persistence, one JSON file per collection.
+//
+// Thread safety: all public methods lock a single mutex; the store is a
+// coordination point, not a throughput-critical path.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace synapse::docstore {
+
+/// MongoDB's classic BSON document cap, reproduced deliberately.
+inline constexpr size_t kMaxDocumentBytes = 16 * 1024 * 1024;
+
+/// Outcome of an insert.
+struct InsertResult {
+  uint64_t id = 0;          ///< assigned document id
+  bool truncated = false;   ///< true when sample arrays were trimmed to fit
+  size_t stored_bytes = 0;  ///< serialized size actually stored
+};
+
+/// Equality predicate on a top-level (or dotted nested) field.
+struct FieldEquals {
+  std::string field;  ///< e.g. "command" or "meta.tag"
+  json::Value value;
+};
+
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const;
+
+  /// Insert a document (object). Documents larger than kMaxDocumentBytes
+  /// are made to fit by trimming the *largest array* found anywhere in the
+  /// document (mirroring how the paper's largest run loses its final
+  /// sample); if no array exists the insert throws.
+  InsertResult insert(json::Value doc);
+
+  /// All documents matching every predicate (AND semantics).
+  std::vector<json::Value> find(const std::vector<FieldEquals>& query) const;
+
+  /// First match, if any.
+  std::optional<json::Value> find_one(
+      const std::vector<FieldEquals>& query) const;
+
+  /// Document by id.
+  std::optional<json::Value> get(uint64_t id) const;
+
+  /// Remove matching documents; returns the number removed.
+  size_t remove(const std::vector<FieldEquals>& query);
+
+  /// All documents (snapshot copy).
+  std::vector<json::Value> all() const;
+
+ private:
+  friend class Store;
+  bool matches(const json::Value& doc,
+               const std::vector<FieldEquals>& query) const;
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, json::Value> docs_;
+  uint64_t next_id_ = 1;
+};
+
+/// A set of named collections with optional disk persistence.
+class Store {
+ public:
+  /// In-memory store.
+  Store() = default;
+
+  /// Persistent store rooted at `directory` (created if missing);
+  /// existing collection files are loaded eagerly.
+  explicit Store(const std::string& directory);
+
+  /// Get or create a collection.
+  Collection& collection(const std::string& name);
+
+  /// Names of all collections currently present.
+  std::vector<std::string> collection_names() const;
+
+  /// Write every collection to disk (no-op for in-memory stores).
+  void flush();
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  void load_collection(const std::string& name, const std::string& path);
+
+  std::string directory_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+/// Navigate a dotted path ("meta.tag") inside a document; nullptr when
+/// any component is missing or a non-object is traversed.
+const json::Value* lookup_path(const json::Value& doc, const std::string& path);
+
+}  // namespace synapse::docstore

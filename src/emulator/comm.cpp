@@ -1,0 +1,78 @@
+#include "emulator/comm.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <algorithm>
+
+#include "sys/error.hpp"
+
+namespace synapse::emulator {
+
+CommRing::CommRing(int ranks) : ranks_(std::max(1, ranks)) {
+  pipes_.resize(static_cast<size_t>(ranks_));
+  for (auto& p : pipes_) {
+    int fds[2];
+    if (::pipe(fds) != 0) throw sys::SystemError("pipe", errno);
+    p.read_fd = fds[0];
+    p.write_fd = fds[1];
+  }
+}
+
+CommRing::~CommRing() {
+  for (const auto& p : pipes_) {
+    if (p.read_fd >= 0) ::close(p.read_fd);
+    if (p.write_fd >= 0) ::close(p.write_fd);
+  }
+}
+
+void CommRing::attach(int rank) {
+  const int left = (rank - 1 + ranks_) % ranks_;
+  for (int i = 0; i < ranks_; ++i) {
+    auto& p = pipes_[static_cast<size_t>(i)];
+    // Keep: our write end (pipes_[rank]) and our read end (pipes_[left]).
+    if (i != rank && p.write_fd >= 0) {
+      ::close(p.write_fd);
+      p.write_fd = -1;
+    }
+    if (i != left && p.read_fd >= 0) {
+      ::close(p.read_fd);
+      p.read_fd = -1;
+    }
+  }
+}
+
+uint64_t CommRing::exchange(int rank, uint64_t bytes) {
+  if (ranks_ < 2 || bytes == 0) return 0;
+  const int left = (rank - 1 + ranks_) % ranks_;
+  const int out_fd = pipes_[static_cast<size_t>(rank)].write_fd;
+  const int in_fd = pipes_[static_cast<size_t>(left)].read_fd;
+  if (out_fd < 0 || in_fd < 0) return 0;
+
+  // Interleave bounded writes and reads so the ring cannot deadlock on
+  // full pipe buffers (every rank runs the same loop).
+  constexpr size_t kChunk = 32 * 1024;  // < half the default pipe buffer
+  std::vector<char> buf(kChunk, 'S');
+  uint64_t sent = 0, received = 0;
+  while (sent < bytes || received < bytes) {
+    if (sent < bytes) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, bytes - sent));
+      const ssize_t w = ::write(out_fd, buf.data(), n);
+      if (w < 0 && errno != EINTR) break;
+      if (w > 0) sent += static_cast<uint64_t>(w);
+    }
+    if (received < bytes) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, bytes - received));
+      const ssize_t r = ::read(in_fd, buf.data(), n);
+      if (r == 0) break;  // neighbour closed: ring torn down
+      if (r < 0 && errno != EINTR) break;
+      if (r > 0) received += static_cast<uint64_t>(r);
+    }
+  }
+  return received;
+}
+
+}  // namespace synapse::emulator

@@ -1,0 +1,52 @@
+#pragma once
+// Rank-to-rank communication emulation (extension).
+//
+// The paper's Synapse "makes no attempt to emulate any communication"
+// between ranks (section 5, E.4) and lists MPI communication replay as
+// the most significant future improvement (section 6). This module
+// implements the simplest useful form: a ring exchange — each rank
+// sends a configurable number of bytes to its right neighbour and
+// receives from its left neighbour once per replayed sample, over real
+// pipes created before the fork. That reproduces the halo-exchange
+// pattern of domain-decomposed codes (the dominant MPI pattern in the
+// MD applications Synapse targets) without requiring an MPI stack.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace synapse::emulator {
+
+/// Pre-forked pipe ring connecting `ranks` processes.
+class CommRing {
+ public:
+  /// Create all pipes in the parent, before forking.
+  explicit CommRing(int ranks);
+  ~CommRing();
+  CommRing(const CommRing&) = delete;
+  CommRing& operator=(const CommRing&) = delete;
+
+  int ranks() const { return ranks_; }
+
+  /// Called by rank `rank` after the fork: closes the descriptors that
+  /// belong to other ranks (hygiene, like MPI runtimes do).
+  void attach(int rank);
+
+  /// One ring step: send `bytes` to (rank+1) % ranks, receive the same
+  /// amount from (rank-1) % ranks. Blocks until both complete; returns
+  /// the bytes actually exchanged (0 on peer failure — never throws, a
+  /// dead neighbour must not wedge the ring).
+  uint64_t exchange(int rank, uint64_t bytes);
+
+ private:
+  struct Pipe {
+    int read_fd = -1;
+    int write_fd = -1;
+  };
+
+  int ranks_;
+  /// pipes_[i]: written by rank i, read by rank (i+1) % ranks.
+  std::vector<Pipe> pipes_;
+};
+
+}  // namespace synapse::emulator

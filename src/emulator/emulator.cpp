@@ -1,0 +1,254 @@
+#include "emulator/emulator.hpp"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cerrno>
+#include <functional>
+#include <thread>
+
+#include "atoms/network_atom.hpp"
+#include "emulator/comm.hpp"
+#include "emulator/procgroup.hpp"
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+#include "watchers/trace.hpp"
+
+namespace synapse::emulator {
+
+namespace m = synapse::metrics;
+
+Emulator::Emulator(EmulatorOptions options) : options_(std::move(options)) {
+  if (options_.parallel_degree < 1) options_.parallel_degree = 1;
+}
+
+double Emulator::parallel_time_factor(int workers,
+                                      double overhead_per_worker) {
+  if (workers <= 1) return 1.0;
+  // Amdahl serial fraction (the emulator's sample feed is sequential)
+  // plus linear per-worker coordination cost: time(N) =
+  // T1 * (f + (1-f)/N) * (1 + a*(N-1)). Good scaling for small N,
+  // diminishing returns toward a full node — the Fig. 12 shape.
+  constexpr double kSerialFraction = 0.03;
+  const double n = static_cast<double>(workers);
+  return (kSerialFraction + (1.0 - kSerialFraction) / n) *
+         (1.0 + overhead_per_worker * (n - 1.0));
+}
+
+namespace {
+
+/// Apply the emulator's workload overrides to one sample delta.
+profile::SampleDelta scale_delta(const profile::SampleDelta& in,
+                                 const EmulatorOptions& opts) {
+  profile::SampleDelta out = in;
+  auto scale = [&out](std::string_view key, double factor) {
+    const auto it = out.deltas.find(std::string(key));
+    if (it != out.deltas.end()) it->second *= factor;
+  };
+  if (opts.cycle_scale != 1.0) {
+    scale(m::kCyclesUsed, opts.cycle_scale);
+    scale(m::kInstructions, opts.cycle_scale);
+    scale(m::kFlops, opts.cycle_scale);
+  }
+  if (opts.memory_scale != 1.0) {
+    scale(m::kMemAllocated, opts.memory_scale);
+    scale(m::kMemFreed, opts.memory_scale);
+  }
+  if (opts.io_scale != 1.0) {
+    scale(m::kBytesRead, opts.io_scale);
+    scale(m::kBytesWritten, opts.io_scale);
+  }
+  return out;
+}
+
+/// Shared-memory accumulator for process-parallel runs.
+struct SharedStats {
+  std::atomic<uint64_t> flops;
+  std::atomic<uint64_t> cycles;
+  std::atomic<uint64_t> bytes_written;
+  std::atomic<uint64_t> bytes_read;
+  std::atomic<uint64_t> samples;
+  std::atomic<uint64_t> comm_bytes;
+};
+
+}  // namespace
+
+EmulationResult Emulator::run_single(
+    const profile::Profile& profile,
+    const std::function<void(size_t)>& per_sample_hook) {
+  EmulationResult result;
+  const sys::Stopwatch total;
+
+  // --- startup: build atoms, warm the kernel (calibration) -----------------
+  {
+    const sys::Stopwatch startup;
+
+    std::vector<std::unique_ptr<atoms::Atom>> active;
+    atoms::ComputeAtom* compute = nullptr;
+    atoms::MemoryAtom* memory = nullptr;
+    atoms::StorageAtom* storage = nullptr;
+    atoms::NetworkAtom* network = nullptr;
+
+    atoms::ComputeAtomOptions copts = options_.compute;
+    if (options_.parallel_mode == ParallelMode::OpenMp &&
+        options_.parallel_degree > 1) {
+      copts.kernel = "omp";
+      copts.omp_threads = options_.parallel_degree;
+      copts.time_scale = parallel_time_factor(
+          options_.parallel_degree,
+          resource::active_resource().omp_overhead_per_worker);
+    }
+    if (options_.emulate_compute) {
+      auto atom = std::make_unique<atoms::ComputeAtom>(copts);
+      compute = atom.get();
+      active.push_back(std::move(atom));
+    }
+    if (options_.emulate_memory) {
+      auto atom = std::make_unique<atoms::MemoryAtom>(options_.memory);
+      memory = atom.get();
+      active.push_back(std::move(atom));
+    }
+    if (options_.emulate_storage) {
+      auto atom = std::make_unique<atoms::StorageAtom>(options_.storage);
+      storage = atom.get();
+      active.push_back(std::move(atom));
+    }
+    if (options_.emulate_network) {
+      auto atom = std::make_unique<atoms::NetworkAtom>();
+      network = atom.get();
+      active.push_back(std::move(atom));
+    }
+
+    // Emulation runs are themselves profile-able: publish consumed
+    // counters through the cooperative trace when one is requested.
+    auto trace = watchers::TraceWriter::from_env();
+    for (auto& atom : active) atom->set_trace(trace.get());
+
+    result.startup_seconds = startup.elapsed();
+
+    // --- the global sample feed loop (section 4.2) -------------------------
+    const auto deltas = profile.sample_deltas();
+    for (const auto& raw : deltas) {
+      const profile::SampleDelta delta = scale_delta(raw, options_);
+
+      // All resource consumptions of one sample start concurrently; the
+      // sample ends when the last one completes (Fig. 2).
+      std::vector<std::thread> workers;
+      for (auto& atom : active) {
+        if (!atom->wants(delta)) continue;
+        workers.emplace_back([&atom, &delta] {
+          try {
+            atom->consume(delta);
+          } catch (const std::exception&) {
+            // A failing atom must not wedge the sample barrier; the
+            // shortfall shows up in the atom's stats.
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      if (per_sample_hook) per_sample_hook(result.samples_replayed);
+      ++result.samples_replayed;
+    }
+
+    if (compute != nullptr) result.compute = compute->stats();
+    if (memory != nullptr) result.memory = memory->stats();
+    if (storage != nullptr) result.storage = storage->stats();
+    if (network != nullptr) result.network = network->stats();
+  }
+
+  result.wall_seconds = total.elapsed();
+  result.ranks_ok = 1;
+  return result;
+}
+
+EmulationResult Emulator::run_process_parallel(
+    const profile::Profile& profile) {
+  const int ranks = options_.parallel_degree;
+  const sys::Stopwatch total;
+
+  // Shared accumulator + per-sample barrier across ranks (the intra-node
+  // part of MPI_Barrier semantics).
+  void* mem = ::mmap(nullptr, sizeof(SharedStats), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw sys::SystemError("mmap(stats)", errno);
+  auto* shared = new (mem) SharedStats();
+  SharedBarrier barrier(static_cast<unsigned>(ranks));
+
+  const double time_factor = parallel_time_factor(
+      ranks, resource::active_resource().mpi_overhead_per_worker);
+
+  // Ring pipes must exist before the fork so every rank inherits them.
+  std::unique_ptr<CommRing> ring;
+  if (options_.comm_bytes_per_sample > 0 && ranks > 1) {
+    ring = std::make_unique<CommRing>(ranks);
+  }
+
+  EmulationResult result;
+  result.ranks_ok = run_process_group(ranks, [&](int rank) {
+    // Compute is spread across ranks; memory and storage consumption is
+    // duplicated per rank — exactly the paper's "naive way" (E.4).
+    EmulatorOptions child = options_;
+    child.parallel_mode = ParallelMode::None;
+    child.parallel_degree = 1;
+    child.cycle_scale /= static_cast<double>(ranks);
+    child.compute.time_scale = time_factor * static_cast<double>(ranks);
+
+    Emulator rank_emulator(child);
+
+    // Halo-exchange extension: one ring step per replayed sample.
+    std::function<void(size_t)> hook;
+    if (ring) {
+      ring->attach(rank);
+      auto* ring_ptr = ring.get();
+      const uint64_t bytes = options_.comm_bytes_per_sample;
+      auto* stats = shared;
+      hook = [ring_ptr, rank, bytes, stats](size_t) {
+        const uint64_t exchanged = ring_ptr->exchange(rank, bytes);
+        stats->comm_bytes.fetch_add(exchanged, std::memory_order_relaxed);
+      };
+    }
+
+    const EmulationResult r = rank_emulator.run_single(profile, hook);
+    shared->flops.fetch_add(static_cast<uint64_t>(r.compute.flops),
+                            std::memory_order_relaxed);
+    shared->cycles.fetch_add(static_cast<uint64_t>(r.compute.cycles),
+                             std::memory_order_relaxed);
+    shared->bytes_written.fetch_add(r.storage.bytes_written,
+                                    std::memory_order_relaxed);
+    shared->bytes_read.fetch_add(r.storage.bytes_read,
+                                 std::memory_order_relaxed);
+    shared->samples.fetch_add(r.samples_replayed, std::memory_order_relaxed);
+    barrier.wait();  // ranks end together, like MPI_Finalize
+    return 0;
+  });
+
+  result.wall_seconds = total.elapsed();
+  result.samples_replayed =
+      shared->samples.load(std::memory_order_relaxed) /
+      std::max<uint64_t>(1, static_cast<uint64_t>(ranks));
+  result.compute.flops =
+      static_cast<double>(shared->flops.load(std::memory_order_relaxed));
+  result.compute.cycles =
+      static_cast<double>(shared->cycles.load(std::memory_order_relaxed));
+  result.storage.bytes_written =
+      shared->bytes_written.load(std::memory_order_relaxed);
+  result.storage.bytes_read =
+      shared->bytes_read.load(std::memory_order_relaxed);
+  result.comm_bytes = shared->comm_bytes.load(std::memory_order_relaxed);
+
+  shared->~SharedStats();
+  ::munmap(mem, sizeof(SharedStats));
+  return result;
+}
+
+EmulationResult Emulator::emulate(const profile::Profile& profile) {
+  if (options_.parallel_mode == ParallelMode::Process &&
+      options_.parallel_degree > 1) {
+    return run_process_parallel(profile);
+  }
+  return run_single(profile);
+}
+
+}  // namespace synapse::emulator

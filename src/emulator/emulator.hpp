@@ -1,0 +1,101 @@
+#pragma once
+// The Synapse emulator (paper Fig. 1 right half, sections 4.2, 4.4).
+//
+// Feeds the sample sequence of a profile to the emulation atoms:
+//
+//  - samples are replayed strictly in recorded order (dependencies are
+//    implicitly captured in that order — Fig. 2/3);
+//  - within one sample, every atom starts concurrently and the sample
+//    ends when the LAST atom finishes (the serialization present in the
+//    original application inside a sampling period is deliberately lost;
+//    higher sampling rates reduce that effect);
+//  - all timing information inside samples is discarded: emulation
+//    reproduces resource consumption, not timings.
+//
+// Tunables (requirement E.3 Malleability): kernel choice, OpenMP thread
+// or MPI-style rank count, I/O block sizes and target filesystem, memory
+// scale, cycle scale — all dimensions the paper varies in E.3/E.4/E.5.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atoms/atom.hpp"
+#include "atoms/compute_atom.hpp"
+#include "atoms/memory_atom.hpp"
+#include "atoms/storage_atom.hpp"
+#include "profile/profile.hpp"
+
+namespace synapse::emulator {
+
+/// Parallelisation mode for the compute emulation (experiment E.4).
+enum class ParallelMode {
+  None,     ///< single-threaded compute atom
+  OpenMp,   ///< one process, N OpenMP threads
+  Process,  ///< N forked ranks (the OpenMPI substitute)
+};
+
+struct EmulatorOptions {
+  // Atom enable flags (experiments often emulate compute only).
+  bool emulate_compute = true;
+  bool emulate_memory = true;
+  bool emulate_storage = true;
+  bool emulate_network = false;  ///< network profiling is not wired yet
+
+  atoms::ComputeAtomOptions compute;
+  atoms::MemoryAtomOptions memory;
+  atoms::StorageAtomOptions storage;
+
+  ParallelMode parallel_mode = ParallelMode::None;
+  int parallel_degree = 1;  ///< threads or ranks
+
+  /// Ring-exchange bytes per rank per replayed sample in Process mode
+  /// (0 = no communication, the paper's behaviour). Models the halo
+  /// exchange of domain-decomposed codes; see emulator/comm.hpp.
+  uint64_t comm_bytes_per_sample = 0;
+
+  // Workload overrides (tuning dimensions the original application does
+  // not offer — the RADICAL-Pilot use case of section 2.1).
+  double cycle_scale = 1.0;   ///< multiply every compute delta
+  double memory_scale = 1.0;  ///< multiply allocation deltas
+  double io_scale = 1.0;      ///< multiply storage deltas
+};
+
+/// Outcome of one emulation run.
+struct EmulationResult {
+  double wall_seconds = 0.0;       ///< emulation Tx
+  size_t samples_replayed = 0;
+  double startup_seconds = 0.0;    ///< atom construction + calibration
+  atoms::AtomStats compute;
+  atoms::AtomStats memory;
+  atoms::AtomStats storage;
+  atoms::AtomStats network;
+  int ranks_ok = 0;                ///< successful ranks (Process mode)
+  uint64_t comm_bytes = 0;         ///< total ring-exchanged bytes
+};
+
+class Emulator {
+ public:
+  explicit Emulator(EmulatorOptions options = {});
+
+  /// Replay a profile on the active resource. Blocks until done.
+  EmulationResult emulate(const profile::Profile& profile);
+
+  const EmulatorOptions& options() const { return options_; }
+
+ private:
+  EmulationResult run_single(
+      const profile::Profile& profile,
+      const std::function<void(size_t)>& per_sample_hook = {});
+  EmulationResult run_process_parallel(const profile::Profile& profile);
+
+  /// Parallel-efficiency model for the VR compute time (Amdahl serial
+  /// fraction + per-worker coordination overhead): scale factor applied
+  /// to per-sample compute budgets when emulating with N workers.
+  static double parallel_time_factor(int workers, double overhead_per_worker);
+
+  EmulatorOptions options_;
+};
+
+}  // namespace synapse::emulator

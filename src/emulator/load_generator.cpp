@@ -1,0 +1,88 @@
+#include "emulator/load_generator.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "sys/clock.hpp"
+#include "sys/env.hpp"
+#include "sys/procfs.hpp"
+
+namespace synapse::emulator {
+
+LoadGenerator::LoadGenerator(LoadSpec spec) : spec_(std::move(spec)) {}
+
+LoadGenerator::~LoadGenerator() { stop(); }
+
+void LoadGenerator::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_relaxed);
+
+  if (spec_.memory_bytes > 0) {
+    ballast_.resize(spec_.memory_bytes);
+    const long page = sys::page_size();
+    for (uint64_t off = 0; off < spec_.memory_bytes;
+         off += static_cast<uint64_t>(page)) {
+      ballast_[off] = static_cast<char>(off);
+    }
+  }
+
+  for (int i = 0; i < spec_.cpu_threads; ++i) {
+    threads_.emplace_back([this] {
+      // Duty-cycled spin: busy for duty*period, sleep the rest.
+      constexpr double kPeriod = 0.01;
+      volatile double sink = 1.0;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        const double busy_until =
+            sys::steady_now() + kPeriod * spec_.cpu_duty;
+        while (sys::steady_now() < busy_until &&
+               !stop_.load(std::memory_order_relaxed)) {
+          for (int k = 0; k < 1000; ++k) sink = sink * 1.0000001 + 1e-9;
+        }
+        sys::sleep_for(kPeriod * (1.0 - spec_.cpu_duty));
+      }
+      (void)sink;
+    });
+  }
+
+  if (spec_.disk_write_bps > 0) {
+    threads_.emplace_back([this] {
+      const std::string dir =
+          !spec_.scratch_dir.empty()
+              ? spec_.scratch_dir
+              : sys::getenv_or("TMPDIR", std::string("/tmp"));
+      const std::string path =
+          dir + "/synapse_load_" + std::to_string(::getpid()) + ".dat";
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) return;
+      constexpr size_t kChunk = 1 << 20;
+      std::vector<char> buf(kChunk, 'L');
+      const double interval = static_cast<double>(kChunk) / spec_.disk_write_bps;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::fwrite(buf.data(), 1, buf.size(), f);
+        std::fflush(f);
+        // Keep the churn file bounded.
+        if (std::ftell(f) > (1L << 28)) std::rewind(f);
+        sys::sleep_for(interval);
+      }
+      std::fclose(f);
+      ::unlink(path.c_str());
+    });
+  }
+
+  running_ = true;
+}
+
+void LoadGenerator::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  ballast_.clear();
+  ballast_.shrink_to_fit();
+  running_ = false;
+}
+
+}  // namespace synapse::emulator

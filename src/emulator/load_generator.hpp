@@ -1,0 +1,50 @@
+#pragma once
+// Artificial load generator (paper section 4.3).
+//
+// "Synapse is able to force an artificial CPU, disk and memory load onto
+// the system while emulating an application, thus emulating the
+// application execution in a stressed environment (similar to the Linux
+// utility 'stress')." The paper does not evaluate this; we implement and
+// test it, and ship an example (examples/stressed_run.cpp).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace synapse::emulator {
+
+struct LoadSpec {
+  /// CPU load: number of burner threads and their duty cycle [0,1].
+  int cpu_threads = 0;
+  double cpu_duty = 1.0;
+  /// Memory ballast held while the load runs.
+  uint64_t memory_bytes = 0;
+  /// Disk churn: bytes/s written to scratch (0 = off).
+  double disk_write_bps = 0.0;
+  std::string scratch_dir;  ///< "" = $TMPDIR or /tmp
+};
+
+/// RAII background load: starts on construction (or start()), stops on
+/// destruction. Safe to stop/start repeatedly.
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadSpec spec);
+  ~LoadGenerator();
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  LoadSpec spec_;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  std::vector<char> ballast_;
+};
+
+}  // namespace synapse::emulator

@@ -1,0 +1,59 @@
+#include "emulator/procgroup.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "sys/error.hpp"
+#include "sys/spawn.hpp"
+
+namespace synapse::emulator {
+
+struct SharedBarrier::Impl {
+  pthread_barrier_t barrier;
+};
+
+SharedBarrier::SharedBarrier(unsigned parties) {
+  void* mem = ::mmap(nullptr, sizeof(Impl), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw sys::SystemError("mmap(barrier)", errno);
+  impl_ = static_cast<Impl*>(mem);
+
+  pthread_barrierattr_t attr;
+  pthread_barrierattr_init(&attr);
+  pthread_barrierattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+  const int rc = pthread_barrier_init(&impl_->barrier, &attr, parties);
+  pthread_barrierattr_destroy(&attr);
+  if (rc != 0) {
+    ::munmap(impl_, sizeof(Impl));
+    throw sys::SystemError("pthread_barrier_init", rc);
+  }
+}
+
+SharedBarrier::~SharedBarrier() {
+  if (impl_ != nullptr) {
+    pthread_barrier_destroy(&impl_->barrier);
+    ::munmap(impl_, sizeof(Impl));
+  }
+}
+
+void SharedBarrier::wait() { pthread_barrier_wait(&impl_->barrier); }
+
+int run_process_group(int ranks, const std::function<int(int)>& fn) {
+  if (ranks <= 0) return 0;
+  std::vector<sys::ChildProcess> children;
+  children.reserve(static_cast<size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    children.push_back(
+        sys::ChildProcess::fork_function([&fn, rank] { return fn(rank); }));
+  }
+  int ok = 0;
+  for (auto& child : children) {
+    if (child.wait().success()) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace synapse::emulator

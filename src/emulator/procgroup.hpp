@@ -1,0 +1,37 @@
+#pragma once
+// Fork-based process groups — the OpenMPI substitute (DESIGN.md sec. 1).
+//
+// Experiment E.4 uses MPI only as "N single-node ranks executing the
+// compute emulation with duplicated resource usage". ProcessGroup
+// provides exactly that: fork N ranks, give them a process-shared
+// barrier (pthread barrier in a MAP_SHARED|MAP_ANONYMOUS page, the same
+// synchronisation primitive MPI_Barrier uses intra-node), run a
+// per-rank function, and reap everything.
+
+#include <functional>
+#include <memory>
+
+namespace synapse::emulator {
+
+/// Process-shared barrier usable across fork().
+class SharedBarrier {
+ public:
+  explicit SharedBarrier(unsigned parties);
+  ~SharedBarrier();
+  SharedBarrier(const SharedBarrier&) = delete;
+  SharedBarrier& operator=(const SharedBarrier&) = delete;
+
+  /// Block until all parties arrive.
+  void wait();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< lives in shared memory
+};
+
+/// Run `fn(rank)` in `ranks` forked child processes; the parent blocks
+/// until all ranks exit. Returns the number of ranks that exited with
+/// status 0. `fn` receives the rank index [0, ranks).
+int run_process_group(int ranks, const std::function<int(int)>& fn);
+
+}  // namespace synapse::emulator

@@ -1,0 +1,58 @@
+#include "profile/metrics.hpp"
+
+namespace synapse::metrics {
+
+std::string_view support_symbol(Support s) {
+  switch (s) {
+    case Support::Yes: return "+";
+    case Support::Partial: return "(+)";
+    case Support::Planned: return "(-)";
+    case Support::No: return "-";
+  }
+  return "?";
+}
+
+const std::vector<MetricSupport>& support_matrix() {
+  using S = Support;
+  // Columns: total, sampled, derived, emulated — exactly the order of
+  // paper Table 1 ("Tot. Samp. Der. Emul.").
+  static const std::vector<MetricSupport> rows = {
+      {"System", "number of cores", S::Yes, S::No, S::No, S::No},
+      {"System", "max CPU frequency", S::Yes, S::No, S::No, S::No},
+      {"System", "total memory", S::Yes, S::No, S::No, S::No},
+      {"System", "runtime", S::Yes, S::Yes, S::No, S::No},
+      {"System", "system load (CPU)", S::Yes, S::No, S::No, S::Yes},
+      {"System", "system load (disk)", S::No, S::No, S::No, S::Yes},
+      {"System", "system load (memory)", S::No, S::No, S::No, S::Yes},
+      {"Compute", "CPU instructions", S::Yes, S::Yes, S::No, S::Yes},
+      {"Compute", "cycles used", S::Yes, S::Yes, S::No, S::Yes},
+      {"Compute", "cycles stalled backend", S::Yes, S::Yes, S::No, S::No},
+      {"Compute", "cycles stalled frontend", S::Yes, S::Yes, S::No, S::No},
+      {"Compute", "efficiency", S::Yes, S::Yes, S::Yes, S::Partial},
+      {"Compute", "utilization", S::Yes, S::Yes, S::Yes, S::No},
+      {"Compute", "FLOPs", S::Yes, S::Yes, S::Yes, S::Yes},
+      {"Compute", "FLOP/s", S::Yes, S::Yes, S::Yes, S::No},
+      {"Compute", "number of threads", S::Yes, S::No, S::No, S::Partial},
+      {"Compute", "OpenMP", S::Partial, S::No, S::No, S::Yes},
+      {"Storage", "bytes read", S::Yes, S::Yes, S::No, S::Yes},
+      {"Storage", "bytes written", S::Yes, S::Yes, S::No, S::Yes},
+      {"Storage", "block size read", S::No, S::Partial, S::No, S::Yes},
+      {"Storage", "block size write", S::No, S::Partial, S::No, S::Yes},
+      {"Storage", "used file system", S::Yes, S::No, S::No, S::Yes},
+      {"Memory", "bytes peak", S::Yes, S::Yes, S::No, S::No},
+      {"Memory", "bytes resident size", S::Yes, S::Yes, S::No, S::No},
+      {"Memory", "bytes allocated", S::Yes, S::Yes, S::Yes, S::Yes},
+      {"Memory", "bytes freed", S::Yes, S::Yes, S::Yes, S::Yes},
+      {"Memory", "block size alloc", S::No, S::Planned, S::No, S::Planned},
+      {"Memory", "block size free", S::No, S::Planned, S::No, S::Planned},
+      {"Network", "connection endpoint", S::Planned, S::Planned, S::No,
+       S::Partial},
+      {"Network", "bytes read", S::Planned, S::Planned, S::No, S::Partial},
+      {"Network", "bytes written", S::Planned, S::Planned, S::No, S::Partial},
+      {"Network", "block size read", S::No, S::Planned, S::No, S::Planned},
+      {"Network", "block size write", S::No, S::Planned, S::No, S::Planned},
+  };
+  return rows;
+}
+
+}  // namespace synapse::metrics

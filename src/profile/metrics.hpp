@@ -1,0 +1,81 @@
+#pragma once
+// Canonical metric names and the metric support matrix (paper Table 1).
+//
+// Every watcher and atom refers to metrics through these constants so the
+// profiler, the emulator and the Table 1 bench agree on spelling.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synapse::metrics {
+
+// --- System ---------------------------------------------------------------
+inline constexpr std::string_view kNumCores = "system.num_cores";
+inline constexpr std::string_view kMaxCpuFreq = "system.max_cpu_freq_hz";
+inline constexpr std::string_view kTotalMemory = "system.total_memory_bytes";
+inline constexpr std::string_view kRuntime = "system.runtime_s";
+inline constexpr std::string_view kLoadCpu = "system.load_cpu";
+inline constexpr std::string_view kLoadDisk = "system.load_disk";
+inline constexpr std::string_view kLoadMemory = "system.load_memory";
+
+// --- Compute ----------------------------------------------------------------
+inline constexpr std::string_view kInstructions = "compute.instructions";
+inline constexpr std::string_view kCyclesUsed = "compute.cycles_used";
+inline constexpr std::string_view kCyclesStalledBackend =
+    "compute.cycles_stalled_backend";
+inline constexpr std::string_view kCyclesStalledFrontend =
+    "compute.cycles_stalled_frontend";
+inline constexpr std::string_view kEfficiency = "compute.efficiency";
+inline constexpr std::string_view kUtilization = "compute.utilization";
+inline constexpr std::string_view kFlops = "compute.flops";
+inline constexpr std::string_view kFlopsRate = "compute.flops_per_s";
+inline constexpr std::string_view kNumThreads = "compute.num_threads";
+inline constexpr std::string_view kOpenMp = "compute.openmp_threads";
+inline constexpr std::string_view kTaskClock = "compute.task_clock_s";
+
+// --- Storage ----------------------------------------------------------------
+inline constexpr std::string_view kBytesRead = "storage.bytes_read";
+inline constexpr std::string_view kBytesWritten = "storage.bytes_written";
+inline constexpr std::string_view kReadOps = "storage.read_ops";
+inline constexpr std::string_view kWriteOps = "storage.write_ops";
+inline constexpr std::string_view kBlockSizeRead = "storage.block_size_read";
+inline constexpr std::string_view kBlockSizeWrite = "storage.block_size_write";
+inline constexpr std::string_view kFilesystem = "storage.filesystem";
+
+// --- Memory -----------------------------------------------------------------
+inline constexpr std::string_view kMemPeak = "memory.bytes_peak";
+inline constexpr std::string_view kMemResident = "memory.bytes_resident";
+inline constexpr std::string_view kMemAllocated = "memory.bytes_allocated";
+inline constexpr std::string_view kMemFreed = "memory.bytes_freed";
+
+// --- Network ----------------------------------------------------------------
+inline constexpr std::string_view kNetBytesRead = "network.bytes_read";
+inline constexpr std::string_view kNetBytesWritten = "network.bytes_written";
+
+/// Support level for one usage column of Table 1.
+enum class Support {
+  Yes,      ///< "+"
+  Partial,  ///< "(+)"
+  Planned,  ///< "(-)"
+  No,       ///< "-"
+};
+
+/// One row of Table 1.
+struct MetricSupport {
+  std::string_view resource;  ///< System / Compute / Storage / Memory / Network
+  std::string_view metric;
+  Support total;    ///< integrated total over runtime
+  Support sampled;  ///< sampled over time
+  Support derived;  ///< derived from other metrics
+  Support emulated; ///< used in emulation
+};
+
+/// The full support matrix, mirroring paper Table 1 row for row.
+const std::vector<MetricSupport>& support_matrix();
+
+/// Printable symbol for a support level ("+", "(+)", "(-)", "-").
+std::string_view support_symbol(Support s);
+
+}  // namespace synapse::metrics

@@ -1,0 +1,260 @@
+#include "profile/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "profile/metrics.hpp"
+
+namespace synapse::profile {
+
+double Sample::get(std::string_view metric, double dflt) const {
+  const auto it = values.find(std::string(metric));
+  return it == values.end() ? dflt : it->second;
+}
+
+void Sample::set(std::string_view metric, double value) {
+  values[std::string(metric)] = value;
+}
+
+double TimeSeries::last(std::string_view metric) const {
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    const auto found = it->values.find(std::string(metric));
+    if (found != it->values.end()) return found->second;
+  }
+  return 0.0;
+}
+
+double TimeSeries::max(std::string_view metric) const {
+  double best = 0.0;
+  for (const auto& s : samples) {
+    best = std::max(best, s.get(metric));
+  }
+  return best;
+}
+
+json::Value SystemInfo::to_json() const {
+  json::Object o;
+  o["hostname"] = hostname;
+  o["cpu_model"] = cpu_model;
+  o["num_cores"] = num_cores;
+  o["max_cpu_freq_hz"] = max_cpu_freq_hz;
+  o["total_memory_bytes"] = total_memory_bytes;
+  o["resource_name"] = resource_name;
+  return json::Value(std::move(o));
+}
+
+SystemInfo SystemInfo::from_json(const json::Value& v) {
+  SystemInfo s;
+  s.hostname = v.get_or("hostname", std::string());
+  s.cpu_model = v.get_or("cpu_model", std::string());
+  s.num_cores = static_cast<int>(v.get_or("num_cores", 0.0));
+  s.max_cpu_freq_hz = v.get_or("max_cpu_freq_hz", 0.0);
+  s.total_memory_bytes =
+      static_cast<uint64_t>(v.get_or("total_memory_bytes", 0.0));
+  s.resource_name = v.get_or("resource_name", std::string());
+  return s;
+}
+
+double SampleDelta::get(std::string_view metric, double dflt) const {
+  const auto it = deltas.find(std::string(metric));
+  return it == deltas.end() ? dflt : it->second;
+}
+
+const TimeSeries* Profile::find_series(std::string_view watcher) const {
+  for (const auto& ts : series) {
+    if (ts.watcher == watcher) return &ts;
+  }
+  return nullptr;
+}
+
+double Profile::total(std::string_view metric, double dflt) const {
+  const auto it = totals.find(std::string(metric));
+  return it == totals.end() ? dflt : it->second;
+}
+
+double Profile::get_derived(std::string_view metric, double dflt) const {
+  const auto it = derived.find(std::string(metric));
+  return it == derived.end() ? dflt : it->second;
+}
+
+double Profile::runtime() const { return total(metrics::kRuntime); }
+
+size_t Profile::sample_count() const {
+  size_t n = 0;
+  for (const auto& ts : series) n += ts.size();
+  return n;
+}
+
+namespace {
+
+/// Metrics that are instantaneous observations rather than cumulative
+/// counters: deltas make no sense, so sample_deltas() propagates the
+/// within-period maximum instead.
+bool is_instantaneous(const std::string& metric) {
+  static const std::set<std::string> inst = {
+      std::string(metrics::kMemResident), std::string(metrics::kMemPeak),
+      std::string(metrics::kNumThreads), std::string(metrics::kEfficiency),
+      std::string(metrics::kUtilization)};
+  return inst.count(metric) > 0;
+}
+
+}  // namespace
+
+std::vector<SampleDelta> Profile::sample_deltas() const {
+  if (sample_rate_hz <= 0.0) return {};
+  const double period = 1.0 / sample_rate_hz;
+
+  // Establish the profile time origin: earliest timestamp seen anywhere.
+  double origin = std::numeric_limits<double>::infinity();
+  for (const auto& ts : series) {
+    if (!ts.samples.empty()) {
+      origin = std::min(origin, ts.samples.front().timestamp);
+    }
+  }
+  if (!std::isfinite(origin)) return {};
+
+  // Bucket samples from every watcher into period indices. Watcher clocks
+  // are unsynchronised (deliberately, section 4.1); bucketing on the
+  // common origin reconstructs the recorded ordering across resource
+  // types, which is all the emulation semantics require.
+  // The epsilon absorbs floating-point jitter when timestamps land
+  // exactly on period boundaries (synthetic profiles do).
+  auto bucket_of = [origin, period](double t) {
+    return static_cast<size_t>(
+        std::max(0.0, (t - origin) / period + 1e-9));
+  };
+
+  size_t max_bucket = 0;
+  for (const auto& ts : series) {
+    for (const auto& s : ts.samples) {
+      max_bucket = std::max(max_bucket, bucket_of(s.timestamp));
+    }
+  }
+
+  std::vector<SampleDelta> out(max_bucket + 1);
+  for (auto& d : out) d.duration = period;
+
+  for (const auto& ts : series) {
+    std::map<std::string, double> last_cumulative;
+    for (const auto& s : ts.samples) {
+      const size_t b = bucket_of(s.timestamp);
+      for (const auto& [metric, value] : s.values) {
+        if (is_instantaneous(metric)) {
+          auto& slot = out[b].deltas[metric];
+          slot = std::max(slot, value);
+        } else {
+          double& prev = last_cumulative[metric];
+          const double delta = value - prev;
+          prev = value;
+          if (delta > 0) out[b].deltas[metric] += delta;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Profile::compute_derived() {
+  const double used = total(metrics::kCyclesUsed);
+  const double stalled_fe = total(metrics::kCyclesStalledFrontend);
+  const double stalled_be = total(metrics::kCyclesStalledBackend);
+  const double wasted = stalled_fe + stalled_be;
+
+  // efficiency = cycles_used / (cycles_used + cycles_wasted)   (section 4.3)
+  if (used + wasted > 0) {
+    derived[std::string(metrics::kEfficiency)] = used / (used + wasted);
+  }
+
+  // utilization = cycles_used / cycles_max, with cycles_max derived from
+  // clock speed, core count and runtime.
+  const double tx = runtime();
+  const double cycles_max =
+      system.max_cpu_freq_hz * static_cast<double>(system.num_cores) * tx;
+  if (cycles_max > 0) {
+    derived[std::string(metrics::kUtilization)] = used / cycles_max;
+  }
+
+  const double flops = total(metrics::kFlops);
+  if (tx > 0 && flops > 0) {
+    derived[std::string(metrics::kFlopsRate)] = flops / tx;
+  }
+}
+
+json::Value Profile::to_json() const {
+  json::Object root;
+  root["command"] = command;
+  json::Array jtags;
+  for (const auto& t : tags) jtags.push_back(t);
+  root["tags"] = std::move(jtags);
+  root["sample_rate_hz"] = sample_rate_hz;
+  root["created_at"] = created_at;
+  root["system"] = system.to_json();
+
+  json::Array jseries;
+  for (const auto& ts : series) {
+    json::Object jts;
+    jts["watcher"] = ts.watcher;
+    json::Array jsamples;
+    for (const auto& s : ts.samples) {
+      json::Object js;
+      js["t"] = s.timestamp;
+      json::Object jv;
+      for (const auto& [k, v] : s.values) jv[k] = v;
+      js["v"] = std::move(jv);
+      jsamples.push_back(json::Value(std::move(js)));
+    }
+    jts["samples"] = std::move(jsamples);
+    jseries.push_back(json::Value(std::move(jts)));
+  }
+  root["series"] = std::move(jseries);
+
+  json::Object jtotals;
+  for (const auto& [k, v] : totals) jtotals[k] = v;
+  root["totals"] = std::move(jtotals);
+
+  json::Object jderived;
+  for (const auto& [k, v] : derived) jderived[k] = v;
+  root["derived"] = std::move(jderived);
+  return json::Value(std::move(root));
+}
+
+Profile Profile::from_json(const json::Value& v) {
+  Profile p;
+  p.command = v.get_or("command", std::string());
+  if (v.contains("tags")) {
+    for (const auto& t : v["tags"].as_array()) p.tags.push_back(t.as_string());
+  }
+  p.sample_rate_hz = v.get_or("sample_rate_hz", 10.0);
+  p.created_at = v.get_or("created_at", 0.0);
+  if (v.contains("system")) p.system = SystemInfo::from_json(v["system"]);
+
+  if (v.contains("series")) {
+    for (const auto& jts : v["series"].as_array()) {
+      TimeSeries ts;
+      ts.watcher = jts.get_or("watcher", std::string());
+      for (const auto& js : jts["samples"].as_array()) {
+        Sample s;
+        s.timestamp = js.get_or("t", 0.0);
+        for (const auto& [k, val] : js["v"].as_object()) {
+          s.values[k] = val.as_double();
+        }
+        ts.samples.push_back(std::move(s));
+      }
+      p.series.push_back(std::move(ts));
+    }
+  }
+  if (v.contains("totals")) {
+    for (const auto& [k, val] : v["totals"].as_object()) {
+      p.totals[k] = val.as_double();
+    }
+  }
+  if (v.contains("derived")) {
+    for (const auto& [k, val] : v["derived"].as_object()) {
+      p.derived[k] = val.as_double();
+    }
+  }
+  return p;
+}
+
+}  // namespace synapse::profile

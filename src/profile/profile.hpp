@@ -1,0 +1,116 @@
+#pragma once
+// The profile data model.
+//
+// A Profile is what the profiling module produces and the emulation
+// module consumes (paper Fig. 1): static system information, one time
+// series of samples per watcher, integrated totals, and derived metrics.
+// Timestamps are per-watcher and unsynchronised (section 4.1); the
+// combination happens at serialization time, not at sampling time.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace synapse::profile {
+
+/// Metric values observed at one sampling instant by one watcher.
+/// Values are cumulative-so-far where that makes sense (bytes, cycles)
+/// and instantaneous otherwise (resident memory, thread count); the
+/// watcher decides, the emulator consumes per-sample *deltas* computed by
+/// `Profile::sample_deltas`.
+struct Sample {
+  double timestamp = 0.0;  ///< wall-clock seconds (epoch)
+  std::map<std::string, double> values;
+
+  double get(std::string_view metric, double dflt = 0.0) const;
+  void set(std::string_view metric, double value);
+};
+
+/// Ordered samples from one watcher.
+struct TimeSeries {
+  std::string watcher;  ///< producing watcher name ("cpu", "mem", ...)
+  std::vector<Sample> samples;
+
+  bool empty() const { return samples.empty(); }
+  size_t size() const { return samples.size(); }
+
+  /// Last cumulative value of a metric (0 when absent everywhere).
+  double last(std::string_view metric) const;
+
+  /// Maximum value of a metric across samples.
+  double max(std::string_view metric) const;
+};
+
+/// Static description of the machine the profile was taken on.
+struct SystemInfo {
+  std::string hostname;
+  std::string cpu_model;
+  int num_cores = 0;
+  double max_cpu_freq_hz = 0.0;
+  uint64_t total_memory_bytes = 0;
+  std::string resource_name;  ///< virtual-resource name, "" = bare metal
+
+  json::Value to_json() const;
+  static SystemInfo from_json(const json::Value& v);
+};
+
+/// One emulation step: the per-resource consumption deltas of a single
+/// sampling period, in recorded order. This is the unit the emulator's
+/// global loop feeds to the atoms (paper section 4.2).
+struct SampleDelta {
+  double duration = 0.0;  ///< profiled length of the sampling period
+  std::map<std::string, double> deltas;
+
+  double get(std::string_view metric, double dflt = 0.0) const;
+};
+
+/// A complete application profile.
+class Profile {
+ public:
+  // --- identity -----------------------------------------------------------
+  std::string command;                ///< application start command
+  std::vector<std::string> tags;      ///< user tags (search index)
+  double sample_rate_hz = 10.0;       ///< configured watcher rate
+  double created_at = 0.0;            ///< wall-clock time of profiling
+
+  // --- payload --------------------------------------------------------------
+  SystemInfo system;
+  std::vector<TimeSeries> series;     ///< one per watcher
+  std::map<std::string, double> totals;   ///< integrated over runtime
+  std::map<std::string, double> derived;  ///< efficiency, utilization, ...
+
+  // --- accessors ------------------------------------------------------------
+  /// Find the series of a watcher; nullptr when that watcher did not run.
+  const TimeSeries* find_series(std::string_view watcher) const;
+
+  double total(std::string_view metric, double dflt = 0.0) const;
+  double get_derived(std::string_view metric, double dflt = 0.0) const;
+
+  /// Application wall-clock runtime (Tx) recorded by the spawner.
+  double runtime() const;
+
+  /// Total number of samples across all watchers.
+  size_t sample_count() const;
+
+  /// Merge all watcher series into one ordered list of per-period
+  /// consumption deltas — the input to the emulator. Cumulative metrics
+  /// are differenced; instantaneous metrics (listed internally) carry
+  /// their max within the period. Periods are formed on the union of all
+  /// watcher timestamps, rounded to the sampling period, preserving the
+  /// recorded order across resource types (paper Fig. 2/3 semantics).
+  std::vector<SampleDelta> sample_deltas() const;
+
+  /// Compute derived metrics (efficiency, utilization, FLOP/s) from
+  /// totals + system info, following paper section 4.3 formulas.
+  void compute_derived();
+
+  // --- serialization ----------------------------------------------------------
+  json::Value to_json() const;
+  static Profile from_json(const json::Value& v);
+};
+
+}  // namespace synapse::profile

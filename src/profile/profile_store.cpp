@@ -1,0 +1,168 @@
+#include "profile/profile_store.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "sys/error.hpp"
+
+namespace synapse::profile {
+
+ProfileStore::ProfileStore() : backend_(Backend::Memory) {}
+
+ProfileStore::ProfileStore(Backend backend, const std::string& directory)
+    : backend_(backend), directory_(directory) {
+  if (backend_ == Backend::DocStore) {
+    store_ = std::make_unique<docstore::Store>(directory);
+  } else if (backend_ == Backend::Files) {
+    ::mkdir(directory.c_str(), 0755);
+  }
+}
+
+std::string ProfileStore::tags_key(const std::vector<std::string>& tags) const {
+  std::vector<std::string> sorted = tags;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& t : sorted) {
+    if (!key.empty()) key += ',';
+    key += t;
+  }
+  return key;
+}
+
+namespace {
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '_' || c == '.')
+               ? c
+               : '_';
+  }
+  return out.substr(0, 120);
+}
+}  // namespace
+
+std::string ProfileStore::file_name(const Profile& p, size_t seq) const {
+  return directory_ + "/" + sanitize(p.command) + "." +
+         sanitize(tags_key(p.tags)) + "." + std::to_string(seq) +
+         ".profile.json";
+}
+
+bool ProfileStore::put(const Profile& profile) {
+  switch (backend_) {
+    case Backend::Memory:
+      memory_.push_back(profile);
+      return false;
+    case Backend::DocStore: {
+      json::Value doc = profile.to_json();
+      doc.as_object()["tags_key"] = tags_key(profile.tags);
+      const auto result =
+          store_->collection("profiles").insert(std::move(doc));
+      return result.truncated;
+    }
+    case Backend::Files: {
+      // Find the next free sequence number for this workload.
+      size_t seq = 0;
+      while (true) {
+        const std::string path = file_name(profile, seq);
+        struct stat st {};
+        if (::stat(path.c_str(), &st) != 0) break;
+        ++seq;
+      }
+      json::save_file(file_name(profile, seq), profile.to_json(),
+                      /*indent=*/0);
+      return false;
+    }
+  }
+  return false;
+}
+
+std::vector<Profile> ProfileStore::find(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  std::vector<Profile> out;
+  switch (backend_) {
+    case Backend::Memory: {
+      const std::string key = tags_key(tags);
+      for (const auto& p : memory_) {
+        if (p.command == command && tags_key(p.tags) == key) out.push_back(p);
+      }
+      break;
+    }
+    case Backend::DocStore: {
+      const std::vector<docstore::FieldEquals> query = {
+          {"command", json::Value(command)},
+          {"tags_key", json::Value(tags_key(tags))}};
+      for (const auto& doc : store_->collection("profiles").find(query)) {
+        out.push_back(Profile::from_json(doc));
+      }
+      break;
+    }
+    case Backend::Files: {
+      DIR* dir = ::opendir(directory_.c_str());
+      if (dir == nullptr) break;
+      const std::string prefix =
+          sanitize(command) + "." + sanitize(tags_key(tags)) + ".";
+      while (struct dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.rfind(prefix, 0) == 0 &&
+            name.size() > 13 &&
+            name.compare(name.size() - 13, 13, ".profile.json") == 0) {
+          Profile p =
+              Profile::from_json(json::load_file(directory_ + "/" + name));
+          // Sanitization can collide; verify the real identity.
+          if (p.command == command && tags_key(p.tags) == tags_key(tags)) {
+            out.push_back(std::move(p));
+          }
+        }
+      }
+      ::closedir(dir);
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Profile& a, const Profile& b) {
+    return a.created_at < b.created_at;
+  });
+  return out;
+}
+
+std::optional<Profile> ProfileStore::find_latest(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  auto all = find(command, tags);
+  if (all.empty()) return std::nullopt;
+  return std::move(all.back());
+}
+
+std::map<std::string, MetricStats> ProfileStore::stats(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  return aggregate_totals(find(command, tags));
+}
+
+void ProfileStore::flush() {
+  if (backend_ == Backend::DocStore && store_) store_->flush();
+}
+
+size_t ProfileStore::size() const {
+  switch (backend_) {
+    case Backend::Memory: return memory_.size();
+    case Backend::DocStore: return store_->collection("profiles").size();
+    case Backend::Files: {
+      size_t n = 0;
+      DIR* dir = ::opendir(directory_.c_str());
+      if (dir == nullptr) return 0;
+      while (struct dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name.size() > 13 &&
+            name.compare(name.size() - 13, 13, ".profile.json") == 0) {
+          ++n;
+        }
+      }
+      ::closedir(dir);
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace synapse::profile

@@ -1,0 +1,66 @@
+#pragma once
+// ProfileStore: persistence facade, indexed by command + tags.
+//
+// Mirrors the paper's dual storage backends (section 4): a database
+// (our embedded docstore standing in for MongoDB, including its 16 MB
+// document limit) or plain files on disk (no size limit). The command
+// line and the tag list form the search index, exactly as in
+// radical.synapse.profile(command, tags).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "docstore/docstore.hpp"
+#include "profile/profile.hpp"
+#include "profile/stats.hpp"
+
+namespace synapse::profile {
+
+class ProfileStore {
+ public:
+  enum class Backend { Memory, DocStore, Files };
+
+  /// In-memory store (tests, short-lived runs).
+  ProfileStore();
+
+  /// Backed by the embedded document store at `directory` (16 MB document
+  /// limit applies) or by one flat JSON file per profile (no limit).
+  ProfileStore(Backend backend, const std::string& directory);
+
+  /// Store a profile; returns true when the profile was truncated to fit
+  /// the docstore document limit (paper section 4.5).
+  bool put(const Profile& profile);
+
+  /// All profiles recorded for this command/tags combination.
+  std::vector<Profile> find(const std::string& command,
+                            const std::vector<std::string>& tags = {}) const;
+
+  /// Most recent profile, if any.
+  std::optional<Profile> find_latest(
+      const std::string& command,
+      const std::vector<std::string>& tags = {}) const;
+
+  /// Aggregate statistics over all stored repetitions of a workload.
+  std::map<std::string, MetricStats> stats(
+      const std::string& command,
+      const std::vector<std::string>& tags = {}) const;
+
+  /// Persist pending state (docstore flush; files are written eagerly).
+  void flush();
+
+  size_t size() const;
+
+ private:
+  std::string tags_key(const std::vector<std::string>& tags) const;
+  std::string file_name(const Profile& p, size_t seq) const;
+
+  Backend backend_;
+  std::string directory_;
+  std::unique_ptr<docstore::Store> store_;
+  // Memory backend keeps profiles directly.
+  std::vector<Profile> memory_;
+};
+
+}  // namespace synapse::profile

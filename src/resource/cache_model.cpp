@@ -1,0 +1,116 @@
+#include "resource/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace synapse::resource {
+
+double miss_fraction(const KernelTraits& traits, const ResourceSpec& spec) {
+  const double ws = static_cast<double>(traits.working_set_bytes);
+  if (ws <= static_cast<double>(spec.l1d_bytes)) return 0.0;
+
+  // Fraction of references that escape each level, shrinking with the
+  // kernel's locality. A smooth log-ramp between levels avoids cliffs
+  // when sweeping working-set sizes in tests.
+  const double beyond = 1.0 - traits.locality;
+  auto level_factor = [&](double level_bytes, double next_bytes) {
+    if (ws <= level_bytes) return 0.0;
+    if (ws >= next_bytes) return 1.0;
+    return std::log(ws / level_bytes) / std::log(next_bytes / level_bytes);
+  };
+  const double l2_escape = level_factor(static_cast<double>(spec.l1d_bytes),
+                                        static_cast<double>(spec.l2_bytes));
+  const double l3_escape = level_factor(static_cast<double>(spec.l2_bytes),
+                                        static_cast<double>(spec.l3_bytes));
+  // Misses to L2 cost little; misses past L3 cost the full penalty. Use
+  // a weighted escape fraction as "effective DRAM-miss fraction".
+  const double effective = 0.15 * l2_escape + 0.85 * l2_escape * l3_escape;
+  return std::clamp(beyond * effective, 0.0, 1.0);
+}
+
+double effective_ipc(const KernelTraits& traits, const ResourceSpec& spec) {
+  // Cycles per instruction: the kernel's dependency-limited issue rate
+  // (capped by the machine's width) plus the expected stall contribution
+  // of memory references that miss. Out-of-order cores overlap the vast
+  // majority of miss latency behind independent work; the residual
+  // exposed fraction below reproduces the IPC bands perf reports for
+  // cache-resident kernels (~3.3), streaming out-of-cache matmul (~2.6)
+  // and irregular MD codes (~2.1) on 4-wide Xeons (paper Fig. 11).
+  constexpr double kExposedMissFraction = 0.0045;
+  const double ideal_cpi =
+      1.0 / std::min(spec.issue_width, traits.peak_ipc);
+  const double miss = miss_fraction(traits, spec);
+  const double stall_cpi = traits.mem_refs_per_instruction * miss *
+                           spec.miss_penalty_cycles * kExposedMissFraction;
+  return 1.0 / (ideal_cpi + stall_cpi);
+}
+
+double calibration_bias(const KernelTraits& traits, const ResourceSpec& spec) {
+  const double headroom = spec.turbo_headroom() - 1.0;
+  if (headroom <= 0.0) return 1.0;
+  // A kernel calibrates its cycles<->work mapping in a short run at full
+  // single-core boost; the sustained emulation clock is lower by
+  // sustained_boost_gap x headroom. Core-bound work inherits that gap in
+  // full; memory-bound work is paced by DRAM, not the clock.
+  const double sensitivity = 1.0 - traits.memory_boundedness;
+  return 1.0 + 0.95 * sensitivity * headroom * spec.sustained_boost_gap;
+}
+
+double instructions_for_flops(const KernelTraits& traits, double flops) {
+  return flops * traits.instructions_per_flop;
+}
+
+double cycles_for_flops(const KernelTraits& traits, const ResourceSpec& spec,
+                        double flops) {
+  const double instructions = instructions_for_flops(traits, flops);
+  return instructions / effective_ipc(traits, spec);
+}
+
+double seconds_for_cycles(const ResourceSpec& spec, double cycles) {
+  return cycles / spec.turbo_hz;
+}
+
+const KernelTraits& asm_kernel_traits() {
+  // Tiny register-blocked matrix multiplication; matrices fit in L1.
+  static const KernelTraits t = {
+      .name = "asm",
+      .working_set_bytes = 24 * 1024,  // three 32x32 double matrices
+      .memory_boundedness = 0.05,
+      .instructions_per_flop = 1.25,  // fused multiply-add + light overhead
+      .peak_ipc = 3.3,                // paper Fig. 11: ~3.30/cycle
+      .mem_refs_per_instruction = 0.25,
+      .locality = 0.9,
+  };
+  return t;
+}
+
+const KernelTraits& c_kernel_traits() {
+  // Naive triple-loop matmul on matrices several times the LLC.
+  static const KernelTraits t = {
+      .name = "c",
+      .working_set_bytes = 96ull * 1024 * 1024,  // three 2048x2048 doubles
+      .memory_boundedness = 0.80,
+      .instructions_per_flop = 2.0,  // separate mul/add, loads, index math
+      .peak_ipc = 4.0,
+      .mem_refs_per_instruction = 0.4,
+      .locality = 0.62,
+  };
+  return t;
+}
+
+const KernelTraits& app_md_traits() {
+  // The synthetic MD application: neighbour-list gathers, irregular
+  // access, heavy per-interaction arithmetic.
+  static const KernelTraits t = {
+      .name = "app_md",
+      .working_set_bytes = 48ull * 1024 * 1024,
+      .memory_boundedness = 0.85,
+      .instructions_per_flop = 2.6,
+      .peak_ipc = 4.0,
+      .mem_refs_per_instruction = 0.45,
+      .locality = 0.45,
+  };
+  return t;
+}
+
+}  // namespace synapse::resource

@@ -1,0 +1,296 @@
+#include "resource/resource_spec.hpp"
+
+#include <mutex>
+
+#include "sys/cpuinfo.hpp"
+#include "sys/env.hpp"
+#include "sys/error.hpp"
+#include "sys/procfs.hpp"
+
+namespace synapse::resource {
+
+double FilesystemSpec::read_cost(uint64_t bytes) const {
+  const double effective_latency = read_latency_s * (1.0 - read_cache_hit);
+  const double bw = read_bw_bps > 0 ? read_bw_bps : 1e12;
+  return effective_latency + static_cast<double>(bytes) / bw;
+}
+
+double FilesystemSpec::write_cost(uint64_t bytes) const {
+  const double bw = write_bw_bps > 0 ? write_bw_bps : 1e12;
+  return write_latency_s + static_cast<double>(bytes) / bw;
+}
+
+const FilesystemSpec& ResourceSpec::fs(const std::string& fs_name) const {
+  const auto it = filesystems.find(fs_name);
+  if (it == filesystems.end()) {
+    throw sys::ConfigError("resource '" + name + "' has no filesystem '" +
+                           fs_name + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+FilesystemSpec make_fs(std::string name, double read_mbps, double write_mbps,
+                       double read_lat_us, double write_lat_us,
+                       double cache_hit) {
+  FilesystemSpec fs;
+  fs.name = std::move(name);
+  fs.read_bw_bps = read_mbps * 1e6;
+  fs.write_bw_bps = write_mbps * 1e6;
+  fs.read_latency_s = read_lat_us * 1e-6;
+  fs.write_latency_s = write_lat_us * 1e-6;
+  fs.read_cache_hit = cache_hit;
+  return fs;
+}
+
+/// Build the registry of the paper's experiment platforms (section 5,
+/// "Experiment Platform"). compute_scale values are chosen so the
+/// *ratios* between machines track the paper's observations; absolute
+/// speed is bounded by the host container.
+std::map<std::string, ResourceSpec> build_registry() {
+  std::map<std::string, ResourceSpec> reg;
+
+  {  // host: the bare container, no throttling.
+    ResourceSpec r;
+    r.name = "host";
+    r.description = "bare metal (no virtual resource active)";
+    const auto& cpu = sys::cpu_info();
+    r.clock_hz = cpu.best_hz();
+    r.turbo_hz = cpu.best_hz();
+    r.cores = cpu.logical_cores;
+    r.l1d_bytes = cpu.cache_l1d_bytes;
+    r.l2_bytes = cpu.cache_l2_bytes;
+    r.l3_bytes = cpu.cache_l3_bytes;
+    r.compute_scale = 1.0;
+    r.default_fs = "local";
+    r.filesystems["local"] = make_fs("local", 2000, 1500, 2, 4, 0.5);
+    reg[r.name] = r;
+  }
+  {  // Thinkie: Intel Core i7 M620, 4 cores, 8GB, Intel SSD (profiling host).
+    ResourceSpec r;
+    r.name = "thinkie";
+    r.description = "Intel Core i7 M620, 4 cores, 8GB, Intel SSD 320";
+    r.clock_hz = 2.67e9;
+    r.turbo_hz = 3.33e9;
+    r.cores = 4;
+    r.issue_width = 4.0;
+    r.l3_bytes = 4ull * 1024 * 1024;
+    r.miss_penalty_cycles = 180.0;
+    r.compute_scale = 0.50;
+    r.sustained_boost_gap = 0.05;
+    r.default_fs = "local";
+    r.filesystems["local"] = make_fs("local", 270, 200, 15, 30, 0.6);
+    reg[r.name] = r;
+  }
+  {  // Stampede: 2x 8-core Xeon E5-2680 (Sandy Bridge), local 250GB HDD.
+    ResourceSpec r;
+    r.name = "stampede";
+    r.description = "2x Intel Xeon E5-2680 (Sandy Bridge), 16 cores, 32GB";
+    r.clock_hz = 2.7e9;
+    r.turbo_hz = 3.5e9;
+    r.cores = 16;
+    r.issue_width = 4.0;
+    r.l3_bytes = 20ull * 1024 * 1024;
+    r.miss_penalty_cycles = 200.0;
+    r.compute_scale = 0.70;
+    r.sustained_boost_gap = 0.10;
+    // Default-flag Gromacs builds exploit Stampede poorly; emulation ends
+    // up ~40% faster than the application (paper Fig. 7 top).
+    r.app_optimization = 0.61;
+    r.default_fs = "local";
+    r.filesystems["local"] = make_fs("local", 120, 100, 80, 150, 0.5);
+    reg[r.name] = r;
+  }
+  {  // Archer: Cray XC30, 2x 12-core E5-2697 v2 (Ivy Bridge), I/O to /tmp.
+    ResourceSpec r;
+    r.name = "archer";
+    r.description = "Cray XC30, 2x Intel Xeon E5-2697v2, 24 cores, 64GB";
+    r.clock_hz = 2.7e9;
+    r.turbo_hz = 3.5e9;
+    r.cores = 24;
+    r.issue_width = 4.0;
+    r.l3_bytes = 30ull * 1024 * 1024;
+    r.miss_penalty_cycles = 200.0;
+    r.compute_scale = 0.375;
+    r.sustained_boost_gap = 0.10;
+    // The Cray toolchain optimizes the application well; emulation is
+    // ~33% slower than the application (paper Fig. 7 bottom).
+    r.app_optimization = 1.41;
+    r.default_fs = "local";
+    r.filesystems["local"] = make_fs("local", 110, 90, 90, 170, 0.5);
+    reg[r.name] = r;
+  }
+  {  // Comet: 2x 12-core Xeon E5-2680v3, NFS for all I/O.
+    ResourceSpec r;
+    r.name = "comet";
+    r.description = "2x Intel Xeon E5-2680v3, 24 cores, 128GB, NFS I/O";
+    r.clock_hz = 2.5e9;
+    r.turbo_hz = 2.9e9;  // paper: measured ~2.88-2.90 GHz during the runs
+    r.cores = 24;
+    r.issue_width = 4.0;
+    r.l3_bytes = 30ull * 1024 * 1024;
+    r.miss_penalty_cycles = 210.0;
+    r.compute_scale = 0.55;
+    r.sustained_boost_gap = 0.90;
+    r.omp_overhead_per_worker = 0.016;
+    r.mpi_overhead_per_worker = 0.014;
+    r.default_fs = "nfs";
+    r.filesystems["local"] = make_fs("local", 150, 120, 70, 140, 0.5);
+    r.filesystems["nfs"] = make_fs("nfs", 180, 25, 500, 4000, 0.3);
+    reg[r.name] = r;
+  }
+  {  // Supermic: 2x 10-core Xeon E5-2680 (Ivy Bridge-EP), Lustre I/O.
+    ResourceSpec r;
+    r.name = "supermic";
+    r.description = "2x Intel Xeon E5-2680 (Ivy Bridge-EP), 20 cores, 128GB";
+    r.clock_hz = 2.8e9;
+    r.turbo_hz = 3.6e9;  // paper: measured ~3.58-3.60 GHz during the runs
+    r.cores = 20;
+    r.issue_width = 4.0;
+    r.l3_bytes = 25ull * 1024 * 1024;
+    r.miss_penalty_cycles = 200.0;
+    r.compute_scale = 0.68;
+    r.sustained_boost_gap = 0.90;
+    // Dual-socket NUMA node: shared-memory threads pay remote-socket
+    // traffic that rank-per-process placement avoids, which is why the
+    // paper observed OpenMPI beating OpenMP here (Fig. 12).
+    r.omp_overhead_per_worker = 0.060;
+    r.mpi_overhead_per_worker = 0.012;
+    r.default_fs = "lustre";
+    r.filesystems["local"] = make_fs("local", 80, 60, 120, 250, 0.4);
+    r.filesystems["lustre"] = make_fs("lustre", 450, 45, 300, 2500, 0.85);
+    reg[r.name] = r;
+  }
+  {  // Titan: 16-core AMD Opteron 6274, Lustre + fast local FS.
+    ResourceSpec r;
+    r.name = "titan";
+    r.description = "AMD Opteron 6274, 16 cores, 32GB, Lustre";
+    r.clock_hz = 2.2e9;
+    r.turbo_hz = 2.5e9;
+    r.cores = 16;
+    r.issue_width = 2.0;  // Bulldozer module shares the FP unit
+    r.l3_bytes = 16ull * 1024 * 1024;
+    r.miss_penalty_cycles = 250.0;
+    r.compute_scale = 0.38;
+    r.sustained_boost_gap = 0.15;
+    r.omp_overhead_per_worker = 0.010;
+    r.mpi_overhead_per_worker = 0.022;
+    r.default_fs = "lustre";
+    r.filesystems["local"] = make_fs("local", 350, 280, 40, 80, 0.6);
+    r.filesystems["lustre"] = make_fs("lustre", 430, 42, 320, 2600, 0.85);
+    reg[r.name] = r;
+  }
+  return reg;
+}
+
+std::map<std::string, ResourceSpec>& registry() {
+  static std::map<std::string, ResourceSpec> reg = build_registry();
+  return reg;
+}
+
+std::mutex g_active_mutex;
+std::string g_active_name;  // empty = not yet resolved
+
+}  // namespace
+
+const std::vector<std::string>& known_resources() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [name, spec] : registry()) out.push_back(name);
+    return out;
+  }();
+  return names;
+}
+
+const ResourceSpec& get_resource(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(name);
+  if (it == reg.end()) {
+    throw sys::ConfigError("unknown resource: " + name);
+  }
+  return it->second;
+}
+
+const ResourceSpec& active_resource() {
+  std::lock_guard lock(g_active_mutex);
+  if (g_active_name.empty()) {
+    g_active_name = sys::getenv_or(kResourceEnvVar, std::string("host"));
+    if (registry().count(g_active_name) == 0) g_active_name = "host";
+  }
+  return registry().at(g_active_name);
+}
+
+void activate_resource(const std::string& name) {
+  get_resource(name);  // validate
+  std::lock_guard lock(g_active_mutex);
+  g_active_name = name;
+  sys::setenv_str(kResourceEnvVar, name);
+}
+
+json::Value ResourceSpec::to_json() const {
+  json::Object o;
+  o["name"] = name;
+  o["description"] = description;
+  o["clock_hz"] = clock_hz;
+  o["turbo_hz"] = turbo_hz;
+  o["cores"] = cores;
+  o["issue_width"] = issue_width;
+  o["l1d_bytes"] = l1d_bytes;
+  o["l2_bytes"] = l2_bytes;
+  o["l3_bytes"] = l3_bytes;
+  o["miss_penalty_cycles"] = miss_penalty_cycles;
+  o["compute_scale"] = compute_scale;
+  o["sustained_boost_gap"] = sustained_boost_gap;
+  o["omp_overhead_per_worker"] = omp_overhead_per_worker;
+  o["mpi_overhead_per_worker"] = mpi_overhead_per_worker;
+  o["app_optimization"] = app_optimization;
+  o["default_fs"] = default_fs;
+  json::Object fss;
+  for (const auto& [fname, fspec] : filesystems) {
+    json::Object f;
+    f["read_bw_bps"] = fspec.read_bw_bps;
+    f["write_bw_bps"] = fspec.write_bw_bps;
+    f["read_latency_s"] = fspec.read_latency_s;
+    f["write_latency_s"] = fspec.write_latency_s;
+    f["read_cache_hit"] = fspec.read_cache_hit;
+    fss[fname] = json::Value(std::move(f));
+  }
+  o["filesystems"] = std::move(fss);
+  return json::Value(std::move(o));
+}
+
+ResourceSpec ResourceSpec::from_json(const json::Value& v) {
+  ResourceSpec r;
+  r.name = v.get_or("name", std::string());
+  r.description = v.get_or("description", std::string());
+  r.clock_hz = v.get_or("clock_hz", 2.5e9);
+  r.turbo_hz = v.get_or("turbo_hz", r.clock_hz);
+  r.cores = static_cast<int>(v.get_or("cores", 16.0));
+  r.issue_width = v.get_or("issue_width", 4.0);
+  r.l1d_bytes = static_cast<uint64_t>(v.get_or("l1d_bytes", 32768.0));
+  r.l2_bytes = static_cast<uint64_t>(v.get_or("l2_bytes", 262144.0));
+  r.l3_bytes = static_cast<uint64_t>(v.get_or("l3_bytes", 2.0e7));
+  r.miss_penalty_cycles = v.get_or("miss_penalty_cycles", 200.0);
+  r.compute_scale = v.get_or("compute_scale", 1.0);
+  r.sustained_boost_gap = v.get_or("sustained_boost_gap", 0.0);
+  r.omp_overhead_per_worker = v.get_or("omp_overhead_per_worker", 0.015);
+  r.mpi_overhead_per_worker = v.get_or("mpi_overhead_per_worker", 0.015);
+  r.app_optimization = v.get_or("app_optimization", 1.0);
+  r.default_fs = v.get_or("default_fs", std::string("local"));
+  if (v.contains("filesystems")) {
+    for (const auto& [fname, fv] : v["filesystems"].as_object()) {
+      FilesystemSpec fs;
+      fs.name = fname;
+      fs.read_bw_bps = fv.get_or("read_bw_bps", 0.0);
+      fs.write_bw_bps = fv.get_or("write_bw_bps", 0.0);
+      fs.read_latency_s = fv.get_or("read_latency_s", 0.0);
+      fs.write_latency_s = fv.get_or("write_latency_s", 0.0);
+      fs.read_cache_hit = fv.get_or("read_cache_hit", 0.0);
+      r.filesystems[fname] = fs;
+    }
+  }
+  return r;
+}
+
+}  // namespace synapse::resource

@@ -1,0 +1,59 @@
+#include "resource/throttle.hpp"
+
+#include <algorithm>
+
+#include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
+
+namespace synapse::resource {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_(rate_per_s > 0 ? rate_per_s : 1e18),
+      burst_(std::max(burst, 1.0)),
+      // Start with a full burst of credit.
+      next_free_(sys::steady_now() - burst_ / rate_) {}
+
+bool TokenBucket::try_acquire(double units) {
+  std::lock_guard lock(mutex_);
+  const double now = sys::steady_now();
+  const double base = std::max(next_free_, now - burst_ / rate_);
+  const double candidate = base + units / rate_;
+  if (candidate <= now) {
+    next_free_ = candidate;
+    return true;
+  }
+  return false;
+}
+
+void TokenBucket::acquire(double units) {
+  double wait = 0.0;
+  {
+    std::lock_guard lock(mutex_);
+    const double now = sys::steady_now();
+    // Credit accumulates while idle, capped at the burst.
+    const double base = std::max(next_free_, now - burst_ / rate_);
+    next_free_ = base + units / rate_;
+    wait = next_free_ - now;
+  }
+  if (wait > 0) sys::sleep_for(wait);
+}
+
+ComputeThrottle::ComputeThrottle(double scale)
+    : scale_(scale > 0 ? scale : 1.0) {}
+
+void ComputeThrottle::charge(double busy_seconds) {
+  if (scale_ >= 1.0 || busy_seconds <= 0) return;
+  debt_ += busy_seconds * (1.0 / scale_ - 1.0);
+  // Paying the debt in >=1ms slices keeps the sleep overhead negligible
+  // while bounding the burstiness of the throttled loop.
+  if (debt_ >= 1e-3) {
+    sys::sleep_for(debt_);
+    debt_ = 0.0;
+  }
+}
+
+ComputeThrottle ComputeThrottle::for_active_resource() {
+  return ComputeThrottle(active_resource().compute_scale);
+}
+
+}  // namespace synapse::resource

@@ -1,0 +1,61 @@
+#pragma once
+// Rate throttling for the virtual-resource layer.
+//
+// A TokenBucket enforces a sustained rate with bounded burst — used by
+// the virtual filesystems for bandwidth and by ComputeThrottle for
+// scaling compute speed to the active ResourceSpec. Throttling is
+// cooperative: workloads call charge() from their inner loops; charge()
+// sleeps just long enough to keep the observed rate at the target.
+
+#include <cstdint>
+#include <mutex>
+
+namespace synapse::resource {
+
+/// Token bucket implemented as a virtual queue: `rate` units/s sustained,
+/// up to `burst` units of accumulated credit. acquire() reserves a slot
+/// on the queue under the lock and sleeps outside it, so concurrent
+/// acquirers share the rate exactly (no refill/sleep double counting).
+/// Thread-safe.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Block until `units` tokens are available, then consume them.
+  void acquire(double units);
+
+  /// Non-blocking: true and consume when available now.
+  bool try_acquire(double units);
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double burst_;
+  /// Time at which the queue drains; (now - next_free_) * rate is the
+  /// stored credit, capped at burst.
+  double next_free_;
+  std::mutex mutex_;
+};
+
+/// Keeps a work loop at `scale` times the calling thread's native speed
+/// by inserting sleeps: after a chunk of work that took t seconds of CPU,
+/// charge(t) sleeps t*(1/scale - 1). scale >= 1 never sleeps.
+class ComputeThrottle {
+ public:
+  explicit ComputeThrottle(double scale);
+
+  /// Account `busy_seconds` of real work; sleeps to meet the target rate.
+  void charge(double busy_seconds);
+
+  double scale() const { return scale_; }
+
+  /// A throttle for the active resource spec (scale = compute_scale).
+  static ComputeThrottle for_active_resource();
+
+ private:
+  double scale_;
+  double debt_ = 0.0;  ///< accumulated sleep owed, paid in >=1ms slices
+};
+
+}  // namespace synapse::resource

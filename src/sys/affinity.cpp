@@ -1,0 +1,29 @@
+#include "sys/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace synapse::sys {
+
+void set_thread_name(const std::string& name) {
+  const std::string truncated = name.substr(0, 15);
+  ::pthread_setname_np(::pthread_self(), truncated.c_str());
+}
+
+bool pin_to_cpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool unpin() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (long i = 0; i < n && i < CPU_SETSIZE; ++i) CPU_SET(static_cast<int>(i), &set);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace synapse::sys

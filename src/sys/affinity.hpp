@@ -1,0 +1,24 @@
+#pragma once
+// Thread naming and CPU affinity helpers.
+//
+// Watcher and atom threads are named (visible in /proc/<pid>/task/*/comm)
+// so that a profile of Synapse itself attributes activity correctly, and
+// emulation atoms can optionally be pinned for reproducible timing.
+
+#include <string>
+#include <thread>
+
+namespace synapse::sys {
+
+/// Name the calling thread (truncated to 15 chars, the kernel limit).
+void set_thread_name(const std::string& name);
+
+/// Pin the calling thread to one logical CPU. Returns false when the
+/// request is rejected (e.g. restricted cpuset) — callers treat pinning
+/// as best-effort.
+bool pin_to_cpu(int cpu);
+
+/// Remove any pinning (allow all online CPUs). Best-effort.
+bool unpin();
+
+}  // namespace synapse::sys

@@ -1,0 +1,36 @@
+#include "sys/clock.hpp"
+
+#include <ctime>
+#include <thread>
+
+namespace synapse::sys {
+
+double wallclock_now() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+double steady_now() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+void sleep_for(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+std::string format_timestamp(double wallclock_seconds) {
+  const std::time_t secs = static_cast<std::time_t>(wallclock_seconds);
+  const int micros =
+      static_cast<int>((wallclock_seconds - static_cast<double>(secs)) * 1e6);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[48];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  char out[64];
+  std::snprintf(out, sizeof(out), "%s.%06dZ", buf, micros);
+  return out;
+}
+
+}  // namespace synapse::sys

@@ -1,0 +1,48 @@
+#pragma once
+// Timing primitives used across Synapse.
+//
+// The profiler requires two notions of time (paper section 4.1):
+//  - wall-clock timestamps, to tag profile samples (per-watcher,
+//    deliberately unsynchronised across watchers), and
+//  - monotonic durations, to measure Tx and to drive the sampling loop.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace synapse::sys {
+
+/// Seconds since the Unix epoch as a double (microsecond resolution).
+/// This is the timestamp format stored inside profiles.
+double wallclock_now();
+
+/// Monotonic seconds since an arbitrary origin; use for durations only.
+double steady_now();
+
+/// Sleep for the given number of seconds (sub-millisecond capable).
+/// Negative or zero durations return immediately.
+void sleep_for(double seconds);
+
+/// Simple stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(steady_now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed() const { return steady_now() - start_; }
+
+  /// Restart the stopwatch and return the previous elapsed time.
+  double reset() {
+    const double e = elapsed();
+    start_ = steady_now();
+    return e;
+  }
+
+ private:
+  double start_;
+};
+
+/// Format a wallclock timestamp as ISO-8601 (UTC), for logs and profiles.
+std::string format_timestamp(double wallclock_seconds);
+
+}  // namespace synapse::sys

@@ -1,0 +1,128 @@
+#include "sys/cpuinfo.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "sys/clock.hpp"
+#include "sys/procfs.hpp"
+
+namespace synapse::sys {
+
+namespace {
+
+std::optional<uint64_t> read_cache_size(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/size";
+  const auto content = slurp_file(path);
+  if (!content) return std::nullopt;
+  uint64_t value = 0;
+  char unit = 0;
+  if (std::sscanf(content->c_str(), "%lu%c", &value, &unit) < 1) {
+    return std::nullopt;
+  }
+  if (unit == 'K') value *= 1024;
+  if (unit == 'M') value *= 1024 * 1024;
+  return value;
+}
+
+}  // namespace
+
+double CpuInfo::best_hz() const {
+  if (calibrated_hz > 0) return calibrated_hz;
+  if (nominal_hz > 0) return nominal_hz;
+  return 2.5e9;
+}
+
+CpuInfo detect_cpu() {
+  CpuInfo info;
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  info.logical_cores = n > 0 ? static_cast<int>(n) : 1;
+
+  if (const auto content = slurp_file("/proc/cpuinfo")) {
+    size_t pos = 0;
+    while (pos < content->size()) {
+      const size_t eol = content->find('\n', pos);
+      const std::string line = content->substr(
+          pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      if (info.model_name.empty() && line.rfind("model name", 0) == 0) {
+        const size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          info.model_name = line.substr(colon + 2);
+        }
+      } else if (info.nominal_hz == 0.0 && line.rfind("cpu MHz", 0) == 0) {
+        const size_t colon = line.find(':');
+        if (colon != std::string::npos) {
+          info.nominal_hz = std::strtod(line.c_str() + colon + 1, nullptr) * 1e6;
+        }
+      }
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+  }
+
+  if (const auto l1 = read_cache_size(0)) info.cache_l1d_bytes = *l1;
+  if (const auto l2 = read_cache_size(2)) info.cache_l2_bytes = *l2;
+  if (const auto l3 = read_cache_size(3)) info.cache_l3_bytes = *l3;
+  return info;
+}
+
+double calibrate_cpu_hz(double seconds) {
+  // A serially-dependent integer add chain retires one add per cycle on
+  // every mainstream core. The chain must be opaque to the optimizer: a
+  // plain `x += 1` loop is constant-folded to a single addition and the
+  // measured "frequency" comes out in the terahertz. Inline asm pins
+  // each add; the non-x86 fallback uses an LCG recurrence (about 4-5
+  // cycles per step, corrected below).
+  constexpr uint64_t kChunk = 20'000'000;
+  uint64_t total = 0;
+  volatile uint64_t sink = 1;
+  double cycles_per_step = 1.0;
+  const double start = steady_now();
+  double elapsed = 0.0;
+  do {
+    uint64_t x = sink;
+#if defined(__x86_64__) || defined(__i386__) || defined(__aarch64__)
+    for (uint64_t i = 0; i < kChunk; i += 8) {
+#if defined(__aarch64__)
+      asm volatile(
+          "add %0, %0, #1\n add %0, %0, #1\n add %0, %0, #1\n"
+          "add %0, %0, #1\n add %0, %0, #1\n add %0, %0, #1\n"
+          "add %0, %0, #1\n add %0, %0, #1\n"
+          : "+r"(x));
+#else
+      asm volatile(
+          "add $1, %0\n add $1, %0\n add $1, %0\n add $1, %0\n"
+          "add $1, %0\n add $1, %0\n add $1, %0\n add $1, %0\n"
+          : "+r"(x));
+#endif
+    }
+#else
+    // Multiply-add recurrence: not foldable, ~4.5 cycles/step on
+    // current cores (multiply latency dominates).
+    cycles_per_step = 4.5;
+    for (uint64_t i = 0; i < kChunk; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+    }
+#endif
+    sink = x;
+    total += kChunk;
+    elapsed = steady_now() - start;
+  } while (elapsed < seconds);
+  return elapsed > 0
+             ? static_cast<double>(total) * cycles_per_step / elapsed
+             : 0.0;
+}
+
+const CpuInfo& cpu_info() {
+  static CpuInfo cached = [] {
+    CpuInfo info = detect_cpu();
+    info.calibrated_hz = calibrate_cpu_hz();
+    return info;
+  }();
+  return cached;
+}
+
+}  // namespace synapse::sys

@@ -1,0 +1,42 @@
+#pragma once
+// CPU discovery: core count, model name, nominal frequency.
+//
+// The paper derives cyclesmax (for the CPU-utilization metric) from the
+// CPU architecture and clock speed (section 4.3). /proc/cpuinfo inside
+// containers often reports the host's current (scaled) frequency or none
+// at all, so we also provide a calibrated estimate measured from a tight
+// dependency chain of known length.
+
+#include <cstdint>
+#include <string>
+
+namespace synapse::sys {
+
+struct CpuInfo {
+  int logical_cores = 1;
+  std::string model_name;
+  double nominal_hz = 0.0;    ///< from /proc/cpuinfo "cpu MHz" (may be 0)
+  double calibrated_hz = 0.0; ///< measured, see calibrate_cpu_hz()
+  uint64_t cache_l1d_bytes = 32 * 1024;
+  uint64_t cache_l2_bytes = 256 * 1024;
+  uint64_t cache_l3_bytes = 8 * 1024 * 1024;
+
+  /// Best available frequency estimate: calibrated if present, else
+  /// nominal, else a conservative 2.5 GHz default.
+  double best_hz() const;
+};
+
+/// Parse /proc/cpuinfo and sysfs cache sizes; never throws — missing
+/// fields keep their defaults.
+CpuInfo detect_cpu();
+
+/// Measure effective clock frequency by timing a dependency chain whose
+/// per-iteration latency is one cycle on all modern x86/ARM cores.
+/// `seconds` bounds the measurement time.
+double calibrate_cpu_hz(double seconds = 0.05);
+
+/// Cached singleton of detect_cpu() + one calibration, computed on first
+/// use (thread-safe).
+const CpuInfo& cpu_info();
+
+}  // namespace synapse::sys

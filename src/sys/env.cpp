@@ -1,0 +1,54 @@
+#include "sys/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sys/error.hpp"
+
+namespace synapse::sys {
+
+std::optional<std::string> getenv_str(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<double> getenv_double(const std::string& name) {
+  const auto s = getenv_str(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<long> getenv_long(const std::string& name) {
+  const auto s = getenv_str(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::string getenv_or(const std::string& name, const std::string& dflt) {
+  return getenv_str(name).value_or(dflt);
+}
+
+double getenv_or(const std::string& name, double dflt) {
+  return getenv_double(name).value_or(dflt);
+}
+
+long getenv_or(const std::string& name, long dflt) {
+  return getenv_long(name).value_or(dflt);
+}
+
+void setenv_str(const std::string& name, const std::string& value) {
+  if (::setenv(name.c_str(), value.c_str(), /*overwrite=*/1) != 0) {
+    throw SystemError("setenv(" + name + ")", errno);
+  }
+}
+
+void unsetenv_str(const std::string& name) { ::unsetenv(name.c_str()); }
+
+}  // namespace synapse::sys

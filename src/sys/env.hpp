@@ -1,0 +1,33 @@
+#pragma once
+// Typed environment-variable access.
+//
+// The virtual-resource layer (src/resource) communicates the active
+// ResourceSpec to child processes through SYNAPSE_VR_* variables; the
+// helpers here are the single parsing point for those.
+
+#include <optional>
+#include <string>
+
+namespace synapse::sys {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> getenv_str(const std::string& name);
+
+/// Parse as double; nullopt when unset or unparseable.
+std::optional<double> getenv_double(const std::string& name);
+
+/// Parse as long; nullopt when unset or unparseable.
+std::optional<long> getenv_long(const std::string& name);
+
+/// Lookup with default.
+std::string getenv_or(const std::string& name, const std::string& dflt);
+double getenv_or(const std::string& name, double dflt);
+long getenv_or(const std::string& name, long dflt);
+
+/// setenv wrapper (overwrites). Throws SystemError on failure.
+void setenv_str(const std::string& name, const std::string& value);
+
+/// unsetenv wrapper.
+void unsetenv_str(const std::string& name);
+
+}  // namespace synapse::sys

@@ -1,0 +1,17 @@
+#include "sys/error.hpp"
+
+#include <cstring>
+
+namespace synapse::sys {
+
+std::string errno_message(const std::string& op, int err) {
+  char buf[256];
+  // GNU strerror_r returns a char*; it may or may not use buf.
+  const char* msg = strerror_r(err, buf, sizeof(buf));
+  return op + ": " + msg + " (errno " + std::to_string(err) + ")";
+}
+
+SystemError::SystemError(const std::string& op, int err)
+    : SynapseError(errno_message(op, err)), code_(err) {}
+
+}  // namespace synapse::sys

@@ -1,0 +1,46 @@
+#pragma once
+// Error handling for Synapse.
+//
+// Policy (C++ Core Guidelines E.2/E.14): throw SynapseError for conditions
+// a caller cannot reasonably continue from (bad configuration, missing
+// profile, exec failure); return std::optional / status enums for expected
+// runtime conditions (counter backend unavailable, sample race with a
+// process that just exited).
+
+#include <stdexcept>
+#include <string>
+
+namespace synapse::sys {
+
+/// Base exception for all Synapse errors.
+class SynapseError : public std::runtime_error {
+ public:
+  explicit SynapseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a system call fails unexpectedly; carries errno text.
+class SystemError : public SynapseError {
+ public:
+  SystemError(const std::string& op, int err);
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+/// Raised for invalid user-supplied configuration.
+class ConfigError : public SynapseError {
+ public:
+  explicit ConfigError(const std::string& what) : SynapseError(what) {}
+};
+
+/// Raised when a requested profile cannot be found in the store.
+class ProfileNotFound : public SynapseError {
+ public:
+  explicit ProfileNotFound(const std::string& what) : SynapseError(what) {}
+};
+
+/// Build "op: strerror(err)" without throwing.
+std::string errno_message(const std::string& op, int err);
+
+}  // namespace synapse::sys

@@ -1,0 +1,132 @@
+#include "sys/perfcounters.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sys/cpuinfo.hpp"
+#include "sys/procfs.hpp"
+
+namespace synapse::sys {
+
+namespace {
+
+int perf_event_open(struct perf_event_attr* attr, pid_t pid, int cpu,
+                    int group_fd, unsigned long flags) {
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int open_counter(pid_t pid, uint32_t type, uint64_t config) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.inherit = 1;  // follow child threads, like `perf stat -i`
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return perf_event_open(&attr, pid, -1, -1, 0);
+}
+
+std::optional<uint64_t> read_counter(int fd) {
+  if (fd < 0) return std::nullopt;
+  uint64_t value = 0;
+  const ssize_t n = ::read(fd, &value, sizeof(value));
+  if (n != static_cast<ssize_t>(sizeof(value))) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+bool perf_event_available() {
+  static const bool available = [] {
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_SOFTWARE;
+    attr.size = sizeof(attr);
+    attr.config = PERF_COUNT_SW_TASK_CLOCK;
+    const int fd = perf_event_open(&attr, 0, -1, -1, 0);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+    return false;
+  }();
+  return available;
+}
+
+std::unique_ptr<PerfEventBackend> PerfEventBackend::attach(pid_t pid) {
+  if (!perf_event_available()) return nullptr;
+  auto backend = std::unique_ptr<PerfEventBackend>(new PerfEventBackend());
+  backend->fd_cycles_ =
+      open_counter(pid, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  backend->fd_instructions_ =
+      open_counter(pid, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  backend->fd_stalled_fe_ = open_counter(
+      pid, PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_FRONTEND);
+  backend->fd_stalled_be_ = open_counter(
+      pid, PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
+  backend->fd_task_clock_ =
+      open_counter(pid, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+  // The cycle counter is the minimum viable configuration.
+  if (backend->fd_cycles_ < 0) return nullptr;
+  return backend;
+}
+
+PerfEventBackend::~PerfEventBackend() {
+  for (int fd : {fd_cycles_, fd_instructions_, fd_stalled_fe_, fd_stalled_be_,
+                 fd_task_clock_}) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::optional<CounterSnapshot> PerfEventBackend::read() {
+  const auto cycles = read_counter(fd_cycles_);
+  if (!cycles) return std::nullopt;
+  CounterSnapshot snap;
+  snap.cycles = *cycles;
+  snap.instructions = read_counter(fd_instructions_).value_or(0);
+  snap.stalled_frontend = read_counter(fd_stalled_fe_).value_or(0);
+  snap.stalled_backend = read_counter(fd_stalled_be_).value_or(0);
+  if (const auto tc = read_counter(fd_task_clock_)) {
+    snap.task_clock_seconds = static_cast<double>(*tc) * 1e-9;
+  }
+  snap.modeled = false;
+  return snap;
+}
+
+TimeModelBackend::TimeModelBackend(pid_t pid, double frequency_hz,
+                                   double ipc_estimate, double stall_fraction)
+    : pid_(pid),
+      frequency_hz_(frequency_hz),
+      ipc_estimate_(ipc_estimate),
+      stall_fraction_(stall_fraction) {}
+
+std::optional<CounterSnapshot> TimeModelBackend::read() {
+  const auto stat = read_proc_stat(pid_);
+  if (!stat) return std::nullopt;
+  const double cpu_s = stat->cpu_seconds();
+  CounterSnapshot snap;
+  snap.task_clock_seconds = cpu_s;
+  snap.cycles = static_cast<uint64_t>(cpu_s * frequency_hz_);
+  snap.instructions = static_cast<uint64_t>(
+      static_cast<double>(snap.cycles) * ipc_estimate_);
+  const double stalls = static_cast<double>(snap.cycles) * stall_fraction_;
+  snap.stalled_frontend = static_cast<uint64_t>(stalls / 3.0);
+  snap.stalled_backend = static_cast<uint64_t>(stalls * 2.0 / 3.0);
+  snap.modeled = true;
+  return snap;
+}
+
+std::unique_ptr<CounterBackend> make_counter_backend(pid_t pid) {
+  if (auto perf = PerfEventBackend::attach(pid)) return perf;
+  return std::make_unique<TimeModelBackend>(pid, cpu_info().best_hz());
+}
+
+}  // namespace synapse::sys

@@ -1,0 +1,101 @@
+#pragma once
+// CPU counter backends.
+//
+// The original Synapse shells out to `perf stat` for cycles, instructions
+// and stall counts. We implement the same data source natively through
+// perf_event_open(2) — and, because many containers (including the one
+// this reproduction was developed in) block that syscall entirely via
+// seccomp, a documented fallback chain:
+//
+//   1. PerfEventBackend   — real hardware counters, used when available.
+//   2. TimeModelBackend   — cycles modelled as task-clock x frequency
+//                           (accurate for CPU-bound code); instructions
+//                           modelled with a configurable IPC estimate.
+//
+// A third source, the cooperative analytic trace produced by Synapse's
+// own kernels and synthetic applications, lives in
+// watchers/trace_watcher.hpp; see DESIGN.md section 1.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace synapse::sys {
+
+/// One snapshot of cumulative CPU counters for an observed process.
+struct CounterSnapshot {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t stalled_frontend = 0;
+  uint64_t stalled_backend = 0;
+  double task_clock_seconds = 0.0;
+  bool modeled = false;  ///< true when values come from the time model
+};
+
+/// Abstract source of CPU counters for a given pid.
+class CounterBackend {
+ public:
+  virtual ~CounterBackend() = default;
+
+  /// Human-readable backend name ("perf_event", "time_model").
+  virtual std::string name() const = 0;
+
+  /// Read cumulative counters; nullopt when the process is gone or the
+  /// backend lost access.
+  virtual std::optional<CounterSnapshot> read() = 0;
+};
+
+/// Probe whether perf_event_open works in this environment (cached).
+bool perf_event_available();
+
+/// Hardware-counter backend. attach() returns nullptr when the syscall
+/// is unavailable or attaching to `pid` is not permitted.
+class PerfEventBackend final : public CounterBackend {
+ public:
+  static std::unique_ptr<PerfEventBackend> attach(pid_t pid);
+  ~PerfEventBackend() override;
+
+  std::string name() const override { return "perf_event"; }
+  std::optional<CounterSnapshot> read() override;
+
+ private:
+  PerfEventBackend() = default;
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_stalled_fe_ = -1;
+  int fd_stalled_be_ = -1;
+  int fd_task_clock_ = -1;
+};
+
+/// Fallback backend deriving counters from /proc/<pid>/stat CPU time.
+///
+/// cycles       = cpu_seconds x frequency_hz
+/// instructions = cycles x ipc_estimate
+/// stalls       = cycles x stall_fraction (split 1/3 frontend, 2/3 backend,
+///                matching typical perf-stat ratios for compute codes)
+class TimeModelBackend final : public CounterBackend {
+ public:
+  TimeModelBackend(pid_t pid, double frequency_hz, double ipc_estimate = 1.5,
+                   double stall_fraction = 0.25);
+
+  std::string name() const override { return "time_model"; }
+  std::optional<CounterSnapshot> read() override;
+
+  double frequency_hz() const { return frequency_hz_; }
+  double ipc_estimate() const { return ipc_estimate_; }
+
+ private:
+  pid_t pid_;
+  double frequency_hz_;
+  double ipc_estimate_;
+  double stall_fraction_;
+};
+
+/// Best available backend for `pid`: perf_event when it works, otherwise
+/// the time model with the machine's calibrated frequency.
+std::unique_ptr<CounterBackend> make_counter_backend(pid_t pid);
+
+}  // namespace synapse::sys

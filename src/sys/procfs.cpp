@@ -1,0 +1,174 @@
+#include "sys/procfs.hpp"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace synapse::sys {
+
+namespace {
+
+/// Parse "Key:   12345 kB" style lines from /proc status-like files.
+/// Returns value in bytes when the unit is kB, raw value otherwise.
+std::optional<uint64_t> parse_kv_line(const std::string& content,
+                                      const std::string& key) {
+  const std::string needle = key + ":";
+  size_t pos = 0;
+  while (pos < content.size()) {
+    const size_t eol = content.find('\n', pos);
+    const std::string line = content.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (line.rfind(needle, 0) == 0) {
+      uint64_t value = 0;
+      char unit[16] = {0};
+      const int n = std::sscanf(line.c_str() + needle.size(), "%" SCNu64 " %15s",
+                                &value, unit);
+      if (n >= 1) {
+        if (n == 2 && std::strcmp(unit, "kB") == 0) value *= 1024;
+        return value;
+      }
+      return std::nullopt;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+long ticks_per_second() {
+  static const long t = ::sysconf(_SC_CLK_TCK);
+  return t > 0 ? t : 100;
+}
+
+long page_size() {
+  static const long p = ::sysconf(_SC_PAGESIZE);
+  return p > 0 ? p : 4096;
+}
+
+double ProcStat::cpu_seconds() const {
+  return static_cast<double>(utime_ticks + stime_ticks) /
+         static_cast<double>(ticks_per_second());
+}
+
+std::optional<std::string> slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return ss.str();
+}
+
+std::optional<ProcStat> read_proc_stat(pid_t pid) {
+  const auto content = slurp_file("/proc/" + std::to_string(pid) + "/stat");
+  if (!content) return std::nullopt;
+
+  // comm may contain spaces/parens; locate the *last* ')' to split safely.
+  const size_t open = content->find('(');
+  const size_t close = content->rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return std::nullopt;
+  }
+
+  ProcStat st;
+  st.pid = static_cast<pid_t>(std::strtol(content->c_str(), nullptr, 10));
+  st.comm = content->substr(open + 1, close - open - 1);
+
+  // Fields after ')' start at index 3 (state). See proc(5).
+  std::istringstream rest(content->substr(close + 2));
+  std::string state;
+  // 3:state 4:ppid 5:pgrp 6:session 7:tty 8:tpgid 9:flags
+  // 10:minflt 11:cminflt 12:majflt 13:cmajflt 14:utime 15:stime
+  // 16:cutime 17:cstime 18:priority 19:nice 20:num_threads
+  // 21:itrealvalue 22:starttime 23:vsize 24:rss
+  uint64_t skip_u;
+  int64_t skip_i;
+  rest >> state;
+  if (!state.empty()) st.state = state[0];
+  for (int i = 0; i < 6; ++i) rest >> skip_i;  // ppid..flags
+  for (int i = 0; i < 4; ++i) rest >> skip_u;  // faults
+  rest >> st.utime_ticks >> st.stime_ticks;
+  rest >> skip_i >> skip_i;  // cutime, cstime
+  rest >> skip_i >> skip_i;  // priority, nice
+  rest >> st.num_threads;
+  rest >> skip_i;  // itrealvalue
+  rest >> st.starttime_ticks;
+  rest >> st.vsize_bytes;
+  rest >> st.rss_pages;
+  if (!rest) return std::nullopt;
+  return st;
+}
+
+std::optional<ProcStatus> read_proc_status(pid_t pid) {
+  const auto content = slurp_file("/proc/" + std::to_string(pid) + "/status");
+  if (!content) return std::nullopt;
+  ProcStatus s;
+  s.vm_peak_bytes = parse_kv_line(*content, "VmPeak").value_or(0);
+  s.vm_size_bytes = parse_kv_line(*content, "VmSize").value_or(0);
+  s.vm_hwm_bytes = parse_kv_line(*content, "VmHWM").value_or(0);
+  s.vm_rss_bytes = parse_kv_line(*content, "VmRSS").value_or(0);
+  s.threads = parse_kv_line(*content, "Threads").value_or(0);
+  return s;
+}
+
+std::optional<ProcIo> read_proc_io(pid_t pid) {
+  const auto content = slurp_file("/proc/" + std::to_string(pid) + "/io");
+  if (!content) return std::nullopt;
+  ProcIo io;
+  io.rchar = parse_kv_line(*content, "rchar").value_or(0);
+  io.wchar = parse_kv_line(*content, "wchar").value_or(0);
+  io.syscr = parse_kv_line(*content, "syscr").value_or(0);
+  io.syscw = parse_kv_line(*content, "syscw").value_or(0);
+  io.read_bytes = parse_kv_line(*content, "read_bytes").value_or(0);
+  io.write_bytes = parse_kv_line(*content, "write_bytes").value_or(0);
+  return io;
+}
+
+std::optional<ProcStatm> read_proc_statm(pid_t pid) {
+  const auto content = slurp_file("/proc/" + std::to_string(pid) + "/statm");
+  if (!content) return std::nullopt;
+  uint64_t size_pages = 0, resident_pages = 0, shared_pages = 0;
+  if (std::sscanf(content->c_str(), "%" SCNu64 " %" SCNu64 " %" SCNu64,
+                  &size_pages, &resident_pages, &shared_pages) != 3) {
+    return std::nullopt;
+  }
+  const uint64_t psz = static_cast<uint64_t>(page_size());
+  return ProcStatm{size_pages * psz, resident_pages * psz, shared_pages * psz};
+}
+
+std::optional<LoadAvg> read_loadavg() {
+  const auto content = slurp_file("/proc/loadavg");
+  if (!content) return std::nullopt;
+  LoadAvg la;
+  uint64_t runnable = 0, total = 0;
+  if (std::sscanf(content->c_str(), "%lf %lf %lf %" SCNu64 "/%" SCNu64,
+                  &la.load1, &la.load5, &la.load15, &runnable, &total) < 3) {
+    return std::nullopt;
+  }
+  la.runnable = runnable;
+  la.total_procs = total;
+  return la;
+}
+
+std::optional<MemInfo> read_meminfo() {
+  const auto content = slurp_file("/proc/meminfo");
+  if (!content) return std::nullopt;
+  MemInfo mi;
+  mi.total_bytes = parse_kv_line(*content, "MemTotal").value_or(0);
+  mi.free_bytes = parse_kv_line(*content, "MemFree").value_or(0);
+  mi.available_bytes = parse_kv_line(*content, "MemAvailable").value_or(0);
+  mi.cached_bytes = parse_kv_line(*content, "Cached").value_or(0);
+  return mi;
+}
+
+bool pid_exists(pid_t pid) {
+  return ::access(("/proc/" + std::to_string(pid)).c_str(), F_OK) == 0;
+}
+
+}  // namespace synapse::sys

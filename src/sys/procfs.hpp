@@ -1,0 +1,97 @@
+#pragma once
+// Readers for the /proc filesystem.
+//
+// These are the primary data sources of the Synapse profiler (paper
+// section 4.1): per-process CPU time, memory and disk-I/O counters, plus
+// system-wide information (loadavg, meminfo). Every reader returns
+// std::optional because the observed process can exit between samples —
+// a routine race, not an error.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace synapse::sys {
+
+/// Subset of /proc/<pid>/stat relevant to profiling.
+struct ProcStat {
+  pid_t pid = 0;
+  std::string comm;       ///< executable name (without parentheses)
+  char state = '?';       ///< R, S, D, Z, ...
+  uint64_t utime_ticks = 0;   ///< user-mode CPU time, in clock ticks
+  uint64_t stime_ticks = 0;   ///< kernel-mode CPU time, in clock ticks
+  uint64_t num_threads = 0;
+  uint64_t starttime_ticks = 0;  ///< process start, ticks after boot
+  uint64_t vsize_bytes = 0;
+  int64_t rss_pages = 0;
+
+  /// user+system CPU seconds, using the system tick rate.
+  double cpu_seconds() const;
+};
+
+/// Subset of /proc/<pid>/status (memory + thread info).
+struct ProcStatus {
+  uint64_t vm_peak_bytes = 0;  ///< VmPeak
+  uint64_t vm_size_bytes = 0;  ///< VmSize
+  uint64_t vm_hwm_bytes = 0;   ///< VmHWM (peak resident set)
+  uint64_t vm_rss_bytes = 0;   ///< VmRSS
+  uint64_t threads = 0;
+};
+
+/// /proc/<pid>/io counters.
+struct ProcIo {
+  uint64_t rchar = 0;        ///< bytes read via syscalls (incl. cache hits)
+  uint64_t wchar = 0;        ///< bytes written via syscalls
+  uint64_t syscr = 0;        ///< count of read syscalls
+  uint64_t syscw = 0;        ///< count of write syscalls
+  uint64_t read_bytes = 0;   ///< bytes actually fetched from storage
+  uint64_t write_bytes = 0;  ///< bytes actually sent to storage
+};
+
+/// /proc/<pid>/statm, in bytes (converted from pages).
+struct ProcStatm {
+  uint64_t size_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t shared_bytes = 0;
+};
+
+/// /proc/loadavg.
+struct LoadAvg {
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double load15 = 0.0;
+  uint64_t runnable = 0;
+  uint64_t total_procs = 0;
+};
+
+/// /proc/meminfo subset.
+struct MemInfo {
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;
+  uint64_t available_bytes = 0;
+  uint64_t cached_bytes = 0;
+};
+
+std::optional<ProcStat> read_proc_stat(pid_t pid);
+std::optional<ProcStatus> read_proc_status(pid_t pid);
+std::optional<ProcIo> read_proc_io(pid_t pid);
+std::optional<ProcStatm> read_proc_statm(pid_t pid);
+std::optional<LoadAvg> read_loadavg();
+std::optional<MemInfo> read_meminfo();
+
+/// Whether /proc/<pid> still exists (process alive or zombie).
+bool pid_exists(pid_t pid);
+
+/// Clock ticks per second (sysconf(_SC_CLK_TCK)).
+long ticks_per_second();
+
+/// System page size in bytes.
+long page_size();
+
+/// Read a whole (small) file; nullopt when it cannot be opened.
+std::optional<std::string> slurp_file(const std::string& path);
+
+}  // namespace synapse::sys

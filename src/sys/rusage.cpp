@@ -1,0 +1,46 @@
+#include "sys/rusage.hpp"
+
+#include <cerrno>
+
+#include "sys/error.hpp"
+
+namespace synapse::sys {
+
+namespace {
+double tv_to_seconds(const struct timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+}  // namespace
+
+ResourceUsage from_rusage(const struct rusage& ru) {
+  ResourceUsage u;
+  u.user_seconds = tv_to_seconds(ru.ru_utime);
+  u.system_seconds = tv_to_seconds(ru.ru_stime);
+  u.max_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+  u.minor_faults = static_cast<uint64_t>(ru.ru_minflt);
+  u.major_faults = static_cast<uint64_t>(ru.ru_majflt);
+  u.in_blocks = static_cast<uint64_t>(ru.ru_inblock);
+  u.out_blocks = static_cast<uint64_t>(ru.ru_oublock);
+  u.vol_ctx_switches = static_cast<uint64_t>(ru.ru_nvcsw);
+  u.invol_ctx_switches = static_cast<uint64_t>(ru.ru_nivcsw);
+  return u;
+}
+
+ResourceUsage rusage_self() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) {
+    throw SystemError("getrusage(RUSAGE_SELF)", errno);
+  }
+  return from_rusage(ru);
+}
+
+ResourceUsage rusage_thread() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_THREAD, &ru) != 0) {
+    throw SystemError("getrusage(RUSAGE_THREAD)", errno);
+  }
+  return from_rusage(ru);
+}
+
+}  // namespace synapse::sys

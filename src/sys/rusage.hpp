@@ -1,0 +1,39 @@
+#pragma once
+// POSIX rusage access.
+//
+// The paper wraps profiled processes in `time -v` to correct for the
+// short gap between spawn and first watcher sample; we obtain the same
+// information natively from wait4(2) in the spawner, and expose
+// getrusage() for self-measurement.
+
+#include <cstdint>
+
+#include <sys/resource.h>
+
+namespace synapse::sys {
+
+/// Normalized rusage snapshot.
+struct ResourceUsage {
+  double user_seconds = 0.0;
+  double system_seconds = 0.0;
+  uint64_t max_rss_bytes = 0;   ///< peak resident set size
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t in_blocks = 0;       ///< filesystem input blocks
+  uint64_t out_blocks = 0;      ///< filesystem output blocks
+  uint64_t vol_ctx_switches = 0;
+  uint64_t invol_ctx_switches = 0;
+
+  double cpu_seconds() const { return user_seconds + system_seconds; }
+};
+
+/// Convert a raw struct rusage (ru_maxrss is in KiB on Linux).
+ResourceUsage from_rusage(const struct rusage& ru);
+
+/// getrusage(RUSAGE_SELF) for the calling process.
+ResourceUsage rusage_self();
+
+/// getrusage(RUSAGE_THREAD) for the calling thread.
+ResourceUsage rusage_thread();
+
+}  // namespace synapse::sys

@@ -1,0 +1,202 @@
+#include "sys/spawn.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+
+namespace synapse::sys {
+
+std::vector<std::string> split_command(const std::string& command) {
+  std::vector<std::string> argv;
+  std::string current;
+  bool in_word = false;
+  char quote = 0;
+  for (size_t i = 0; i < command.size(); ++i) {
+    const char c = command[i];
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else if (c == '\\' && quote == '"' && i + 1 < command.size()) {
+        current += command[++i];
+      } else {
+        current += c;
+      }
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+      in_word = true;
+    } else if (c == '\\' && i + 1 < command.size()) {
+      current += command[++i];
+      in_word = true;
+    } else if (c == ' ' || c == '\t' || c == '\n') {
+      if (in_word) {
+        argv.push_back(current);
+        current.clear();
+        in_word = false;
+      }
+    } else {
+      current += c;
+      in_word = true;
+    }
+  }
+  if (in_word) argv.push_back(current);
+  return argv;
+}
+
+namespace {
+
+void redirect_to(int target_fd, const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, target_fd);
+    ::close(fd);
+  }
+}
+
+[[noreturn]] void child_exec(const std::vector<std::string>& argv,
+                             const SpawnOptions& opts) {
+  for (const auto& kv : opts.extra_env) {
+    const size_t eq = kv.find('=');
+    if (eq != std::string::npos) {
+      ::setenv(kv.substr(0, eq).c_str(), kv.substr(eq + 1).c_str(), 1);
+    }
+  }
+  if (!opts.chdir.empty()) {
+    if (::chdir(opts.chdir.c_str()) != 0) ::_exit(127);
+  }
+  if (!opts.stdout_path.empty()) redirect_to(STDOUT_FILENO, opts.stdout_path);
+  if (!opts.stderr_path.empty()) redirect_to(STDERR_FILENO, opts.stderr_path);
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  ::execvp(cargv[0], cargv.data());
+  ::_exit(127);
+}
+
+ExitStatus make_status(int wstatus, const struct rusage& ru,
+                       double wall_seconds) {
+  ExitStatus st;
+  st.usage = from_rusage(ru);
+  st.wall_seconds = wall_seconds;
+  if (WIFEXITED(wstatus)) {
+    st.exited_normally = true;
+    st.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    st.term_signal = WTERMSIG(wstatus);
+  }
+  return st;
+}
+
+}  // namespace
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string>& argv,
+                                 const SpawnOptions& opts) {
+  if (argv.empty()) throw ConfigError("spawn: empty argv");
+  const double start = steady_now();
+  const pid_t pid = ::fork();
+  if (pid < 0) throw SystemError("fork", errno);
+  if (pid == 0) child_exec(argv, opts);
+  return ChildProcess(pid, start);
+}
+
+ChildProcess ChildProcess::fork_function(const std::function<int()>& fn) {
+  const double start = steady_now();
+  const pid_t pid = ::fork();
+  if (pid < 0) throw SystemError("fork", errno);
+  if (pid == 0) {
+    int rc = 1;
+    try {
+      rc = fn();
+    } catch (...) {
+      rc = 111;
+    }
+    ::_exit(rc);
+  }
+  return ChildProcess(pid, start);
+}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_(other.pid_),
+      start_time_(other.start_time_),
+      status_(std::move(other.status_)) {
+  other.pid_ = -1;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !status_) {
+      kill(SIGKILL);
+      wait();
+    }
+    pid_ = other.pid_;
+    start_time_ = other.start_time_;
+    status_ = std::move(other.status_);
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0 && !status_) {
+    kill(SIGKILL);
+    try {
+      wait();
+    } catch (...) {
+      // Destructor must not throw; the child is already signalled.
+    }
+  }
+}
+
+bool ChildProcess::running() const {
+  if (pid_ <= 0 || status_) return false;
+  return ::kill(pid_, 0) == 0;
+}
+
+const ExitStatus& ChildProcess::wait() {
+  if (status_) return *status_;
+  int wstatus = 0;
+  struct rusage ru {};
+  pid_t rc;
+  do {
+    rc = ::wait4(pid_, &wstatus, 0, &ru);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw SystemError("wait4", errno);
+  status_ = make_status(wstatus, ru, steady_now() - start_time_);
+  return *status_;
+}
+
+std::optional<ExitStatus> ChildProcess::try_wait() {
+  if (status_) return status_;
+  int wstatus = 0;
+  struct rusage ru {};
+  const pid_t rc = ::wait4(pid_, &wstatus, WNOHANG, &ru);
+  if (rc == 0) return std::nullopt;
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw SystemError("wait4", errno);
+  }
+  status_ = make_status(wstatus, ru, steady_now() - start_time_);
+  return status_;
+}
+
+void ChildProcess::kill(int signal) {
+  if (pid_ > 0 && !status_) ::kill(pid_, signal);
+}
+
+ExitStatus run_command(const std::vector<std::string>& argv,
+                       const SpawnOptions& opts) {
+  ChildProcess child = ChildProcess::spawn(argv, opts);
+  return child.wait();
+}
+
+}  // namespace synapse::sys

@@ -1,0 +1,97 @@
+#pragma once
+// Child-process management for the profiler and the multi-process
+// emulation mode.
+//
+// The paper wraps the profiled application in `time -v` to recover the
+// exact resource usage despite the small delay before the first watcher
+// sample. We achieve the same with wait4(2): the kernel accumulates the
+// child's rusage from the very first instruction, independent of when
+// sampling starts.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "sys/rusage.hpp"
+
+namespace synapse::sys {
+
+/// Split a simple shell-like command line into argv. Supports single and
+/// double quotes and backslash escapes; no variable expansion or
+/// redirection (use an explicit argv for anything fancier).
+std::vector<std::string> split_command(const std::string& command);
+
+/// Result of a completed child process.
+struct ExitStatus {
+  int exit_code = -1;          ///< valid when exited normally
+  int term_signal = 0;         ///< non-zero when killed by a signal
+  bool exited_normally = false;
+  ResourceUsage usage;         ///< rusage accumulated by the kernel
+  double wall_seconds = 0.0;   ///< spawn-to-reap wall time (Tx)
+
+  bool success() const { return exited_normally && exit_code == 0; }
+};
+
+/// Options controlling spawn behaviour.
+struct SpawnOptions {
+  /// Extra environment variables for the child (NAME=VALUE), appended to
+  /// the inherited environment. Used by the virtual-resource layer.
+  std::vector<std::string> extra_env;
+  /// Redirect child stdout/stderr to this file ("" keeps parent's).
+  std::string stdout_path;
+  std::string stderr_path;
+  /// Working directory for the child ("" keeps parent's).
+  std::string chdir;
+};
+
+/// A spawned child process. Movable, not copyable. The destructor kills
+/// (SIGKILL) and reaps a still-running child — a Synapse object never
+/// leaks a process.
+class ChildProcess {
+ public:
+  /// Spawn argv[0] with the given arguments via fork+execvp.
+  /// Throws ConfigError for an empty argv and SystemError on fork failure;
+  /// exec failure surfaces as exit code 127.
+  static ChildProcess spawn(const std::vector<std::string>& argv,
+                            const SpawnOptions& opts = {});
+
+  /// Fork and run `fn` in the child; the child exits with fn's return
+  /// value. Used by the fork-based parallel emulation mode.
+  static ChildProcess fork_function(const std::function<int()>& fn);
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ~ChildProcess();
+
+  pid_t pid() const { return pid_; }
+  bool running() const;
+
+  /// Block until the child exits; returns the exit status with rusage.
+  /// Idempotent: a second call returns the cached status.
+  const ExitStatus& wait();
+
+  /// Non-blocking reap. Returns the status if the child has exited.
+  std::optional<ExitStatus> try_wait();
+
+  /// Send a signal (default SIGTERM). No-op after the child was reaped.
+  void kill(int signal = 15);
+
+ private:
+  ChildProcess(pid_t pid, double start_time)
+      : pid_(pid), start_time_(start_time) {}
+
+  pid_t pid_ = -1;
+  double start_time_ = 0.0;
+  std::optional<ExitStatus> status_;
+};
+
+/// Convenience: spawn, wait, return status.
+ExitStatus run_command(const std::vector<std::string>& argv,
+                       const SpawnOptions& opts = {});
+
+}  // namespace synapse::sys

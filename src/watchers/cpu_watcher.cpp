@@ -1,0 +1,55 @@
+#include "watchers/cpu_watcher.hpp"
+
+#include "profile/metrics.hpp"
+#include "sys/procfs.hpp"
+#include "watchers/trace_watcher.hpp"
+
+namespace synapse::watchers {
+
+namespace m = synapse::metrics;
+
+void CpuWatcher::pre_process(const WatcherConfig& config) {
+  Watcher::pre_process(config);
+  backend_ = sys::make_counter_backend(config.pid);
+}
+
+void CpuWatcher::sample(double now) {
+  if (!backend_) return;
+  const auto snap = backend_->read();
+  if (!snap) return;  // process gone: miss the sample, don't fail
+
+  profile::Sample s;
+  s.set(m::kCyclesUsed, static_cast<double>(snap->cycles));
+  s.set(m::kInstructions, static_cast<double>(snap->instructions));
+  s.set(m::kCyclesStalledFrontend,
+        static_cast<double>(snap->stalled_frontend));
+  s.set(m::kCyclesStalledBackend, static_cast<double>(snap->stalled_backend));
+  s.set(m::kTaskClock, snap->task_clock_seconds);
+  if (const auto stat = sys::read_proc_stat(config_.pid)) {
+    s.set(m::kNumThreads, static_cast<double>(stat->num_threads));
+  }
+  record(now, std::move(s));
+}
+
+void CpuWatcher::finalize(const std::vector<const Watcher*>& all,
+                          std::map<std::string, double>& totals) {
+  // Prefer the application's analytic counters when available: they are
+  // what a hardware PMU would have reported (DESIGN.md section 1). The
+  // task clock and thread count are ours either way.
+  const Watcher* trace = find_watcher(all, "trace");
+  const bool trace_has_data =
+      trace != nullptr && trace->series().last(m::kFlops) > 0;
+
+  if (!trace_has_data) {
+    totals[std::string(m::kCyclesUsed)] = series_.last(m::kCyclesUsed);
+    totals[std::string(m::kInstructions)] = series_.last(m::kInstructions);
+  }
+  totals[std::string(m::kCyclesStalledFrontend)] =
+      series_.last(m::kCyclesStalledFrontend);
+  totals[std::string(m::kCyclesStalledBackend)] =
+      series_.last(m::kCyclesStalledBackend);
+  totals[std::string(m::kTaskClock)] = series_.last(m::kTaskClock);
+  totals[std::string(m::kNumThreads)] = series_.max(m::kNumThreads);
+}
+
+}  // namespace synapse::watchers

@@ -1,0 +1,36 @@
+#pragma once
+// CPU watcher: cycles, instructions, stalls, task clock, thread count.
+//
+// Equivalent of the paper's perf-stat based CPU watcher. Counter values
+// come from the best available backend (perf_event on real hardware,
+// time model under seccomp; see sys/perfcounters.hpp). In finalize()
+// it defers to the trace watcher's analytic counters when the profiled
+// application published them — the same "no duplicated measurement"
+// cross-watcher rule the paper describes for finalize.
+
+#include <memory>
+
+#include "sys/perfcounters.hpp"
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+class CpuWatcher final : public Watcher {
+ public:
+  CpuWatcher() : Watcher("cpu") {}
+
+  void pre_process(const WatcherConfig& config) override;
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+
+  /// Which backend ended up being used ("perf_event" / "time_model").
+  std::string backend_name() const {
+    return backend_ ? backend_->name() : "none";
+  }
+
+ private:
+  std::unique_ptr<sys::CounterBackend> backend_;
+};
+
+}  // namespace synapse::watchers

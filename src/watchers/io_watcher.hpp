@@ -1,0 +1,31 @@
+#pragma once
+// Disk-I/O watcher: bytes and operation counts from /proc/<pid>/io.
+//
+// Includes the block-size estimation the paper lists as future work
+// (section 6, "Profiling Block-Level I/O Operations", via blktrace):
+// we estimate read/write granularity from the ratio of byte deltas to
+// syscall-count deltas between samples — a blktrace-free approximation
+// that needs no elevated permissions.
+
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+class IoWatcher final : public Watcher {
+ public:
+  IoWatcher() : Watcher("io") {}
+
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+
+ private:
+  // Previous cumulative counters, for block-size deltas.
+  double prev_rchar_ = 0.0;
+  double prev_wchar_ = 0.0;
+  double prev_syscr_ = 0.0;
+  double prev_syscw_ = 0.0;
+  bool have_prev_ = false;
+};
+
+}  // namespace synapse::watchers

@@ -1,0 +1,22 @@
+#pragma once
+// Memory watcher: resident set, peak RSS, virtual size.
+//
+// Sampled from /proc/<pid>/status. The resident-memory consistency
+// behaviour of paper Fig. 6 (bottom) — underestimation when fewer than
+// two samples land inside the application's lifetime — emerges naturally
+// from this sampling.
+
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+class MemWatcher final : public Watcher {
+ public:
+  MemWatcher() : Watcher("mem") {}
+
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+};
+
+}  // namespace synapse::watchers

@@ -1,0 +1,44 @@
+#pragma once
+// Network watcher — the paper's "planned" network profiling (Table 1
+// lists network metrics as "(-)"; section 6 calls it the most
+// significant future improvement). Implemented here as an extension.
+//
+// Linux exposes no per-process network counters in /proc/<pid>, so this
+// watcher samples the system-wide interface totals from /proc/net/dev
+// and attributes the deltas to the observed application. That is a
+// documented approximation: it is accurate when the profiled process is
+// the dominant traffic source (the common case on a dedicated compute
+// node), and it is disabled by default.
+
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+/// Sum of rx/tx bytes over interfaces in /proc/net/dev.
+struct NetDevTotals {
+  uint64_t rx_bytes = 0;
+  uint64_t tx_bytes = 0;
+};
+
+/// Parse /proc/net/dev; `include_loopback` counts the lo interface
+/// (Synapse's own network atom emulates over loopback, so profiling an
+/// emulation wants it on).
+std::optional<NetDevTotals> read_netdev_totals(bool include_loopback);
+
+class NetWatcher final : public Watcher {
+ public:
+  explicit NetWatcher(bool include_loopback = true)
+      : Watcher("net"), include_loopback_(include_loopback) {}
+
+  void pre_process(const WatcherConfig& config) override;
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+
+ private:
+  bool include_loopback_;
+  NetDevTotals baseline_;
+  bool have_baseline_ = false;
+};
+
+}  // namespace synapse::watchers

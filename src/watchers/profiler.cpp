@@ -1,0 +1,211 @@
+#include "watchers/profiler.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/affinity.hpp"
+#include "sys/clock.hpp"
+#include "sys/cpuinfo.hpp"
+#include "sys/env.hpp"
+#include "sys/procfs.hpp"
+#include "watchers/cpu_watcher.hpp"
+#include "watchers/io_watcher.hpp"
+#include "watchers/mem_watcher.hpp"
+#include "watchers/sys_watcher.hpp"
+#include "watchers/trace.hpp"
+#include "watchers/trace_watcher.hpp"
+
+namespace synapse::watchers {
+
+namespace m = synapse::metrics;
+
+Profiler::Profiler(ProfilerOptions options) : options_(std::move(options)) {}
+
+std::string Profiler::make_trace_path() const {
+  const std::string dir =
+      !options_.scratch_dir.empty()
+          ? options_.scratch_dir
+          : sys::getenv_or("TMPDIR", std::string("/tmp"));
+  static std::atomic<uint64_t> counter{0};
+  return dir + "/synapse_trace_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+profile::Profile Profiler::profile_command(
+    const std::vector<std::string>& argv,
+    const std::vector<std::string>& tags,
+    const std::string& command_label) {
+  const std::string trace_path =
+      options_.watch_trace ? make_trace_path() : std::string();
+
+  sys::SpawnOptions spawn_opts;
+  spawn_opts.extra_env = options_.extra_env;
+  if (!trace_path.empty()) {
+    spawn_opts.extra_env.push_back(std::string(kTraceEnvVar) + "=" +
+                                   trace_path);
+  }
+  spawn_opts.stdout_path = options_.stdout_path;
+  spawn_opts.stderr_path = options_.stderr_path;
+
+  std::string command = command_label;
+  if (command.empty()) {
+    for (const auto& a : argv) {
+      if (!command.empty()) command += ' ';
+      command += a;
+    }
+  }
+  return run(sys::ChildProcess::spawn(argv, spawn_opts), command, tags,
+             trace_path);
+}
+
+profile::Profile Profiler::profile(const std::string& command,
+                                   const std::vector<std::string>& tags) {
+  // Store the command string exactly as given: it is the search index
+  // for emulate(command) and must survive quoting untouched.
+  return profile_command(sys::split_command(command), tags, command);
+}
+
+profile::Profile Profiler::profile_function(
+    const std::function<int()>& fn, const std::string& pseudo_command,
+    const std::vector<std::string>& tags) {
+  const std::string trace_path =
+      options_.watch_trace ? make_trace_path() : std::string();
+  if (!trace_path.empty()) {
+    // fork_function children inherit our environment directly.
+    sys::setenv_str(kTraceEnvVar, trace_path);
+  }
+  auto child = sys::ChildProcess::fork_function(fn);
+  if (!trace_path.empty()) sys::unsetenv_str(kTraceEnvVar);
+  return run(std::move(child), pseudo_command, tags, trace_path);
+}
+
+profile::Profile Profiler::run(sys::ChildProcess child,
+                               const std::string& command,
+                               const std::vector<std::string>& tags,
+                               const std::string& trace_path) {
+  WatcherConfig config;
+  config.pid = child.pid();
+  config.sample_rate_hz = options_.sample_rate_hz;
+  config.adaptive = options_.adaptive;
+  config.adaptive_window_s = options_.adaptive_window_s;
+  config.adaptive_floor_hz = options_.adaptive_floor_hz;
+  config.trace_path = trace_path;
+
+  std::vector<std::unique_ptr<Watcher>> watchers;
+  if (options_.watch_cpu) watchers.push_back(std::make_unique<CpuWatcher>());
+  if (options_.watch_mem) watchers.push_back(std::make_unique<MemWatcher>());
+  if (options_.watch_io) watchers.push_back(std::make_unique<IoWatcher>());
+  if (options_.watch_sys) watchers.push_back(std::make_unique<SysWatcher>());
+  if (options_.watch_trace && !trace_path.empty()) {
+    watchers.push_back(std::make_unique<TraceWatcher>());
+  }
+
+  // One thread per watcher, as in the paper: each loops at the sampling
+  // rate with its own (unsynchronised) timestamps. The adaptive scheme
+  // decays the rate after the startup window.
+  std::atomic<bool> terminate{false};
+  std::vector<std::thread> threads;
+  threads.reserve(watchers.size());
+  const double t0 = sys::steady_now();
+  for (auto& w : watchers) {
+    threads.emplace_back([&terminate, &w, &config, t0] {
+      sys::set_thread_name("syn:" + w->name());
+      w->pre_process(config);
+      while (!terminate.load(std::memory_order_relaxed)) {
+        w->sample(sys::wallclock_now());
+        double rate = config.sample_rate_hz;
+        if (config.adaptive &&
+            sys::steady_now() - t0 > config.adaptive_window_s) {
+          rate = config.adaptive_floor_hz;
+        }
+        if (rate <= 0) rate = 1.0;
+        // Sleep in short slices so a fast child exit does not leave the
+        // watcher sleeping through a long (low-rate) period.
+        double remaining = 1.0 / rate;
+        while (remaining > 0 && !terminate.load(std::memory_order_relaxed)) {
+          const double slice = remaining > 0.05 ? 0.05 : remaining;
+          sys::sleep_for(slice);
+          remaining -= slice;
+        }
+      }
+      // Closing sample: capture the final cumulative state (the paper's
+      // profiler waits for the last full period; a final read is
+      // equivalent without the delay).
+      w->sample(sys::wallclock_now());
+      w->post_process();
+    });
+  }
+
+  const sys::ExitStatus status = child.wait();
+  terminate.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  // Assemble the profile.
+  profile::Profile p;
+  p.command = command;
+  p.tags = tags;
+  if (!status.success()) {
+    p.tags.push_back("exit_code=" + std::to_string(status.exit_code));
+  }
+  p.sample_rate_hz = options_.sample_rate_hz;
+  p.created_at = sys::wallclock_now();
+
+  const auto& cpu = sys::cpu_info();
+  const auto& spec = resource::active_resource();
+  char host[256] = {0};
+  ::gethostname(host, sizeof(host) - 1);
+  p.system.hostname = host;
+  p.system.cpu_model = cpu.model_name;
+  p.system.num_cores = spec.cores;
+  p.system.max_cpu_freq_hz = spec.name == "host" ? cpu.best_hz() : spec.turbo_hz;
+  if (const auto mi = sys::read_meminfo()) {
+    p.system.total_memory_bytes = mi->total_bytes;
+  }
+  p.system.resource_name = spec.name;
+
+  std::vector<const Watcher*> watcher_ptrs;
+  watcher_ptrs.reserve(watchers.size());
+  for (const auto& w : watchers) watcher_ptrs.push_back(w.get());
+
+  // Cross-watcher deduplication (the finalize() contract of section
+  // 4.1): when the cooperative trace carries analytic counters, the CPU
+  // watcher's modelled cycles/instructions describe the same work a
+  // second time (including any pacing spin) and must not survive into
+  // the merged sample stream the emulator replays.
+  const Watcher* trace_w = find_watcher(watcher_ptrs, "trace");
+  const bool trace_has_counters =
+      trace_w != nullptr && trace_w->series().last(m::kFlops) > 0;
+
+  for (auto& w : watchers) {
+    w->finalize(watcher_ptrs, p.totals);
+    profile::TimeSeries ts = w->series();
+    if (trace_has_counters && ts.watcher == "cpu") {
+      for (auto& s : ts.samples) {
+        s.values.erase(std::string(m::kCyclesUsed));
+        s.values.erase(std::string(m::kInstructions));
+      }
+    }
+    p.series.push_back(std::move(ts));
+  }
+
+  // rusage-based corrections (the paper's `time -v` wrapper): exact Tx
+  // and peak RSS from the kernel, covering the pre-first-sample window.
+  p.totals[std::string(m::kRuntime)] = status.wall_seconds;
+  p.totals[std::string(m::kTaskClock)] =
+      std::max(p.totals[std::string(m::kTaskClock)], status.usage.cpu_seconds());
+  if (status.usage.max_rss_bytes > 0) {
+    auto& peak = p.totals[std::string(m::kMemPeak)];
+    peak = std::max(peak, static_cast<double>(status.usage.max_rss_bytes));
+  }
+
+  p.compute_derived();
+
+  if (!trace_path.empty()) ::unlink(trace_path.c_str());
+  return p;
+}
+
+}  // namespace synapse::watchers

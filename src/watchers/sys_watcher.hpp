@@ -1,0 +1,21 @@
+#pragma once
+// System watcher: machine-wide load and memory pressure.
+//
+// Samples /proc/loadavg and /proc/meminfo — background context that the
+// paper records to interpret profile noise (system load appears in
+// Table 1 under "System").
+
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+class SysWatcher final : public Watcher {
+ public:
+  SysWatcher() : Watcher("sys") {}
+
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+};
+
+}  // namespace synapse::watchers

@@ -1,0 +1,157 @@
+#include "watchers/trace.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sys/env.hpp"
+#include "sys/error.hpp"
+
+namespace synapse::watchers {
+
+namespace {
+constexpr uint64_t kMagic = 0x53594e54524143ull;  // "SYNTRAC"
+}
+
+/// The mmap'd layout. Atomics over shared memory between writer process
+/// and profiler process; std::atomic<uint64_t> is lock-free on all
+/// supported platforms (asserted below).
+struct TraceWriter::Shared {
+  std::atomic<uint64_t> magic;
+  std::atomic<uint64_t> flops;
+  std::atomic<uint64_t> instructions;
+  std::atomic<uint64_t> cycles;
+  std::atomic<uint64_t> bytes_allocated;
+  std::atomic<uint64_t> bytes_freed;
+};
+struct TraceReader::Shared {
+  std::atomic<uint64_t> magic;
+  std::atomic<uint64_t> flops;
+  std::atomic<uint64_t> instructions;
+  std::atomic<uint64_t> cycles;
+  std::atomic<uint64_t> bytes_allocated;
+  std::atomic<uint64_t> bytes_freed;
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free,
+              "trace counters require lock-free 64-bit atomics");
+
+TraceWriter::TraceWriter(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) throw sys::SystemError("open(" + path + ")", errno);
+  if (::ftruncate(fd_, sizeof(Shared)) != 0) {
+    ::close(fd_);
+    throw sys::SystemError("ftruncate(" + path + ")", errno);
+  }
+  void* mem = ::mmap(nullptr, sizeof(Shared), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd_, 0);
+  if (mem == MAP_FAILED) {
+    ::close(fd_);
+    throw sys::SystemError("mmap(" + path + ")", errno);
+  }
+  shared_ = static_cast<Shared*>(mem);
+  shared_->magic.store(kMagic, std::memory_order_release);
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::from_env() {
+  const auto path = sys::getenv_str(kTraceEnvVar);
+  if (!path || path->empty()) return nullptr;
+  return std::make_unique<TraceWriter>(*path);
+}
+
+TraceWriter::~TraceWriter() {
+  if (shared_ != nullptr) {
+    ::munmap(shared_, sizeof(Shared));
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TraceWriter::add_work(double flops, const resource::KernelTraits& traits) {
+  const auto& spec = resource::active_resource();
+  // Accumulate sub-integer remainders so fine-grained loops do not lose
+  // counts to truncation.
+  flop_remainder_ += flops;
+  if (flop_remainder_ < 1.0) return;
+  const auto whole = static_cast<uint64_t>(flop_remainder_);
+  flop_remainder_ -= static_cast<double>(whole);
+
+  const double fwhole = static_cast<double>(whole);
+  const auto instructions = static_cast<uint64_t>(
+      resource::instructions_for_flops(traits, fwhole));
+  const auto cycles = static_cast<uint64_t>(
+      resource::cycles_for_flops(traits, spec, fwhole));
+  add_counters(whole, instructions, cycles);
+}
+
+void TraceWriter::add_counters(uint64_t flops, uint64_t instructions,
+                               uint64_t cycles) {
+  shared_->flops.fetch_add(flops, std::memory_order_relaxed);
+  shared_->instructions.fetch_add(instructions, std::memory_order_relaxed);
+  shared_->cycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+void TraceWriter::add_alloc(uint64_t bytes) {
+  shared_->bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void TraceWriter::add_free(uint64_t bytes) {
+  shared_->bytes_freed.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+TraceCounters TraceWriter::snapshot() const {
+  TraceCounters c;
+  c.flops = shared_->flops.load(std::memory_order_relaxed);
+  c.instructions = shared_->instructions.load(std::memory_order_relaxed);
+  c.cycles = shared_->cycles.load(std::memory_order_relaxed);
+  c.bytes_allocated = shared_->bytes_allocated.load(std::memory_order_relaxed);
+  c.bytes_freed = shared_->bytes_freed.load(std::memory_order_relaxed);
+  return c;
+}
+
+TraceReader::~TraceReader() {
+  if (shared_ != nullptr) {
+    ::munmap(const_cast<Shared*>(shared_), sizeof(Shared));
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TraceReader::ensure_mapped() {
+  if (shared_ != nullptr) return true;
+  fd_ = ::open(path_.c_str(), O_RDONLY);
+  if (fd_ < 0) return false;
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(Shared))) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  void* mem = ::mmap(nullptr, sizeof(Shared), PROT_READ, MAP_SHARED, fd_, 0);
+  if (mem == MAP_FAILED) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  shared_ = static_cast<const Shared*>(mem);
+  return true;
+}
+
+std::optional<TraceCounters> TraceReader::read() {
+  if (!ensure_mapped()) return std::nullopt;
+  if (shared_->magic.load(std::memory_order_acquire) != kMagic) {
+    return std::nullopt;
+  }
+  TraceCounters c;
+  c.flops = shared_->flops.load(std::memory_order_relaxed);
+  c.instructions = shared_->instructions.load(std::memory_order_relaxed);
+  c.cycles = shared_->cycles.load(std::memory_order_relaxed);
+  c.bytes_allocated = shared_->bytes_allocated.load(std::memory_order_relaxed);
+  c.bytes_freed = shared_->bytes_freed.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace synapse::watchers

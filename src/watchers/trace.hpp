@@ -1,0 +1,96 @@
+#pragma once
+// Cooperative analytic counter trace.
+//
+// With perf_event gated (DESIGN.md section 1), Synapse's own synthetic
+// applications and emulation kernels publish the counters a hardware PMU
+// would have observed: they know their exact loop structure, so FLOPs
+// and instructions are counted analytically, and cycles are derived from
+// the cache/IPC model for the active virtual resource. The counters live
+// in a small shared-memory file (mmap) so the profiler can sample them
+// at its own rate without any coordination with the application.
+//
+// Protocol: the profiler sets SYNAPSE_TRACE=<path> before spawning the
+// application; an instrumented application opens a TraceWriter on that
+// path and adds work as it executes. Uninstrumented (true black-box)
+// applications simply never create the file and profiling falls back to
+// the CPU watcher's counter backend.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "resource/cache_model.hpp"
+
+namespace synapse::watchers {
+
+inline constexpr const char* kTraceEnvVar = "SYNAPSE_TRACE";
+
+/// Cumulative counters, mirrored in the shared file.
+struct TraceCounters {
+  uint64_t flops = 0;
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t bytes_freed = 0;
+};
+
+/// Application side: create/extend the trace file and publish counters.
+/// Thread-safe (atomic adds on the mapped region).
+class TraceWriter {
+ public:
+  /// Open the trace file at `path` (created if needed).
+  explicit TraceWriter(const std::string& path);
+
+  /// Open from $SYNAPSE_TRACE; returns nullptr when unset (not profiled,
+  /// or profiled as a pure black box).
+  static std::unique_ptr<TraceWriter> from_env();
+
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Account `flops` of work executed by code with the given traits:
+  /// instructions and cycles are derived through the cache/IPC model for
+  /// the *active* resource spec.
+  void add_work(double flops, const resource::KernelTraits& traits);
+
+  /// Account raw counters directly (user kernels with exact knowledge).
+  void add_counters(uint64_t flops, uint64_t instructions, uint64_t cycles);
+
+  /// Account memory management activity.
+  void add_alloc(uint64_t bytes);
+  void add_free(uint64_t bytes);
+
+  TraceCounters snapshot() const;
+
+ private:
+  struct Shared;
+  Shared* shared_ = nullptr;
+  int fd_ = -1;
+  double flop_remainder_ = 0.0;
+};
+
+/// Profiler side: sample the counters of a trace file if it exists.
+class TraceReader {
+ public:
+  explicit TraceReader(std::string path) : path_(std::move(path)) {}
+  ~TraceReader();
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// Current cumulative counters; nullopt while the application has not
+  /// created the file (or never will).
+  std::optional<TraceCounters> read();
+
+ private:
+  bool ensure_mapped();
+
+  std::string path_;
+  struct Shared;
+  const Shared* shared_ = nullptr;
+  int fd_ = -1;
+};
+
+}  // namespace synapse::watchers

@@ -1,0 +1,41 @@
+#include "watchers/trace_watcher.hpp"
+
+#include "profile/metrics.hpp"
+
+namespace synapse::watchers {
+
+namespace m = synapse::metrics;
+
+void TraceWatcher::pre_process(const WatcherConfig& config) {
+  Watcher::pre_process(config);
+  if (!config.trace_path.empty()) {
+    reader_ = std::make_unique<TraceReader>(config.trace_path);
+  }
+}
+
+void TraceWatcher::sample(double now) {
+  if (!reader_) return;
+  const auto counters = reader_->read();
+  if (!counters) return;
+
+  profile::Sample s;
+  s.set(m::kFlops, static_cast<double>(counters->flops));
+  s.set(m::kInstructions, static_cast<double>(counters->instructions));
+  s.set(m::kCyclesUsed, static_cast<double>(counters->cycles));
+  s.set(m::kMemAllocated, static_cast<double>(counters->bytes_allocated));
+  s.set(m::kMemFreed, static_cast<double>(counters->bytes_freed));
+  record(now, std::move(s));
+}
+
+bool TraceWatcher::has_data() const { return series_.last(m::kFlops) > 0; }
+
+void TraceWatcher::finalize(const std::vector<const Watcher*>& all,
+                            std::map<std::string, double>& totals) {
+  (void)all;
+  if (!has_data()) return;
+  totals[std::string(m::kFlops)] = series_.last(m::kFlops);
+  totals[std::string(m::kInstructions)] = series_.last(m::kInstructions);
+  totals[std::string(m::kCyclesUsed)] = series_.last(m::kCyclesUsed);
+}
+
+}  // namespace synapse::watchers

@@ -1,0 +1,32 @@
+#pragma once
+// Trace watcher: samples the cooperative analytic counters (trace.hpp).
+//
+// When the profiled application is one of Synapse's instrumented
+// synthetic applications (or an emulation run), this watcher provides
+// the FLOP/instruction/cycle series a hardware PMU would have produced.
+// For true black boxes the trace file never appears and the watcher
+// contributes nothing.
+
+#include <memory>
+
+#include "watchers/trace.hpp"
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+class TraceWatcher final : public Watcher {
+ public:
+  TraceWatcher() : Watcher("trace") {}
+
+  void pre_process(const WatcherConfig& config) override;
+  void sample(double now) override;
+  void finalize(const std::vector<const Watcher*>& all,
+                std::map<std::string, double>& totals) override;
+
+  bool has_data() const;
+
+ private:
+  std::unique_ptr<TraceReader> reader_;
+};
+
+}  // namespace synapse::watchers

@@ -1,0 +1,13 @@
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+const Watcher* find_watcher(const std::vector<const Watcher*>& all,
+                            std::string_view name) {
+  for (const Watcher* w : all) {
+    if (w != nullptr && w->name() == name) return w;
+  }
+  return nullptr;
+}
+
+}  // namespace synapse::watchers

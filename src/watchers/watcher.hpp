@@ -1,0 +1,89 @@
+#pragma once
+// Watcher plugin interface (paper section 4.1).
+//
+// Each watcher observes one type of system resource of the profiled
+// process and runs in its own thread:
+//
+//   pre_process()  - set up the profiling environment
+//   sample(now)    - invoked at the configured rate by the run loop
+//   post_process() - tear down
+//   finalize(all)  - may access the raw results of *other* watchers to
+//                    derive totals without duplicating measurements
+//
+// Timestamps are taken per watcher and never synchronised across
+// watchers (the paper found synchronisation overhead worse than drift).
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "profile/profile.hpp"
+
+namespace synapse::watchers {
+
+/// Configuration shared by all watchers of one profiling run.
+struct WatcherConfig {
+  pid_t pid = 0;               ///< observed process
+  double sample_rate_hz = 10;  ///< global sampling rate
+  /// Adaptive sampling (paper section 6 "Sampling Rate", implemented as
+  /// an extension): sample at `sample_rate_hz` for `adaptive_window_s`
+  /// seconds, then decay to `adaptive_floor_hz`.
+  bool adaptive = false;
+  double adaptive_window_s = 2.0;
+  double adaptive_floor_hz = 1.0;
+  /// Estimate I/O block sizes from byte/op deltas (blktrace stand-in).
+  bool estimate_block_sizes = true;
+  /// Path of the cooperative counter trace file ("" disables).
+  std::string trace_path;
+};
+
+class Watcher {
+ public:
+  explicit Watcher(std::string name) : name_(std::move(name)) {
+    series_.watcher = name_;
+  }
+  virtual ~Watcher() = default;
+
+  const std::string& name() const { return name_; }
+
+  virtual void pre_process(const WatcherConfig& config) { config_ = config; }
+
+  /// Take one sample at wall-clock time `now`. Must be cheap and must
+  /// never throw: a vanished process is recorded as a missed sample.
+  virtual void sample(double now) = 0;
+
+  virtual void post_process() {}
+
+  /// Contribute totals; may inspect other watchers' series.
+  virtual void finalize(const std::vector<const Watcher*>& all,
+                        std::map<std::string, double>& totals) {
+    (void)all;
+    (void)totals;
+  }
+
+  /// The samples collected so far (owned by the watcher).
+  const profile::TimeSeries& series() const { return series_; }
+
+ protected:
+  /// Append a sample (helper for subclasses).
+  void record(double now, profile::Sample sample) {
+    sample.timestamp = now;
+    series_.samples.push_back(std::move(sample));
+  }
+
+  WatcherConfig config_;
+  profile::TimeSeries series_;
+
+ private:
+  std::string name_;
+};
+
+/// Find a sibling watcher by name in the finalize() argument.
+const Watcher* find_watcher(const std::vector<const Watcher*>& all,
+                            std::string_view name);
+
+}  // namespace synapse::watchers

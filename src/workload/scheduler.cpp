@@ -1,0 +1,99 @@
+#include "workload/scheduler.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "sys/clock.hpp"
+
+namespace synapse::workload {
+
+size_t WorkloadResult::failed_count() const {
+  size_t n = 0;
+  for (const auto& t : tasks) {
+    if (!t.ok) ++n;
+  }
+  return n;
+}
+
+double WorkloadResult::utilization(int workers) const {
+  if (makespan_seconds <= 0 || workers <= 0) return 0.0;
+  double busy = 0.0;
+  for (const auto& t : tasks) busy += t.busy_seconds;
+  return busy / (makespan_seconds * static_cast<double>(workers));
+}
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {
+  if (options_.max_concurrent <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.max_concurrent = hw > 0 ? static_cast<int>(hw) : 4;
+  }
+}
+
+WorkloadResult Scheduler::run(const Workload& workload) {
+  workload.validate();
+
+  WorkloadResult result;
+  result.workload = workload.name();
+  const double t0 = sys::steady_now();
+
+  bool aborted = false;
+  for (const auto& stage : workload.stages()) {
+    if (aborted) break;
+
+    // Work queue for this stage.
+    std::atomic<size_t> next{0};
+    std::mutex results_mutex;
+    std::vector<TaskResult> stage_results;
+    std::atomic<bool> stage_failed{false};
+
+    auto worker = [&] {
+      while (true) {
+        const size_t index = next.fetch_add(1);
+        if (index >= stage.tasks.size()) break;
+        if (!options_.keep_going &&
+            stage_failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        const TaskSpec& task = stage.tasks[index];
+
+        TaskResult tr;
+        tr.name = task.name;
+        tr.stage = stage.name;
+        tr.start_seconds = sys::steady_now() - t0;
+        try {
+          emulator::Emulator emu(task.options);
+          for (int i = 0; i < task.iterations; ++i) {
+            const auto r = emu.emulate(task.profile);
+            tr.busy_seconds += r.wall_seconds;
+            tr.samples_replayed += r.samples_replayed;
+          }
+          tr.ok = true;
+        } catch (const std::exception& e) {
+          tr.error = e.what();
+          stage_failed.store(true, std::memory_order_relaxed);
+        }
+        tr.end_seconds = sys::steady_now() - t0;
+
+        std::lock_guard lock(results_mutex);
+        stage_results.push_back(std::move(tr));
+      }
+    };
+
+    const int workers = std::min<int>(
+        options_.max_concurrent, static_cast<int>(stage.tasks.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+
+    for (auto& tr : stage_results) result.tasks.push_back(std::move(tr));
+    result.stage_end_seconds.push_back(sys::steady_now() - t0);
+
+    if (stage_failed.load() && !options_.keep_going) aborted = true;
+  }
+
+  result.makespan_seconds = sys::steady_now() - t0;
+  return result;
+}
+
+}  // namespace synapse::workload

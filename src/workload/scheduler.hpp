@@ -1,0 +1,69 @@
+#pragma once
+// Workload scheduler: runs ensemble stages with bounded concurrency.
+//
+// A small RADICAL-Pilot-Agent-like executor (paper section 2.1): a pool
+// of worker threads pulls tasks from the current stage's queue, each
+// task emulates its profile in-process, stages are barriers. Per-task
+// timing feeds the utilization statistics that middleware developers use
+// Synapse for in the first place.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace synapse::workload {
+
+/// Outcome of one task (over all its iterations).
+struct TaskResult {
+  std::string name;
+  std::string stage;
+  bool ok = false;
+  double start_seconds = 0.0;   ///< relative to workload start
+  double end_seconds = 0.0;
+  double busy_seconds = 0.0;    ///< emulation wall time (sum of iterations)
+  size_t samples_replayed = 0;
+  std::string error;            ///< exception text when !ok
+
+  double duration() const { return end_seconds - start_seconds; }
+};
+
+/// Outcome of a whole workload run.
+struct WorkloadResult {
+  std::string workload;
+  double makespan_seconds = 0.0;
+  std::vector<TaskResult> tasks;
+  std::vector<double> stage_end_seconds;  ///< barrier times
+
+  size_t failed_count() const;
+  bool all_ok() const { return failed_count() == 0; }
+
+  /// Worker utilization: total task busy time / (makespan x workers).
+  double utilization(int workers) const;
+};
+
+struct SchedulerOptions {
+  /// Concurrent tasks (the pilot's core count). <= 0 means hardware
+  /// concurrency.
+  int max_concurrent = 4;
+  /// Continue the stage when a task fails (failed tasks are recorded);
+  /// false aborts the remaining stages.
+  bool keep_going = true;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options = {});
+
+  /// Execute the workload; blocks until the last stage finishes.
+  /// Throws ConfigError on invalid workloads.
+  WorkloadResult run(const Workload& workload);
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  SchedulerOptions options_;
+};
+
+}  // namespace synapse::workload

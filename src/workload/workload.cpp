@@ -1,0 +1,53 @@
+#include "workload/workload.hpp"
+
+#include <set>
+
+#include "sys/error.hpp"
+
+namespace synapse::workload {
+
+Stage& Workload::add_stage(const std::string& stage_name) {
+  stages_.push_back(Stage{stage_name, {}});
+  return stages_.back();
+}
+
+void Workload::replicate_task(const TaskSpec& prototype, int count) {
+  if (stages_.empty()) add_stage("stage-0");
+  Stage& stage = stages_.back();
+  for (int i = 0; i < count; ++i) {
+    TaskSpec task = prototype;
+    task.name = prototype.name + "-" + std::to_string(i);
+    stage.tasks.push_back(std::move(task));
+  }
+}
+
+size_t Workload::task_count() const {
+  size_t n = 0;
+  for (const auto& s : stages_) n += s.tasks.size();
+  return n;
+}
+
+void Workload::validate() const {
+  std::set<std::string> names;
+  for (const auto& stage : stages_) {
+    if (stage.tasks.empty()) {
+      throw sys::ConfigError("workload stage '" + stage.name +
+                             "' has no tasks");
+    }
+    for (const auto& task : stage.tasks) {
+      if (task.name.empty()) {
+        throw sys::ConfigError("workload task without a name in stage '" +
+                               stage.name + "'");
+      }
+      if (!names.insert(task.name).second) {
+        throw sys::ConfigError("duplicate task name: " + task.name);
+      }
+      if (task.iterations < 1) {
+        throw sys::ConfigError("task '" + task.name +
+                               "' has non-positive iterations");
+      }
+    }
+  }
+}
+
+}  // namespace synapse::workload

@@ -1,0 +1,72 @@
+#pragma once
+// Ensemble workloads of emulated tasks.
+//
+// The paper's third use case (section 2.3, Ensemble Toolkit) motivates
+// proxy applications whose "duration and number of task instances
+// between different stages" can be varied freely, and the related-work
+// discussion (Application Skeletons, ref. [24]) describes Synapse as the
+// per-component configuration mechanism inside a task DAG. This module
+// provides that layer: a Workload is an ordered list of Stages; a Stage
+// is a set of Tasks that may run concurrently; a Task emulates one
+// profile with per-task tuning overrides.
+//
+// The model matches Ensemble Toolkit's pipeline/stage/task structure:
+// stages are barriers, tasks inside a stage are independent.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "emulator/emulator.hpp"
+#include "profile/profile.hpp"
+
+namespace synapse::workload {
+
+/// One emulated task instance.
+struct TaskSpec {
+  std::string name;               ///< unique within the workload
+  profile::Profile profile;       ///< what to emulate
+  emulator::EmulatorOptions options;  ///< per-task tuning (kernel, scales...)
+
+  /// Repeat the emulation this many times back to back (ensemble
+  /// members often iterate; 1 = run once).
+  int iterations = 1;
+};
+
+/// Tasks that run concurrently, then barrier.
+struct Stage {
+  std::string name;
+  std::vector<TaskSpec> tasks;
+};
+
+/// An ordered pipeline of stages.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Append a stage; returns it for task insertion.
+  Stage& add_stage(const std::string& stage_name);
+
+  /// Convenience: append `count` identical tasks (named name-0..N-1)
+  /// to the last stage (creating "stage-0" if none exists).
+  void replicate_task(const TaskSpec& prototype, int count);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  std::vector<Stage>& stages() { return stages_; }
+
+  /// Total number of tasks across stages.
+  size_t task_count() const;
+
+  /// Validation: unique task names, at least one task per stage,
+  /// positive iterations. Throws ConfigError.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace synapse::workload

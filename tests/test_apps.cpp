@@ -1,0 +1,224 @@
+#include "apps/iobench.hpp"
+#include "apps/mdsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resource/resource_spec.hpp"
+
+namespace apps = synapse::apps;
+namespace resource = synapse::resource;
+
+namespace {
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+apps::MdOptions quick_md(uint64_t steps) {
+  apps::MdOptions o;
+  o.steps = steps;
+  o.scratch_dir = "/tmp";
+  return o;
+}
+}  // namespace
+
+TEST(MdSim, RunsAndReports) {
+  HostGuard guard;
+  const auto r = apps::run_md(quick_md(50));
+  EXPECT_EQ(r.steps, 50u);
+  EXPECT_EQ(r.particles, 400);
+  EXPECT_GT(r.interactions, 0u);
+  EXPECT_GT(r.model_flops, 0.0);
+  EXPECT_GT(r.real_flops, 0.0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(r.energy));
+  // LJ systems near equilibrium have negative potential energy.
+  EXPECT_LT(r.energy, 0.0);
+}
+
+TEST(MdSim, WorkScalesLinearlyWithSteps) {
+  HostGuard guard;
+  const auto small = apps::run_md(quick_md(50));
+  const auto large = apps::run_md(quick_md(200));
+  const double ratio = large.model_flops / small.model_flops;
+  EXPECT_NEAR(ratio, 4.0, 0.8);
+}
+
+TEST(MdSim, OutputScalesWithSteps) {
+  HostGuard guard;
+  auto opts = quick_md(200);
+  opts.write_interval = 50;
+  const auto r = apps::run_md(opts);
+  // 4 frames x 400 particles x 3 doubles.
+  EXPECT_EQ(r.bytes_written, 4u * 400 * 3 * sizeof(double));
+}
+
+TEST(MdSim, NoOutputFlag) {
+  HostGuard guard;
+  auto opts = quick_md(100);
+  opts.write_output = false;
+  EXPECT_EQ(apps::run_md(opts).bytes_written, 0u);
+}
+
+TEST(MdSim, DeterministicInteractionCount) {
+  HostGuard guard;
+  const auto a = apps::run_md(quick_md(80));
+  const auto b = apps::run_md(quick_md(80));
+  // Same seed, same trajectory, same pair count.
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(MdSim, PacedRunIsSlowerOnVirtualResource) {
+  resource::activate_resource("titan");  // slow machine
+  const auto slow = apps::run_md(quick_md(60));
+  resource::activate_resource("host");
+  const auto fast = apps::run_md(quick_md(60));
+  EXPECT_GT(slow.wall_seconds, fast.wall_seconds * 1.5);
+}
+
+TEST(MdSim, AppOptimizationSpeedsUpApplication) {
+  // Archer's toolchain factor (1.36) makes the *application* faster than
+  // the otherwise-similar Stampede spec would suggest.
+  resource::activate_resource("archer");
+  const auto archer = apps::run_md(quick_md(60));
+  resource::activate_resource("stampede");
+  const auto stampede = apps::run_md(quick_md(60));
+  resource::activate_resource("host");
+  EXPECT_LT(archer.wall_seconds, stampede.wall_seconds);
+}
+
+TEST(MdSim, OpenMpThreadsReduceWallTime) {
+  resource::activate_resource("titan");  // paced => speedup is visible
+  auto serial = quick_md(80);
+  serial.write_output = false;
+  const auto r1 = apps::run_md(serial);
+
+  auto parallel = serial;
+  parallel.threads = 4;
+  const auto r4 = apps::run_md(parallel);
+  resource::activate_resource("host");
+  EXPECT_LT(r4.wall_seconds, r1.wall_seconds * 0.6);
+}
+
+TEST(MdSim, RankModeCompletes) {
+  HostGuard guard;
+  auto opts = quick_md(40);
+  opts.ranks = 3;
+  const auto r = apps::run_md(opts);
+  EXPECT_EQ(r.steps, 40u);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(MdSim, CliParsesAndRuns) {
+  HostGuard guard;
+  const char* argv[] = {"mdsim", "--steps", "30", "--particles", "200",
+                        "--no-output", "--scratch", "/tmp"};
+  EXPECT_EQ(apps::md_main(8, const_cast<char**>(argv)), 0);
+}
+
+TEST(MdSim, CliRejectsBadInput) {
+  const char* bad_flag[] = {"mdsim", "--bogus"};
+  EXPECT_EQ(apps::md_main(2, const_cast<char**>(bad_flag)), 2);
+  const char* zero_steps[] = {"mdsim", "--steps", "0"};
+  EXPECT_EQ(apps::md_main(3, const_cast<char**>(zero_steps)), 2);
+}
+
+TEST(IoBench, ByteAccounting) {
+  HostGuard guard;
+  apps::IoBenchOptions opts;
+  opts.write_bytes = 4 * 1024 * 1024;
+  opts.read_bytes = 2 * 1024 * 1024;
+  opts.block_bytes = 1024 * 1024;
+  opts.scratch_dir = "/tmp";
+  const auto r = apps::run_iobench(opts);
+  EXPECT_EQ(r.bytes_written, opts.write_bytes);
+  EXPECT_EQ(r.bytes_read, opts.read_bytes);
+  EXPECT_EQ(r.write_ops, 4u);
+  EXPECT_EQ(r.read_ops, 2u);
+  EXPECT_GT(r.write_bps(), 0.0);
+  EXPECT_GT(r.read_bps(), 0.0);
+}
+
+TEST(IoBench, SmallBlocksAreSlowerOnSharedFs) {
+  resource::activate_resource("supermic");
+  apps::IoBenchOptions small;
+  small.write_bytes = 1024 * 1024;
+  small.read_bytes = 0;
+  small.block_bytes = 64 * 1024;
+  small.scratch_dir = "/tmp";
+  const auto r_small = apps::run_iobench(small);
+
+  apps::IoBenchOptions big = small;
+  big.block_bytes = 1024 * 1024;
+  const auto r_big = apps::run_iobench(big);
+  resource::activate_resource("host");
+
+  EXPECT_LT(r_small.write_bps(), r_big.write_bps());
+}
+
+TEST(IoBench, CliParsesAndRuns) {
+  HostGuard guard;
+  const char* argv[] = {"iobench", "--write", "1", "--read", "1",
+                        "--block", "256", "--scratch", "/tmp"};
+  EXPECT_EQ(apps::iobench_main(9, const_cast<char**>(argv)), 0);
+  const char* bad[] = {"iobench", "--block", "0"};
+  EXPECT_EQ(apps::iobench_main(3, const_cast<char**>(bad)), 2);
+}
+
+// --- physics invariants of the MD engine ------------------------------------
+
+TEST(MdSimPhysics, MomentumStaysBounded) {
+  // Velocity-Verlet with symmetric pair forces conserves momentum up to
+  // the documented racy-accumulation deviation; serial runs (threads=1)
+  // have no race and must stay tightly bounded. We proxy momentum
+  // conservation through energy stability: a stable integrator keeps
+  // the potential energy bounded (no blow-up) over thousands of steps.
+  HostGuard guard;
+  auto opts = quick_md(2000);
+  opts.write_output = false;
+  const auto r = apps::run_md(opts);
+  EXPECT_TRUE(std::isfinite(r.energy));
+  // Reduced-unit LJ at density 0.8: potential energy per particle stays
+  // within a physical band; a diverged integrator produces huge values.
+  const double per_particle = r.energy / r.particles;
+  EXPECT_GT(per_particle, -10.0);
+  EXPECT_LT(per_particle, 2.0);
+}
+
+TEST(MdSimPhysics, EnergyDependsOnSystemSizeNotSteps) {
+  HostGuard guard;
+  auto small = quick_md(300);
+  small.write_output = false;
+  auto r1 = apps::run_md(small);
+  auto r2 = apps::run_md(small);
+  // Deterministic: identical configurations give identical energies...
+  EXPECT_DOUBLE_EQ(r1.energy, r2.energy);
+  // ...and the per-particle energy is intensive: doubling the particle
+  // count roughly preserves it.
+  auto big = small;
+  big.particles = 800;
+  const auto r3 = apps::run_md(big);
+  const double e_small = r1.energy / small.particles;
+  const double e_big = r3.energy / big.particles;
+  EXPECT_NEAR(e_big, e_small, std::abs(e_small) * 0.5 + 0.5);
+}
+
+TEST(MdSimPhysics, InteractionsScaleWithDensityFixedSystem) {
+  HostGuard guard;
+  // At fixed reduced density, interactions per step scale linearly with
+  // the particle count.
+  auto base = quick_md(100);
+  base.write_output = false;
+  const auto small = apps::run_md(base);
+  auto doubled = base;
+  doubled.particles = 800;
+  const auto large = apps::run_md(doubled);
+  const double per_particle_small =
+      static_cast<double>(small.interactions) / small.particles;
+  const double per_particle_large =
+      static_cast<double>(large.interactions) / large.particles;
+  EXPECT_NEAR(per_particle_large / per_particle_small, 1.0, 0.35);
+}

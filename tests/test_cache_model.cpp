@@ -1,0 +1,141 @@
+#include "resource/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resource = synapse::resource;
+
+TEST(CacheModel, MissFractionZeroInL1) {
+  resource::KernelTraits t = resource::asm_kernel_traits();
+  const auto& spec = resource::get_resource("comet");
+  t.working_set_bytes = spec.l1d_bytes / 2;
+  EXPECT_DOUBLE_EQ(resource::miss_fraction(t, spec), 0.0);
+}
+
+TEST(CacheModel, MissFractionMonotoneInWorkingSet) {
+  resource::KernelTraits t = resource::c_kernel_traits();
+  const auto& spec = resource::get_resource("comet");
+  double prev = -1.0;
+  for (uint64_t ws = 16 * 1024; ws <= (1ull << 30); ws *= 4) {
+    t.working_set_bytes = ws;
+    const double miss = resource::miss_fraction(t, spec);
+    EXPECT_GE(miss, prev);
+    EXPECT_GE(miss, 0.0);
+    EXPECT_LE(miss, 1.0);
+    prev = miss;
+  }
+}
+
+TEST(CacheModel, MissFractionCappedByLocality) {
+  resource::KernelTraits t = resource::c_kernel_traits();
+  t.locality = 0.7;
+  t.working_set_bytes = 1ull << 34;  // far beyond any cache
+  const auto& spec = resource::get_resource("comet");
+  EXPECT_LE(resource::miss_fraction(t, spec), 0.3 + 1e-12);
+}
+
+TEST(CacheModel, IpcOrderingMatchesPaperFig11) {
+  // Paper Fig. 11: app < C kernel < ASM kernel on both machines;
+  // comet sustains ~3.30/cycle on the ASM kernel, supermic ~2.86.
+  for (const auto& machine : {"comet", "supermic"}) {
+    const auto& spec = resource::get_resource(machine);
+    const double app = resource::effective_ipc(resource::app_md_traits(), spec);
+    const double c = resource::effective_ipc(resource::c_kernel_traits(), spec);
+    const double asm_ipc =
+        resource::effective_ipc(resource::asm_kernel_traits(), spec);
+    EXPECT_LT(app, c) << machine;
+    EXPECT_LT(c, asm_ipc) << machine;
+    EXPECT_NEAR(app, 2.1, 0.25) << machine;
+    EXPECT_NEAR(c, 2.6, 0.3) << machine;
+  }
+  // Known deviation (EXPERIMENTS.md): the model reports ~3.3 on both
+  // machines, while the paper measured ~2.86 on supermic.
+  EXPECT_NEAR(resource::effective_ipc(resource::asm_kernel_traits(),
+                                      resource::get_resource("comet")),
+              3.3, 0.15);
+}
+
+TEST(CacheModel, BiasOrderingMatchesPaperFig8) {
+  // Paper Fig. 8: the C kernel's cycle error converges to ~3.5-4%, the
+  // ASM kernel's to ~14.5% (Comet) and ~26.5% (Supermic).
+  const auto& comet = resource::get_resource("comet");
+  const auto& supermic = resource::get_resource("supermic");
+
+  const double c_comet =
+      resource::calibration_bias(resource::c_kernel_traits(), comet);
+  const double asm_comet =
+      resource::calibration_bias(resource::asm_kernel_traits(), comet);
+  const double c_sm =
+      resource::calibration_bias(resource::c_kernel_traits(), supermic);
+  const double asm_sm =
+      resource::calibration_bias(resource::asm_kernel_traits(), supermic);
+
+  EXPECT_LT(c_comet, asm_comet);
+  EXPECT_LT(c_sm, asm_sm);
+  EXPECT_NEAR(c_comet - 1.0, 0.035, 0.02);
+  EXPECT_NEAR(asm_comet - 1.0, 0.145, 0.04);
+  EXPECT_NEAR(c_sm - 1.0, 0.040, 0.02);
+  EXPECT_NEAR(asm_sm - 1.0, 0.265, 0.06);
+}
+
+TEST(CacheModel, BiasIsOneWithoutHeadroomOrGap) {
+  resource::ResourceSpec flat = resource::get_resource("comet");
+  flat.turbo_hz = flat.clock_hz;
+  EXPECT_DOUBLE_EQ(
+      resource::calibration_bias(resource::asm_kernel_traits(), flat), 1.0);
+
+  resource::ResourceSpec nogap = resource::get_resource("comet");
+  nogap.sustained_boost_gap = 0.0;
+  EXPECT_DOUBLE_EQ(
+      resource::calibration_bias(resource::asm_kernel_traits(), nogap), 1.0);
+}
+
+TEST(CacheModel, CyclesLinearInFlops) {
+  const auto& spec = resource::get_resource("comet");
+  const auto& traits = resource::c_kernel_traits();
+  const double one = resource::cycles_for_flops(traits, spec, 1e6);
+  const double ten = resource::cycles_for_flops(traits, spec, 1e7);
+  EXPECT_NEAR(ten / one, 10.0, 1e-9);
+}
+
+TEST(CacheModel, InstructionsFollowMix) {
+  const auto& traits = resource::app_md_traits();
+  EXPECT_DOUBLE_EQ(resource::instructions_for_flops(traits, 1000.0),
+                   1000.0 * traits.instructions_per_flop);
+}
+
+TEST(CacheModel, SecondsForCyclesUsesTurbo) {
+  const auto& comet = resource::get_resource("comet");
+  EXPECT_NEAR(resource::seconds_for_cycles(comet, 2.9e9), 1.0, 1e-9);
+}
+
+TEST(CacheModel, IssueWidthCapsIpc) {
+  // Titan's 2-wide Bulldozer module caps even the ASM kernel at 2.0.
+  const auto& titan = resource::get_resource("titan");
+  EXPECT_LE(resource::effective_ipc(resource::asm_kernel_traits(), titan),
+            2.0 + 1e-12);
+}
+
+// Property: on every machine the model keeps the kernel ordering and
+// produces positive finite numbers.
+class ModelSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelSanity, OrderingAndFiniteness) {
+  const auto& spec = resource::get_resource(GetParam());
+  for (const auto* traits :
+       {&resource::asm_kernel_traits(), &resource::c_kernel_traits(),
+        &resource::app_md_traits()}) {
+    const double ipc = resource::effective_ipc(*traits, spec);
+    EXPECT_GT(ipc, 0.1);
+    EXPECT_LE(ipc, spec.issue_width + 1e-12);
+    const double bias = resource::calibration_bias(*traits, spec);
+    EXPECT_GE(bias, 1.0);
+    EXPECT_LT(bias, 1.5);
+  }
+  EXPECT_LT(resource::effective_ipc(resource::app_md_traits(), spec),
+            resource::effective_ipc(resource::asm_kernel_traits(), spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, ModelSanity,
+                         ::testing::Values("host", "thinkie", "stampede",
+                                           "archer", "comet", "supermic",
+                                           "titan"));

@@ -1,0 +1,144 @@
+// End-to-end tests of the command-line tools (synapse-profile,
+// synapse-emulate, synapse-inspect), exercised exactly as a user would:
+// spawned as child processes. Binary paths are injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sys/procfs.hpp"
+#include "sys/spawn.hpp"
+
+#ifndef SYNAPSE_PROFILE_BIN
+#error "SYNAPSE_PROFILE_BIN must be defined by the build"
+#endif
+
+namespace sys = synapse::sys;
+
+namespace {
+
+const std::string kStore = "/tmp/synapse_cli_store";
+
+struct StoreGuard {
+  StoreGuard() { std::system(("rm -rf " + kStore).c_str()); }
+  ~StoreGuard() { std::system(("rm -rf " + kStore).c_str()); }
+};
+
+sys::ExitStatus run_tool(const std::vector<std::string>& argv,
+                         const std::string& out_path) {
+  sys::SpawnOptions opts;
+  opts.stdout_path = out_path;
+  opts.stderr_path = out_path + ".err";
+  return sys::run_command(argv, opts);
+}
+
+std::string slurp(const std::string& path) {
+  return sys::slurp_file(path).value_or("");
+}
+
+}  // namespace
+
+TEST(Cli, ProfileThenEmulateRoundTrip) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_out.txt";
+
+  auto status = run_tool({SYNAPSE_PROFILE_BIN, "--store", kStore, "--rate",
+                          "20", "--tag", "cli-test", "--", "sleep", "0.2"},
+                         out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string profile_output = slurp(out);
+  EXPECT_NE(profile_output.find("profiled: sleep 0.2"), std::string::npos);
+  EXPECT_NE(profile_output.find("Tx"), std::string::npos);
+
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--store", kStore, "--tag",
+                     "cli-test", "--", "sleep", "0.2"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string emulate_output = slurp(out);
+  EXPECT_NE(emulate_output.find("emulated: sleep 0.2"), std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, EmulateWithoutProfileFails) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_fail.txt";
+  const auto status = run_tool(
+      {SYNAPSE_EMULATE_BIN, "--store", kStore, "--", "never", "profiled"},
+      out);
+  EXPECT_EQ(status.exit_code, 1);
+  EXPECT_NE(slurp(out + ".err").find("no profile stored"),
+            std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, InspectShowAndStats) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_inspect.txt";
+
+  // Two repetitions so stats have n=2.
+  for (int i = 0; i < 2; ++i) {
+    const auto status = run_tool({SYNAPSE_PROFILE_BIN, "--store", kStore,
+                                  "--", "sleep", "0.1"},
+                                 out);
+    ASSERT_TRUE(status.success());
+  }
+
+  auto status = run_tool(
+      {SYNAPSE_INSPECT_BIN, "--store", kStore, "show", "--", "sleep", "0.1"},
+      out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  EXPECT_NE(slurp(out).find("system.runtime_s"), std::string::npos);
+
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore, "stats", "--",
+                     "sleep", "0.1"},
+                    out);
+  ASSERT_TRUE(status.success());
+  EXPECT_NE(slurp(out).find("repetitions: 2"), std::string::npos);
+
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore, "diff", "--",
+                     "sleep", "0.1"},
+                    out);
+  ASSERT_TRUE(status.success());
+  EXPECT_NE(slurp(out).find("diff%"), std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, InspectExportCsv) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_export.txt";
+  const std::string csv = "/tmp/synapse_cli_export.csv";
+
+  auto status = run_tool(
+      {SYNAPSE_PROFILE_BIN, "--store", kStore, "--", "sleep", "0.05"}, out);
+  ASSERT_TRUE(status.success());
+
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore, "export", csv,
+                     "--", "sleep", "0.05"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string content = slurp(csv);
+  EXPECT_NE(content.find("command,tags,created_at,sample_rate_hz"),
+            std::string::npos);
+  EXPECT_NE(content.find("sleep 0.05"), std::string::npos);
+  ::unlink(csv.c_str());
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, HelpAndBadUsage) {
+  const std::string out = "/tmp/synapse_cli_help.txt";
+  EXPECT_TRUE(run_tool({SYNAPSE_PROFILE_BIN, "--help"}, out).success());
+  EXPECT_TRUE(run_tool({SYNAPSE_EMULATE_BIN, "--help"}, out).success());
+  EXPECT_TRUE(run_tool({SYNAPSE_INSPECT_BIN, "--help"}, out).success());
+  EXPECT_EQ(run_tool({SYNAPSE_PROFILE_BIN}, out).exit_code, 2);
+  EXPECT_EQ(run_tool({SYNAPSE_INSPECT_BIN, "bogus-subcommand", "--", "x"},
+                     out)
+                .exit_code,
+            2);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}

@@ -1,0 +1,109 @@
+#include "core/synapse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/error.hpp"
+
+namespace m = synapse::metrics;
+using synapse::Session;
+using synapse::SessionOptions;
+
+namespace {
+struct HostGuard {
+  HostGuard() { synapse::resource::activate_resource("host"); }
+  ~HostGuard() { synapse::resource::activate_resource("host"); }
+};
+}  // namespace
+
+TEST(Core, VersionString) {
+  EXPECT_STREQ(synapse::version(), "0.10.0-cpp");
+}
+
+TEST(Core, SessionProfileThenEmulate) {
+  HostGuard guard;
+  const std::string dir = "/tmp/synapse_core_session";
+  std::system(("rm -rf " + dir).c_str());
+
+  SessionOptions opts;
+  opts.store_dir = dir;
+  opts.emulator.storage.base_dir = "/tmp";
+  Session session(opts);
+
+  const auto p = session.profile(
+      "sh -c 'i=0; while [ $i -lt 60000 ]; do i=$((i+1)); done'");
+  EXPECT_GT(p.runtime(), 0.0);
+  EXPECT_EQ(session.store().size(), 1u);
+
+  const auto r = session.emulate(
+      "sh -c 'i=0; while [ $i -lt 60000 ]; do i=$((i+1)); done'");
+  EXPECT_GT(r.samples_replayed, 0u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(Core, EmulateUnknownCommandThrows) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  Session session(opts);
+  EXPECT_THROW(session.emulate("never profiled"),
+               synapse::sys::ProfileNotFound);
+}
+
+TEST(Core, InvalidBackendThrows) {
+  SessionOptions opts;
+  opts.store_backend = "oracle";
+  EXPECT_THROW(Session{opts}, synapse::sys::ConfigError);
+}
+
+TEST(Core, DocstoreBackendWorks) {
+  HostGuard guard;
+  const std::string dir = "/tmp/synapse_core_doc";
+  std::system(("rm -rf " + dir).c_str());
+  SessionOptions opts;
+  opts.store_backend = "docstore";
+  opts.store_dir = dir;
+  Session session(opts);
+  session.profile("true", {"t"});
+  EXPECT_EQ(session.store().find("true", {"t"}).size(), 1u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(Core, RepeatedProfilesAccumulateForStats) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  Session session(opts);
+  session.profile("sleep 0.05");
+  session.profile("sleep 0.05");
+  session.profile("sleep 0.05");
+  const auto stats = session.store().stats("sleep 0.05");
+  ASSERT_TRUE(stats.count(std::string(m::kRuntime)));
+  EXPECT_EQ(stats.at(std::string(m::kRuntime)).n, 3u);
+  EXPECT_GT(stats.at(std::string(m::kRuntime)).mean, 0.04);
+}
+
+TEST(Core, OneShotHelpers) {
+  HostGuard guard;
+  const auto p = synapse::profile_once("sleep 0.05");
+  EXPECT_GE(p.runtime(), 0.04);
+  synapse::emulator::EmulatorOptions eopts;
+  eopts.storage.base_dir = "/tmp";
+  const auto r = synapse::emulate_profile(p, eopts);
+  EXPECT_LT(r.wall_seconds, 3.0);
+}
+
+TEST(Core, TagsSeparateWorkloads) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  Session session(opts);
+  session.profile("sleep 0.05", {"config=a"});
+  session.profile("sleep 0.05", {"config=b"});
+  EXPECT_EQ(session.store().find("sleep 0.05", {"config=a"}).size(), 1u);
+  EXPECT_EQ(session.store().find("sleep 0.05", {"config=b"}).size(), 1u);
+  EXPECT_TRUE(session.store().find("sleep 0.05").empty());
+}

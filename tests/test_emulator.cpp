@@ -1,0 +1,235 @@
+#include "emulator/emulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
+
+namespace emulator = synapse::emulator;
+namespace resource = synapse::resource;
+namespace profile = synapse::profile;
+namespace m = synapse::metrics;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+/// Synthetic profile: `samples` periods, each with the given per-period
+/// compute/storage/memory consumption.
+profile::Profile synthetic_profile(size_t samples, double cycles_per_sample,
+                                   double bytes_per_sample = 0,
+                                   double alloc_per_sample = 0) {
+  profile::Profile p;
+  p.command = "synthetic";
+  p.sample_rate_hz = 10.0;
+
+  profile::TimeSeries trace;
+  trace.watcher = "trace";
+  double cycles = 0, bytes = 0, alloc = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    cycles += cycles_per_sample;
+    bytes += bytes_per_sample;
+    alloc += alloc_per_sample;
+    s.set(m::kCyclesUsed, cycles);
+    s.set(m::kMemAllocated, alloc);
+    p.totals[std::string(m::kCyclesUsed)] = cycles;
+    trace.samples.push_back(std::move(s));
+  }
+  p.series.push_back(trace);
+
+  profile::TimeSeries io;
+  io.watcher = "io";
+  double b = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    b += bytes_per_sample;
+    s.set(m::kBytesWritten, b);
+    io.samples.push_back(std::move(s));
+  }
+  p.series.push_back(io);
+  return p;
+}
+
+emulator::EmulatorOptions tmp_storage_options() {
+  emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+}  // namespace
+
+TEST(Emulator, ConsumesProfiledCycles) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(4, 0.05 * hz);  // ~0.2 s of compute
+  emulator::Emulator emu(tmp_storage_options());
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.samples_replayed, 4u);
+  EXPECT_NEAR(r.compute.cycles, 0.2 * hz, 0.01 * hz);
+  EXPECT_GE(r.wall_seconds, 0.15);
+  EXPECT_LT(r.wall_seconds, 2.0);
+}
+
+TEST(Emulator, EmptyProfileIsHarmless) {
+  HostGuard guard;
+  profile::Profile p;
+  p.sample_rate_hz = 10.0;
+  emulator::Emulator emu(tmp_storage_options());
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.samples_replayed, 0u);
+  EXPECT_LT(r.wall_seconds, 0.5);
+}
+
+TEST(Emulator, CycleScaleMultipliesWork) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(2, 0.05 * hz);
+
+  auto opts = tmp_storage_options();
+  opts.cycle_scale = 2.0;
+  emulator::Emulator doubled(opts);
+  const auto r = doubled.emulate(p);
+  EXPECT_NEAR(r.compute.cycles, 0.2 * hz, 0.02 * hz);
+}
+
+TEST(Emulator, IoScaleMultipliesBytes) {
+  HostGuard guard;
+  const auto p = synthetic_profile(2, 0, 64 * 1024);
+  auto opts = tmp_storage_options();
+  opts.io_scale = 3.0;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.storage.bytes_written, 3u * 2 * 64 * 1024);
+}
+
+TEST(Emulator, MemoryScaleMultipliesAllocations) {
+  HostGuard guard;
+  const auto p = synthetic_profile(2, 0, 0, 1024 * 1024);
+  auto opts = tmp_storage_options();
+  opts.memory_scale = 2.0;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.memory.bytes_allocated, 4u * 1024 * 1024);
+}
+
+TEST(Emulator, DisabledAtomsDoNothing) {
+  HostGuard guard;
+  const auto p = synthetic_profile(2, 1e7, 64 * 1024, 1024);
+  auto opts = tmp_storage_options();
+  opts.emulate_storage = false;
+  opts.emulate_memory = false;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.storage.bytes_written, 0u);
+  EXPECT_EQ(r.memory.bytes_allocated, 0u);
+  EXPECT_GT(r.compute.cycles, 0.0);
+}
+
+TEST(Emulator, SampleCountMatchesProfilePeriods) {
+  HostGuard guard;
+  const auto p = synthetic_profile(7, 1e6);
+  emulator::Emulator emu(tmp_storage_options());
+  EXPECT_EQ(emu.emulate(p).samples_replayed, 7u);
+}
+
+TEST(Emulator, OpenMpModeShortensWallTime) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(3, 0.08 * hz);  // ~0.24 s serial
+
+  emulator::Emulator serial(tmp_storage_options());
+  const double t_serial = serial.emulate(p).wall_seconds;
+
+  auto opts = tmp_storage_options();
+  opts.parallel_mode = emulator::ParallelMode::OpenMp;
+  opts.parallel_degree = 4;
+  emulator::Emulator parallel(opts);
+  const double t_parallel = parallel.emulate(p).wall_seconds;
+
+  EXPECT_LT(t_parallel, t_serial * 0.55);  // ~4x ideal, allow overheads
+}
+
+TEST(Emulator, ProcessModeRunsAllRanks) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(3, 0.04 * hz);
+
+  auto opts = tmp_storage_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 4;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.ranks_ok, 4);
+  // Aggregate cycles across ranks equal the profile's budget.
+  EXPECT_NEAR(r.compute.cycles, 0.12 * hz, 0.02 * hz);
+}
+
+TEST(Emulator, ProcessModeFasterThanSerial) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(2, 0.1 * hz);  // 0.2 s serial compute
+
+  emulator::Emulator serial(tmp_storage_options());
+  const double t_serial = serial.emulate(p).wall_seconds;
+
+  auto opts = tmp_storage_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 4;
+  emulator::Emulator parallel(opts);
+  const double t_parallel = parallel.emulate(p).wall_seconds;
+  EXPECT_LT(t_parallel, t_serial);
+}
+
+TEST(Emulator, StorageBlockOverridesApply) {
+  HostGuard guard;
+  resource::activate_resource("supermic");
+  const auto p = synthetic_profile(1, 0, 1024 * 1024);
+
+  auto small = tmp_storage_options();
+  small.emulate_compute = false;
+  small.storage.write_block_bytes = 32 * 1024;
+  emulator::Emulator small_emu(small);
+
+  auto big = tmp_storage_options();
+  big.emulate_compute = false;
+  big.storage.write_block_bytes = 1024 * 1024;
+  emulator::Emulator big_emu(big);
+
+  const double t_small = small_emu.emulate(p).wall_seconds;
+  const double t_big = big_emu.emulate(p).wall_seconds;
+  EXPECT_GT(t_small, t_big * 2.0);
+}
+
+TEST(Emulator, ProcessModeWithCommRing) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(4, 0.01 * hz);
+
+  auto opts = tmp_storage_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 3;
+  opts.comm_bytes_per_sample = 128 * 1024;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  EXPECT_EQ(r.ranks_ok, 3);
+  // 3 ranks x 4 samples x 128 KiB received each.
+  EXPECT_EQ(r.comm_bytes, 3u * 4 * 128 * 1024);
+}
+
+TEST(Emulator, CommDisabledByDefault) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(2, 0.01 * hz);
+  auto opts = tmp_storage_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 2;
+  emulator::Emulator emu(opts);
+  EXPECT_EQ(emu.emulate(p).comm_bytes, 0u);
+}

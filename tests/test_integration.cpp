@@ -1,0 +1,208 @@
+// End-to-end scenarios mirroring the paper's experiments at test scale.
+// The full sweeps live in bench/; these tests pin the *directions* and
+// rough magnitudes so regressions surface in ctest.
+
+#include <gtest/gtest.h>
+
+#include "apps/mdsim.hpp"
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "profile/stats.hpp"
+#include "resource/resource_spec.hpp"
+
+namespace apps = synapse::apps;
+namespace resource = synapse::resource;
+namespace watchers = synapse::watchers;
+namespace emulator = synapse::emulator;
+namespace profile = synapse::profile;
+namespace m = synapse::metrics;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+profile::Profile profile_md(uint64_t steps, double rate_hz = 20.0) {
+  watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = rate_hz;
+  watchers::Profiler profiler(opts);
+  apps::MdOptions md;
+  md.steps = steps;
+  md.scratch_dir = "/tmp";
+  return profiler.profile_function(
+      [md] {
+        apps::run_md(md);
+        return 0;
+      },
+      "mdsim --steps " + std::to_string(steps),
+      {"steps=" + std::to_string(steps)});
+}
+
+emulator::EmulatorOptions default_emu() {
+  emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+}  // namespace
+
+// E.2 / Fig. 5: on the profiling resource, emulated Tx matches the
+// application Tx once Tx exceeds the startup transient.
+TEST(Integration, SameResourceEmulationMatchesTx) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  const auto p = profile_md(250);
+  const auto r = synapse::emulate_profile(p, default_emu());
+  const double diff = profile::relative_diff(r.wall_seconds, p.runtime());
+  EXPECT_LT(diff, 0.25) << "app=" << p.runtime() << " emu=" << r.wall_seconds;
+}
+
+// E.2 / Fig. 7 (top): on Stampede the emulation runs consistently
+// FASTER than the application (paper: converges to ~40%).
+TEST(Integration, StampedeEmulationFasterThanApp) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  const auto p = profile_md(250);
+
+  resource::activate_resource("stampede");
+  apps::MdOptions md;
+  md.steps = 250;
+  md.scratch_dir = "/tmp";
+  const auto app = apps::run_md(md);
+  const auto emu = synapse::emulate_profile(p, default_emu());
+
+  EXPECT_LT(emu.wall_seconds, app.wall_seconds);
+  const double diff =
+      (app.wall_seconds - emu.wall_seconds) / app.wall_seconds;
+  EXPECT_NEAR(diff, 0.40, 0.15);
+}
+
+// E.2 / Fig. 7 (bottom): on Archer the emulation runs consistently
+// SLOWER than the application (paper: converges to ~33%).
+TEST(Integration, ArcherEmulationSlowerThanApp) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  const auto p = profile_md(250);
+
+  resource::activate_resource("archer");
+  apps::MdOptions md;
+  md.steps = 250;
+  md.scratch_dir = "/tmp";
+  const auto app = apps::run_md(md);
+  const auto emu = synapse::emulate_profile(p, default_emu());
+
+  EXPECT_GT(emu.wall_seconds, app.wall_seconds);
+  const double diff =
+      (emu.wall_seconds - app.wall_seconds) / app.wall_seconds;
+  EXPECT_NEAR(diff, 0.33, 0.15);
+}
+
+// E.3 / Fig. 8: emulation directed to consume the application's cycles
+// errs little with the C kernel and much more with the ASM kernel.
+TEST(Integration, KernelChoiceControlsCycleError) {
+  HostGuard guard;
+  resource::activate_resource("supermic");
+  const auto p = profile_md(200);
+  const double app_cycles = p.total(m::kCyclesUsed);
+  ASSERT_GT(app_cycles, 0.0);
+
+  auto c_opts = default_emu();
+  c_opts.compute.kernel = "c";
+  const auto c_run = synapse::emulate_profile(p, c_opts);
+  const double c_err =
+      profile::relative_diff(c_run.compute.cycles, app_cycles);
+
+  auto asm_opts = default_emu();
+  asm_opts.compute.kernel = "asm";
+  const auto asm_run = synapse::emulate_profile(p, asm_opts);
+  const double asm_err =
+      profile::relative_diff(asm_run.compute.cycles, app_cycles);
+
+  EXPECT_LT(c_err, 0.10);            // paper: ~4%
+  EXPECT_GT(asm_err, 0.15);          // paper: ~26.5%
+  EXPECT_LT(asm_err, 0.40);
+  EXPECT_LT(c_err, asm_err);
+}
+
+// E.4 / Fig. 12: parallel emulation scales with diminishing returns.
+TEST(Integration, ParallelEmulationScalesWithDiminishingReturns) {
+  HostGuard guard;
+  resource::activate_resource("titan");
+  const auto p = profile_md(150);
+
+  auto opts1 = default_emu();
+  opts1.emulate_storage = false;
+  opts1.emulate_memory = false;
+  const double t1 = synapse::emulate_profile(p, opts1).wall_seconds;
+
+  auto opts4 = opts1;
+  opts4.parallel_mode = emulator::ParallelMode::OpenMp;
+  opts4.parallel_degree = 4;
+  const double t4 = synapse::emulate_profile(p, opts4).wall_seconds;
+
+  auto opts16 = opts1;
+  opts16.parallel_mode = emulator::ParallelMode::OpenMp;
+  opts16.parallel_degree = 16;
+  const double t16 = synapse::emulate_profile(p, opts16).wall_seconds;
+
+  const double speedup4 = t1 / t4;
+  const double speedup16 = t1 / t16;
+  EXPECT_GT(speedup4, 2.0);                    // good scaling at low counts
+  EXPECT_GT(speedup16, speedup4 * 0.7);        // no collapse at a full node
+  EXPECT_LT(speedup16, 4.0 * speedup4);        // but clearly sub-linear
+}
+
+// E.1 / Fig. 4: profiling overhead on Tx is negligible.
+TEST(Integration, ProfilingOverheadNegligible) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  apps::MdOptions md;
+  md.steps = 200;
+  md.scratch_dir = "/tmp";
+  const auto native = apps::run_md(md);
+  const auto profiled = profile_md(200, 10.0);
+  const double overhead =
+      (profiled.runtime() - native.wall_seconds) / native.wall_seconds;
+  EXPECT_LT(overhead, 0.20);
+}
+
+// E.1 / Fig. 6 bottom: with only ~one sample inside the application
+// lifetime, the profiler underestimates resident memory; with many
+// samples the estimate stabilizes.
+TEST(Integration, ResidentMemoryNeedsTwoSamples) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  const auto coarse = profile_md(150, 0.5);  // ~1 sample in-lifetime
+  const auto fine = profile_md(150, 50.0);
+
+  const auto* coarse_mem = coarse.find_series("mem");
+  const auto* fine_mem = fine.find_series("mem");
+  ASSERT_NE(coarse_mem, nullptr);
+  ASSERT_NE(fine_mem, nullptr);
+  EXPECT_LE(coarse_mem->max(m::kMemResident),
+            fine_mem->max(m::kMemResident) * 1.05);
+}
+
+// The emulation of an emulation: profiling an emulated run reports the
+// same consumption (the paper's "sanity check" in E.2).
+TEST(Integration, ProfilingTheEmulationAgrees) {
+  HostGuard guard;
+  resource::activate_resource("thinkie");
+  const auto p = profile_md(200);
+  const double app_cycles = p.total(m::kCyclesUsed);
+
+  watchers::ProfilerOptions popts;
+  popts.sample_rate_hz = 20.0;
+  watchers::Profiler profiler(popts);
+  const auto p2 = profiler.profile_function(
+      [&p] {
+        auto opts = default_emu();
+        synapse::emulate_profile(p, opts);
+        return 0;
+      },
+      "emulation-of-mdsim");
+
+  EXPECT_NEAR(p2.total(m::kCyclesUsed), app_cycles, app_cycles * 0.10);
+}

@@ -1,0 +1,101 @@
+#include "atoms/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+#include "sys/procfs.hpp"
+
+namespace atoms = synapse::atoms;
+namespace sys = synapse::sys;
+
+TEST(Kernels, RegistryHasBuiltins) {
+  const auto names = atoms::KernelRegistry::instance().names();
+  for (const auto* expected : {"asm", "c", "omp", "sleep"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Kernels, RegistryCreatesByName) {
+  auto k = atoms::KernelRegistry::instance().create("asm");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->name(), "asm");
+  EXPECT_THROW(atoms::KernelRegistry::instance().create("nope"),
+               sys::ConfigError);
+}
+
+TEST(Kernels, UserKernelRegistration) {
+  auto& registry = atoms::KernelRegistry::instance();
+  registry.register_kernel("user-sleep",
+                           [] { return atoms::make_sleep_kernel(); });
+  auto k = registry.create("user-sleep");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->name(), "sleep");
+}
+
+class KernelBusyDuration : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelBusyDuration, HonoursRequestedTime) {
+  auto kernel = atoms::KernelRegistry::instance().create(GetParam());
+  const sys::Stopwatch sw;
+  kernel->busy(0.1);
+  const double elapsed = sw.elapsed();
+  EXPECT_GE(elapsed, 0.09);
+  // Even the chunky C kernel must overshoot by less than one row's work.
+  EXPECT_LT(elapsed, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, KernelBusyDuration,
+                         ::testing::Values("asm", "c", "omp", "sleep"));
+
+TEST(Kernels, AsmKernelReportsFlops) {
+  auto kernel = atoms::make_asm_kernel();
+  const double flops = kernel->busy(0.05);
+  // A modern core sustains far more than 10 Mflop/s on a cache-resident
+  // matmul; anything below that means the loop broke.
+  EXPECT_GT(flops / 0.05, 1e7);
+}
+
+TEST(Kernels, SleepKernelUsesNoCpu) {
+  auto kernel = atoms::make_sleep_kernel();
+  const auto before = sys::read_proc_stat(::getpid());
+  kernel->busy(0.2);
+  const auto after = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(before && after);
+  EXPECT_LT(after->cpu_seconds() - before->cpu_seconds(), 0.05);
+  EXPECT_DOUBLE_EQ(kernel->busy(0.0), 0.0);
+}
+
+TEST(Kernels, AsmFasterPerFlopThanC) {
+  // The cache-resident kernel achieves a (much) higher FLOP rate than
+  // the out-of-cache one — the physical difference the paper's E.3
+  // exploits.
+  auto asm_kernel = atoms::make_asm_kernel();
+  auto c_kernel = atoms::make_c_kernel();
+  const double asm_rate = atoms::calibrate_kernel_flops(*asm_kernel, 0.1);
+  const double c_rate = atoms::calibrate_kernel_flops(*c_kernel, 0.1);
+  EXPECT_GT(asm_rate, c_rate);
+}
+
+TEST(Kernels, TraitsAreConsistent) {
+  auto asm_kernel = atoms::make_asm_kernel();
+  auto c_kernel = atoms::make_c_kernel();
+  EXPECT_LT(asm_kernel->traits().working_set_bytes,
+            c_kernel->traits().working_set_bytes);
+  EXPECT_LT(asm_kernel->traits().memory_boundedness,
+            c_kernel->traits().memory_boundedness);
+}
+
+TEST(Kernels, OmpKernelUsesMultipleThreads) {
+  auto kernel = atoms::make_omp_kernel(4);
+  const auto before = sys::read_proc_stat(::getpid());
+  kernel->busy(0.2);
+  const auto after = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(before && after);
+  // CPU time should exceed wall time when several threads are busy.
+  const double cpu = after->cpu_seconds() - before->cpu_seconds();
+  EXPECT_GT(cpu, 0.3);
+}

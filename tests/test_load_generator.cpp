@@ -1,0 +1,86 @@
+#include "emulator/load_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "sys/clock.hpp"
+#include "sys/procfs.hpp"
+
+namespace emulator = synapse::emulator;
+namespace sys = synapse::sys;
+
+TEST(LoadGenerator, StartStopLifecycle) {
+  emulator::LoadSpec spec;
+  spec.cpu_threads = 1;
+  emulator::LoadGenerator load(spec);
+  EXPECT_FALSE(load.running());
+  load.start();
+  EXPECT_TRUE(load.running());
+  load.start();  // idempotent
+  load.stop();
+  EXPECT_FALSE(load.running());
+  load.stop();  // idempotent
+}
+
+TEST(LoadGenerator, CpuLoadConsumesCpuTime) {
+  const auto before = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(before.has_value());
+  {
+    emulator::LoadSpec spec;
+    spec.cpu_threads = 2;
+    spec.cpu_duty = 1.0;
+    emulator::LoadGenerator load(spec);
+    load.start();
+    sys::sleep_for(0.4);
+  }  // destructor stops
+  const auto after = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(after.has_value());
+  // Two full-duty burners for 0.4 s contribute >= ~0.5 s CPU.
+  EXPECT_GT(after->cpu_seconds() - before->cpu_seconds(), 0.4);
+}
+
+TEST(LoadGenerator, DutyCycleLimitsCpu) {
+  const auto before = sys::read_proc_stat(::getpid());
+  {
+    emulator::LoadSpec spec;
+    spec.cpu_threads = 1;
+    spec.cpu_duty = 0.2;
+    emulator::LoadGenerator load(spec);
+    load.start();
+    sys::sleep_for(0.5);
+  }
+  const auto after = sys::read_proc_stat(::getpid());
+  const double cpu = after->cpu_seconds() - before->cpu_seconds();
+  // 20% duty over 0.5 s is ~0.1 s; allow generous headroom.
+  EXPECT_LT(cpu, 0.3);
+}
+
+TEST(LoadGenerator, MemoryBallastBecomesResident) {
+  const auto before = sys::read_proc_status(::getpid());
+  ASSERT_TRUE(before.has_value());
+  emulator::LoadSpec spec;
+  spec.memory_bytes = 64 * 1024 * 1024;
+  emulator::LoadGenerator load(spec);
+  load.start();
+  const auto during = sys::read_proc_status(::getpid());
+  load.stop();
+  ASSERT_TRUE(during.has_value());
+  EXPECT_GT(during->vm_rss_bytes, before->vm_rss_bytes + 48 * 1024 * 1024);
+}
+
+TEST(LoadGenerator, DiskChurnWritesBytes) {
+  const auto before = sys::read_proc_io(::getpid());
+  ASSERT_TRUE(before.has_value());
+  {
+    emulator::LoadSpec spec;
+    spec.disk_write_bps = 32e6;
+    spec.scratch_dir = "/tmp";
+    emulator::LoadGenerator load(spec);
+    load.start();
+    sys::sleep_for(0.4);
+  }
+  const auto after = sys::read_proc_io(::getpid());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->wchar - before->wchar, 4u * 1024 * 1024);
+}

@@ -1,0 +1,65 @@
+#include "profile/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m = synapse::metrics;
+
+TEST(Metrics, SupportMatrixMatchesTable1Shape) {
+  const auto& rows = m::support_matrix();
+  // Paper Table 1 lists 33 metric rows across five resource groups.
+  EXPECT_EQ(rows.size(), 33u);
+
+  size_t system = 0, compute = 0, storage = 0, memory = 0, network = 0;
+  for (const auto& r : rows) {
+    if (r.resource == "System") ++system;
+    if (r.resource == "Compute") ++compute;
+    if (r.resource == "Storage") ++storage;
+    if (r.resource == "Memory") ++memory;
+    if (r.resource == "Network") ++network;
+  }
+  EXPECT_EQ(system, 7u);
+  EXPECT_EQ(compute, 10u);
+  EXPECT_EQ(storage, 5u);
+  EXPECT_EQ(memory, 6u);
+  EXPECT_EQ(network, 5u);
+}
+
+TEST(Metrics, KeyRowsMatchPaper) {
+  const auto& rows = m::support_matrix();
+  auto find = [&](std::string_view metric) -> const m::MetricSupport* {
+    for (const auto& r : rows) {
+      if (r.metric == metric) return &r;
+    }
+    return nullptr;
+  };
+
+  const auto* cycles = find("cycles used");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_EQ(cycles->total, m::Support::Yes);
+  EXPECT_EQ(cycles->sampled, m::Support::Yes);
+  EXPECT_EQ(cycles->derived, m::Support::No);
+  EXPECT_EQ(cycles->emulated, m::Support::Yes);
+
+  const auto* eff = find("efficiency");
+  ASSERT_NE(eff, nullptr);
+  EXPECT_EQ(eff->derived, m::Support::Yes);
+  EXPECT_EQ(eff->emulated, m::Support::Partial);
+
+  const auto* net = find("connection endpoint");
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->total, m::Support::Planned);
+}
+
+TEST(Metrics, SupportSymbols) {
+  EXPECT_EQ(m::support_symbol(m::Support::Yes), "+");
+  EXPECT_EQ(m::support_symbol(m::Support::Partial), "(+)");
+  EXPECT_EQ(m::support_symbol(m::Support::Planned), "(-)");
+  EXPECT_EQ(m::support_symbol(m::Support::No), "-");
+}
+
+TEST(Metrics, NamesAreNamespaced) {
+  EXPECT_EQ(m::kCyclesUsed, "compute.cycles_used");
+  EXPECT_EQ(m::kBytesRead, "storage.bytes_read");
+  EXPECT_EQ(m::kMemPeak, "memory.bytes_peak");
+  EXPECT_EQ(m::kRuntime, "system.runtime_s");
+}

@@ -1,0 +1,64 @@
+#include "watchers/net_watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "atoms/network_atom.hpp"
+#include "profile/metrics.hpp"
+#include "sys/clock.hpp"
+
+namespace watchers = synapse::watchers;
+namespace atoms = synapse::atoms;
+namespace m = synapse::metrics;
+namespace sys = synapse::sys;
+
+TEST(NetWatcher, ReadsNetdevTotals) {
+  const auto totals = watchers::read_netdev_totals(true);
+  // /proc/net/dev exists on any Linux; totals may legitimately be zero
+  // on an idle namespace.
+  ASSERT_TRUE(totals.has_value());
+}
+
+TEST(NetWatcher, LoopbackExclusionNeverIncreases) {
+  const auto with_lo = watchers::read_netdev_totals(true);
+  const auto without_lo = watchers::read_netdev_totals(false);
+  ASSERT_TRUE(with_lo && without_lo);
+  EXPECT_GE(with_lo->rx_bytes, without_lo->rx_bytes);
+  EXPECT_GE(with_lo->tx_bytes, without_lo->tx_bytes);
+}
+
+TEST(NetWatcher, ObservesLoopbackTraffic) {
+  watchers::NetWatcher watcher(/*include_loopback=*/true);
+  watchers::WatcherConfig config;
+  config.pid = ::getpid();
+  watcher.pre_process(config);
+  watcher.sample(sys::wallclock_now());
+
+  // Generate ~1 MiB of loopback traffic via the network atom.
+  atoms::NetworkAtom atom;
+  synapse::profile::SampleDelta delta;
+  delta.deltas[std::string(m::kNetBytesWritten)] = 1024.0 * 1024;
+  atom.consume(delta);
+  sys::sleep_for(0.05);  // let the drain thread receive
+
+  watcher.sample(sys::wallclock_now());
+  watcher.post_process();
+
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  // The watcher is system-wide; at minimum it must have seen our MiB.
+  EXPECT_GE(totals[std::string(m::kNetBytesWritten)], 1024.0 * 1024 * 0.9);
+}
+
+TEST(NetWatcher, DeltasAreRelativeToBaseline) {
+  watchers::NetWatcher watcher(true);
+  watchers::WatcherConfig config;
+  config.pid = ::getpid();
+  watcher.pre_process(config);
+  watcher.sample(sys::wallclock_now());
+  // Immediately after pre_process, the cumulative delta is ~zero
+  // (whatever background traffic happened between the two calls).
+  const double first = watcher.series().last(m::kNetBytesWritten);
+  EXPECT_LT(first, 1e6);
+}

@@ -1,0 +1,143 @@
+#include "emulator/procgroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+
+#include <atomic>
+
+#include "sys/clock.hpp"
+
+namespace emulator = synapse::emulator;
+namespace sys = synapse::sys;
+
+TEST(ProcGroup, RunsAllRanks) {
+  const int ok = emulator::run_process_group(4, [](int rank) {
+    return rank >= 0 && rank < 4 ? 0 : 1;
+  });
+  EXPECT_EQ(ok, 4);
+}
+
+TEST(ProcGroup, CountsFailedRanks) {
+  const int ok = emulator::run_process_group(
+      4, [](int rank) { return rank % 2 == 0 ? 0 : 1; });
+  EXPECT_EQ(ok, 2);
+}
+
+TEST(ProcGroup, ZeroRanksIsNoop) {
+  EXPECT_EQ(emulator::run_process_group(0, [](int) { return 0; }), 0);
+  EXPECT_EQ(emulator::run_process_group(-3, [](int) { return 0; }), 0);
+}
+
+TEST(ProcGroup, RanksAreDistinctProcesses) {
+  // Shared-memory counter: every rank increments once; with fork-based
+  // ranks the parent sees the sum, with (broken) thread-based ranks the
+  // addresses would collide differently.
+  void* mem = ::mmap(nullptr, sizeof(std::atomic<int>),
+                     PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* counter = new (mem) std::atomic<int>(0);
+
+  emulator::run_process_group(6, [counter](int) {
+    counter->fetch_add(1);
+    return 0;
+  });
+  EXPECT_EQ(counter->load(), 6);
+  ::munmap(mem, sizeof(std::atomic<int>));
+}
+
+TEST(SharedBarrier, SynchronisesRanks) {
+  // Each rank records the time it left the barrier; with a working
+  // barrier all exit times cluster AFTER the slowest arrival.
+  struct Shared {
+    std::atomic<double> exit_min;
+    std::atomic<double> arrive_max;
+  };
+  void* mem = ::mmap(nullptr, sizeof(Shared), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* shared = new (mem) Shared{std::atomic<double>(1e18),
+                                  std::atomic<double>(0.0)};
+
+  emulator::SharedBarrier barrier(3);
+  emulator::run_process_group(3, [&barrier, shared](int rank) {
+    // Stagger arrivals: rank 2 arrives ~0.2s late.
+    sys::sleep_for(0.1 * rank);
+    const double arrived = sys::steady_now();
+    double expected = shared->arrive_max.load();
+    while (arrived > expected &&
+           !shared->arrive_max.compare_exchange_weak(expected, arrived)) {
+    }
+    barrier.wait();
+    const double left = sys::steady_now();
+    double emin = shared->exit_min.load();
+    while (left < emin &&
+           !shared->exit_min.compare_exchange_weak(emin, left)) {
+    }
+    return 0;
+  });
+
+  // No rank left the barrier before the last one arrived.
+  EXPECT_GE(shared->exit_min.load() + 0.02, shared->arrive_max.load());
+  ::munmap(mem, sizeof(Shared));
+}
+
+TEST(SharedBarrier, ReusableAcrossPhases) {
+  emulator::SharedBarrier barrier(2);
+  const int ok = emulator::run_process_group(2, [&barrier](int) {
+    for (int phase = 0; phase < 5; ++phase) barrier.wait();
+    return 0;
+  });
+  EXPECT_EQ(ok, 2);
+}
+
+// --- CommRing (halo-exchange extension) -------------------------------------
+
+#include "emulator/comm.hpp"
+
+TEST(CommRing, SingleRankIsNoop) {
+  emulator::CommRing ring(1);
+  EXPECT_EQ(ring.exchange(0, 4096), 0u);
+}
+
+TEST(CommRing, TwoRanksExchangeBytes) {
+  emulator::CommRing ring(2);
+  void* mem = ::mmap(nullptr, 2 * sizeof(std::atomic<uint64_t>),
+                     PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* received = new (mem) std::atomic<uint64_t>[2]{};
+
+  const int ok = emulator::run_process_group(2, [&ring, received](int rank) {
+    ring.attach(rank);
+    received[rank] = ring.exchange(rank, 256 * 1024);
+    return received[rank] == 256 * 1024 ? 0 : 1;
+  });
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(received[0].load(), 256u * 1024);
+  EXPECT_EQ(received[1].load(), 256u * 1024);
+  ::munmap(mem, 2 * sizeof(std::atomic<uint64_t>));
+}
+
+TEST(CommRing, LargeRingManySteps) {
+  constexpr int kRanks = 5;
+  emulator::CommRing ring(kRanks);
+  const int ok = emulator::run_process_group(kRanks, [&ring](int rank) {
+    ring.attach(rank);
+    for (int step = 0; step < 20; ++step) {
+      if (ring.exchange(rank, 64 * 1024) != 64 * 1024) return 1;
+    }
+    return 0;
+  });
+  EXPECT_EQ(ok, kRanks);
+}
+
+TEST(CommRing, ExchangeLargerThanPipeBuffer) {
+  // 1 MiB >> the 64 KiB pipe capacity: the interleaved chunking must
+  // avoid deadlock.
+  emulator::CommRing ring(3);
+  const int ok = emulator::run_process_group(3, [&ring](int rank) {
+    ring.attach(rank);
+    return ring.exchange(rank, 1024 * 1024) == 1024 * 1024 ? 0 : 1;
+  });
+  EXPECT_EQ(ok, 3);
+}

@@ -1,0 +1,201 @@
+#include "profile/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/metrics.hpp"
+
+namespace profile = synapse::profile;
+namespace m = synapse::metrics;
+
+namespace {
+
+profile::Sample sample_at(double t,
+                          std::initializer_list<std::pair<std::string_view, double>>
+                              values) {
+  profile::Sample s;
+  s.timestamp = t;
+  for (const auto& [k, v] : values) s.set(k, v);
+  return s;
+}
+
+/// A profile with a cpu series (cumulative cycles) and an io series
+/// (cumulative bytes) on drifting timestamps.
+profile::Profile make_profile() {
+  profile::Profile p;
+  p.command = "fake";
+  p.sample_rate_hz = 10.0;  // 0.1 s period
+
+  profile::TimeSeries cpu;
+  cpu.watcher = "cpu";
+  cpu.samples.push_back(sample_at(100.00, {{m::kCyclesUsed, 1000.0}}));
+  cpu.samples.push_back(sample_at(100.10, {{m::kCyclesUsed, 3000.0}}));
+  cpu.samples.push_back(sample_at(100.20, {{m::kCyclesUsed, 6000.0}}));
+  p.series.push_back(cpu);
+
+  profile::TimeSeries io;
+  io.watcher = "io";
+  // Deliberately drifted by 30 ms relative to the cpu watcher.
+  io.samples.push_back(sample_at(100.03, {{m::kBytesWritten, 50.0}}));
+  io.samples.push_back(sample_at(100.13, {{m::kBytesWritten, 150.0}}));
+  io.samples.push_back(sample_at(100.23, {{m::kBytesWritten, 150.0}}));
+  p.series.push_back(io);
+
+  profile::TimeSeries mem;
+  mem.watcher = "mem";
+  mem.samples.push_back(sample_at(100.05, {{m::kMemResident, 4096.0}}));
+  mem.samples.push_back(sample_at(100.15, {{m::kMemResident, 8192.0}}));
+  p.series.push_back(mem);
+
+  p.totals[std::string(m::kRuntime)] = 0.25;
+  p.totals[std::string(m::kCyclesUsed)] = 6000.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(Profile, SampleGetSet) {
+  profile::Sample s;
+  EXPECT_DOUBLE_EQ(s.get(m::kFlops, 7.0), 7.0);
+  s.set(m::kFlops, 3.0);
+  EXPECT_DOUBLE_EQ(s.get(m::kFlops), 3.0);
+}
+
+TEST(Profile, TimeSeriesLastAndMax) {
+  const auto p = make_profile();
+  const auto* cpu = p.find_series("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_DOUBLE_EQ(cpu->last(m::kCyclesUsed), 6000.0);
+  EXPECT_DOUBLE_EQ(cpu->max(m::kCyclesUsed), 6000.0);
+  EXPECT_DOUBLE_EQ(cpu->last(m::kFlops), 0.0);
+  EXPECT_EQ(p.find_series("nope"), nullptr);
+}
+
+TEST(Profile, SampleDeltasDifferenceCumulativeMetrics) {
+  const auto deltas = make_profile().sample_deltas();
+  ASSERT_GE(deltas.size(), 3u);
+  // First bucket: cycles 1000 (0 -> 1000), bytes 50.
+  EXPECT_DOUBLE_EQ(deltas[0].get(m::kCyclesUsed), 1000.0);
+  EXPECT_DOUBLE_EQ(deltas[0].get(m::kBytesWritten), 50.0);
+  // Second bucket: cycles 2000, bytes 100.
+  EXPECT_DOUBLE_EQ(deltas[1].get(m::kCyclesUsed), 2000.0);
+  EXPECT_DOUBLE_EQ(deltas[1].get(m::kBytesWritten), 100.0);
+  // Third bucket: cycles 3000, bytes 0 (unchanged cumulative value).
+  EXPECT_DOUBLE_EQ(deltas[2].get(m::kCyclesUsed), 3000.0);
+  EXPECT_DOUBLE_EQ(deltas[2].get(m::kBytesWritten), 0.0);
+}
+
+TEST(Profile, SampleDeltasSumEqualsTotals) {
+  const auto p = make_profile();
+  double cycles = 0.0, bytes = 0.0;
+  for (const auto& d : p.sample_deltas()) {
+    cycles += d.get(m::kCyclesUsed);
+    bytes += d.get(m::kBytesWritten);
+  }
+  EXPECT_DOUBLE_EQ(cycles, 6000.0);
+  EXPECT_DOUBLE_EQ(bytes, 150.0);
+}
+
+TEST(Profile, SampleDeltasInstantaneousUsesMax) {
+  const auto deltas = make_profile().sample_deltas();
+  EXPECT_DOUBLE_EQ(deltas[0].get(m::kMemResident), 4096.0);
+  EXPECT_DOUBLE_EQ(deltas[1].get(m::kMemResident), 8192.0);
+}
+
+TEST(Profile, SampleDeltasPreserveOrderAcrossDriftedWatchers) {
+  // The io watcher's timestamps lag the cpu watcher's by less than one
+  // period; bucketing must still co-locate concurrent activity.
+  const auto deltas = make_profile().sample_deltas();
+  EXPECT_GT(deltas[0].get(m::kCyclesUsed), 0.0);
+  EXPECT_GT(deltas[0].get(m::kBytesWritten), 0.0);
+}
+
+TEST(Profile, SampleDeltasEmptyProfile) {
+  profile::Profile p;
+  EXPECT_TRUE(p.sample_deltas().empty());
+  p.sample_rate_hz = 0.0;
+  EXPECT_TRUE(p.sample_deltas().empty());
+}
+
+TEST(Profile, DerivedEfficiencyFormula) {
+  profile::Profile p;
+  p.totals[std::string(m::kCyclesUsed)] = 800.0;
+  p.totals[std::string(m::kCyclesStalledFrontend)] = 100.0;
+  p.totals[std::string(m::kCyclesStalledBackend)] = 100.0;
+  p.compute_derived();
+  // efficiency = used / (used + wasted) = 800/1000.
+  EXPECT_DOUBLE_EQ(p.get_derived(m::kEfficiency), 0.8);
+}
+
+TEST(Profile, DerivedUtilizationFormula) {
+  profile::Profile p;
+  p.system.max_cpu_freq_hz = 1000.0;
+  p.system.num_cores = 2;
+  p.totals[std::string(m::kRuntime)] = 2.0;
+  p.totals[std::string(m::kCyclesUsed)] = 1000.0;
+  p.compute_derived();
+  // utilization = used / (freq * cores * Tx) = 1000/4000.
+  EXPECT_DOUBLE_EQ(p.get_derived(m::kUtilization), 0.25);
+}
+
+TEST(Profile, DerivedFlopRate) {
+  profile::Profile p;
+  p.totals[std::string(m::kRuntime)] = 2.0;
+  p.totals[std::string(m::kFlops)] = 500.0;
+  p.compute_derived();
+  EXPECT_DOUBLE_EQ(p.get_derived(m::kFlopsRate), 250.0);
+}
+
+TEST(Profile, JsonRoundTrip) {
+  profile::Profile p = make_profile();
+  p.tags = {"tag1", "tag2"};
+  p.created_at = 1234.5;
+  p.system.hostname = "testhost";
+  p.system.num_cores = 8;
+  p.system.max_cpu_freq_hz = 2.5e9;
+  p.derived["x"] = 1.5;
+
+  const profile::Profile q = profile::Profile::from_json(p.to_json());
+  EXPECT_EQ(q.command, p.command);
+  EXPECT_EQ(q.tags, p.tags);
+  EXPECT_DOUBLE_EQ(q.sample_rate_hz, p.sample_rate_hz);
+  EXPECT_DOUBLE_EQ(q.created_at, p.created_at);
+  EXPECT_EQ(q.system.hostname, "testhost");
+  EXPECT_EQ(q.system.num_cores, 8);
+  EXPECT_EQ(q.series.size(), p.series.size());
+  EXPECT_EQ(q.sample_count(), p.sample_count());
+  EXPECT_DOUBLE_EQ(q.total(m::kCyclesUsed), 6000.0);
+  EXPECT_DOUBLE_EQ(q.derived.at("x"), 1.5);
+
+  // Deltas computed from the deserialized profile are identical.
+  const auto d1 = p.sample_deltas();
+  const auto d2 = q.sample_deltas();
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d1[i].get(m::kCyclesUsed), d2[i].get(m::kCyclesUsed));
+  }
+}
+
+// Property: for any sampling rate, the delta decomposition conserves the
+// cumulative totals (the emulation consumes exactly what was profiled).
+class DeltaConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaConservation, CyclesConserved) {
+  profile::Profile p;
+  p.sample_rate_hz = GetParam();
+  profile::TimeSeries cpu;
+  cpu.watcher = "cpu";
+  double cumulative = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    cumulative += 100.0 + 13.0 * (i % 7);
+    cpu.samples.push_back(
+        sample_at(200.0 + i / GetParam(), {{m::kCyclesUsed, cumulative}}));
+  }
+  p.series.push_back(cpu);
+
+  double sum = 0.0;
+  for (const auto& d : p.sample_deltas()) sum += d.get(m::kCyclesUsed);
+  EXPECT_NEAR(sum, cumulative, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DeltaConservation,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 100.0));

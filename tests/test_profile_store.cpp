@@ -1,0 +1,137 @@
+#include "profile/profile_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "profile/metrics.hpp"
+
+namespace profile = synapse::profile;
+namespace m = synapse::metrics;
+
+namespace {
+
+profile::Profile make_profile(const std::string& cmd,
+                              const std::vector<std::string>& tags,
+                              double cycles, double created_at) {
+  profile::Profile p;
+  p.command = cmd;
+  p.tags = tags;
+  p.created_at = created_at;
+  p.totals[std::string(m::kCyclesUsed)] = cycles;
+  return p;
+}
+
+}  // namespace
+
+class ProfileStoreAllBackends
+    : public ::testing::TestWithParam<profile::ProfileStore::Backend> {
+ protected:
+  profile::ProfileStore make_store() {
+    const auto backend = GetParam();
+    if (backend == profile::ProfileStore::Backend::Memory) {
+      return profile::ProfileStore();
+    }
+    dir_ = "/tmp/synapse_store_test_" +
+           std::to_string(static_cast<int>(backend));
+    std::system(("rm -rf " + dir_).c_str());
+    return profile::ProfileStore(backend, dir_);
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) std::system(("rm -rf " + dir_).c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_P(ProfileStoreAllBackends, PutAndFind) {
+  auto store = make_store();
+  store.put(make_profile("cmd-a", {"t1"}, 100, 1.0));
+  store.put(make_profile("cmd-a", {"t1"}, 120, 2.0));
+  store.put(make_profile("cmd-a", {"t2"}, 999, 3.0));
+  store.put(make_profile("cmd-b", {}, 5, 4.0));
+
+  const auto hits = store.find("cmd-a", {"t1"});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0].total(m::kCyclesUsed), 100.0);
+  EXPECT_DOUBLE_EQ(hits[1].total(m::kCyclesUsed), 120.0);
+  EXPECT_EQ(store.find("cmd-a", {"t2"}).size(), 1u);
+  EXPECT_EQ(store.find("cmd-b").size(), 1u);
+  EXPECT_TRUE(store.find("cmd-absent").empty());
+  EXPECT_EQ(store.size(), 4u);
+}
+
+TEST_P(ProfileStoreAllBackends, TagOrderIsIrrelevant) {
+  auto store = make_store();
+  store.put(make_profile("cmd", {"a", "b"}, 1, 1.0));
+  EXPECT_EQ(store.find("cmd", {"b", "a"}).size(), 1u);
+}
+
+TEST_P(ProfileStoreAllBackends, FindLatest) {
+  auto store = make_store();
+  EXPECT_FALSE(store.find_latest("cmd").has_value());
+  store.put(make_profile("cmd", {}, 1, 10.0));
+  store.put(make_profile("cmd", {}, 2, 20.0));
+  const auto latest = store.find_latest("cmd");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->total(m::kCyclesUsed), 2.0);
+}
+
+TEST_P(ProfileStoreAllBackends, StatsAcrossRepetitions) {
+  auto store = make_store();
+  store.put(make_profile("cmd", {}, 10, 1.0));
+  store.put(make_profile("cmd", {}, 12, 2.0));
+  store.put(make_profile("cmd", {}, 14, 3.0));
+  const auto stats = store.stats("cmd");
+  ASSERT_TRUE(stats.count(std::string(m::kCyclesUsed)));
+  EXPECT_DOUBLE_EQ(stats.at(std::string(m::kCyclesUsed)).mean, 12.0);
+  EXPECT_EQ(stats.at(std::string(m::kCyclesUsed)).n, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ProfileStoreAllBackends,
+    ::testing::Values(profile::ProfileStore::Backend::Memory,
+                      profile::ProfileStore::Backend::DocStore,
+                      profile::ProfileStore::Backend::Files));
+
+TEST(ProfileStore, FilesBackendSurvivesReopen) {
+  const std::string dir = "/tmp/synapse_store_reopen";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    store.put(make_profile("persist me", {"x"}, 42, 1.0));
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    const auto hits = store.find("persist me", {"x"});
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_DOUBLE_EQ(hits[0].total(m::kCyclesUsed), 42.0);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, DocStoreBackendSurvivesFlushAndReopen) {
+  const std::string dir = "/tmp/synapse_store_docflush";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir);
+    store.put(make_profile("cmd", {}, 7, 1.0));
+    store.flush();
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir);
+    EXPECT_EQ(store.find("cmd").size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, CommandsWithShellCharsAreStorable) {
+  const std::string dir = "/tmp/synapse_store_chars";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+  const std::string cmd = "./mdsim --steps 100 | tee 'out file'";
+  store.put(make_profile(cmd, {}, 1, 1.0));
+  EXPECT_EQ(store.find(cmd).size(), 1u);
+  std::system(("rm -rf " + dir).c_str());
+}

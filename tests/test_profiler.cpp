@@ -1,0 +1,144 @@
+#include "watchers/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/mdsim.hpp"
+#include "profile/metrics.hpp"
+#include "profile/stats.hpp"
+#include "resource/resource_spec.hpp"
+
+namespace watchers = synapse::watchers;
+namespace resource = synapse::resource;
+namespace m = synapse::metrics;
+
+namespace {
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+}  // namespace
+
+TEST(Profiler, RuntimeMatchesSleep) {
+  HostGuard guard;
+  watchers::Profiler profiler;
+  const auto p = profiler.profile("sleep 0.3");
+  EXPECT_GE(p.runtime(), 0.28);
+  EXPECT_LT(p.runtime(), 1.5);
+  EXPECT_EQ(p.command, "sleep 0.3");
+}
+
+TEST(Profiler, CapturesCpuBoundChild) {
+  HostGuard guard;
+  watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = 20.0;
+  watchers::Profiler profiler(opts);
+  const auto p = profiler.profile_command(
+      {"sh", "-c", "i=0; while [ $i -lt 150000 ]; do i=$((i+1)); done"});
+  EXPECT_GT(p.total(m::kCyclesUsed), 1e6);
+  EXPECT_GT(p.total(m::kTaskClock), 0.01);
+  EXPECT_GT(p.total(m::kMemPeak), 0.0);  // rusage correction at minimum
+  EXPECT_GT(p.sample_count(), 0u);
+}
+
+TEST(Profiler, NonZeroExitRecordedAsTag) {
+  HostGuard guard;
+  watchers::Profiler profiler;
+  const auto p = profiler.profile("false", {"user-tag"});
+  ASSERT_GE(p.tags.size(), 2u);
+  EXPECT_EQ(p.tags[0], "user-tag");
+  EXPECT_EQ(p.tags[1], "exit_code=1");
+}
+
+TEST(Profiler, ProfileFunctionRunsInChild) {
+  HostGuard guard;
+  watchers::Profiler profiler;
+  const pid_t parent = ::getpid();
+  const auto p = profiler.profile_function(
+      [parent] { return ::getpid() == parent ? 1 : 0; }, "identity-check");
+  // Exit code 0 (child had a different pid) means no exit_code tag.
+  EXPECT_TRUE(p.tags.empty());
+}
+
+TEST(Profiler, SystemInfoReflectsActiveResource) {
+  HostGuard guard;
+  resource::activate_resource("titan");
+  watchers::Profiler profiler;
+  const auto p = profiler.profile("true");
+  EXPECT_EQ(p.system.resource_name, "titan");
+  EXPECT_EQ(p.system.num_cores, 16);
+  EXPECT_DOUBLE_EQ(p.system.max_cpu_freq_hz,
+                   resource::get_resource("titan").turbo_hz);
+}
+
+TEST(Profiler, TraceCountersDedupedFromCpuSeries) {
+  HostGuard guard;
+  watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = 50.0;
+  watchers::Profiler profiler(opts);
+  synapse::apps::MdOptions md;
+  md.steps = 60;
+  const auto p = profiler.profile_function(
+      [md] {
+        synapse::apps::run_md(md);
+        return 0;
+      },
+      "mdsim-inline");
+
+  // The trace supplied analytic counters...
+  EXPECT_GT(p.total(m::kFlops), 0.0);
+  const auto* trace = p.find_series("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->last(m::kCyclesUsed), 0.0);
+
+  // ...so the cpu series must not carry duplicated cycle counts.
+  const auto* cpu = p.find_series("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_DOUBLE_EQ(cpu->last(m::kCyclesUsed), 0.0);
+
+  // Merged deltas therefore conserve the trace totals.
+  double sum = 0.0;
+  for (const auto& d : p.sample_deltas()) sum += d.get(m::kCyclesUsed);
+  EXPECT_NEAR(sum, p.total(m::kCyclesUsed), p.total(m::kCyclesUsed) * 0.02);
+}
+
+TEST(Profiler, AdaptiveModeStillProfiles) {
+  HostGuard guard;
+  watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = 50.0;
+  opts.adaptive = true;
+  opts.adaptive_window_s = 0.1;
+  opts.adaptive_floor_hz = 5.0;
+  watchers::Profiler profiler(opts);
+  const auto p = profiler.profile("sleep 0.4");
+  EXPECT_GE(p.runtime(), 0.35);
+  EXPECT_GT(p.sample_count(), 0u);
+}
+
+// E.1 consistency property (paper Fig. 6 top): profiling the same
+// workload at different sampling rates yields consistent consumed-CPU
+// values. Scaled down: one workload, three rates, <= 15% spread.
+class ProfilingConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfilingConsistency, CyclesIndependentOfRate) {
+  HostGuard guard;
+  watchers::ProfilerOptions opts;
+  opts.sample_rate_hz = GetParam();
+  watchers::Profiler profiler(opts);
+  synapse::apps::MdOptions md;
+  md.steps = 150;
+  md.write_output = false;
+  const auto p = profiler.profile_function(
+      [md] {
+        synapse::apps::run_md(md);
+        return 0;
+      },
+      "mdsim-consistency");
+  const double flops = p.total(m::kFlops);
+  // mdsim executes a deterministic interaction count; the profiled flops
+  // must match it regardless of the sampling rate.
+  const double expected = 150.0 * 10500.0 * 400.0;  // steps x pairs x flops
+  EXPECT_NEAR(flops, expected, expected * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ProfilingConsistency,
+                         ::testing::Values(2.0, 10.0, 50.0));

@@ -1,0 +1,133 @@
+#include "resource/resource_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sys/env.hpp"
+#include "sys/error.hpp"
+
+namespace resource = synapse::resource;
+namespace sys = synapse::sys;
+
+TEST(ResourceSpec, RegistryContainsPaperMachines) {
+  const auto& names = resource::known_resources();
+  for (const auto& expected : {"host", "thinkie", "stampede", "archer",
+                               "comet", "supermic", "titan"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ResourceSpec, UnknownResourceThrows) {
+  EXPECT_THROW(resource::get_resource("bluegene"), sys::ConfigError);
+}
+
+TEST(ResourceSpec, PaperHardwareParameters) {
+  const auto& titan = resource::get_resource("titan");
+  EXPECT_EQ(titan.cores, 16);          // 16-core Opteron 6274
+  EXPECT_NEAR(titan.clock_hz, 2.2e9, 1e7);
+  EXPECT_EQ(titan.default_fs, "lustre");
+
+  const auto& supermic = resource::get_resource("supermic");
+  EXPECT_EQ(supermic.cores, 20);       // 2x 10-core Ivy Bridge-EP
+  EXPECT_TRUE(supermic.filesystems.count("lustre"));
+
+  const auto& stampede = resource::get_resource("stampede");
+  EXPECT_EQ(stampede.cores, 16);       // 2x 8-core Sandy Bridge
+  EXPECT_EQ(stampede.default_fs, "local");
+
+  const auto& comet = resource::get_resource("comet");
+  EXPECT_EQ(comet.default_fs, "nfs");  // "all I/O on Comet uses NFS"
+
+  const auto& thinkie = resource::get_resource("thinkie");
+  EXPECT_EQ(thinkie.cores, 4);
+}
+
+TEST(ResourceSpec, TurboHeadroom) {
+  const auto& comet = resource::get_resource("comet");
+  EXPECT_NEAR(comet.turbo_headroom(), 2.9 / 2.5, 1e-9);
+  const auto& host = resource::get_resource("host");
+  EXPECT_NEAR(host.turbo_headroom(), 1.0, 1e-9);
+}
+
+TEST(ResourceSpec, FsLookup) {
+  const auto& supermic = resource::get_resource("supermic");
+  EXPECT_NO_THROW(supermic.fs("lustre"));
+  EXPECT_NO_THROW(supermic.fs("local"));
+  EXPECT_THROW(supermic.fs("nfs"), sys::ConfigError);
+}
+
+TEST(ResourceSpec, FilesystemCostModel) {
+  resource::FilesystemSpec fs;
+  fs.read_bw_bps = 100e6;
+  fs.write_bw_bps = 10e6;
+  fs.read_latency_s = 1e-3;
+  fs.write_latency_s = 5e-3;
+  fs.read_cache_hit = 0.5;
+
+  // Read: half the latency (cache hits) + bandwidth term.
+  EXPECT_NEAR(fs.read_cost(100e6), 0.5e-3 + 1.0, 1e-9);
+  EXPECT_NEAR(fs.write_cost(10e6), 5e-3 + 1.0, 1e-9);
+  // Small ops are latency-dominated.
+  EXPECT_GT(fs.write_cost(1) / 1.0, fs.write_cost(1e6) / 1e6 / 2);
+}
+
+TEST(ResourceSpec, WritesSlowerThanReadsOnSharedFs) {
+  // Paper Fig. 15: writes are roughly an order of magnitude slower than
+  // reads on shared filesystems.
+  for (const auto& machine : {"supermic", "titan"}) {
+    const auto& fs = resource::get_resource(machine).fs("lustre");
+    const double read = fs.read_cost(1 << 20);
+    const double write = fs.write_cost(1 << 20);
+    EXPECT_GT(write / read, 4.0) << machine;
+  }
+}
+
+TEST(ResourceSpec, ActivationSetsEnvironment) {
+  resource::activate_resource("titan");
+  EXPECT_EQ(resource::active_resource().name, "titan");
+  EXPECT_EQ(sys::getenv_or(resource::kResourceEnvVar, std::string()), "titan");
+  resource::activate_resource("host");
+  EXPECT_EQ(resource::active_resource().name, "host");
+}
+
+TEST(ResourceSpec, ActivationRejectsUnknown) {
+  EXPECT_THROW(resource::activate_resource("nope"), sys::ConfigError);
+  EXPECT_EQ(resource::active_resource().name, "host");  // unchanged
+}
+
+TEST(ResourceSpec, JsonRoundTrip) {
+  const auto& original = resource::get_resource("supermic");
+  const auto round = resource::ResourceSpec::from_json(original.to_json());
+  EXPECT_EQ(round.name, original.name);
+  EXPECT_DOUBLE_EQ(round.clock_hz, original.clock_hz);
+  EXPECT_DOUBLE_EQ(round.turbo_hz, original.turbo_hz);
+  EXPECT_EQ(round.cores, original.cores);
+  EXPECT_DOUBLE_EQ(round.sustained_boost_gap, original.sustained_boost_gap);
+  EXPECT_DOUBLE_EQ(round.app_optimization, original.app_optimization);
+  EXPECT_EQ(round.filesystems.size(), original.filesystems.size());
+  EXPECT_DOUBLE_EQ(round.fs("lustre").write_bw_bps,
+                   original.fs("lustre").write_bw_bps);
+}
+
+// Property over all machines: physically sensible parameters.
+class SpecSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpecSanity, PhysicallyPlausible) {
+  const auto& spec = resource::get_resource(GetParam());
+  EXPECT_GT(spec.clock_hz, 1e9);
+  EXPECT_GE(spec.turbo_hz, spec.clock_hz);
+  EXPECT_GE(spec.cores, 1);
+  EXPECT_GT(spec.issue_width, 0.0);
+  EXPECT_LT(spec.l1d_bytes, spec.l2_bytes);
+  EXPECT_LT(spec.l2_bytes, spec.l3_bytes);
+  EXPECT_GT(spec.compute_scale, 0.0);
+  EXPECT_LE(spec.compute_scale, 1.0);
+  EXPECT_GE(spec.sustained_boost_gap, 0.0);
+  EXPECT_LE(spec.sustained_boost_gap, 1.0);
+  EXPECT_TRUE(spec.filesystems.count(spec.default_fs)) << spec.default_fs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, SpecSanity,
+                         ::testing::Values("host", "thinkie", "stampede",
+                                           "archer", "comet", "supermic",
+                                           "titan"));

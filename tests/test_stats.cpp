@@ -1,0 +1,88 @@
+#include "profile/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace profile = synapse::profile;
+
+TEST(Stats, EmptyAndSingle) {
+  const auto empty = profile::compute_stats({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const auto one = profile::compute_stats({5.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci99_half, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const auto s = profile::compute_stats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, ConfidenceIntervalBrackets) {
+  const auto s = profile::compute_stats({10.0, 10.2, 9.8, 10.1, 9.9});
+  EXPECT_LT(s.ci99_low(), s.mean);
+  EXPECT_GT(s.ci99_high(), s.mean);
+  EXPECT_GT(s.ci99_half, 0.0);
+  EXPECT_LT(s.ci99_relative(), 0.066);  // the paper's 6.6% bound
+}
+
+TEST(Stats, TCriticalMonotonicallyDecreases) {
+  double prev = profile::t_critical_99(2);
+  for (size_t n = 3; n < 40; ++n) {
+    const double t = profile::t_critical_99(n);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  EXPECT_NEAR(profile::t_critical_99(10000), 2.576, 1e-9);
+  EXPECT_DOUBLE_EQ(profile::t_critical_99(1), 0.0);
+}
+
+TEST(Stats, RelativeDiff) {
+  EXPECT_DOUBLE_EQ(profile::relative_diff(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(profile::relative_diff(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(profile::relative_diff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(profile::relative_diff(5.0, 0.0), 1.0);
+}
+
+TEST(Stats, AggregateTotalsAcrossProfiles) {
+  std::vector<profile::Profile> profiles(3);
+  profiles[0].totals["x"] = 10.0;
+  profiles[1].totals["x"] = 12.0;
+  profiles[2].totals["x"] = 14.0;
+  profiles[0].totals["y"] = 1.0;  // present in only one profile
+
+  const auto agg = profile::aggregate_totals(profiles);
+  ASSERT_TRUE(agg.count("x"));
+  EXPECT_EQ(agg.at("x").n, 3u);
+  EXPECT_DOUBLE_EQ(agg.at("x").mean, 12.0);
+  EXPECT_EQ(agg.at("y").n, 1u);
+}
+
+// Property: the CI half-width shrinks like 1/sqrt(n) for iid data.
+class CiShrinkage : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CiShrinkage, HalfWidthShrinks) {
+  const size_t n = GetParam();
+  std::vector<double> small_set, large_set;
+  for (size_t i = 0; i < n; ++i) {
+    small_set.push_back(100.0 + static_cast<double>(i % 5));
+  }
+  for (size_t i = 0; i < 4 * n; ++i) {
+    large_set.push_back(100.0 + static_cast<double>(i % 5));
+  }
+  const auto s = profile::compute_stats(small_set);
+  const auto l = profile::compute_stats(large_set);
+  EXPECT_LT(l.ci99_half, s.ci99_half);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CiShrinkage, ::testing::Values(5, 10, 25));

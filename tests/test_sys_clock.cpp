@@ -1,0 +1,64 @@
+#include "sys/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sys = synapse::sys;
+
+TEST(Clock, WallclockIsEpochSeconds) {
+  const double now = sys::wallclock_now();
+  // Past 2020-01-01, before 2100-01-01.
+  EXPECT_GT(now, 1.5e9);
+  EXPECT_LT(now, 4.1e9);
+}
+
+TEST(Clock, SteadyIsMonotonic) {
+  double prev = sys::steady_now();
+  for (int i = 0; i < 1000; ++i) {
+    const double t = sys::steady_now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Clock, SleepForApproximatesRequest) {
+  const double start = sys::steady_now();
+  sys::sleep_for(0.05);
+  const double elapsed = sys::steady_now() - start;
+  EXPECT_GE(elapsed, 0.045);
+  EXPECT_LT(elapsed, 0.5);  // generous bound for a loaded CI box
+}
+
+TEST(Clock, SleepForNegativeReturnsImmediately) {
+  const double start = sys::steady_now();
+  sys::sleep_for(-1.0);
+  sys::sleep_for(0.0);
+  EXPECT_LT(sys::steady_now() - start, 0.05);
+}
+
+TEST(Clock, StopwatchMeasuresAndResets) {
+  sys::Stopwatch sw;
+  sys::sleep_for(0.02);
+  const double first = sw.reset();
+  EXPECT_GE(first, 0.015);
+  // After reset the elapsed time restarts near zero.
+  EXPECT_LT(sw.elapsed(), first);
+}
+
+TEST(Clock, FormatTimestampIso8601) {
+  // 2021-01-01T00:00:00Z == 1609459200.
+  const std::string s = sys::format_timestamp(1609459200.5);
+  EXPECT_EQ(s.substr(0, 19), "2021-01-01T00:00:00");
+  EXPECT_NE(s.find("500000Z"), std::string::npos);
+}
+
+class SleepAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(SleepAccuracy, NeverShort) {
+  const double requested = GetParam();
+  const double start = sys::steady_now();
+  sys::sleep_for(requested);
+  EXPECT_GE(sys::steady_now() - start, requested * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, SleepAccuracy,
+                         ::testing::Values(0.001, 0.005, 0.02, 0.08));

@@ -1,0 +1,47 @@
+#include "sys/cpuinfo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sys = synapse::sys;
+
+TEST(CpuInfo, DetectReportsCores) {
+  const sys::CpuInfo info = sys::detect_cpu();
+  EXPECT_GE(info.logical_cores, 1);
+  EXPECT_GT(info.cache_l1d_bytes, 0u);
+  EXPECT_GT(info.cache_l2_bytes, info.cache_l1d_bytes / 8);
+  EXPECT_GT(info.cache_l3_bytes, info.cache_l2_bytes / 8);
+}
+
+TEST(CpuInfo, CalibrationIsPlausible) {
+  // The calibrated dependent-add rate must land in a physical window
+  // (the guard against the optimizer folding the chain, which produced
+  // terahertz readings in an early version). Some cores fuse pairs of
+  // dependent immediates, so allow up to ~2 adds/cycle at 5 GHz.
+  const double hz = sys::calibrate_cpu_hz(0.05);
+  EXPECT_GT(hz, 0.5e9);
+  EXPECT_LT(hz, 11e9);
+}
+
+TEST(CpuInfo, CalibrationIsRepeatable) {
+  const double a = sys::calibrate_cpu_hz(0.05);
+  const double b = sys::calibrate_cpu_hz(0.05);
+  EXPECT_LT(std::abs(a - b) / a, 0.35);  // noisy CI boxes allowed
+}
+
+TEST(CpuInfo, CachedSingletonIsStable) {
+  const sys::CpuInfo& a = sys::cpu_info();
+  const sys::CpuInfo& b = sys::cpu_info();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.best_hz(), 0.5e9);
+}
+
+TEST(CpuInfo, BestHzFallbackOrder) {
+  sys::CpuInfo info;
+  info.nominal_hz = 0;
+  info.calibrated_hz = 0;
+  EXPECT_DOUBLE_EQ(info.best_hz(), 2.5e9);  // conservative default
+  info.nominal_hz = 3.0e9;
+  EXPECT_DOUBLE_EQ(info.best_hz(), 3.0e9);
+  info.calibrated_hz = 2.8e9;
+  EXPECT_DOUBLE_EQ(info.best_hz(), 2.8e9);  // calibrated wins
+}

@@ -1,0 +1,44 @@
+#include "sys/env.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sys = synapse::sys;
+
+TEST(Env, RoundTrip) {
+  sys::setenv_str("SYNAPSE_TEST_VAR", "hello");
+  const auto v = sys::getenv_str("SYNAPSE_TEST_VAR");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello");
+  sys::unsetenv_str("SYNAPSE_TEST_VAR");
+  EXPECT_FALSE(sys::getenv_str("SYNAPSE_TEST_VAR").has_value());
+}
+
+TEST(Env, DoubleParsing) {
+  sys::setenv_str("SYNAPSE_TEST_D", "2.75");
+  EXPECT_DOUBLE_EQ(sys::getenv_double("SYNAPSE_TEST_D").value(), 2.75);
+  sys::setenv_str("SYNAPSE_TEST_D", "not-a-number");
+  EXPECT_FALSE(sys::getenv_double("SYNAPSE_TEST_D").has_value());
+  sys::setenv_str("SYNAPSE_TEST_D", "1.5trailing");
+  EXPECT_FALSE(sys::getenv_double("SYNAPSE_TEST_D").has_value());
+  sys::unsetenv_str("SYNAPSE_TEST_D");
+}
+
+TEST(Env, LongParsing) {
+  sys::setenv_str("SYNAPSE_TEST_L", "42");
+  EXPECT_EQ(sys::getenv_long("SYNAPSE_TEST_L").value(), 42);
+  sys::setenv_str("SYNAPSE_TEST_L", "-17");
+  EXPECT_EQ(sys::getenv_long("SYNAPSE_TEST_L").value(), -17);
+  sys::setenv_str("SYNAPSE_TEST_L", "12.5");
+  EXPECT_FALSE(sys::getenv_long("SYNAPSE_TEST_L").has_value());
+  sys::unsetenv_str("SYNAPSE_TEST_L");
+}
+
+TEST(Env, Defaults) {
+  sys::unsetenv_str("SYNAPSE_TEST_ABSENT");
+  EXPECT_EQ(sys::getenv_or("SYNAPSE_TEST_ABSENT", std::string("d")), "d");
+  EXPECT_DOUBLE_EQ(sys::getenv_or("SYNAPSE_TEST_ABSENT", 3.5), 3.5);
+  EXPECT_EQ(sys::getenv_or("SYNAPSE_TEST_ABSENT", 7L), 7L);
+  sys::setenv_str("SYNAPSE_TEST_ABSENT", "9");
+  EXPECT_EQ(sys::getenv_or("SYNAPSE_TEST_ABSENT", 7L), 9L);
+  sys::unsetenv_str("SYNAPSE_TEST_ABSENT");
+}

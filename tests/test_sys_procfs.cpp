@@ -1,0 +1,133 @@
+#include "sys/procfs.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace sys = synapse::sys;
+
+TEST(ProcFs, ReadSelfStat) {
+  const auto stat = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->pid, ::getpid());
+  EXPECT_FALSE(stat->comm.empty());
+  EXPECT_GE(stat->num_threads, 1u);
+  EXPECT_GT(stat->vsize_bytes, 0u);
+  EXPECT_GE(stat->cpu_seconds(), 0.0);
+}
+
+TEST(ProcFs, CpuSecondsGrowWithWork) {
+  const auto before = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(before.has_value());
+  // Burn some user CPU.
+  volatile double x = 1.0;
+  for (long i = 0; i < 300'000'000L; ++i) x = x * 1.0000001 + 1e-9;
+  const auto after = sys::read_proc_stat(::getpid());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->cpu_seconds(), before->cpu_seconds());
+}
+
+TEST(ProcFs, ReadSelfStatus) {
+  const auto status = sys::read_proc_status(::getpid());
+  ASSERT_TRUE(status.has_value());
+  EXPECT_GT(status->vm_rss_bytes, 0u);
+  // Sandboxed kernels may omit VmHWM entirely; when present it bounds RSS.
+  if (status->vm_hwm_bytes > 0) {
+    EXPECT_GE(status->vm_hwm_bytes, status->vm_rss_bytes);
+  }
+  EXPECT_GE(status->threads, 1u);
+}
+
+TEST(ProcFs, StatusThreadsTracksSpawnedThreads) {
+  const auto before = sys::read_proc_status(::getpid());
+  ASSERT_TRUE(before.has_value());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&stop] {
+      while (!stop) std::this_thread::yield();
+    });
+  }
+  const auto during = sys::read_proc_status(::getpid());
+  stop = true;
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(during.has_value());
+  EXPECT_GE(during->threads, before->threads + 4);
+}
+
+TEST(ProcFs, ReadSelfIoCountsWrites) {
+  const auto before = sys::read_proc_io(::getpid());
+  ASSERT_TRUE(before.has_value());
+
+  const std::string path = "/tmp/synapse_procfs_test.dat";
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::vector<char> data(256 * 1024, 'x');
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  const auto after = sys::read_proc_io(::getpid());
+  ::unlink(path.c_str());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GE(after->wchar, before->wchar + 256 * 1024);
+  EXPECT_GT(after->syscw, before->syscw);
+}
+
+TEST(ProcFs, ReadStatm) {
+  const auto statm = sys::read_proc_statm(::getpid());
+  ASSERT_TRUE(statm.has_value());
+  EXPECT_GT(statm->size_bytes, 0u);
+  EXPECT_GT(statm->resident_bytes, 0u);
+  EXPECT_GE(statm->size_bytes, statm->resident_bytes);
+}
+
+TEST(ProcFs, StatmAgreesWithStatus) {
+  const auto statm = sys::read_proc_statm(::getpid());
+  const auto status = sys::read_proc_status(::getpid());
+  ASSERT_TRUE(statm.has_value());
+  ASSERT_TRUE(status.has_value());
+  // Both report resident memory; they are sampled a moment apart, so
+  // allow a generous band.
+  const double ratio = static_cast<double>(statm->resident_bytes) /
+                       static_cast<double>(status->vm_rss_bytes);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(ProcFs, LoadAvg) {
+  const auto la = sys::read_loadavg();
+  ASSERT_TRUE(la.has_value());
+  EXPECT_GE(la->load1, 0.0);
+  EXPECT_GE(la->load5, 0.0);  // sandboxes may report an all-zero loadavg
+}
+
+TEST(ProcFs, MemInfo) {
+  const auto mi = sys::read_meminfo();
+  ASSERT_TRUE(mi.has_value());
+  EXPECT_GT(mi->total_bytes, 0u);
+  EXPECT_LE(mi->free_bytes, mi->total_bytes);
+}
+
+TEST(ProcFs, PidExists) {
+  EXPECT_TRUE(sys::pid_exists(::getpid()));
+  EXPECT_FALSE(sys::pid_exists(999999));
+}
+
+TEST(ProcFs, MissingPidGivesNullopt) {
+  EXPECT_FALSE(sys::read_proc_stat(999999).has_value());
+  EXPECT_FALSE(sys::read_proc_status(999999).has_value());
+  EXPECT_FALSE(sys::read_proc_io(999999).has_value());
+  EXPECT_FALSE(sys::read_proc_statm(999999).has_value());
+}
+
+TEST(ProcFs, TicksAndPageSizeArePlausible) {
+  EXPECT_GE(sys::ticks_per_second(), 100);
+  EXPECT_GE(sys::page_size(), 4096);
+}
+
+TEST(ProcFs, SlurpMissingFile) {
+  EXPECT_FALSE(sys::slurp_file("/nonexistent/path").has_value());
+}

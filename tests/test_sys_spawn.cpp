@@ -1,0 +1,167 @@
+#include "sys/spawn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+#include "sys/procfs.hpp"
+
+namespace sys = synapse::sys;
+
+// --- split_command ----------------------------------------------------------
+
+TEST(SplitCommand, Simple) {
+  const auto argv = sys::split_command("ls -la /tmp");
+  ASSERT_EQ(argv.size(), 3u);
+  EXPECT_EQ(argv[0], "ls");
+  EXPECT_EQ(argv[1], "-la");
+  EXPECT_EQ(argv[2], "/tmp");
+}
+
+TEST(SplitCommand, Quotes) {
+  const auto argv = sys::split_command("echo 'hello world' \"two words\"");
+  ASSERT_EQ(argv.size(), 3u);
+  EXPECT_EQ(argv[1], "hello world");
+  EXPECT_EQ(argv[2], "two words");
+}
+
+TEST(SplitCommand, EscapesAndMixedQuoting) {
+  const auto argv = sys::split_command("a\\ b 'it''s' c\"d\"e");
+  ASSERT_EQ(argv.size(), 3u);
+  EXPECT_EQ(argv[0], "a b");
+  EXPECT_EQ(argv[1], "its");
+  EXPECT_EQ(argv[2], "cde");
+}
+
+TEST(SplitCommand, EmptyAndWhitespace) {
+  EXPECT_TRUE(sys::split_command("").empty());
+  EXPECT_TRUE(sys::split_command("   \t \n").empty());
+  const auto argv = sys::split_command("  x  ");
+  ASSERT_EQ(argv.size(), 1u);
+  EXPECT_EQ(argv[0], "x");
+}
+
+TEST(SplitCommand, EmptyQuotedArgSurvives) {
+  const auto argv = sys::split_command("cmd '' tail");
+  ASSERT_EQ(argv.size(), 3u);
+  EXPECT_EQ(argv[1], "");
+}
+
+// --- ChildProcess -----------------------------------------------------------
+
+TEST(Spawn, TrueExitsZero) {
+  const auto status = sys::run_command({"true"});
+  EXPECT_TRUE(status.success());
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_TRUE(status.exited_normally);
+}
+
+TEST(Spawn, FalseExitsNonZero) {
+  const auto status = sys::run_command({"false"});
+  EXPECT_FALSE(status.success());
+  EXPECT_EQ(status.exit_code, 1);
+}
+
+TEST(Spawn, MissingBinaryGives127) {
+  const auto status = sys::run_command({"/definitely/not/a/binary"});
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST(Spawn, EmptyArgvThrows) {
+  EXPECT_THROW(sys::ChildProcess::spawn({}), sys::ConfigError);
+}
+
+TEST(Spawn, WallSecondsTracksSleep) {
+  const auto status = sys::run_command({"sleep", "0.2"});
+  EXPECT_TRUE(status.success());
+  EXPECT_GE(status.wall_seconds, 0.18);
+  EXPECT_LT(status.wall_seconds, 2.0);
+}
+
+TEST(Spawn, RusageCapturesCpuTime) {
+  // Spin ~0.2s of CPU in a child shell.
+  const auto status = sys::run_command(
+      {"sh", "-c", "i=0; while [ $i -lt 200000 ]; do i=$((i+1)); done"});
+  EXPECT_TRUE(status.success());
+  EXPECT_GT(status.usage.cpu_seconds(), 0.0);
+  EXPECT_GT(status.usage.max_rss_bytes, 0u);
+}
+
+TEST(Spawn, ExtraEnvReachesChild) {
+  sys::SpawnOptions opts;
+  opts.extra_env = {"SYNAPSE_SPAWN_TEST=42"};
+  const auto status = sys::run_command(
+      {"sh", "-c", "[ \"$SYNAPSE_SPAWN_TEST\" = 42 ]"}, opts);
+  EXPECT_TRUE(status.success());
+}
+
+TEST(Spawn, StdoutRedirect) {
+  const std::string path = "/tmp/synapse_spawn_stdout.txt";
+  sys::SpawnOptions opts;
+  opts.stdout_path = path;
+  const auto status = sys::run_command({"echo", "redirected"}, opts);
+  EXPECT_TRUE(status.success());
+  const auto content = sys::slurp_file(path);
+  ::unlink(path.c_str());
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "redirected\n");
+}
+
+TEST(Spawn, KillTerminatesChild) {
+  auto child = sys::ChildProcess::spawn({"sleep", "30"});
+  EXPECT_TRUE(child.running());
+  child.kill();  // SIGTERM
+  const auto& status = child.wait();
+  EXPECT_FALSE(status.exited_normally);
+  EXPECT_EQ(status.term_signal, 15);
+}
+
+TEST(Spawn, DestructorReapsRunningChild) {
+  pid_t pid = -1;
+  {
+    auto child = sys::ChildProcess::spawn({"sleep", "30"});
+    pid = child.pid();
+    EXPECT_TRUE(sys::pid_exists(pid));
+  }
+  // After destruction the process must be gone (killed and reaped).
+  sys::sleep_for(0.05);
+  EXPECT_FALSE(sys::pid_exists(pid));
+}
+
+TEST(Spawn, TryWaitNonBlocking) {
+  auto child = sys::ChildProcess::spawn({"sleep", "0.15"});
+  EXPECT_FALSE(child.try_wait().has_value());
+  sys::sleep_for(0.3);
+  const auto status = child.try_wait();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->success());
+}
+
+TEST(Spawn, WaitIsIdempotent) {
+  auto child = sys::ChildProcess::spawn({"true"});
+  const auto& first = child.wait();
+  const auto& second = child.wait();
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(Spawn, ForkFunctionReturnsValue) {
+  auto child = sys::ChildProcess::fork_function([] { return 7; });
+  EXPECT_EQ(child.wait().exit_code, 7);
+}
+
+TEST(Spawn, ForkFunctionExceptionBecomes111) {
+  auto child = sys::ChildProcess::fork_function(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(child.wait().exit_code, 111);
+}
+
+TEST(Spawn, MoveTransfersOwnership) {
+  auto a = sys::ChildProcess::spawn({"sleep", "0.1"});
+  const pid_t pid = a.pid();
+  sys::ChildProcess b = std::move(a);
+  EXPECT_EQ(b.pid(), pid);
+  EXPECT_EQ(a.pid(), -1);
+  EXPECT_TRUE(b.wait().success());
+}

@@ -1,0 +1,82 @@
+#include "resource/throttle.hpp"
+
+#include "resource/resource_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sys/clock.hpp"
+
+namespace resource = synapse::resource;
+namespace sys = synapse::sys;
+
+TEST(TokenBucket, BurstIsImmediate) {
+  resource::TokenBucket bucket(100.0, 50.0);
+  const sys::Stopwatch sw;
+  bucket.acquire(50.0);  // full burst available at construction
+  EXPECT_LT(sw.elapsed(), 0.05);
+}
+
+TEST(TokenBucket, SustainedRateIsEnforced) {
+  resource::TokenBucket bucket(1000.0, 10.0);
+  const sys::Stopwatch sw;
+  // 510 units at 1000/s with a 10-unit burst: >= ~0.5 s.
+  for (int i = 0; i < 51; ++i) bucket.acquire(10.0);
+  const double elapsed = sw.elapsed();
+  EXPECT_GE(elapsed, 0.4);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(TokenBucket, RequestLargerThanBurstIsSliced) {
+  resource::TokenBucket bucket(10000.0, 100.0);
+  const sys::Stopwatch sw;
+  bucket.acquire(1000.0);  // 10x the burst
+  EXPECT_GE(sw.elapsed(), 0.05);
+}
+
+TEST(TokenBucket, TryAcquire) {
+  resource::TokenBucket bucket(1.0, 5.0);
+  EXPECT_TRUE(bucket.try_acquire(5.0));
+  EXPECT_FALSE(bucket.try_acquire(5.0));  // bucket drained, refill is slow
+}
+
+TEST(TokenBucket, ConcurrentAcquirersShareTheRate) {
+  resource::TokenBucket bucket(2000.0, 10.0);
+  const sys::Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bucket] {
+      for (int i = 0; i < 25; ++i) bucket.acquire(10.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 1000 units total at 2000/s => >= ~0.45 s regardless of thread count.
+  EXPECT_GE(sw.elapsed(), 0.4);
+}
+
+TEST(ComputeThrottle, ScaleOneNeverSleeps) {
+  resource::ComputeThrottle throttle(1.0);
+  const sys::Stopwatch sw;
+  for (int i = 0; i < 100; ++i) throttle.charge(0.01);
+  EXPECT_LT(sw.elapsed(), 0.05);
+}
+
+TEST(ComputeThrottle, HalfScaleDoublesTime) {
+  resource::ComputeThrottle throttle(0.5);
+  const sys::Stopwatch sw;
+  // Report 0.1 s of "work" in 10 ms slices: the throttle owes another
+  // ~0.1 s of sleep.
+  for (int i = 0; i < 10; ++i) throttle.charge(0.01);
+  const double elapsed = sw.elapsed();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_LT(elapsed, 0.4);
+}
+
+TEST(ComputeThrottle, ForActiveResourceUsesSpecScale) {
+  resource::activate_resource("thinkie");  // compute_scale 0.5
+  const auto throttle = resource::ComputeThrottle::for_active_resource();
+  EXPECT_DOUBLE_EQ(throttle.scale(),
+                   resource::get_resource("thinkie").compute_scale);
+  resource::activate_resource("host");
+}

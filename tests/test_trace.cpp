@@ -1,0 +1,122 @@
+#include "watchers/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "resource/cache_model.hpp"
+#include "sys/clock.hpp"
+#include "sys/env.hpp"
+#include "sys/spawn.hpp"
+
+namespace watchers = synapse::watchers;
+namespace resource = synapse::resource;
+namespace sys = synapse::sys;
+
+namespace {
+const std::string kPath = "/tmp/synapse_trace_test.bin";
+}
+
+TEST(Trace, WriterReaderRoundTrip) {
+  ::unlink(kPath.c_str());
+  watchers::TraceWriter writer(kPath);
+  writer.add_counters(100, 200, 300);
+  writer.add_counters(1, 2, 3);
+  writer.add_alloc(4096);
+  writer.add_free(1024);
+
+  watchers::TraceReader reader(kPath);
+  const auto c = reader.read();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->flops, 101u);
+  EXPECT_EQ(c->instructions, 202u);
+  EXPECT_EQ(c->cycles, 303u);
+  EXPECT_EQ(c->bytes_allocated, 4096u);
+  EXPECT_EQ(c->bytes_freed, 1024u);
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, ReaderBeforeFileExists) {
+  ::unlink(kPath.c_str());
+  watchers::TraceReader reader(kPath);
+  EXPECT_FALSE(reader.read().has_value());
+  // The reader recovers once the writer appears.
+  watchers::TraceWriter writer(kPath);
+  writer.add_counters(5, 5, 5);
+  const auto c = reader.read();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->flops, 5u);
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, AddWorkUsesModel) {
+  ::unlink(kPath.c_str());
+  resource::activate_resource("comet");
+  watchers::TraceWriter writer(kPath);
+  const auto& traits = resource::app_md_traits();
+  writer.add_work(1e6, traits);
+
+  const auto c = writer.snapshot();
+  EXPECT_EQ(c.flops, 1000000u);
+  EXPECT_NEAR(static_cast<double>(c.instructions),
+              resource::instructions_for_flops(traits, 1e6), 2.0);
+  EXPECT_NEAR(static_cast<double>(c.cycles),
+              resource::cycles_for_flops(
+                  traits, resource::get_resource("comet"), 1e6),
+              static_cast<double>(c.cycles) * 0.01);
+  resource::activate_resource("host");
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, SubIntegerWorkAccumulates) {
+  ::unlink(kPath.c_str());
+  watchers::TraceWriter writer(kPath);
+  const auto& traits = resource::asm_kernel_traits();
+  for (int i = 0; i < 1000; ++i) writer.add_work(0.25, traits);
+  // 250 flops total; the remainder logic must not lose them.
+  EXPECT_NEAR(static_cast<double>(writer.snapshot().flops), 250.0, 1.0);
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, FromEnvRespectsVariable) {
+  sys::unsetenv_str(watchers::kTraceEnvVar);
+  EXPECT_EQ(watchers::TraceWriter::from_env(), nullptr);
+  sys::setenv_str(watchers::kTraceEnvVar, kPath);
+  auto writer = watchers::TraceWriter::from_env();
+  ASSERT_NE(writer, nullptr);
+  sys::unsetenv_str(watchers::kTraceEnvVar);
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, CrossProcessVisibility) {
+  ::unlink(kPath.c_str());
+  watchers::TraceWriter parent_side(kPath);  // create before fork
+
+  auto child = sys::ChildProcess::fork_function([] {
+    watchers::TraceWriter w(kPath);
+    w.add_counters(7, 8, 9);
+    return 0;
+  });
+  EXPECT_TRUE(child.wait().success());
+
+  watchers::TraceReader reader(kPath);
+  const auto c = reader.read();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->flops, 7u);
+  EXPECT_EQ(c->cycles, 9u);
+  ::unlink(kPath.c_str());
+}
+
+TEST(Trace, ConcurrentWritersDoNotLoseCounts) {
+  ::unlink(kPath.c_str());
+  watchers::TraceWriter writer(kPath);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&writer] {
+      for (int i = 0; i < 10000; ++i) writer.add_counters(1, 1, 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(writer.snapshot().flops, 80000u);
+  ::unlink(kPath.c_str());
+}

@@ -1,0 +1,167 @@
+#include "watchers/cpu_watcher.hpp"
+#include "watchers/io_watcher.hpp"
+#include "watchers/mem_watcher.hpp"
+#include "watchers/sys_watcher.hpp"
+#include "watchers/trace_watcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "profile/metrics.hpp"
+#include "sys/clock.hpp"
+#include "sys/spawn.hpp"
+#include "watchers/trace.hpp"
+
+namespace watchers = synapse::watchers;
+namespace sys = synapse::sys;
+namespace m = synapse::metrics;
+
+namespace {
+
+watchers::WatcherConfig config_for(pid_t pid) {
+  watchers::WatcherConfig c;
+  c.pid = pid;
+  c.sample_rate_hz = 20.0;
+  return c;
+}
+
+/// Run a watcher against a busy child for `seconds`.
+template <typename W>
+W observe(const std::vector<std::string>& argv, double seconds) {
+  auto child = sys::ChildProcess::spawn(argv);
+  W watcher;
+  watcher.pre_process(config_for(child.pid()));
+  const double deadline = sys::steady_now() + seconds;
+  while (sys::steady_now() < deadline) {
+    watcher.sample(sys::wallclock_now());
+    sys::sleep_for(0.05);
+  }
+  watcher.post_process();
+  child.kill(9);
+  child.wait();
+  return watcher;
+}
+
+}  // namespace
+
+TEST(CpuWatcher, ObservesBusyChild) {
+  auto watcher = observe<watchers::CpuWatcher>(
+      {"sh", "-c", "while :; do :; done"}, 0.4);
+  EXPECT_GE(watcher.series().size(), 4u);
+  EXPECT_GT(watcher.series().last(m::kCyclesUsed), 0.0);
+  EXPECT_GT(watcher.series().last(m::kTaskClock), 0.1);
+  EXPECT_GE(watcher.series().last(m::kNumThreads), 1.0);
+  EXPECT_NE(watcher.backend_name(), "none");
+}
+
+TEST(CpuWatcher, FinalizeContributesTotals) {
+  auto watcher = observe<watchers::CpuWatcher>(
+      {"sh", "-c", "while :; do :; done"}, 0.3);
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_GT(totals[std::string(m::kCyclesUsed)], 0.0);
+  EXPECT_GT(totals[std::string(m::kTaskClock)], 0.0);
+}
+
+TEST(MemWatcher, ObservesResidentMemory) {
+  // A child that allocates ~64MB and touches it, then sleeps.
+  auto watcher = observe<watchers::MemWatcher>(
+      {"sh", "-c", "a=$(head -c 20000000 /dev/zero | tr '\\0' 'x'); sleep 5"},
+      0.6);
+  EXPECT_GT(watcher.series().max(m::kMemResident), 1e6);
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_GT(totals[std::string(m::kMemPeak)], 1e6);
+}
+
+TEST(IoWatcher, ObservesWrites) {
+  // echo is a dash builtin: the write() syscalls belong to the observed
+  // shell itself (a forked `head` would not show in /proc/<pid>/io).
+  auto watcher = observe<watchers::IoWatcher>(
+      {"sh", "-c",
+       "s=xxxxxxxxxxxxxxxx; while :; do s=$s$s; "
+       "[ ${#s} -gt 600000 ] && s=x; echo $s > /tmp/synapse_iow_test.dat; "
+       "done"},
+      0.5);
+  ::unlink("/tmp/synapse_iow_test.dat");
+  EXPECT_GT(watcher.series().last(m::kBytesWritten), 8192.0);
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_GT(totals[std::string(m::kBytesWritten)], 0.0);
+  EXPECT_GT(totals[std::string(m::kWriteOps)], 0.0);
+  // Block size estimate = bytes/ops must be plausible (the child writes
+  // in 64k chunks but the shell may split; accept any positive value).
+  EXPECT_GT(totals[std::string(m::kBlockSizeWrite)], 0.0);
+}
+
+TEST(SysWatcher, ObservesLoad) {
+  auto watcher = observe<watchers::SysWatcher>({"sleep", "5"}, 0.3);
+  EXPECT_GE(watcher.series().size(), 3u);
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_TRUE(totals.count(std::string(m::kLoadCpu)));
+}
+
+TEST(TraceWatcher, PicksUpCooperativeCounters) {
+  const std::string path = "/tmp/synapse_trace_watcher_test.bin";
+  ::unlink(path.c_str());
+
+  watchers::TraceWriter writer(path);
+  writer.add_counters(1000, 2000, 3000);
+
+  watchers::TraceWatcher watcher;
+  watchers::WatcherConfig config = config_for(::getpid());
+  config.trace_path = path;
+  watcher.pre_process(config);
+  watcher.sample(sys::wallclock_now());
+  EXPECT_TRUE(watcher.has_data());
+
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_DOUBLE_EQ(totals[std::string(m::kFlops)], 1000.0);
+  EXPECT_DOUBLE_EQ(totals[std::string(m::kCyclesUsed)], 3000.0);
+  ::unlink(path.c_str());
+}
+
+TEST(TraceWatcher, NoTracePathMeansNoData) {
+  watchers::TraceWatcher watcher;
+  watcher.pre_process(config_for(::getpid()));
+  watcher.sample(sys::wallclock_now());
+  EXPECT_FALSE(watcher.has_data());
+  std::map<std::string, double> totals;
+  watcher.finalize({&watcher}, totals);
+  EXPECT_TRUE(totals.empty());
+}
+
+TEST(Watchers, VanishedProcessIsMissedSampleNotError) {
+  watchers::CpuWatcher cpu;
+  watchers::MemWatcher mem;
+  watchers::IoWatcher io;
+  const auto config = config_for(999999);
+  cpu.pre_process(config);
+  mem.pre_process(config);
+  io.pre_process(config);
+  EXPECT_NO_THROW(cpu.sample(sys::wallclock_now()));
+  EXPECT_NO_THROW(mem.sample(sys::wallclock_now()));
+  EXPECT_NO_THROW(io.sample(sys::wallclock_now()));
+  EXPECT_EQ(cpu.series().size(), 0u);
+}
+
+TEST(Watchers, SeriesCarriesWatcherName) {
+  watchers::CpuWatcher cpu;
+  EXPECT_EQ(cpu.series().watcher, "cpu");
+  watchers::MemWatcher mem;
+  EXPECT_EQ(mem.series().watcher, "mem");
+  watchers::TraceWatcher trace;
+  EXPECT_EQ(trace.series().watcher, "trace");
+}
+
+TEST(Watchers, FindWatcherByName) {
+  watchers::CpuWatcher cpu;
+  watchers::MemWatcher mem;
+  const std::vector<const watchers::Watcher*> all = {&cpu, &mem};
+  EXPECT_EQ(watchers::find_watcher(all, "cpu"), &cpu);
+  EXPECT_EQ(watchers::find_watcher(all, "mem"), &mem);
+  EXPECT_EQ(watchers::find_watcher(all, "nope"), nullptr);
+}
