@@ -1,0 +1,67 @@
+#include "atoms/atom_registry.hpp"
+
+#include "sys/error.hpp"
+
+namespace synapse::atoms {
+
+AtomRegistry::AtomRegistry() {
+  factories_["compute"] = [](const AtomBuildContext& ctx) {
+    return std::make_unique<ComputeAtom>(ctx.compute);
+  };
+  factories_["memory"] = [](const AtomBuildContext& ctx) {
+    return std::make_unique<MemoryAtom>(ctx.memory);
+  };
+  factories_["storage"] = [](const AtomBuildContext& ctx) {
+    return std::make_unique<StorageAtom>(ctx.storage);
+  };
+  factories_["network"] = [](const AtomBuildContext& ctx) {
+    return std::make_unique<NetworkAtom>(ctx.network);
+  };
+}
+
+AtomRegistry& AtomRegistry::instance() {
+  static AtomRegistry registry;
+  return registry;
+}
+
+void AtomRegistry::register_atom(const std::string& name, Factory factory) {
+  if (name.empty()) throw sys::ConfigError("atom name must not be empty");
+  if (!factory) throw sys::ConfigError("atom factory must not be empty");
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Atom> AtomRegistry::create(
+    const std::string& name, const AtomBuildContext& context) const {
+  ensure_registered(name);
+  return factories_.at(name)(context);
+}
+
+void AtomRegistry::ensure_registered(const std::string& name) const {
+  if (factories_.count(name) != 0) return;
+  std::string known;
+  for (const auto& [key, unused] : factories_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw sys::ConfigError("unknown emulation atom: " + name +
+                         " (registered: " + known + ")");
+}
+
+bool AtomRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> AtomRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) out.push_back(key);
+  return out;
+}
+
+const std::vector<std::string>& AtomRegistry::builtin_names() {
+  static const std::vector<std::string> names = {"compute", "memory",
+                                                 "storage", "network"};
+  return names;
+}
+
+}  // namespace synapse::atoms

@@ -1,0 +1,78 @@
+#pragma once
+// Atom registry: name -> factory for emulation atoms.
+//
+// Decouples the replay engine from concrete atom types the same way
+// KernelRegistry decouples ComputeAtom from concrete kernels: the
+// emulator asks for atoms by name, and anything registered here — the
+// four built-ins or a user-registered custom atom — participates in
+// replay without the emulator knowing its type (requirement E.3
+// Malleability, section 4.5 user-pluggable emulation).
+//
+// Factories receive an AtomBuildContext holding the per-atom option
+// structs; a factory reads the options it cares about and ignores the
+// rest. Built-ins are pre-registered under "compute", "memory",
+// "storage" and "network".
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atoms/atom.hpp"
+#include "atoms/compute_atom.hpp"
+#include "atoms/memory_atom.hpp"
+#include "atoms/network_atom.hpp"
+#include "atoms/storage_atom.hpp"
+
+namespace synapse::atoms {
+
+/// Per-run configuration handed to atom factories. The emulator fills
+/// it from EmulatorOptions; standalone users fill it directly.
+struct AtomBuildContext {
+  ComputeAtomOptions compute;
+  MemoryAtomOptions memory;
+  StorageAtomOptions storage;
+  NetworkAtomOptions network;
+};
+
+class AtomRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Atom>(const AtomBuildContext&)>;
+
+  /// The process-wide registry with the built-ins pre-registered.
+  /// Runtime registrations here are visible to every Emulator that does
+  /// not inject its own registry.
+  static AtomRegistry& instance();
+
+  /// A fresh registry seeded with the built-in factories. Use this (and
+  /// inject it into the Emulator) to scope custom atoms to one run.
+  AtomRegistry();
+
+  /// Register or replace a factory. Registering a name that already
+  /// exists overrides it — this is how a user swaps a built-in for a
+  /// custom implementation.
+  void register_atom(const std::string& name, Factory factory);
+
+  /// Instantiate one atom. Throws sys::ConfigError for unknown names
+  /// (the message lists what is registered).
+  std::unique_ptr<Atom> create(const std::string& name,
+                               const AtomBuildContext& context) const;
+
+  /// Throw the same ConfigError as create() for an unknown name,
+  /// without instantiating anything — lets drivers validate a whole
+  /// atom set up front (e.g. before forking ranks).
+  void ensure_registered(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// The built-in atom set, in barrier-dispatch order.
+  static const std::vector<std::string>& builtin_names();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace synapse::atoms

@@ -42,7 +42,7 @@ emulator::EmulationResult Session::emulate(
     throw sys::ProfileNotFound("no profile stored for command '" + command +
                                "'");
   }
-  emulator::Emulator emu(options_.emulator);
+  emulator::Emulator emu(options_.emulator, options_.atom_registry);
   return emu.emulate(*p);
 }
 
@@ -54,8 +54,9 @@ profile::Profile profile_once(const std::string& command,
 }
 
 emulator::EmulationResult emulate_profile(const profile::Profile& profile,
-                                          emulator::EmulatorOptions options) {
-  emulator::Emulator emu(std::move(options));
+                                          emulator::EmulatorOptions options,
+                                          const atoms::AtomRegistry* registry) {
+  emulator::Emulator emu(std::move(options), registry);
   return emu.emulate(profile);
 }
 

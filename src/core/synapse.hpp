@@ -31,6 +31,9 @@ struct SessionOptions {
   std::string store_dir = ".synapse";
   watchers::ProfilerOptions profiler;
   emulator::EmulatorOptions emulator;
+  /// Atom registry emulation resolves atom names through (nullptr = the
+  /// process-wide AtomRegistry::instance()); must outlive the session.
+  const atoms::AtomRegistry* atom_registry = nullptr;
 };
 
 class Session {
@@ -64,7 +67,8 @@ profile::Profile profile_once(const std::string& command,
                               watchers::ProfilerOptions options = {});
 
 emulator::EmulationResult emulate_profile(
-    const profile::Profile& profile, emulator::EmulatorOptions options = {});
+    const profile::Profile& profile, emulator::EmulatorOptions options = {},
+    const atoms::AtomRegistry* registry = nullptr);
 
 /// Library version string ("0.10.0-cpp", after the reproduced v0.10).
 const char* version();

@@ -3,15 +3,46 @@
 // Usage:
 //   synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]
 //                   [--kernel NAME] [--omp N | --ranks N]
+//                   [--atoms NAME[,NAME...]] [--net]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
 //                   -- COMMAND [ARGS...]
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "atoms/atom_registry.hpp"
 #include "core/synapse.hpp"
 #include "resource/resource_spec.hpp"
+
+namespace {
+
+/// Split a comma-separated atom list ("compute, storage,my-atom"),
+/// trimming whitespace around each name.
+std::vector<std::string> split_atom_list(const std::string& list) {
+  std::vector<std::string> names;
+  std::string current;
+  auto flush = [&] {
+    const auto begin = current.find_first_not_of(" \t");
+    if (begin != std::string::npos) {
+      const auto end = current.find_last_not_of(" \t");
+      names.push_back(current.substr(begin, end - begin + 1));
+    }
+    current.clear();
+  };
+  for (const char c : list) {
+    if (c == ',') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return names;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace synapse;
@@ -41,6 +72,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--ranks") {
       options.emulator.parallel_mode = emulator::ParallelMode::Process;
       options.emulator.parallel_degree = std::atoi(next());
+    } else if (arg == "--atoms") {
+      options.emulator.atom_set = split_atom_list(next());
+      if (options.emulator.atom_set.empty()) {
+        // An explicit-but-empty list must not silently fall back to
+        // the full default set — the opposite of the user's intent.
+        std::fprintf(stderr,
+                     "synapse-emulate: --atoms needs at least one name\n");
+        return 2;
+      }
+    } else if (arg == "--net") {
+      options.emulator.emulate_network = true;
     } else if (arg == "--read-block") {
       options.emulator.storage.read_block_bytes =
           std::strtoull(next(), nullptr, 10) * 1024;
@@ -56,8 +98,14 @@ int main(int argc, char** argv) {
       std::printf(
           "synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]\n"
           "                [--kernel asm|c|omp|sleep] [--omp N | --ranks N]\n"
+          "                [--atoms NAME[,NAME...]] [--net]\n"
           "                [--read-block KiB] [--write-block KiB]\n"
-          "                [--fs NAME] -- COMMAND...\n");
+          "                [--fs NAME] -- COMMAND...\n"
+          "registered atoms:");
+      for (const auto& name : synapse::atoms::AtomRegistry::instance().names()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
       return 0;
     } else {
       std::fprintf(stderr, "synapse-emulate: unknown option %s\n",
@@ -72,6 +120,15 @@ int main(int argc, char** argv) {
   if (command.empty()) {
     std::fprintf(stderr, "synapse-emulate: no command given (use --)\n");
     return 2;
+  }
+
+  // An explicit --atoms list overrides the enable flags, so honour
+  // --net by appending the network atom to it.
+  auto& atom_set = options.emulator.atom_set;
+  if (options.emulator.emulate_network && !atom_set.empty() &&
+      std::find(atom_set.begin(), atom_set.end(), "network") ==
+          atom_set.end()) {
+    atom_set.push_back("network");
   }
 
   if (!resource_name.empty()) {

@@ -2,165 +2,58 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <functional>
-#include <thread>
+#include <memory>
+#include <new>
+#include <type_traits>
 
-#include "atoms/network_atom.hpp"
 #include "emulator/comm.hpp"
 #include "emulator/procgroup.hpp"
-#include "profile/metrics.hpp"
+#include "emulator/replay_engine.hpp"
 #include "resource/resource_spec.hpp"
 #include "sys/clock.hpp"
 #include "sys/error.hpp"
-#include "watchers/trace.hpp"
 
 namespace synapse::emulator {
 
-namespace m = synapse::metrics;
-
-Emulator::Emulator(EmulatorOptions options) : options_(std::move(options)) {
+Emulator::Emulator(EmulatorOptions options, const atoms::AtomRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry
+                                    : &atoms::AtomRegistry::instance()) {
   if (options_.parallel_degree < 1) options_.parallel_degree = 1;
-}
-
-double Emulator::parallel_time_factor(int workers,
-                                      double overhead_per_worker) {
-  if (workers <= 1) return 1.0;
-  // Amdahl serial fraction (the emulator's sample feed is sequential)
-  // plus linear per-worker coordination cost: time(N) =
-  // T1 * (f + (1-f)/N) * (1 + a*(N-1)). Good scaling for small N,
-  // diminishing returns toward a full node — the Fig. 12 shape.
-  constexpr double kSerialFraction = 0.03;
-  const double n = static_cast<double>(workers);
-  return (kSerialFraction + (1.0 - kSerialFraction) / n) *
-         (1.0 + overhead_per_worker * (n - 1.0));
 }
 
 namespace {
 
-/// Apply the emulator's workload overrides to one sample delta.
-profile::SampleDelta scale_delta(const profile::SampleDelta& in,
-                                 const EmulatorOptions& opts) {
-  profile::SampleDelta out = in;
-  auto scale = [&out](std::string_view key, double factor) {
-    const auto it = out.deltas.find(std::string(key));
-    if (it != out.deltas.end()) it->second *= factor;
-  };
-  if (opts.cycle_scale != 1.0) {
-    scale(m::kCyclesUsed, opts.cycle_scale);
-    scale(m::kInstructions, opts.cycle_scale);
-    scale(m::kFlops, opts.cycle_scale);
-  }
-  if (opts.memory_scale != 1.0) {
-    scale(m::kMemAllocated, opts.memory_scale);
-    scale(m::kMemFreed, opts.memory_scale);
-  }
-  if (opts.io_scale != 1.0) {
-    scale(m::kBytesRead, opts.io_scale);
-    scale(m::kBytesWritten, opts.io_scale);
-  }
-  return out;
-}
-
-/// Shared-memory accumulator for process-parallel runs.
-struct SharedStats {
-  std::atomic<uint64_t> flops;
-  std::atomic<uint64_t> cycles;
-  std::atomic<uint64_t> bytes_written;
-  std::atomic<uint64_t> bytes_read;
+/// Shared-memory counters for process-parallel runs. Per-atom stats
+/// travel in trivially-copyable AtomStats slots behind this header
+/// (one slot per atom per rank; each rank writes only its own slots,
+/// the parent sums after waitpid, so no atomics are needed there).
+struct SharedHeader {
   std::atomic<uint64_t> samples;
   std::atomic<uint64_t> comm_bytes;
 };
 
+void accumulate(atoms::AtomStats& into, const atoms::AtomStats& from) {
+  into.busy_seconds += from.busy_seconds;
+  into.cycles += from.cycles;
+  into.flops += from.flops;
+  into.bytes_read += from.bytes_read;
+  into.bytes_written += from.bytes_written;
+  into.bytes_allocated += from.bytes_allocated;
+  into.bytes_freed += from.bytes_freed;
+  into.net_bytes_sent += from.net_bytes_sent;
+  into.net_bytes_received += from.net_bytes_received;
+  into.samples_consumed += from.samples_consumed;
+}
+
 }  // namespace
 
-EmulationResult Emulator::run_single(
-    const profile::Profile& profile,
-    const std::function<void(size_t)>& per_sample_hook) {
-  EmulationResult result;
-  const sys::Stopwatch total;
-
-  // --- startup: build atoms, warm the kernel (calibration) -----------------
-  {
-    const sys::Stopwatch startup;
-
-    std::vector<std::unique_ptr<atoms::Atom>> active;
-    atoms::ComputeAtom* compute = nullptr;
-    atoms::MemoryAtom* memory = nullptr;
-    atoms::StorageAtom* storage = nullptr;
-    atoms::NetworkAtom* network = nullptr;
-
-    atoms::ComputeAtomOptions copts = options_.compute;
-    if (options_.parallel_mode == ParallelMode::OpenMp &&
-        options_.parallel_degree > 1) {
-      copts.kernel = "omp";
-      copts.omp_threads = options_.parallel_degree;
-      copts.time_scale = parallel_time_factor(
-          options_.parallel_degree,
-          resource::active_resource().omp_overhead_per_worker);
-    }
-    if (options_.emulate_compute) {
-      auto atom = std::make_unique<atoms::ComputeAtom>(copts);
-      compute = atom.get();
-      active.push_back(std::move(atom));
-    }
-    if (options_.emulate_memory) {
-      auto atom = std::make_unique<atoms::MemoryAtom>(options_.memory);
-      memory = atom.get();
-      active.push_back(std::move(atom));
-    }
-    if (options_.emulate_storage) {
-      auto atom = std::make_unique<atoms::StorageAtom>(options_.storage);
-      storage = atom.get();
-      active.push_back(std::move(atom));
-    }
-    if (options_.emulate_network) {
-      auto atom = std::make_unique<atoms::NetworkAtom>();
-      network = atom.get();
-      active.push_back(std::move(atom));
-    }
-
-    // Emulation runs are themselves profile-able: publish consumed
-    // counters through the cooperative trace when one is requested.
-    auto trace = watchers::TraceWriter::from_env();
-    for (auto& atom : active) atom->set_trace(trace.get());
-
-    result.startup_seconds = startup.elapsed();
-
-    // --- the global sample feed loop (section 4.2) -------------------------
-    const auto deltas = profile.sample_deltas();
-    for (const auto& raw : deltas) {
-      const profile::SampleDelta delta = scale_delta(raw, options_);
-
-      // All resource consumptions of one sample start concurrently; the
-      // sample ends when the last one completes (Fig. 2).
-      std::vector<std::thread> workers;
-      for (auto& atom : active) {
-        if (!atom->wants(delta)) continue;
-        workers.emplace_back([&atom, &delta] {
-          try {
-            atom->consume(delta);
-          } catch (const std::exception&) {
-            // A failing atom must not wedge the sample barrier; the
-            // shortfall shows up in the atom's stats.
-          }
-        });
-      }
-      for (auto& w : workers) w.join();
-      if (per_sample_hook) per_sample_hook(result.samples_replayed);
-      ++result.samples_replayed;
-    }
-
-    if (compute != nullptr) result.compute = compute->stats();
-    if (memory != nullptr) result.memory = memory->stats();
-    if (storage != nullptr) result.storage = storage->stats();
-    if (network != nullptr) result.network = network->stats();
-  }
-
-  result.wall_seconds = total.elapsed();
-  result.ranks_ok = 1;
-  return result;
+EmulationResult Emulator::run_single(const profile::Profile& profile) {
+  return ReplayEngine(options_, registry_).replay(profile);
 }
 
 EmulationResult Emulator::run_process_parallel(
@@ -168,15 +61,33 @@ EmulationResult Emulator::run_process_parallel(
   const int ranks = options_.parallel_degree;
   const sys::Stopwatch total;
 
+  // Validate the atom set in the parent: an unknown name must throw
+  // ConfigError here, not kill every forked rank silently.
+  const std::vector<std::string> atom_names =
+      ReplayEngine::resolve_atom_set(options_);
+  for (const auto& name : atom_names) registry_->ensure_registered(name);
+
   // Shared accumulator + per-sample barrier across ranks (the intra-node
   // part of MPI_Barrier semantics).
-  void* mem = ::mmap(nullptr, sizeof(SharedStats), PROT_READ | PROT_WRITE,
+  static_assert(std::is_trivially_copyable_v<atoms::AtomStats>,
+                "AtomStats crosses the fork boundary through raw shared "
+                "memory; adding a non-trivially-copyable field would "
+                "silently corrupt it");
+  const size_t slot_count = atom_names.size() * static_cast<size_t>(ranks);
+  const size_t shm_bytes =
+      sizeof(SharedHeader) + slot_count * sizeof(atoms::AtomStats);
+  void* mem = ::mmap(nullptr, shm_bytes, PROT_READ | PROT_WRITE,
                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   if (mem == MAP_FAILED) throw sys::SystemError("mmap(stats)", errno);
-  auto* shared = new (mem) SharedStats();
+  const std::unique_ptr<void, std::function<void(void*)>> mem_guard(
+      mem, [shm_bytes](void* p) { ::munmap(p, shm_bytes); });
+  auto* header = new (mem) SharedHeader();
+  auto* slots = reinterpret_cast<atoms::AtomStats*>(static_cast<char*>(mem) +
+                                                    sizeof(SharedHeader));
+  for (size_t i = 0; i < slot_count; ++i) new (&slots[i]) atoms::AtomStats();
   SharedBarrier barrier(static_cast<unsigned>(ranks));
 
-  const double time_factor = parallel_time_factor(
+  const double time_factor = ReplayEngine::parallel_time_factor(
       ranks, resource::active_resource().mpi_overhead_per_worker);
 
   // Ring pipes must exist before the fork so every rank inherits them.
@@ -195,51 +106,52 @@ EmulationResult Emulator::run_process_parallel(
     child.cycle_scale /= static_cast<double>(ranks);
     child.compute.time_scale = time_factor * static_cast<double>(ranks);
 
-    Emulator rank_emulator(child);
+    ReplayEngine engine(child, registry_);
 
     // Halo-exchange extension: one ring step per replayed sample.
-    std::function<void(size_t)> hook;
+    ReplayEngine::SampleHook hook;
     if (ring) {
       ring->attach(rank);
       auto* ring_ptr = ring.get();
       const uint64_t bytes = options_.comm_bytes_per_sample;
-      auto* stats = shared;
+      auto* stats = header;
       hook = [ring_ptr, rank, bytes, stats](size_t) {
         const uint64_t exchanged = ring_ptr->exchange(rank, bytes);
         stats->comm_bytes.fetch_add(exchanged, std::memory_order_relaxed);
       };
     }
 
-    const EmulationResult r = rank_emulator.run_single(profile, hook);
-    shared->flops.fetch_add(static_cast<uint64_t>(r.compute.flops),
-                            std::memory_order_relaxed);
-    shared->cycles.fetch_add(static_cast<uint64_t>(r.compute.cycles),
-                             std::memory_order_relaxed);
-    shared->bytes_written.fetch_add(r.storage.bytes_written,
-                                    std::memory_order_relaxed);
-    shared->bytes_read.fetch_add(r.storage.bytes_read,
-                                 std::memory_order_relaxed);
-    shared->samples.fetch_add(r.samples_replayed, std::memory_order_relaxed);
+    const EmulationResult r = engine.replay(profile, hook);
+    for (size_t i = 0; i < atom_names.size(); ++i) {
+      const auto it = r.atom_stats.find(atom_names[i]);
+      if (it != r.atom_stats.end()) {
+        slots[static_cast<size_t>(rank) * atom_names.size() + i] = it->second;
+      }
+    }
+    header->samples.fetch_add(r.samples_replayed, std::memory_order_relaxed);
     barrier.wait();  // ranks end together, like MPI_Finalize
     return 0;
   });
 
+  // run_process_group waited on every rank, so the slot writes of all
+  // exited children are visible; sum them per atom.
+  for (size_t i = 0; i < atom_names.size(); ++i) {
+    atoms::AtomStats aggregate;
+    for (int rank = 0; rank < ranks; ++rank) {
+      accumulate(aggregate,
+                 slots[static_cast<size_t>(rank) * atom_names.size() + i]);
+    }
+    result.atom_stats[atom_names[i]] = aggregate;
+    ReplayEngine::mirror_builtin_stats(result, atom_names[i], aggregate);
+  }
+
   result.wall_seconds = total.elapsed();
   result.samples_replayed =
-      shared->samples.load(std::memory_order_relaxed) /
+      header->samples.load(std::memory_order_relaxed) /
       std::max<uint64_t>(1, static_cast<uint64_t>(ranks));
-  result.compute.flops =
-      static_cast<double>(shared->flops.load(std::memory_order_relaxed));
-  result.compute.cycles =
-      static_cast<double>(shared->cycles.load(std::memory_order_relaxed));
-  result.storage.bytes_written =
-      shared->bytes_written.load(std::memory_order_relaxed);
-  result.storage.bytes_read =
-      shared->bytes_read.load(std::memory_order_relaxed);
-  result.comm_bytes = shared->comm_bytes.load(std::memory_order_relaxed);
+  result.comm_bytes = header->comm_bytes.load(std::memory_order_relaxed);
 
-  shared->~SharedStats();
-  ::munmap(mem, sizeof(SharedStats));
+  header->~SharedHeader();
   return result;
 }
 

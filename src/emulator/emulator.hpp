@@ -12,19 +12,23 @@
 //  - all timing information inside samples is discarded: emulation
 //    reproduces resource consumption, not timings.
 //
+// The sample feed loop itself lives in emulator::ReplayEngine
+// (replay_engine.hpp); the Emulator is a driver that picks the
+// execution mode (single process, OpenMP threads, forked ranks) and
+// hands the engine a per-mode view of the options. Atoms are resolved
+// by name through atoms::AtomRegistry, so custom atoms registered at
+// runtime replay like the built-ins.
+//
 // Tunables (requirement E.3 Malleability): kernel choice, OpenMP thread
 // or MPI-style rank count, I/O block sizes and target filesystem, memory
 // scale, cycle scale — all dimensions the paper varies in E.3/E.4/E.5.
 
-#include <functional>
-#include <memory>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "atoms/atom.hpp"
-#include "atoms/compute_atom.hpp"
-#include "atoms/memory_atom.hpp"
-#include "atoms/storage_atom.hpp"
+#include "atoms/atom_registry.hpp"
 #include "profile/profile.hpp"
 
 namespace synapse::emulator {
@@ -37,15 +41,25 @@ enum class ParallelMode {
 };
 
 struct EmulatorOptions {
-  // Atom enable flags (experiments often emulate compute only).
+  /// Declarative atom-set selection: the registry names to replay
+  /// through, in dispatch order (e.g. {"compute", "storage", "my-gpu"}).
+  /// Empty = derive from the emulate_* flags below. Names must exist in
+  /// the AtomRegistry in use; unknown names fail the run with
+  /// ConfigError at startup. Duplicates collapse (first occurrence
+  /// wins).
+  std::vector<std::string> atom_set;
+
+  // Atom enable flags, honoured when atom_set is empty (experiments
+  // often emulate compute only).
   bool emulate_compute = true;
   bool emulate_memory = true;
   bool emulate_storage = true;
-  bool emulate_network = false;  ///< network profiling is not wired yet
+  bool emulate_network = false;  ///< adds the "network" atom to the set
 
   atoms::ComputeAtomOptions compute;
   atoms::MemoryAtomOptions memory;
   atoms::StorageAtomOptions storage;
+  atoms::NetworkAtomOptions network;
 
   ParallelMode parallel_mode = ParallelMode::None;
   int parallel_degree = 1;  ///< threads or ranks
@@ -71,13 +85,20 @@ struct EmulationResult {
   atoms::AtomStats memory;
   atoms::AtomStats storage;
   atoms::AtomStats network;
+  /// Per-atom stats keyed by registry name — the only place custom
+  /// atoms report; the four named fields above mirror the built-ins.
+  std::map<std::string, atoms::AtomStats> atom_stats;
   int ranks_ok = 0;                ///< successful ranks (Process mode)
   uint64_t comm_bytes = 0;         ///< total ring-exchanged bytes
 };
 
 class Emulator {
  public:
-  explicit Emulator(EmulatorOptions options = {});
+  /// `registry` = nullptr uses the process-wide AtomRegistry::instance()
+  /// (where runtime registrations land); inject a registry to scope
+  /// custom atoms to this emulator. Must outlive the emulator.
+  explicit Emulator(EmulatorOptions options = {},
+                    const atoms::AtomRegistry* registry = nullptr);
 
   /// Replay a profile on the active resource. Blocks until done.
   EmulationResult emulate(const profile::Profile& profile);
@@ -85,17 +106,11 @@ class Emulator {
   const EmulatorOptions& options() const { return options_; }
 
  private:
-  EmulationResult run_single(
-      const profile::Profile& profile,
-      const std::function<void(size_t)>& per_sample_hook = {});
+  EmulationResult run_single(const profile::Profile& profile);
   EmulationResult run_process_parallel(const profile::Profile& profile);
 
-  /// Parallel-efficiency model for the VR compute time (Amdahl serial
-  /// fraction + per-worker coordination overhead): scale factor applied
-  /// to per-sample compute budgets when emulating with N workers.
-  static double parallel_time_factor(int workers, double overhead_per_worker);
-
   EmulatorOptions options_;
+  const atoms::AtomRegistry* registry_;  ///< not owned, never null
 };
 
 }  // namespace synapse::emulator

@@ -1,0 +1,171 @@
+#include "emulator/replay_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+#include "watchers/trace.hpp"
+
+namespace synapse::emulator {
+
+namespace m = synapse::metrics;
+
+ReplayEngine::ReplayEngine(EmulatorOptions options,
+                           const atoms::AtomRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry
+                                    : &atoms::AtomRegistry::instance()) {
+  if (options_.parallel_degree < 1) options_.parallel_degree = 1;
+}
+
+std::vector<std::string> ReplayEngine::resolve_atom_set(
+    const EmulatorOptions& options) {
+  std::vector<std::string> names;
+  if (!options.atom_set.empty()) {
+    // Deduplicate, keeping first-occurrence order: a repeated name
+    // would double-consume the budget yet report only one atom's stats
+    // (and double-count in the process-parallel slot aggregation).
+    for (const auto& name : options.atom_set) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    return names;
+  }
+  if (options.emulate_compute) names.push_back("compute");
+  if (options.emulate_memory) names.push_back("memory");
+  if (options.emulate_storage) names.push_back("storage");
+  if (options.emulate_network) names.push_back("network");
+  return names;
+}
+
+double ReplayEngine::parallel_time_factor(int workers,
+                                          double overhead_per_worker) {
+  if (workers <= 1) return 1.0;
+  // Amdahl serial fraction (the emulator's sample feed is sequential)
+  // plus linear per-worker coordination cost: time(N) =
+  // T1 * (f + (1-f)/N) * (1 + a*(N-1)). Good scaling for small N,
+  // diminishing returns toward a full node — the Fig. 12 shape.
+  constexpr double kSerialFraction = 0.03;
+  const double n = static_cast<double>(workers);
+  return (kSerialFraction + (1.0 - kSerialFraction) / n) *
+         (1.0 + overhead_per_worker * (n - 1.0));
+}
+
+namespace {
+
+/// Apply the emulator's workload overrides to one sample delta.
+profile::SampleDelta scale_delta(const profile::SampleDelta& in,
+                                 const EmulatorOptions& opts) {
+  profile::SampleDelta out = in;
+  auto scale = [&out](std::string_view key, double factor) {
+    const auto it = out.deltas.find(std::string(key));
+    if (it != out.deltas.end()) it->second *= factor;
+  };
+  if (opts.cycle_scale != 1.0) {
+    scale(m::kCyclesUsed, opts.cycle_scale);
+    scale(m::kInstructions, opts.cycle_scale);
+    scale(m::kFlops, opts.cycle_scale);
+  }
+  if (opts.memory_scale != 1.0) {
+    scale(m::kMemAllocated, opts.memory_scale);
+    scale(m::kMemFreed, opts.memory_scale);
+  }
+  if (opts.io_scale != 1.0) {
+    scale(m::kBytesRead, opts.io_scale);
+    scale(m::kBytesWritten, opts.io_scale);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ReplayEngine::mirror_builtin_stats(EmulationResult& result,
+                                        const std::string& name,
+                                        const atoms::AtomStats& stats) {
+  if (name == "compute") result.compute = stats;
+  if (name == "memory") result.memory = stats;
+  if (name == "storage") result.storage = stats;
+  if (name == "network") result.network = stats;
+}
+
+EmulationResult ReplayEngine::replay(const profile::Profile& profile,
+                                     const SampleHook& per_sample_hook) {
+  EmulationResult result;
+  const sys::Stopwatch total;
+
+  // --- startup: build atoms, warm the kernel (calibration) -----------------
+  const sys::Stopwatch startup;
+
+  // The engine replays in ONE process. Forking and splitting the budget
+  // across ranks is the Emulator driver's job; accepting Process mode
+  // here would silently consume the full N-rank budget in-process.
+  if (options_.parallel_mode == ParallelMode::Process &&
+      options_.parallel_degree > 1) {
+    throw sys::ConfigError(
+        "ReplayEngine replays in-process; use Emulator for Process mode");
+  }
+
+  EmulatorOptions opts = options_;
+  if (opts.parallel_mode == ParallelMode::OpenMp && opts.parallel_degree > 1) {
+    opts.compute.kernel = "omp";
+    opts.compute.omp_threads = opts.parallel_degree;
+    opts.compute.time_scale = parallel_time_factor(
+        opts.parallel_degree,
+        resource::active_resource().omp_overhead_per_worker);
+  }
+
+  const atoms::AtomBuildContext context{opts.compute, opts.memory,
+                                        opts.storage, opts.network};
+  const std::vector<std::string> atom_names = resolve_atom_set(opts);
+  std::vector<std::unique_ptr<atoms::Atom>> active;
+  for (const auto& name : atom_names) {
+    active.push_back(registry_->create(name, context));
+  }
+
+  // Emulation runs are themselves profile-able: publish consumed
+  // counters through the cooperative trace when one is requested.
+  auto trace = watchers::TraceWriter::from_env();
+  for (auto& atom : active) atom->set_trace(trace.get());
+
+  result.startup_seconds = startup.elapsed();
+
+  // --- the global sample feed loop (section 4.2) ---------------------------
+  const auto deltas = profile.sample_deltas();
+  for (const auto& raw : deltas) {
+    const profile::SampleDelta delta = scale_delta(raw, opts);
+
+    // All resource consumptions of one sample start concurrently; the
+    // sample ends when the last one completes (Fig. 2).
+    std::vector<std::thread> workers;
+    for (auto& atom : active) {
+      if (!atom->wants(delta)) continue;
+      workers.emplace_back([&atom, &delta] {
+        try {
+          atom->consume(delta);
+        } catch (const std::exception&) {
+          // A failing atom must not wedge the sample barrier; the
+          // shortfall shows up in the atom's stats.
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (per_sample_hook) per_sample_hook(result.samples_replayed);
+    ++result.samples_replayed;
+  }
+
+  for (size_t i = 0; i < active.size(); ++i) {
+    result.atom_stats[atom_names[i]] = active[i]->stats();
+    mirror_builtin_stats(result, atom_names[i], active[i]->stats());
+  }
+
+  result.wall_seconds = total.elapsed();
+  result.ranks_ok = 1;
+  return result;
+}
+
+}  // namespace synapse::emulator

@@ -1,0 +1,71 @@
+#pragma once
+// The replay engine: the ONE place that feeds a profile's sample
+// sequence to emulation atoms (paper section 4.2, Fig. 2 semantics).
+//
+// Both emulation modes are drivers over this engine:
+//   - single mode runs one engine in-process;
+//   - process-parallel mode forks N ranks, each running one engine on a
+//     per-rank slice of the options (emulator.cpp).
+//
+// The engine resolves the configured atom set through an AtomRegistry
+// (atoms/atom_registry.hpp), so custom atoms registered at runtime
+// participate in replay without any emulator change. Per-sample
+// semantics are unchanged from the paper: samples replay strictly in
+// recorded order, all atoms of one sample start concurrently, the
+// sample ends when the LAST atom finishes, and intra-sample timing is
+// discarded.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "atoms/atom_registry.hpp"
+#include "emulator/emulator.hpp"
+#include "profile/profile.hpp"
+
+namespace synapse::emulator {
+
+class ReplayEngine {
+ public:
+  /// Called after every replayed sample with its index (0-based) —
+  /// process-parallel mode hangs the halo-exchange ring step here.
+  using SampleHook = std::function<void(size_t)>;
+
+  /// `registry` = nullptr uses the process-wide AtomRegistry::instance().
+  /// The registry must outlive the engine; it is not copied.
+  explicit ReplayEngine(EmulatorOptions options,
+                        const atoms::AtomRegistry* registry = nullptr);
+
+  /// Build the configured atoms (startup/calibration), feed every
+  /// sample delta through the barrier loop, and aggregate per-atom
+  /// stats. Blocks until the last sample completes.
+  EmulationResult replay(const profile::Profile& profile,
+                         const SampleHook& per_sample_hook = {});
+
+  /// The atom names this engine will instantiate: the declarative
+  /// EmulatorOptions::atom_set when non-empty, otherwise the built-ins
+  /// selected by the emulate_* flags (network included only behind
+  /// emulate_network).
+  static std::vector<std::string> resolve_atom_set(
+      const EmulatorOptions& options);
+
+  /// Parallel-efficiency model for the VR compute time (Amdahl serial
+  /// fraction + per-worker coordination overhead): scale factor applied
+  /// to per-sample compute budgets when emulating with N workers.
+  static double parallel_time_factor(int workers, double overhead_per_worker);
+
+  /// Copy one atom's stats into the matching named EmulationResult slot
+  /// (the built-ins' convenience mirrors); no-op for custom names.
+  static void mirror_builtin_stats(EmulationResult& result,
+                                   const std::string& name,
+                                   const atoms::AtomStats& stats);
+
+  const EmulatorOptions& options() const { return options_; }
+  const atoms::AtomRegistry& registry() const { return *registry_; }
+
+ private:
+  EmulatorOptions options_;
+  const atoms::AtomRegistry* registry_;  ///< not owned, never null
+};
+
+}  // namespace synapse::emulator

@@ -61,7 +61,7 @@ WorkloadResult Scheduler::run(const Workload& workload) {
         tr.stage = stage.name;
         tr.start_seconds = sys::steady_now() - t0;
         try {
-          emulator::Emulator emu(task.options);
+          emulator::Emulator emu(task.options, options_.atom_registry);
           for (int i = 0; i < task.iterations; ++i) {
             const auto r = emu.emulate(task.profile);
             tr.busy_seconds += r.wall_seconds;

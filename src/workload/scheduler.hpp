@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "atoms/atom_registry.hpp"
 #include "workload/workload.hpp"
 
 namespace synapse::workload {
@@ -50,6 +51,11 @@ struct SchedulerOptions {
   /// Continue the stage when a task fails (failed tasks are recorded);
   /// false aborts the remaining stages.
   bool keep_going = true;
+  /// Atom registry the per-task emulators resolve atom names through
+  /// (nullptr = the process-wide AtomRegistry::instance()). Lets an
+  /// ensemble run custom atoms without touching emulator code; must
+  /// outlive the scheduler run.
+  const atoms::AtomRegistry* atom_registry = nullptr;
 };
 
 class Scheduler {

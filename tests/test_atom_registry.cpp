@@ -1,0 +1,130 @@
+#include "atoms/atom_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/error.hpp"
+
+namespace atoms = synapse::atoms;
+namespace profile = synapse::profile;
+namespace resource = synapse::resource;
+namespace m = synapse::metrics;
+namespace sys = synapse::sys;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+/// Minimal custom atom: counts the samples it is fed.
+class CountingAtom final : public atoms::Atom {
+ public:
+  CountingAtom() : Atom("counting") {}
+
+  bool wants(const profile::SampleDelta&) const override { return true; }
+  void consume(const profile::SampleDelta&) override {
+    stats_.samples_consumed += 1;
+  }
+};
+
+atoms::AtomBuildContext tmp_context() {
+  atoms::AtomBuildContext ctx;
+  ctx.storage.base_dir = "/tmp";
+  return ctx;
+}
+
+}  // namespace
+
+TEST(AtomRegistry, BuiltinsArePreRegistered) {
+  const auto& registry = atoms::AtomRegistry::instance();
+  for (const auto& name : atoms::AtomRegistry::builtin_names()) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_EQ(atoms::AtomRegistry::builtin_names().size(), 4u);
+}
+
+TEST(AtomRegistry, CreatesBuiltinsByName) {
+  HostGuard guard;
+  const auto ctx = tmp_context();
+  atoms::AtomRegistry registry;
+  for (const std::string name : {"compute", "memory", "storage"}) {
+    const auto atom = registry.create(name, ctx);
+    ASSERT_NE(atom, nullptr) << name;
+    EXPECT_EQ(atom->name(), name);
+  }
+}
+
+TEST(AtomRegistry, BuildContextOptionsReachTheAtom) {
+  HostGuard guard;
+  auto ctx = tmp_context();
+  ctx.compute.kernel = "sleep";
+  atoms::AtomRegistry registry;
+  const auto atom = registry.create("compute", ctx);
+  auto* compute = dynamic_cast<atoms::ComputeAtom*>(atom.get());
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->kernel().name(), "sleep");
+}
+
+TEST(AtomRegistry, UnknownNameThrowsWithRegisteredList) {
+  atoms::AtomRegistry registry;
+  try {
+    registry.create("warp-drive", tmp_context());
+    FAIL() << "expected ConfigError";
+  } catch (const sys::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-drive"), std::string::npos);
+    EXPECT_NE(what.find("compute"), std::string::npos);
+  }
+}
+
+TEST(AtomRegistry, CustomAtomRegistersAndCreates) {
+  atoms::AtomRegistry registry;
+  EXPECT_FALSE(registry.contains("counting"));
+  registry.register_atom("counting", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<CountingAtom>();
+  });
+  EXPECT_TRUE(registry.contains("counting"));
+
+  const auto atom = registry.create("counting", tmp_context());
+  profile::SampleDelta delta;
+  delta.duration = 0.1;
+  atom->consume(delta);
+  atom->consume(delta);
+  EXPECT_EQ(atom->stats().samples_consumed, 2u);
+}
+
+TEST(AtomRegistry, RegistrationOverridesBuiltin) {
+  atoms::AtomRegistry registry;
+  registry.register_atom("compute", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<CountingAtom>();
+  });
+  const auto atom = registry.create("compute", tmp_context());
+  EXPECT_EQ(atom->name(), "counting");
+}
+
+TEST(AtomRegistry, RejectsEmptyNameAndFactory) {
+  atoms::AtomRegistry registry;
+  EXPECT_THROW(
+      registry.register_atom("", [](const atoms::AtomBuildContext&) {
+        return std::make_unique<CountingAtom>();
+      }),
+      sys::ConfigError);
+  EXPECT_THROW(registry.register_atom("null", atoms::AtomRegistry::Factory()),
+               sys::ConfigError);
+}
+
+TEST(AtomRegistry, NamesListsEverything) {
+  atoms::AtomRegistry registry;
+  registry.register_atom("zeta", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<CountingAtom>();
+  });
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), 5u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "zeta"), names.end());
+}

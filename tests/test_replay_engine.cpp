@@ -1,0 +1,270 @@
+#include "emulator/replay_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "emulator/emulator.hpp"
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/error.hpp"
+
+namespace atoms = synapse::atoms;
+namespace emulator = synapse::emulator;
+namespace profile = synapse::profile;
+namespace resource = synapse::resource;
+namespace m = synapse::metrics;
+namespace sys = synapse::sys;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+/// Synthetic profile: `samples` periods with compute, storage and
+/// memory consumption per period.
+profile::Profile synthetic_profile(size_t samples, double cycles_per_sample,
+                                   double bytes_per_sample = 0,
+                                   double alloc_per_sample = 0) {
+  profile::Profile p;
+  p.command = "synthetic";
+  p.sample_rate_hz = 10.0;
+
+  profile::TimeSeries trace;
+  trace.watcher = "trace";
+  double cycles = 0, alloc = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    cycles += cycles_per_sample;
+    alloc += alloc_per_sample;
+    s.set(m::kCyclesUsed, cycles);
+    s.set(m::kMemAllocated, alloc);
+    trace.samples.push_back(std::move(s));
+  }
+  p.series.push_back(trace);
+
+  profile::TimeSeries io;
+  io.watcher = "io";
+  double b = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    b += bytes_per_sample;
+    s.set(m::kBytesWritten, b);
+    io.samples.push_back(std::move(s));
+  }
+  p.series.push_back(io);
+  return p;
+}
+
+emulator::EmulatorOptions tmp_options() {
+  emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+/// Custom atom that tallies the deltas it is fed (the "user-pluggable
+/// emulation" of paper section 4.5, without touching emulator code).
+class TallyAtom final : public atoms::Atom {
+ public:
+  TallyAtom() : Atom("tally") {}
+
+  bool wants(const profile::SampleDelta&) const override { return true; }
+  void consume(const profile::SampleDelta& delta) override {
+    stats_.samples_consumed += 1;
+    stats_.cycles += delta.get(m::kCyclesUsed);
+  }
+};
+
+}  // namespace
+
+TEST(ReplayEngine, ResolvesFlagsToBuiltinSet) {
+  emulator::EmulatorOptions opts;
+  auto names = emulator::ReplayEngine::resolve_atom_set(opts);
+  EXPECT_EQ(names, (std::vector<std::string>{"compute", "memory", "storage"}));
+
+  opts.emulate_network = true;
+  names = emulator::ReplayEngine::resolve_atom_set(opts);
+  EXPECT_EQ(names, (std::vector<std::string>{"compute", "memory", "storage",
+                                             "network"}));
+
+  opts.emulate_memory = false;
+  opts.emulate_network = false;
+  names = emulator::ReplayEngine::resolve_atom_set(opts);
+  EXPECT_EQ(names, (std::vector<std::string>{"compute", "storage"}));
+}
+
+TEST(ReplayEngine, ExplicitAtomSetWinsOverFlags) {
+  emulator::EmulatorOptions opts;
+  opts.emulate_compute = false;  // ignored: atom_set is explicit
+  opts.atom_set = {"compute"};
+  const auto names = emulator::ReplayEngine::resolve_atom_set(opts);
+  EXPECT_EQ(names, (std::vector<std::string>{"compute"}));
+}
+
+TEST(ReplayEngine, DuplicateAtomNamesCollapse) {
+  emulator::EmulatorOptions opts;
+  opts.atom_set = {"compute", "storage", "compute"};
+  const auto names = emulator::ReplayEngine::resolve_atom_set(opts);
+  EXPECT_EQ(names, (std::vector<std::string>{"compute", "storage"}));
+}
+
+TEST(ReplayEngine, ReplaysProfileAndReportsPerAtomStats) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(4, 0.02 * hz, 64 * 1024);
+
+  emulator::ReplayEngine engine(tmp_options());
+  const auto r = engine.replay(p);
+  EXPECT_EQ(r.samples_replayed, 4u);
+  EXPECT_NEAR(r.compute.cycles, 0.08 * hz, 0.01 * hz);
+  EXPECT_EQ(r.storage.bytes_written, 4u * 64 * 1024);
+  // The named mirrors and the generic per-atom map agree.
+  ASSERT_TRUE(r.atom_stats.count("compute"));
+  ASSERT_TRUE(r.atom_stats.count("storage"));
+  EXPECT_EQ(r.atom_stats.at("compute").cycles, r.compute.cycles);
+  EXPECT_EQ(r.atom_stats.at("storage").bytes_written,
+            r.storage.bytes_written);
+}
+
+TEST(ReplayEngine, UnknownAtomInSetFailsAtStartup) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.atom_set = {"compute", "warp-drive"};
+  emulator::ReplayEngine engine(opts);
+  EXPECT_THROW(engine.replay(synthetic_profile(1, 1e6)), sys::ConfigError);
+}
+
+TEST(ReplayEngine, CustomAtomParticipatesInReplay) {
+  HostGuard guard;
+  atoms::AtomRegistry registry;
+  registry.register_atom("tally", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<TallyAtom>();
+  });
+
+  auto opts = tmp_options();
+  opts.atom_set = {"compute", "tally"};
+  emulator::ReplayEngine engine(opts, &registry);
+  const auto r = engine.replay(synthetic_profile(5, 1e6));
+
+  ASSERT_TRUE(r.atom_stats.count("tally"));
+  EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 5u);
+  EXPECT_NEAR(r.atom_stats.at("tally").cycles, 5e6, 1.0);
+}
+
+TEST(ReplayEngine, CustomAtomRunsThroughEmulatorDriver) {
+  HostGuard guard;
+  atoms::AtomRegistry registry;
+  registry.register_atom("tally", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<TallyAtom>();
+  });
+
+  auto opts = tmp_options();
+  opts.atom_set = {"tally"};
+  emulator::Emulator emu(opts, &registry);
+  const auto r = emu.emulate(synthetic_profile(3, 1e6));
+  ASSERT_TRUE(r.atom_stats.count("tally"));
+  EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 3u);
+}
+
+TEST(ReplayEngine, NetworkFlagWiresNetworkAtom) {
+  HostGuard guard;
+  profile::Profile p;
+  p.command = "net-synthetic";
+  p.sample_rate_hz = 10.0;
+  profile::TimeSeries net;
+  net.watcher = "net";
+  double sent = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    sent += 32 * 1024;
+    s.set(m::kNetBytesWritten, sent);
+    net.samples.push_back(std::move(s));
+  }
+  p.series.push_back(net);
+
+  auto opts = tmp_options();
+  opts.emulate_compute = false;
+  opts.emulate_memory = false;
+  opts.emulate_storage = false;
+  opts.emulate_network = true;
+  emulator::ReplayEngine engine(opts);
+  const auto r = engine.replay(p);
+  EXPECT_EQ(r.network.net_bytes_sent, 3u * 32 * 1024);
+  ASSERT_TRUE(r.atom_stats.count("network"));
+}
+
+TEST(ReplayEngine, RefusesProcessModeDirectly) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 4;
+  emulator::ReplayEngine engine(opts);
+  // Forking and budget-splitting belong to the Emulator driver; the
+  // engine must refuse rather than consume the full 4-rank budget.
+  EXPECT_THROW(engine.replay(synthetic_profile(1, 1e6)), sys::ConfigError);
+}
+
+TEST(ReplayEngine, ProcessModeRejectsUnknownAtomInParent) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.atom_set = {"warp-drive"};
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 2;
+  emulator::Emulator emu(opts);
+  // Must throw in the parent, not die silently inside the forked ranks.
+  EXPECT_THROW(emu.emulate(synthetic_profile(1, 1e6)), sys::ConfigError);
+}
+
+TEST(ReplayEngine, CustomAtomAggregatesAcrossRanks) {
+  HostGuard guard;
+  atoms::AtomRegistry registry;
+  registry.register_atom("tally", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<TallyAtom>();
+  });
+
+  auto opts = tmp_options();
+  opts.atom_set = {"tally"};
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 2;
+  emulator::Emulator emu(opts, &registry);
+  const auto r = emu.emulate(synthetic_profile(4, 1e6));
+  ASSERT_EQ(r.ranks_ok, 2);
+  ASSERT_TRUE(r.atom_stats.count("tally"));
+  // Every rank replays every sample (memory/storage-style duplication).
+  EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 2u * 4);
+}
+
+TEST(ReplayEngine, SingleAndProcessParallelStatsParity) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  constexpr int kRanks = 2;
+  const auto p =
+      synthetic_profile(3, 0.02 * hz, 64 * 1024, 512 * 1024);
+
+  emulator::Emulator single(tmp_options());
+  const auto rs = single.emulate(p);
+
+  auto opts = tmp_options();
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = kRanks;
+  emulator::Emulator parallel(opts);
+  const auto rp = parallel.emulate(p);
+
+  ASSERT_EQ(rp.ranks_ok, kRanks);
+  // Compute is spread across ranks: the aggregate cycle budget matches
+  // the single-mode replay of the same profile.
+  EXPECT_NEAR(rp.compute.cycles, rs.compute.cycles, 0.05 * rs.compute.cycles);
+  // Storage and memory consumption is duplicated per rank (the paper's
+  // "naive way", E.4).
+  EXPECT_EQ(rp.storage.bytes_written, kRanks * rs.storage.bytes_written);
+  EXPECT_EQ(rp.memory.bytes_allocated, kRanks * rs.memory.bytes_allocated);
+  EXPECT_EQ(rp.samples_replayed, rs.samples_replayed);
+  // Both modes surface the same per-atom view.
+  ASSERT_TRUE(rp.atom_stats.count("compute"));
+  EXPECT_EQ(rp.atom_stats.at("compute").cycles, rp.compute.cycles);
+}

@@ -4,6 +4,9 @@
 
 #include <unistd.h>
 
+#include <thread>
+#include <vector>
+
 #include "resource/cache_model.hpp"
 #include "sys/clock.hpp"
 #include "sys/env.hpp"
