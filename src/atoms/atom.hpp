@@ -29,6 +29,21 @@ struct AtomStats {
   uint64_t samples_consumed = 0;
 };
 
+/// Field-wise accumulation, used wherever per-rank or per-repetition
+/// stats are summed (process-parallel aggregation, scenario runs).
+inline void accumulate(AtomStats& into, const AtomStats& from) {
+  into.busy_seconds += from.busy_seconds;
+  into.cycles += from.cycles;
+  into.flops += from.flops;
+  into.bytes_read += from.bytes_read;
+  into.bytes_written += from.bytes_written;
+  into.bytes_allocated += from.bytes_allocated;
+  into.bytes_freed += from.bytes_freed;
+  into.net_bytes_sent += from.net_bytes_sent;
+  into.net_bytes_received += from.net_bytes_received;
+  into.samples_consumed += from.samples_consumed;
+}
+
 class Atom {
  public:
   explicit Atom(std::string name) : name_(std::move(name)) {}

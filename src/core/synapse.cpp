@@ -8,15 +8,15 @@ namespace {
 
 profile::ProfileStore make_store(const SessionOptions& options) {
   if (options.store_backend == "memory") {
-    return profile::ProfileStore();
+    return profile::ProfileStore(options.store_options);
   }
   if (options.store_backend == "docstore") {
     return profile::ProfileStore(profile::ProfileStore::Backend::DocStore,
-                                 options.store_dir);
+                                 options.store_dir, options.store_options);
   }
   if (options.store_backend == "files") {
     return profile::ProfileStore(profile::ProfileStore::Backend::Files,
-                                 options.store_dir);
+                                 options.store_dir, options.store_options);
   }
   throw sys::ConfigError("unknown store backend: " + options.store_backend);
 }
@@ -31,7 +31,11 @@ profile::Profile Session::profile(const std::string& command,
   watchers::Profiler profiler(options_.profiler);
   profile::Profile p = profiler.profile(command, tags);
   store_.put(p);
-  store_.flush();
+  // Persistence rides the store's background flush worker so repeated
+  // recordings don't serialize on docstore writes; the store drains
+  // pending flushes on destruction, and callers needing immediate
+  // durability can still call store().flush().
+  store_.flush_async();
   return p;
 }
 

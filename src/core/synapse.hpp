@@ -29,6 +29,9 @@ struct SessionOptions {
   std::string store_backend = "files";
   /// Store directory for persistent backends.
   std::string store_dir = ".synapse";
+  /// Sharding/caching knobs of the profile store (persistent backends
+  /// keep the shard count they were created with; see ProfileStoreOptions).
+  profile::ProfileStoreOptions store_options;
   watchers::ProfilerOptions profiler;
   emulator::EmulatorOptions emulator;
   /// Atom registry emulation resolves atom names through (nullptr = the
@@ -42,6 +45,9 @@ class Session {
 
   /// Profile `command`, store and return the profile. Repeated calls
   /// accumulate repetitions for statistics (ProfileStore::stats).
+  /// Persistence is handed to the store's background flush worker
+  /// (drained on Session destruction); call store().flush() to force
+  /// immediate durability.
   profile::Profile profile(const std::string& command,
                            const std::vector<std::string>& tags = {});
 

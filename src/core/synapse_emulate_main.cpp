@@ -1,4 +1,5 @@
-// synapse-emulate: command-line wrapper around Session::emulate.
+// synapse-emulate: command-line wrapper around Session::emulate and the
+// scenario library.
 //
 // Usage:
 //   synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]
@@ -6,6 +7,8 @@
 //                   [--atoms NAME[,NAME...]] [--net]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
 //                   -- COMMAND [ARGS...]
+//   synapse-emulate --scenario NAME|FILE [tuning flags...]
+//   synapse-emulate --list-scenarios
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include "atoms/atom_registry.hpp"
 #include "core/synapse.hpp"
 #include "resource/resource_spec.hpp"
+#include "workload/scenario.hpp"
 
 namespace {
 
@@ -42,6 +46,52 @@ std::vector<std::string> split_atom_list(const std::string& list) {
   return names;
 }
 
+/// One line per atom so scripts (and tests) can assert per-atom stats.
+void print_atom_stats(const synapse::emulator::EmulationResult& result) {
+  for (const auto& [atom, s] : result.atom_stats) {
+    std::printf(
+        "  atom %-10s samples=%llu cycles=%.3e flops=%.3e "
+        "bytes r/w=%llu/%llu alloc/free=%llu/%llu net s/r=%llu/%llu\n",
+        atom.c_str(), static_cast<unsigned long long>(s.samples_consumed),
+        s.cycles, s.flops, static_cast<unsigned long long>(s.bytes_read),
+        static_cast<unsigned long long>(s.bytes_written),
+        static_cast<unsigned long long>(s.bytes_allocated),
+        static_cast<unsigned long long>(s.bytes_freed),
+        static_cast<unsigned long long>(s.net_bytes_sent),
+        static_cast<unsigned long long>(s.net_bytes_received));
+  }
+}
+
+int list_scenarios() {
+  std::printf("%-18s %-28s %8s  %s\n", "name", "atoms", "samples",
+              "description");
+  for (const auto& s : synapse::workload::builtin_scenarios()) {
+    std::string atoms;
+    for (const auto& a : s.atom_set) {
+      if (!atoms.empty()) atoms += ',';
+      atoms += a;
+    }
+    std::printf("%-18s %-28s %8zu  %s\n", s.name.c_str(), atoms.c_str(),
+                s.source.samples, s.description.c_str());
+  }
+  return 0;
+}
+
+int run_scenario_mode(const std::string& scenario_arg,
+                      const synapse::SessionOptions& options) {
+  using namespace synapse;
+  const workload::ScenarioSpec spec =
+      workload::resolve_scenario(scenario_arg);
+  const auto run = workload::run_scenario(spec, options.emulator);
+  std::printf("scenario : %s (%zu samples x %d reps)\n", spec.name.c_str(),
+              spec.source.samples, run.repetitions);
+  std::printf("  resource : %s\n", resource::active_resource().name.c_str());
+  std::printf("  Tx       : %.3f s\n", run.result.wall_seconds);
+  std::printf("  samples  : %zu\n", run.result.samples_replayed);
+  print_atom_stats(run.result);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +101,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> tags;
   std::string command;
   std::string resource_name;
+  std::string scenario;
+  bool store_flag = false;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -62,6 +114,7 @@ int main(int argc, char** argv) {
       tags.push_back(next());
     } else if (arg == "--store") {
       options.store_dir = next();
+      store_flag = true;
     } else if (arg == "--resource") {
       resource_name = next();
     } else if (arg == "--kernel") {
@@ -83,6 +136,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--net") {
       options.emulator.emulate_network = true;
+    } else if (arg == "--scenario") {
+      scenario = next();
+      if (scenario.empty()) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --scenario needs a name or file\n");
+        return 2;
+      }
+    } else if (arg == "--list-scenarios") {
+      return list_scenarios();
     } else if (arg == "--read-block") {
       options.emulator.storage.read_block_bytes =
           std::strtoull(next(), nullptr, 10) * 1024;
@@ -101,6 +163,8 @@ int main(int argc, char** argv) {
           "                [--atoms NAME[,NAME...]] [--net]\n"
           "                [--read-block KiB] [--write-block KiB]\n"
           "                [--fs NAME] -- COMMAND...\n"
+          "synapse-emulate --scenario NAME|FILE [tuning flags...]\n"
+          "synapse-emulate --list-scenarios\n"
           "registered atoms:");
       for (const auto& name : synapse::atoms::AtomRegistry::instance().names()) {
         std::printf(" %s", name.c_str());
@@ -117,8 +181,17 @@ int main(int argc, char** argv) {
     if (!command.empty()) command += ' ';
     command += argv[i];
   }
-  if (command.empty()) {
-    std::fprintf(stderr, "synapse-emulate: no command given (use --)\n");
+  if (command.empty() && scenario.empty()) {
+    std::fprintf(stderr,
+                 "synapse-emulate: no command given (use -- or --scenario)\n");
+    return 2;
+  }
+  if (!command.empty() && !scenario.empty()) {
+    // Running a scenario would silently ignore the command (and any
+    // store lookup the user expected for it); refuse the ambiguity.
+    std::fprintf(stderr,
+                 "synapse-emulate: --scenario and -- COMMAND are mutually "
+                 "exclusive\n");
     return 2;
   }
 
@@ -133,6 +206,23 @@ int main(int argc, char** argv) {
 
   if (!resource_name.empty()) {
     resource::activate_resource(resource_name);
+  }
+
+  if (!scenario.empty()) {
+    // Scenarios synthesize their own samples; they neither read nor
+    // write the profile store, so say so instead of silently ignoring
+    // these flags.
+    if (store_flag || !tags.empty()) {
+      std::fprintf(stderr,
+                   "synapse-emulate: note: --store/--tag have no effect "
+                   "with --scenario (scenarios do not touch the store)\n");
+    }
+    try {
+      return run_scenario_mode(scenario, options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
+      return 1;
+    }
   }
 
   try {

@@ -37,19 +37,6 @@ struct SharedHeader {
   std::atomic<uint64_t> comm_bytes;
 };
 
-void accumulate(atoms::AtomStats& into, const atoms::AtomStats& from) {
-  into.busy_seconds += from.busy_seconds;
-  into.cycles += from.cycles;
-  into.flops += from.flops;
-  into.bytes_read += from.bytes_read;
-  into.bytes_written += from.bytes_written;
-  into.bytes_allocated += from.bytes_allocated;
-  into.bytes_freed += from.bytes_freed;
-  into.net_bytes_sent += from.net_bytes_sent;
-  into.net_bytes_received += from.net_bytes_received;
-  into.samples_consumed += from.samples_consumed;
-}
-
 }  // namespace
 
 EmulationResult Emulator::run_single(const profile::Profile& profile) {

@@ -86,20 +86,13 @@ size_t Profile::sample_count() const {
   return n;
 }
 
-namespace {
-
-/// Metrics that are instantaneous observations rather than cumulative
-/// counters: deltas make no sense, so sample_deltas() propagates the
-/// within-period maximum instead.
-bool is_instantaneous(const std::string& metric) {
-  static const std::set<std::string> inst = {
+bool is_instantaneous_metric(std::string_view metric) {
+  static const std::set<std::string, std::less<>> inst = {
       std::string(metrics::kMemResident), std::string(metrics::kMemPeak),
       std::string(metrics::kNumThreads), std::string(metrics::kEfficiency),
       std::string(metrics::kUtilization)};
   return inst.count(metric) > 0;
 }
-
-}  // namespace
 
 std::vector<SampleDelta> Profile::sample_deltas() const {
   if (sample_rate_hz <= 0.0) return {};
@@ -140,7 +133,7 @@ std::vector<SampleDelta> Profile::sample_deltas() const {
     for (const auto& s : ts.samples) {
       const size_t b = bucket_of(s.timestamp);
       for (const auto& [metric, value] : s.values) {
-        if (is_instantaneous(metric)) {
+        if (is_instantaneous_metric(metric)) {
           auto& slot = out[b].deltas[metric];
           slot = std::max(slot, value);
         } else {

@@ -58,6 +58,13 @@ struct SystemInfo {
   static SystemInfo from_json(const json::Value& v);
 };
 
+/// True for metrics that are instantaneous observations (resident
+/// memory, thread count, ...) rather than cumulative counters: deltas
+/// make no sense for them, so sample_deltas() propagates the
+/// within-period maximum instead, and synthetic-profile builders must
+/// write absolute values rather than running sums.
+bool is_instantaneous_metric(std::string_view metric);
+
 /// One emulation step: the per-resource consumption deltas of a single
 /// sampling period, in recorded order. This is the unit the emulator's
 /// global loop feeds to the atoms (paper section 4.2).

@@ -2,36 +2,31 @@
 
 #include <dirent.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
 
+#include "docstore/docstore.hpp"
+#include "json/json.hpp"
 #include "sys/error.hpp"
 
 namespace synapse::profile {
 
-ProfileStore::ProfileStore() : backend_(Backend::Memory) {}
-
-ProfileStore::ProfileStore(Backend backend, const std::string& directory)
-    : backend_(backend), directory_(directory) {
-  if (backend_ == Backend::DocStore) {
-    store_ = std::make_unique<docstore::Store>(directory);
-  } else if (backend_ == Backend::Files) {
-    ::mkdir(directory.c_str(), 0755);
-  }
-}
-
-std::string ProfileStore::tags_key(const std::vector<std::string>& tags) const {
-  std::vector<std::string> sorted = tags;
-  std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  for (const auto& t : sorted) {
-    if (!key.empty()) key += ',';
-    key += t;
-  }
-  return key;
-}
-
 namespace {
+
+constexpr const char* kMetaFile = "store.meta.json";
+constexpr const char* kProfileSuffix = ".profile.json";
+constexpr size_t kSuffixLen = 13;  // strlen(kProfileSuffix)
+
 std::string sanitize(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -42,77 +37,492 @@ std::string sanitize(const std::string& s) {
   }
   return out.substr(0, 120);
 }
-}  // namespace
 
-std::string ProfileStore::file_name(const Profile& p, size_t seq) const {
-  return directory_ + "/" + sanitize(p.command) + "." +
-         sanitize(tags_key(p.tags)) + "." + std::to_string(seq) +
-         ".profile.json";
+/// FNV-1a, chosen over std::hash for a stable on-disk shard layout
+/// across processes and library versions.
+uint64_t fnv1a(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
-bool ProfileStore::put(const Profile& profile) {
+std::string index_key(const std::string& command,
+                      const std::string& tags_key) {
+  return command + '\x1f' + tags_key;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Temp-file suffix unique across processes (pid) AND across store
+/// instances/threads within one process (counter): two ProfileStore
+/// objects over the same directory share no mutex, so the pid alone
+/// would let their writes collide.
+std::string unique_tmp_suffix() {
+  static std::atomic<uint64_t> counter{0};
+  return std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+bool has_profile_suffix(const std::string& name) {
+  return name.size() > kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kProfileSuffix) ==
+             0;
+}
+
+size_t count_profile_files(const std::string& dir) {
+  size_t n = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    if (has_profile_suffix(entry->d_name)) ++n;
+  }
+  ::closedir(d);
+  return n;
+}
+
+/// Cross-process version stamp of a Files-backend shard, used to spot
+/// writes by OTHER processes (in-process writes invalidate the cache
+/// explicitly). Combines the directory mtime with the profile-file
+/// count: the count is monotone (puts only ever add files), so even
+/// two writes inside one filesystem-timestamp tick change the stamp.
+uint64_t files_shard_stamp(const std::string& dir) {
+  struct stat st {};
+  uint64_t stamp = 0;
+  if (::stat(dir.c_str(), &st) == 0) {
+    stamp = static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+            static_cast<uint64_t>(st.st_mtim.tv_nsec);
+  }
+  return stamp ^ (count_profile_files(dir) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+// --- shard -----------------------------------------------------------------
+
+struct ProfileStore::Shard {
+  mutable std::mutex mutex;
+
+  // Exactly one of these is active, matching the store backend.
+  std::vector<Profile> memory;             ///< Backend::Memory
+  std::unique_ptr<docstore::Store> store;  ///< Backend::DocStore
+  std::string directory;                   ///< Backend::Files
+
+  // In-shard LRU read cache: find() results keyed by command+tags.
+  // Guarded by `mutex`; front of the list is most recently used. Each
+  // entry carries the shard directory's mtime at fill time (Files
+  // backend), so writes from other processes invalidate stale entries.
+  struct CacheEntry {
+    std::string key;
+    std::vector<Profile> profiles;
+    uint64_t stamp = 0;
+  };
+  std::list<CacheEntry> lru;
+  std::map<std::string, std::list<CacheEntry>::iterator> lru_index;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+
+  /// Caller holds `mutex`. `stamp` must match the entry's fill stamp;
+  /// a mismatched (stale) entry is dropped and counted as a miss.
+  std::vector<Profile>* cache_lookup(const std::string& key,
+                                     uint64_t stamp) {
+    const auto it = lru_index.find(key);
+    if (it == lru_index.end()) {
+      ++cache_misses;
+      return nullptr;
+    }
+    if (it->second->stamp != stamp) {
+      lru.erase(it->second);
+      lru_index.erase(it);
+      ++cache_invalidations;
+      ++cache_misses;
+      return nullptr;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    ++cache_hits;
+    return &it->second->profiles;
+  }
+
+  /// Caller holds `mutex`.
+  void cache_store(const std::string& key, std::vector<Profile> profiles,
+                   uint64_t stamp, size_t capacity) {
+    if (capacity == 0) return;
+    const auto it = lru_index.find(key);
+    if (it != lru_index.end()) {
+      it->second->profiles = std::move(profiles);
+      it->second->stamp = stamp;
+      lru.splice(lru.begin(), lru, it->second);
+      return;
+    }
+    lru.push_front(CacheEntry{key, std::move(profiles), stamp});
+    lru_index[key] = lru.begin();
+    while (lru.size() > capacity) {
+      lru_index.erase(lru.back().key);
+      lru.pop_back();
+    }
+  }
+
+  /// Caller holds `mutex`.
+  void cache_invalidate(const std::string& key) {
+    const auto it = lru_index.find(key);
+    if (it == lru_index.end()) return;
+    lru.erase(it->second);
+    lru_index.erase(it);
+    ++cache_invalidations;
+  }
+};
+
+// --- background flush worker ----------------------------------------------
+
+struct ProfileStore::Flusher {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool pending = false;  ///< a flush_async() request not yet picked up
+  bool running = false;  ///< the worker is flushing right now
+  bool stop = false;
+  std::thread worker;
+
+  ~Flusher() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    cv.notify_all();
+    if (worker.joinable()) worker.join();
+  }
+};
+
+// --- construction ----------------------------------------------------------
+
+ProfileStore::ProfileStore(ProfileStoreOptions options)
+    : backend_(Backend::Memory), options_(options) {
+  options_.shards = std::max<size_t>(1, options_.shards);
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ProfileStore::ProfileStore(Backend backend, const std::string& directory,
+                           ProfileStoreOptions options)
+    : backend_(backend), directory_(directory), options_(options) {
+  options_.shards = std::max<size_t>(1, options_.shards);
+  bool fresh_meta = false;
+  if (backend_ == Backend::Memory) {
+    directory_.clear();
+  } else {
+    ::mkdir(directory_.c_str(), 0755);
+    // The shard count is part of the on-disk layout: honour the meta
+    // file of an existing store over the requested option, so a store
+    // reopened with different options still finds every profile. The
+    // meta file is claimed with link() so that when several processes
+    // first-open the same directory concurrently, exactly one defines
+    // the layout; losers read the winner's (complete, link() only
+    // exposes whole files) meta.
+    const std::string meta_path = directory_ + "/" + kMetaFile;
+    const std::string backend_name =
+        backend_ == Backend::DocStore ? "docstore" : "files";
+    if (!file_exists(meta_path)) {
+      // Refuse to stamp a meta file over legacy content of the OTHER
+      // backend: that would bind the directory to a layout that can
+      // never adopt the existing profiles.
+      if (backend_ == Backend::DocStore &&
+          count_profile_files(directory_) > 0) {
+        throw sys::ConfigError(
+            "profile store '" + directory_ +
+            "' holds a files-backend layout; open it with Backend::Files");
+      }
+      if (backend_ == Backend::Files &&
+          file_exists(directory_ + "/profiles.collection.json")) {
+        throw sys::ConfigError(
+            "profile store '" + directory_ +
+            "' holds a docstore layout; open it with Backend::DocStore");
+      }
+      json::Object meta;
+      meta["shards"] = options_.shards;
+      meta["backend"] = backend_name;
+      const std::string tmp = meta_path + ".tmp-" + unique_tmp_suffix();
+      json::save_file(tmp, json::Value(std::move(meta)), /*indent=*/0);
+      if (::link(tmp.c_str(), meta_path.c_str()) == 0) {
+        fresh_meta = true;
+      } else if (errno != EEXIST) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw sys::SystemError("link(" + meta_path + ")", err);
+      }
+      ::unlink(tmp.c_str());
+    }
+    if (!fresh_meta) {
+      const json::Value meta = json::load_file(meta_path);
+      const size_t persisted =
+          static_cast<size_t>(meta.get_or("shards", 0.0));
+      if (persisted >= 1) options_.shards = persisted;
+      // A store directory is bound to the backend that created it;
+      // opening it with the other backend would silently show zero
+      // profiles and interleave incompatible layouts.
+      const std::string persisted_backend =
+          meta.get_or("backend", backend_name);
+      if (persisted_backend != backend_name) {
+        throw sys::ConfigError("profile store '" + directory_ +
+                               "' was created with the " + persisted_backend +
+                               " backend, not " + backend_name);
+      }
+    }
+  }
+
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (backend_ != Backend::Memory) {
+      const std::string shard_dir =
+          directory_ + "/shard-" + std::to_string(i);
+      if (backend_ == Backend::DocStore) {
+        shard->store = std::make_unique<docstore::Store>(shard_dir);
+      } else {
+        ::mkdir(shard_dir.c_str(), 0755);
+        shard->directory = shard_dir;
+      }
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // A directory may hold profiles written by the pre-sharding layout —
+  // either because this open created the store meta, or because an
+  // earlier migration was interrupted mid-way. The check is a cheap
+  // existence scan, so attempt adoption on every open; leftovers from
+  // an interrupted run are picked up then.
+  if (backend_ != Backend::Memory) migrate_legacy_layout();
+  // The async-flush worker only matters for the docstore backend (the
+  // other backends persist eagerly); started here so flush_async() and
+  // flush() never race on its creation.
+  if (backend_ == Backend::DocStore) start_flush_worker();
+}
+
+void ProfileStore::migrate_legacy_layout() {
+  if (backend_ == Backend::Files) {
+    // Legacy layout: *.profile.json directly in the store root.
+    DIR* dir = ::opendir(directory_.c_str());
+    if (dir == nullptr) return;
+    std::vector<std::string> legacy;
+    while (struct dirent* entry = ::readdir(dir)) {
+      if (has_profile_suffix(entry->d_name)) {
+        legacy.push_back(entry->d_name);
+      }
+    }
+    ::closedir(dir);
+    for (const auto& name : legacy) {
+      const std::string path = directory_ + "/" + name;
+      // Claim the file with an atomic rename so concurrent openers
+      // cannot both adopt it (the claimed name no longer matches the
+      // *.profile.json scans); the loser's rename fails and it skips.
+      const std::string claimed = path + ".migrating-" + unique_tmp_suffix();
+      if (::rename(path.c_str(), claimed.c_str()) != 0) continue;
+      try {
+        put(Profile::from_json(json::load_file(claimed)));
+      } catch (const std::exception&) {
+        // A corrupt legacy file must not abort the open (which would
+        // hide every *other* legacy profile); park it under a name the
+        // scans ignore so the data is kept but not retried.
+        ::rename(claimed.c_str(), (path + ".unreadable").c_str());
+        continue;
+      }
+      ::unlink(claimed.c_str());
+    }
+  } else if (backend_ == Backend::DocStore) {
+    // Legacy layout: one docstore rooted at the store directory itself.
+    // Claim the collection file by renaming it into a scratch directory
+    // (atomic, so concurrent openers cannot both adopt it), then open a
+    // docstore over that scratch directory to read the documents.
+    const std::string legacy_path =
+        directory_ + "/profiles.collection.json";
+    if (!file_exists(legacy_path)) return;
+    const std::string scratch =
+        directory_ + "/.migrating-" + unique_tmp_suffix();
+    ::mkdir(scratch.c_str(), 0755);
+    const std::string claimed = scratch + "/profiles.collection.json";
+    if (::rename(legacy_path.c_str(), claimed.c_str()) != 0) {
+      ::rmdir(scratch.c_str());
+      return;  // another opener claimed it
+    }
+    try {
+      docstore::Store legacy(scratch);
+      for (const auto& doc : legacy.collection("profiles").all()) {
+        try {
+          put(Profile::from_json(doc));
+        } catch (const std::exception&) {
+          continue;  // skip one malformed document, keep the rest
+        }
+      }
+    } catch (const std::exception&) {
+      // Unreadable legacy collection: park it (data kept, not retried)
+      // rather than failing every subsequent open.
+      ::rename(claimed.c_str(), (legacy_path + ".unreadable").c_str());
+      ::rmdir(scratch.c_str());
+      return;
+    }
+    flush_all_shards();
+    ::unlink(claimed.c_str());
+    ::rmdir(scratch.c_str());
+  }
+}
+
+ProfileStore::~ProfileStore() = default;
+ProfileStore::ProfileStore(ProfileStore&&) noexcept = default;
+
+ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
+  if (this != &other) {
+    // Join our flush worker BEFORE the shards it captured are freed; a
+    // member-wise move would assign shards_ first (declaration order)
+    // and leave a running worker pointing at destroyed shards.
+    flusher_.reset();
+    backend_ = other.backend_;
+    directory_ = std::move(other.directory_);
+    options_ = other.options_;
+    shards_ = std::move(other.shards_);
+    flusher_ = std::move(other.flusher_);
+  }
+  return *this;
+}
+
+// --- keys and routing ------------------------------------------------------
+
+std::string ProfileStore::tags_key(const std::vector<std::string>& tags) {
+  std::vector<std::string> sorted = tags;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& t : sorted) {
+    if (!key.empty()) key += ',';
+    key += t;
+  }
+  return key;
+}
+
+ProfileStore::Shard& ProfileStore::shard_for(const std::string& command,
+                                             const std::string& tkey) const {
+  const uint64_t h = fnv1a(index_key(command, tkey));
+  return *shards_[h % shards_.size()];
+}
+
+size_t ProfileStore::shard_count() const { return shards_.size(); }
+
+// --- writes ----------------------------------------------------------------
+
+bool ProfileStore::put_into(Shard& shard, const Profile& profile,
+                            const std::string& tkey) {
   switch (backend_) {
     case Backend::Memory:
-      memory_.push_back(profile);
+      shard.memory.push_back(profile);
       return false;
     case Backend::DocStore: {
       json::Value doc = profile.to_json();
-      doc.as_object()["tags_key"] = tags_key(profile.tags);
+      doc.as_object()["tags_key"] = tkey;
       const auto result =
-          store_->collection("profiles").insert(std::move(doc));
+          shard.store->collection("profiles").insert(std::move(doc));
       return result.truncated;
     }
     case Backend::Files: {
-      // Find the next free sequence number for this workload.
-      size_t seq = 0;
-      while (true) {
-        const std::string path = file_name(profile, seq);
-        struct stat st {};
-        if (::stat(path.c_str(), &st) != 0) break;
-        ++seq;
+      const std::string base = shard.directory + "/" +
+                               sanitize(profile.command) + "." +
+                               sanitize(tkey) + ".";
+      // Write the full document to a temp name (which never matches the
+      // *.profile.json read pattern), then claim the next free sequence
+      // number with link(): atomic against writers in other processes
+      // and other store instances, and readers only ever see complete
+      // files.
+      const std::string tmp =
+          shard.directory + "/.tmp-" + unique_tmp_suffix();
+      json::save_file(tmp, profile.to_json(), /*indent=*/0);
+      for (size_t seq = 0;; ++seq) {
+        const std::string path =
+            base + std::to_string(seq) + kProfileSuffix;
+        if (::link(tmp.c_str(), path.c_str()) == 0) break;
+        if (errno != EEXIST) {
+          const int err = errno;
+          ::unlink(tmp.c_str());
+          throw sys::SystemError("link(" + path + ")", err);
+        }
       }
-      json::save_file(file_name(profile, seq), profile.to_json(),
-                      /*indent=*/0);
+      ::unlink(tmp.c_str());
       return false;
     }
   }
   return false;
 }
 
-std::vector<Profile> ProfileStore::find(
-    const std::string& command, const std::vector<std::string>& tags) const {
+bool ProfileStore::put(const Profile& profile) {
+  const std::string tkey = tags_key(profile.tags);
+  Shard& shard = shard_for(profile.command, tkey);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cache_invalidate(index_key(profile.command, tkey));
+  return put_into(shard, profile, tkey);
+}
+
+size_t ProfileStore::put_many(const std::vector<Profile>& profiles) {
+  // Group by shard so each shard is locked once per batch; tags_key is
+  // computed once per profile and reused for routing, cache keys and
+  // the backend write.
+  struct Pending {
+    const Profile* profile;
+    std::string tkey;
+  };
+  std::map<Shard*, std::vector<Pending>> by_shard;
+  for (const auto& p : profiles) {
+    std::string tkey = tags_key(p.tags);
+    Shard& shard = shard_for(p.command, tkey);
+    by_shard[&shard].push_back(Pending{&p, std::move(tkey)});
+  }
+  size_t truncated = 0;
+  for (auto& [shard, batch] : by_shard) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Pending& pending : batch) {
+      shard->cache_invalidate(
+          index_key(pending.profile->command, pending.tkey));
+      if (put_into(*shard, *pending.profile, pending.tkey)) ++truncated;
+    }
+  }
+  return truncated;
+}
+
+// --- reads -----------------------------------------------------------------
+
+std::vector<Profile> ProfileStore::read_from(const Shard& shard,
+                                             const std::string& command,
+                                             const std::string& tkey) const {
   std::vector<Profile> out;
   switch (backend_) {
     case Backend::Memory: {
-      const std::string key = tags_key(tags);
-      for (const auto& p : memory_) {
-        if (p.command == command && tags_key(p.tags) == key) out.push_back(p);
+      for (const auto& p : shard.memory) {
+        if (p.command == command && tags_key(p.tags) == tkey) {
+          out.push_back(p);
+        }
       }
       break;
     }
     case Backend::DocStore: {
       const std::vector<docstore::FieldEquals> query = {
           {"command", json::Value(command)},
-          {"tags_key", json::Value(tags_key(tags))}};
-      for (const auto& doc : store_->collection("profiles").find(query)) {
+          {"tags_key", json::Value(tkey)}};
+      for (const auto& doc : shard.store->collection("profiles").find(query)) {
         out.push_back(Profile::from_json(doc));
       }
       break;
     }
     case Backend::Files: {
-      DIR* dir = ::opendir(directory_.c_str());
+      DIR* dir = ::opendir(shard.directory.c_str());
       if (dir == nullptr) break;
-      const std::string prefix =
-          sanitize(command) + "." + sanitize(tags_key(tags)) + ".";
+      const std::string prefix = sanitize(command) + "." + sanitize(tkey) + ".";
       while (struct dirent* entry = ::readdir(dir)) {
         const std::string name = entry->d_name;
-        if (name.rfind(prefix, 0) == 0 &&
-            name.size() > 13 &&
-            name.compare(name.size() - 13, 13, ".profile.json") == 0) {
-          Profile p =
-              Profile::from_json(json::load_file(directory_ + "/" + name));
+        if (name.rfind(prefix, 0) == 0 && has_profile_suffix(name)) {
+          Profile p = Profile::from_json(
+              json::load_file(shard.directory + "/" + name));
           // Sanitization can collide; verify the real identity.
-          if (p.command == command && tags_key(p.tags) == tags_key(tags)) {
+          if (p.command == command && tags_key(p.tags) == tkey) {
             out.push_back(std::move(p));
           }
         }
@@ -121,9 +531,36 @@ std::vector<Profile> ProfileStore::find(
       break;
     }
   }
-  std::sort(out.begin(), out.end(), [](const Profile& a, const Profile& b) {
-    return a.created_at < b.created_at;
-  });
+  // Recorded-timestamp order; stable so equal timestamps keep backend
+  // (insertion) order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Profile& a, const Profile& b) {
+                     return a.created_at < b.created_at;
+                   });
+  return out;
+}
+
+std::vector<Profile> ProfileStore::find(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  const std::string tkey = tags_key(tags);
+  Shard& shard = shard_for(command, tkey);
+  const std::string key = index_key(command, tkey);
+
+  // Files-backend caches are validated against a cross-process version
+  // stamp (a readdir-sized cost, so only paid when caching is on);
+  // in-memory and docstore state is process-private (docstore loads at
+  // open, snapshot semantics), so a constant stamp is correct there.
+  const bool caching = options_.cache_entries_per_shard > 0;
+  const uint64_t stamp = caching && backend_ == Backend::Files
+                             ? files_shard_stamp(shard.directory)
+                             : 0;
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (caching) {
+    if (const auto* cached = shard.cache_lookup(key, stamp)) return *cached;
+  }
+  std::vector<Profile> out = read_from(shard, command, tkey);
+  shard.cache_store(key, out, stamp, options_.cache_entries_per_shard);
   return out;
 }
 
@@ -131,6 +568,8 @@ std::optional<Profile> ProfileStore::find_latest(
     const std::string& command, const std::vector<std::string>& tags) const {
   auto all = find(command, tags);
   if (all.empty()) return std::nullopt;
+  // find() orders by created_at (stable), so the true latest recording
+  // is at the back even when concurrent writers interleaved insertions.
   return std::move(all.back());
 }
 
@@ -139,30 +578,91 @@ std::map<std::string, MetricStats> ProfileStore::stats(
   return aggregate_totals(find(command, tags));
 }
 
-void ProfileStore::flush() {
-  if (backend_ == Backend::DocStore && store_) store_->flush();
+// --- flushing --------------------------------------------------------------
+
+void ProfileStore::flush_all_shards() {
+  if (backend_ != Backend::DocStore) return;  // others persist eagerly
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->store) shard->store->flush();
+  }
 }
 
-size_t ProfileStore::size() const {
-  switch (backend_) {
-    case Backend::Memory: return memory_.size();
-    case Backend::DocStore: return store_->collection("profiles").size();
-    case Backend::Files: {
-      size_t n = 0;
-      DIR* dir = ::opendir(directory_.c_str());
-      if (dir == nullptr) return 0;
-      while (struct dirent* entry = ::readdir(dir)) {
-        const std::string name = entry->d_name;
-        if (name.size() > 13 &&
-            name.compare(name.size() - 13, 13, ".profile.json") == 0) {
-          ++n;
-        }
+void ProfileStore::flush() {
+  // No need to wait for the background worker: flush_all_shards() is
+  // idempotent and every put() that happened-before this call is
+  // covered by it directly. (Waiting on the worker would also let
+  // concurrent flush_async() callers starve this thread by re-setting
+  // the pending flag forever.)
+  flush_all_shards();
+}
+
+void ProfileStore::start_flush_worker() {
+  flusher_ = std::make_unique<Flusher>();
+  // The worker captures stable heap pointers (the Flusher and the
+  // Shards), so it survives moves of the ProfileStore object itself.
+  Flusher* f = flusher_.get();
+  std::vector<Shard*> shard_ptrs;
+  shard_ptrs.reserve(shards_.size());
+  for (auto& s : shards_) shard_ptrs.push_back(s.get());
+  f->worker = std::thread([f, shard_ptrs] {
+    std::unique_lock<std::mutex> lock(f->mutex);
+    while (true) {
+      f->cv.wait(lock, [f] { return f->pending || f->stop; });
+      if (f->stop && !f->pending) return;
+      f->pending = false;
+      f->running = true;
+      lock.unlock();
+      for (Shard* shard : shard_ptrs) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        if (shard->store) shard->store->flush();
       }
-      ::closedir(dir);
-      return n;
+      lock.lock();
+      f->running = false;
+      f->cv.notify_all();
+    }
+  });
+}
+
+void ProfileStore::flush_async() {
+  if (backend_ != Backend::DocStore || !flusher_) return;
+  {
+    std::lock_guard<std::mutex> lock(flusher_->mutex);
+    flusher_->pending = true;
+  }
+  flusher_->cv.notify_all();
+}
+
+// --- sizing ----------------------------------------------------------------
+
+size_t ProfileStore::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    switch (backend_) {
+      case Backend::Memory:
+        n += shard->memory.size();
+        break;
+      case Backend::DocStore:
+        n += shard->store->collection("profiles").size();
+        break;
+      case Backend::Files:
+        n += count_profile_files(shard->directory);
+        break;
     }
   }
-  return 0;
+  return n;
+}
+
+ProfileStoreCacheStats ProfileStore::cache_stats() const {
+  ProfileStoreCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->cache_hits;
+    out.misses += shard->cache_misses;
+    out.invalidations += shard->cache_invalidations;
+  }
+  return out;
 }
 
 }  // namespace synapse::profile

@@ -1,43 +1,84 @@
 #pragma once
-// ProfileStore: persistence facade, indexed by command + tags.
+// ProfileStore: sharded, thread-safe persistence facade, indexed by
+// command + tags.
 //
 // Mirrors the paper's dual storage backends (section 4): a database
 // (our embedded docstore standing in for MongoDB, including its 16 MB
 // document limit) or plain files on disk (no size limit). The command
 // line and the tag list form the search index, exactly as in
 // radical.synapse.profile(command, tags).
+//
+// Scale model: the store is split into N shards keyed by
+// hash(command, tags_key). Each shard owns its own mutex, its own
+// backend instance (memory vector / docstore::Store / files directory)
+// and an in-shard LRU read cache, so parallel emulation ranks and
+// watchers can record and query profiles concurrently without
+// serializing on one lock or one docstore file. All public methods are
+// safe to call from multiple threads; a given (command, tags) workload
+// always maps to the same shard, so per-workload ordering guarantees
+// are preserved.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "docstore/docstore.hpp"
 #include "profile/profile.hpp"
 #include "profile/stats.hpp"
 
 namespace synapse::profile {
+
+/// Sharding and caching knobs. Persistent backends record the shard
+/// count in a meta file inside the store directory, so reopening an
+/// existing store always uses the layout it was created with (the
+/// option is then ignored).
+struct ProfileStoreOptions {
+  size_t shards = 8;                   ///< clamped to >= 1
+  size_t cache_entries_per_shard = 16; ///< LRU find() cache; 0 disables
+};
+
+/// Aggregate read-cache counters across all shards.
+struct ProfileStoreCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  ///< cache entries dropped by writes
+};
 
 class ProfileStore {
  public:
   enum class Backend { Memory, DocStore, Files };
 
   /// In-memory store (tests, short-lived runs).
-  ProfileStore();
+  explicit ProfileStore(ProfileStoreOptions options = {});
 
-  /// Backed by the embedded document store at `directory` (16 MB document
-  /// limit applies) or by one flat JSON file per profile (no limit).
-  ProfileStore(Backend backend, const std::string& directory);
+  /// Backed by the embedded document store under `directory` (16 MB
+  /// document limit applies) or by one flat JSON file per profile (no
+  /// limit). Each shard persists under `directory`/shard-N.
+  ProfileStore(Backend backend, const std::string& directory,
+               ProfileStoreOptions options = {});
+
+  ~ProfileStore();
+  ProfileStore(ProfileStore&&) noexcept;
+  ProfileStore& operator=(ProfileStore&&) noexcept;
 
   /// Store a profile; returns true when the profile was truncated to fit
   /// the docstore document limit (paper section 4.5).
   bool put(const Profile& profile);
 
-  /// All profiles recorded for this command/tags combination.
+  /// Batched insert: profiles are grouped per shard and each shard is
+  /// locked once, so concurrent writers pay one lock per shard rather
+  /// than one per profile. Returns the number of truncated profiles.
+  size_t put_many(const std::vector<Profile>& profiles);
+
+  /// All profiles recorded for this command/tags combination, ordered
+  /// by recorded timestamp (`created_at`), ties keeping backend order.
   std::vector<Profile> find(const std::string& command,
                             const std::vector<std::string>& tags = {}) const;
 
-  /// Most recent profile, if any.
+  /// Profile with the latest recorded timestamp (created_at), not the
+  /// latest insertion: concurrent writers may interleave insertions out
+  /// of timestamp order.
   std::optional<Profile> find_latest(
       const std::string& command,
       const std::vector<std::string>& tags = {}) const;
@@ -48,19 +89,57 @@ class ProfileStore {
       const std::vector<std::string>& tags = {}) const;
 
   /// Persist pending state (docstore flush; files are written eagerly).
+  /// Synchronous and bounded: covers every put() that happened before
+  /// the call, independent of the background flush worker.
   void flush();
 
+  /// Queue a flush on the background flush worker and return
+  /// immediately. No-op for backends that persist eagerly.
+  void flush_async();
+
   size_t size() const;
+  size_t shard_count() const;
+  Backend backend() const { return backend_; }
+  ProfileStoreCacheStats cache_stats() const;
+
+  /// Canonical tag index key: sorted, comma-joined (tag order is
+  /// irrelevant for lookups, as in the paper's profile(command, tags)).
+  static std::string tags_key(const std::vector<std::string>& tags);
 
  private:
-  std::string tags_key(const std::vector<std::string>& tags) const;
-  std::string file_name(const Profile& p, size_t seq) const;
+  struct Shard;
+  struct Flusher;
+
+  /// `tkey` is the profile's tags_key(), computed once by the caller.
+  Shard& shard_for(const std::string& command, const std::string& tkey) const;
+  /// One insert into an already-locked shard; true on docstore truncation.
+  bool put_into(Shard& shard, const Profile& profile,
+                const std::string& tkey);
+  /// Backend read of one workload from an already-locked shard, ordered
+  /// by created_at.
+  std::vector<Profile> read_from(const Shard& shard,
+                                 const std::string& command,
+                                 const std::string& tkey) const;
+  void start_flush_worker();
+  void flush_all_shards();
+  /// Adoption of a pre-sharding store directory (flat *.profile.json
+  /// files or a root-level docstore collection): re-route every legacy
+  /// profile into its owning shard, then remove the legacy files.
+  /// Attempted on EVERY open (the check is an existence scan) so
+  /// not-yet-claimed files from an interrupted migration are retried.
+  /// Individual files are claimed with atomic renames so concurrent
+  /// openers never adopt one twice; unparsable files are parked as
+  /// *.unreadable rather than aborting the open. A crash between claim
+  /// and re-put leaves that one file parked under its *.migrating-*
+  /// claim name (data preserved on disk, adopt manually by renaming it
+  /// back) — the trade against double-adoption by concurrent openers.
+  void migrate_legacy_layout();
 
   Backend backend_;
   std::string directory_;
-  std::unique_ptr<docstore::Store> store_;
-  // Memory backend keeps profiles directly.
-  std::vector<Profile> memory_;
+  ProfileStoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Flusher> flusher_;
 };
 
 }  // namespace synapse::profile

@@ -1,0 +1,99 @@
+#pragma once
+// Scenario library: declarative, named emulation workloads.
+//
+// The ROADMAP's "richer scenario library" direction: a ScenarioSpec
+// names an atom set (resolved through atoms::AtomRegistry, so custom
+// atoms participate), a synthetic sample source, repetitions and tags —
+// everything needed to drive the emulator without profiling a real
+// application first. Scenarios load from JSON files or from the
+// built-in catalog (cpu-bound, memory-bound, io-granularity,
+// network-loopback, mixed-mdsim-like) and run via
+// `synapse-emulate --scenario <name|file>`.
+//
+// This is the traffic generator for the sharded profile store and the
+// future multi-node backends: each scenario is a reproducible stream of
+// per-sample resource consumption.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atoms/atom_registry.hpp"
+#include "emulator/emulator.hpp"
+#include "json/json.hpp"
+#include "profile/profile.hpp"
+
+namespace synapse::workload {
+
+/// Synthetic sample source: `samples` periods at `sample_rate_hz`, each
+/// consuming the listed per-period metric deltas (canonical metric
+/// names from profile/metrics.hpp; instantaneous metrics are taken as
+/// absolute per-period values).
+struct SampleSourceSpec {
+  size_t samples = 10;
+  double sample_rate_hz = 10.0;
+  std::map<std::string, double> deltas;  ///< metric -> per-sample amount
+};
+
+/// One named scenario, JSON round-trippable.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::vector<std::string> atom_set;  ///< registry names, dispatch order
+  SampleSourceSpec source;
+  int repetitions = 1;
+  std::vector<std::string> tags;
+
+  // Workload-override scales, multiplied into the base EmulatorOptions.
+  double cycle_scale = 1.0;
+  double memory_scale = 1.0;
+  double io_scale = 1.0;
+
+  /// Structural checks plus atom-set resolution through `registry`.
+  /// Throws sys::ConfigError with a diagnostic naming the scenario.
+  void validate(const atoms::AtomRegistry& registry) const;
+
+  /// Materialize the synthetic sample source as a replayable Profile
+  /// (cumulative counters for cumulative metrics, absolute values for
+  /// instantaneous ones; command = "scenario:<name>").
+  profile::Profile make_profile() const;
+
+  /// Merge this scenario into `base` options: the scenario's atom_set
+  /// applies unless `base` already selects atoms explicitly (a user's
+  /// --atoms override wins), and the scales multiply.
+  emulator::EmulatorOptions make_options(
+      emulator::EmulatorOptions base = {}) const;
+
+  json::Value to_json() const;
+  /// Throws sys::ConfigError on structurally invalid specs (missing
+  /// name, empty atom list, non-positive rate/samples/repetitions, ...).
+  static ScenarioSpec from_json(const json::Value& v);
+};
+
+/// The built-in catalog, resolvable by name.
+const std::vector<ScenarioSpec>& builtin_scenarios();
+
+/// nullptr when `name` is not a built-in.
+const ScenarioSpec* find_builtin(const std::string& name);
+
+/// Resolve a `--scenario` argument: a built-in name, otherwise a JSON
+/// file path. Throws sys::ConfigError (never crashes) on unknown names,
+/// unreadable files and malformed JSON, with a diagnostic message.
+ScenarioSpec resolve_scenario(const std::string& name_or_path);
+
+/// Outcome of a scenario run: per-atom stats aggregated over all
+/// repetitions (the named built-in mirrors of EmulationResult included).
+struct ScenarioResult {
+  std::string scenario;
+  int repetitions = 0;
+  emulator::EmulationResult result;
+};
+
+/// Validate, synthesize the profile once, and emulate it
+/// `spec.repetitions` times with the merged options. `registry` =
+/// nullptr uses the process-wide AtomRegistry::instance().
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const emulator::EmulatorOptions& base = {},
+                            const atoms::AtomRegistry* registry = nullptr);
+
+}  // namespace synapse::workload

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "sys/procfs.hpp"
 #include "sys/spawn.hpp"
+#include "workload/scenario.hpp"
 
 #ifndef SYNAPSE_PROFILE_BIN
 #error "SYNAPSE_PROFILE_BIN must be defined by the build"
@@ -125,6 +128,89 @@ TEST(Cli, InspectExportCsv) {
             std::string::npos);
   EXPECT_NE(content.find("sleep 0.05"), std::string::npos);
   ::unlink(csv.c_str());
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ListScenariosShowsCatalog) {
+  const std::string out = "/tmp/synapse_cli_scenarios.txt";
+  ASSERT_TRUE(run_tool({SYNAPSE_EMULATE_BIN, "--list-scenarios"}, out)
+                  .success());
+  const std::string listing = slurp(out);
+  for (const auto& s : synapse::workload::builtin_scenarios()) {
+    EXPECT_NE(listing.find(s.name), std::string::npos) << s.name;
+  }
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, EveryBuiltinScenarioRunsEndToEnd) {
+  // Acceptance sweep: every catalog entry replays through the real
+  // binary and reports non-zero per-atom stats.
+  const std::string out = "/tmp/synapse_cli_scenario_run.txt";
+  for (const auto& s : synapse::workload::builtin_scenarios()) {
+    const auto status =
+        run_tool({SYNAPSE_EMULATE_BIN, "--scenario", s.name}, out);
+    ASSERT_TRUE(status.success()) << s.name << ": " << slurp(out + ".err");
+    const std::string output = slurp(out);
+    EXPECT_NE(output.find("scenario : " + s.name), std::string::npos);
+    for (const auto& atom : s.atom_set) {
+      EXPECT_NE(output.find("atom " + atom), std::string::npos)
+          << s.name << "/" << atom;
+    }
+    // Every atom consumed every sample; none reports samples=0.
+    EXPECT_EQ(output.find("samples=0 "), std::string::npos) << s.name;
+  }
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ScenarioFromJsonFile) {
+  const std::string out = "/tmp/synapse_cli_scenario_file.txt";
+  const std::string path = "/tmp/synapse_cli_scenario.json";
+  {
+    std::ofstream f(path);
+    f << R"({"name": "file-scn", "atoms": ["storage"], "samples": 4,
+             "deltas": {"storage.bytes_written": 65536}})";
+  }
+  const auto status = run_tool({SYNAPSE_EMULATE_BIN, "--scenario", path}, out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string output = slurp(out);
+  EXPECT_NE(output.find("scenario : file-scn"), std::string::npos);
+  EXPECT_NE(output.find("atom storage"), std::string::npos);
+  std::remove(path.c_str());
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ScenarioAndCommandAreMutuallyExclusive) {
+  const std::string out = "/tmp/synapse_cli_scenario_conflict.txt";
+  const auto status = run_tool({SYNAPSE_EMULATE_BIN, "--scenario",
+                                "cpu-bound", "--", "sleep", "0.1"},
+                               out);
+  EXPECT_EQ(status.exit_code, 2);
+  EXPECT_NE(slurp(out + ".err").find("mutually exclusive"),
+            std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, BadScenarioIsDiagnosedNotCrashed) {
+  const std::string out = "/tmp/synapse_cli_scenario_bad.txt";
+  auto status = run_tool(
+      {SYNAPSE_EMULATE_BIN, "--scenario", "no-such-scenario"}, out);
+  EXPECT_EQ(status.exit_code, 1);
+  EXPECT_NE(slurp(out + ".err").find("cpu-bound"), std::string::npos);
+
+  const std::string path = "/tmp/synapse_cli_scenario_broken.json";
+  {
+    std::ofstream f(path);
+    f << "{ definitely not json";
+  }
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--scenario", path}, out);
+  EXPECT_EQ(status.exit_code, 1);
+  EXPECT_FALSE(slurp(out + ".err").empty());
+  std::remove(path.c_str());
   ::unlink(out.c_str());
   ::unlink((out + ".err").c_str());
 }

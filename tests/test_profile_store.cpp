@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 
+#include "docstore/docstore.hpp"
+#include "json/json.hpp"
 #include "profile/metrics.hpp"
+#include "sys/error.hpp"
 
 namespace profile = synapse::profile;
 namespace m = synapse::metrics;
@@ -78,6 +82,69 @@ TEST_P(ProfileStoreAllBackends, FindLatest) {
   EXPECT_DOUBLE_EQ(latest->total(m::kCyclesUsed), 2.0);
 }
 
+TEST_P(ProfileStoreAllBackends, FindLatestOrdersByRecordedTimestamp) {
+  // Concurrent shard writers may insert out of timestamp order; the
+  // latest profile is the one with the newest created_at, not the last
+  // insertion.
+  auto store = make_store();
+  store.put(make_profile("cmd", {}, 3, 30.0));
+  store.put(make_profile("cmd", {}, 1, 10.0));
+  store.put(make_profile("cmd", {}, 2, 20.0));
+  const auto latest = store.find_latest("cmd");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->created_at, 30.0);
+  EXPECT_DOUBLE_EQ(latest->total(m::kCyclesUsed), 3.0);
+
+  const auto all = store.find("cmd");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].created_at, 10.0);
+  EXPECT_DOUBLE_EQ(all[1].created_at, 20.0);
+  EXPECT_DOUBLE_EQ(all[2].created_at, 30.0);
+}
+
+TEST_P(ProfileStoreAllBackends, PutManyBatchesAcrossShards) {
+  auto store = make_store();
+  std::vector<profile::Profile> batch;
+  for (int i = 0; i < 24; ++i) {
+    batch.push_back(make_profile("batch-cmd-" + std::to_string(i % 6),
+                                 {"b"}, i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(store.put_many(batch), 0u);
+  EXPECT_EQ(store.size(), 24u);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(store.find("batch-cmd-" + std::to_string(c), {"b"}).size(), 4u)
+        << "command " << c;
+  }
+}
+
+TEST_P(ProfileStoreAllBackends, ManyWorkloadsSpreadAcrossShards) {
+  auto store = make_store();
+  EXPECT_GT(store.shard_count(), 1u);
+  for (int i = 0; i < 40; ++i) {
+    store.put(make_profile("spread-" + std::to_string(i), {"t"}, i, 1.0));
+  }
+  EXPECT_EQ(store.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(store.find("spread-" + std::to_string(i), {"t"}).size(), 1u);
+  }
+}
+
+TEST_P(ProfileStoreAllBackends, ReadCacheHitsAndInvalidatesOnWrite) {
+  auto store = make_store();
+  store.put(make_profile("cached", {}, 1, 1.0));
+
+  ASSERT_EQ(store.find("cached").size(), 1u);  // miss, fills cache
+  ASSERT_EQ(store.find("cached").size(), 1u);  // hit
+  auto stats = store.cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+
+  // A write to the same workload must not serve a stale cached read.
+  store.put(make_profile("cached", {}, 2, 2.0));
+  EXPECT_EQ(store.find("cached").size(), 2u);
+  EXPECT_GE(store.cache_stats().invalidations, 1u);
+}
+
 TEST_P(ProfileStoreAllBackends, StatsAcrossRepetitions) {
   auto store = make_store();
   store.put(make_profile("cmd", {}, 10, 1.0));
@@ -122,6 +189,204 @@ TEST(ProfileStore, DocStoreBackendSurvivesFlushAndReopen) {
   {
     profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir);
     EXPECT_EQ(store.find("cmd").size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, ReopenWithDifferentShardOptionKeepsLayout) {
+  // The shard count is part of the on-disk layout; a store reopened
+  // with a different option must honour the persisted meta file and
+  // still find every profile.
+  const std::string dir = "/tmp/synapse_store_shardmeta";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStoreOptions four;
+  four.shards = 4;
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir,
+                                four);
+    ASSERT_EQ(store.shard_count(), 4u);
+    for (int i = 0; i < 12; ++i) {
+      store.put(make_profile("meta-" + std::to_string(i), {}, i, 1.0));
+    }
+  }
+  {
+    profile::ProfileStoreOptions one;
+    one.shards = 1;  // ignored: meta file wins
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir,
+                                one);
+    EXPECT_EQ(store.shard_count(), 4u);
+    EXPECT_EQ(store.size(), 12u);
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_EQ(store.find("meta-" + std::to_string(i)).size(), 1u);
+    }
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, MigratesLegacyFlatFilesLayout) {
+  // Pre-sharding stores kept *.profile.json directly in the store root;
+  // first open with the sharded layout must adopt them, not hide them.
+  const std::string dir = "/tmp/synapse_store_legacy_files";
+  std::system(("rm -rf " + dir).c_str());
+  ::system(("mkdir -p " + dir).c_str());
+  const auto legacy = make_profile("old cmd", {"legacy"}, 7, 5.0);
+  synapse::json::save_file(dir + "/old_cmd.legacy.0.profile.json",
+                           legacy.to_json(), 0);
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    EXPECT_EQ(store.size(), 1u);
+    const auto hits = store.find("old cmd", {"legacy"});
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_DOUBLE_EQ(hits[0].total(m::kCyclesUsed), 7.0);
+  }
+  {
+    // Still there after the one-time migration.
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    EXPECT_EQ(store.find("old cmd", {"legacy"}).size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, CorruptLegacyFileDoesNotHideTheOthers) {
+  // One unreadable legacy file must neither abort the open nor stop the
+  // remaining legacy profiles from being adopted — also on a SECOND
+  // open (interrupted migrations are retried, not locked out by the
+  // meta file).
+  const std::string dir = "/tmp/synapse_store_legacy_corrupt";
+  std::system(("rm -rf " + dir).c_str());
+  ::system(("mkdir -p " + dir).c_str());
+  synapse::json::save_file(dir + "/good.x.0.profile.json",
+                           make_profile("good", {"x"}, 1, 1.0).to_json(), 0);
+  {
+    std::ofstream broken(dir + "/broken.x.0.profile.json");
+    broken << "{ not json";
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    EXPECT_EQ(store.find("good", {"x"}).size(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+  }
+  // Simulate an interrupted first migration: drop another legacy file
+  // into the root after the meta file exists.
+  synapse::json::save_file(dir + "/late.x.0.profile.json",
+                           make_profile("late", {"x"}, 2, 2.0).to_json(), 0);
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    EXPECT_EQ(store.find("late", {"x"}).size(), 1u);
+    EXPECT_EQ(store.find("good", {"x"}).size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, MigratesLegacyDocstoreLayout) {
+  const std::string dir = "/tmp/synapse_store_legacy_doc";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    // Pre-sharding layout: one docstore rooted at the store directory.
+    synapse::docstore::Store legacy(dir);
+    auto doc = make_profile("old doc cmd", {}, 3, 1.0).to_json();
+    doc.as_object()["tags_key"] = "";
+    legacy.collection("profiles").insert(std::move(doc));
+    legacy.flush();
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    EXPECT_EQ(store.find("old doc cmd").size(), 1u);
+    store.flush();
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    EXPECT_EQ(store.find("old doc cmd").size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, ReopenWithWrongBackendIsRejected) {
+  // A store directory is bound to the backend that created it; the
+  // other backend would silently show zero profiles.
+  const std::string dir = "/tmp/synapse_store_wrongbackend";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    store.put(make_profile("cmd", {}, 1, 1.0));
+    store.flush();
+  }
+  EXPECT_THROW(
+      profile::ProfileStore(profile::ProfileStore::Backend::Files, dir),
+      synapse::sys::ConfigError);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, LegacyDirectoryOpenedWithWrongBackendIsRejected) {
+  // A flat pre-sharding Files layout must not be stamped with a
+  // docstore meta — that would hide the profiles forever.
+  const std::string dir = "/tmp/synapse_store_legacy_wrong";
+  std::system(("rm -rf " + dir).c_str());
+  ::system(("mkdir -p " + dir).c_str());
+  synapse::json::save_file(dir + "/cmd..0.profile.json",
+                           make_profile("cmd", {}, 1, 1.0).to_json(), 0);
+  EXPECT_THROW(
+      profile::ProfileStore(profile::ProfileStore::Backend::DocStore, dir),
+      synapse::sys::ConfigError);
+  // The right backend still adopts the profile afterwards.
+  profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+  EXPECT_EQ(store.find("cmd").size(), 1u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, FilesCacheSeesWritesFromOtherStoreInstances) {
+  // Two ProfileStore instances over the same directory model two
+  // processes: instance A's read cache must not hide B's writes.
+  const std::string dir = "/tmp/synapse_store_crossproc";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStore a(profile::ProfileStore::Backend::Files, dir);
+  profile::ProfileStore b(profile::ProfileStore::Backend::Files, dir);
+
+  a.put(make_profile("xp", {}, 1, 1.0));
+  EXPECT_EQ(a.find("xp").size(), 1u);  // fills A's cache
+  b.put(make_profile("xp", {}, 2, 2.0));
+  EXPECT_EQ(a.find("xp").size(), 2u);  // stale entry detected via mtime
+  const auto latest = a.find_latest("xp");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->created_at, 2.0);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, AsyncFlushPersistsDocstore) {
+  const std::string dir = "/tmp/synapse_store_asyncflush";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    store.put(make_profile("async", {}, 9, 1.0));
+    store.flush_async();
+    store.flush();  // synchronous flush is independent of the worker
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    EXPECT_EQ(store.find("async").size(), 1u);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, DestructorDrainsPendingAsyncFlush) {
+  const std::string dir = "/tmp/synapse_store_asyncdrain";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    store.put(make_profile("drain", {}, 1, 1.0));
+    store.flush_async();
+    // No explicit flush(): destruction must not lose the queued flush.
+  }
+  {
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir);
+    EXPECT_EQ(store.find("drain").size(), 1u);
   }
   std::system(("rm -rf " + dir).c_str());
 }

@@ -1,0 +1,352 @@
+// Scenario library coverage: the built-in catalog parses, resolves its
+// atom sets through the AtomRegistry and round-trips through JSON;
+// malformed scenario files produce diagnostics, not crashes; and a
+// scenario replayed through run_scenario() produces the same per-atom
+// stats as the equivalent hand-assembled EmulatorOptions (single and
+// process-parallel modes).
+
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "atoms/atom_registry.hpp"
+#include "core/synapse.hpp"
+#include "profile/metrics.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/error.hpp"
+
+namespace atoms = synapse::atoms;
+namespace emulator = synapse::emulator;
+namespace profile = synapse::profile;
+namespace resource = synapse::resource;
+namespace workload = synapse::workload;
+namespace m = synapse::metrics;
+namespace sys = synapse::sys;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+/// Write `text` to a temp file and return its path.
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = "/tmp/synapse_scenario_" + name + ".json";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+workload::ScenarioSpec small_io_scenario() {
+  workload::ScenarioSpec spec;
+  spec.name = "parity-io";
+  spec.atom_set = {"compute", "storage"};
+  spec.source.samples = 5;
+  spec.source.sample_rate_hz = 10.0;
+  spec.source.deltas[std::string(m::kCyclesUsed)] = 1e6;
+  spec.source.deltas[std::string(m::kBytesWritten)] = 64.0 * 1024;
+  return spec;
+}
+
+emulator::EmulatorOptions tmp_options() {
+  emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+}  // namespace
+
+// --- catalog ---------------------------------------------------------------
+
+TEST(Scenario, BuiltinCatalogIsNonEmptyAndNamed) {
+  const auto& catalog = workload::builtin_scenarios();
+  ASSERT_GE(catalog.size(), 5u);
+  for (const auto& s : catalog) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_FALSE(s.atom_set.empty()) << s.name;
+    EXPECT_GE(s.source.samples, 1u) << s.name;
+    EXPECT_FALSE(s.source.deltas.empty()) << s.name;
+  }
+}
+
+TEST(Scenario, EveryBuiltinResolvesThroughAtomRegistry) {
+  const atoms::AtomRegistry registry;  // built-ins only
+  for (const auto& s : workload::builtin_scenarios()) {
+    EXPECT_NO_THROW(s.validate(registry)) << s.name;
+    for (const auto& atom : s.atom_set) {
+      EXPECT_TRUE(registry.contains(atom)) << s.name << "/" << atom;
+    }
+  }
+}
+
+TEST(Scenario, EveryBuiltinRoundTripsThroughJson) {
+  for (const auto& s : workload::builtin_scenarios()) {
+    const auto back = workload::ScenarioSpec::from_json(s.to_json());
+    EXPECT_EQ(back.name, s.name);
+    EXPECT_EQ(back.description, s.description);
+    EXPECT_EQ(back.atom_set, s.atom_set);
+    EXPECT_EQ(back.source.samples, s.source.samples);
+    EXPECT_DOUBLE_EQ(back.source.sample_rate_hz, s.source.sample_rate_hz);
+    EXPECT_EQ(back.source.deltas, s.source.deltas);
+    EXPECT_EQ(back.repetitions, s.repetitions);
+    EXPECT_EQ(back.tags, s.tags);
+  }
+}
+
+TEST(Scenario, FindBuiltinByNameAndMiss) {
+  EXPECT_NE(workload::find_builtin("cpu-bound"), nullptr);
+  EXPECT_EQ(workload::find_builtin("not-a-scenario"), nullptr);
+}
+
+TEST(Scenario, ResolveBuiltinNameAndScenarioFile) {
+  EXPECT_EQ(workload::resolve_scenario("cpu-bound").name, "cpu-bound");
+
+  const auto spec = small_io_scenario();
+  const std::string path =
+      write_temp("roundtrip", synapse::json::dump(spec.to_json(), 2));
+  const auto loaded = workload::resolve_scenario(path);
+  EXPECT_EQ(loaded.name, spec.name);
+  EXPECT_EQ(loaded.atom_set, spec.atom_set);
+  EXPECT_EQ(loaded.source.deltas, spec.source.deltas);
+  std::remove(path.c_str());
+}
+
+// --- diagnostics, not crashes ----------------------------------------------
+
+TEST(Scenario, UnknownNameIsADiagnostic) {
+  try {
+    workload::resolve_scenario("warp-drive-scenario");
+    FAIL() << "expected ConfigError";
+  } catch (const sys::ConfigError& e) {
+    // The diagnostic lists what IS available.
+    EXPECT_NE(std::string(e.what()).find("cpu-bound"), std::string::npos);
+  }
+}
+
+TEST(Scenario, MalformedJsonFileIsADiagnostic) {
+  const std::string path = write_temp("broken", "{ not json at all");
+  EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, MissingNameIsADiagnostic) {
+  const std::string path =
+      write_temp("noname", R"({"atoms": ["compute"], "samples": 3})");
+  EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, MissingAtomsIsADiagnostic) {
+  const std::string path = write_temp("noatoms", R"({"name": "x"})");
+  EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, OutOfRangeSamplesIsADiagnosticNotAHang) {
+  // A negative count must not be cast to size_t (UB → effectively
+  // infinite sample loop); it must be rejected while parsing.
+  for (const char* body :
+       {R"({"name": "x", "atoms": ["compute"], "samples": -1})",
+        R"({"name": "x", "atoms": ["compute"], "samples": 2.5})",
+        R"({"name": "x", "atoms": ["compute"], "samples": 1e18})",
+        R"({"name": "x", "atoms": ["compute"], "repetitions": -3})",
+        R"({"name": "x", "atoms": ["compute"], "repetitions": 1e9})"}) {
+    const std::string path = write_temp("range", body);
+    EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError) << body;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Scenario, WrongFieldTypeIsADiagnostic) {
+  // Structurally wrong containers AND wrong-typed scalars must both be
+  // diagnosed — not silently replaced by their defaults.
+  for (const char* body :
+       {R"({"name": "x", "atoms": ["compute"], "deltas": [1, 2]})",
+        R"({"name": "x", "atoms": ["compute"], "samples": "100"})",
+        R"({"name": "x", "atoms": ["compute"], "sample_rate_hz": "fast"})",
+        R"({"name": "x", "atoms": ["compute"], "repetitions": []})",
+        R"({"name": "x", "atoms": ["compute"], "cycle_scale": "big"})",
+        R"({"name": "x", "atoms": "compute"})"}) {
+    const std::string path = write_temp("badtype", body);
+    EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError) << body;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Scenario, ValidateRejectsBadSpecs) {
+  const atoms::AtomRegistry registry;
+  auto spec = small_io_scenario();
+
+  auto bad = spec;
+  bad.atom_set = {"warp-drive"};
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  bad = spec;
+  bad.source.samples = 0;
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  bad = spec;
+  bad.source.sample_rate_hz = 0.0;
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  bad = spec;
+  bad.repetitions = 0;
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  bad = spec;
+  bad.source.deltas["compute.cycles_used"] = -1.0;
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  bad = spec;
+  bad.cycle_scale = 0.0;
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+
+  // Empty deltas would "successfully" replay zero samples.
+  bad = spec;
+  bad.source.deltas.clear();
+  EXPECT_THROW(bad.validate(registry), sys::ConfigError);
+}
+
+TEST(Scenario, RunRejectsUnknownAtomWithDiagnostic) {
+  HostGuard guard;
+  auto spec = small_io_scenario();
+  spec.atom_set = {"warp-drive"};
+  EXPECT_THROW(workload::run_scenario(spec, tmp_options()),
+               sys::ConfigError);
+}
+
+// --- synthesized profiles ---------------------------------------------------
+
+TEST(Scenario, MakeProfileYieldsRequestedSampleDeltas) {
+  const auto spec = small_io_scenario();
+  const auto p = spec.make_profile();
+  EXPECT_EQ(p.command, "scenario:parity-io");
+  const auto deltas = p.sample_deltas();
+  ASSERT_EQ(deltas.size(), spec.source.samples);
+  for (const auto& d : deltas) {
+    EXPECT_DOUBLE_EQ(d.get(m::kCyclesUsed), 1e6);
+    EXPECT_DOUBLE_EQ(d.get(m::kBytesWritten), 64.0 * 1024);
+  }
+}
+
+// --- parity with hand-assembled options -------------------------------------
+
+TEST(Scenario, ParityWithHandAssembledOptionsSingleMode) {
+  HostGuard guard;
+  const auto spec = small_io_scenario();
+
+  const auto via_scenario = workload::run_scenario(spec, tmp_options());
+
+  // Hand-assemble what --scenario builds internally: same synthetic
+  // profile, same atom set, same scales.
+  auto manual_opts = tmp_options();
+  manual_opts.atom_set = spec.atom_set;
+  const auto manual =
+      synapse::emulate_profile(spec.make_profile(), manual_opts);
+
+  EXPECT_EQ(via_scenario.result.samples_replayed, manual.samples_replayed);
+  ASSERT_TRUE(via_scenario.result.atom_stats.count("compute"));
+  ASSERT_TRUE(via_scenario.result.atom_stats.count("storage"));
+  const auto& sc = via_scenario.result.atom_stats;
+  EXPECT_EQ(sc.at("storage").bytes_written,
+            manual.atom_stats.at("storage").bytes_written);
+  EXPECT_EQ(sc.at("storage").samples_consumed,
+            manual.atom_stats.at("storage").samples_consumed);
+  EXPECT_EQ(sc.at("compute").samples_consumed,
+            manual.atom_stats.at("compute").samples_consumed);
+  // Cycle replay is calibrated in real time; allow a small tolerance.
+  EXPECT_NEAR(sc.at("compute").cycles, manual.atom_stats.at("compute").cycles,
+              0.05 * manual.atom_stats.at("compute").cycles + 1.0);
+  // The named mirrors agree with the per-atom map in both paths.
+  EXPECT_EQ(via_scenario.result.storage.bytes_written,
+            sc.at("storage").bytes_written);
+}
+
+TEST(Scenario, ParityWithHandAssembledOptionsProcessParallel) {
+  HostGuard guard;
+  const auto spec = small_io_scenario();
+
+  auto base = tmp_options();
+  base.parallel_mode = emulator::ParallelMode::Process;
+  base.parallel_degree = 2;
+  const auto via_scenario = workload::run_scenario(spec, base);
+
+  auto manual_opts = base;
+  manual_opts.atom_set = spec.atom_set;
+  const auto manual =
+      synapse::emulate_profile(spec.make_profile(), manual_opts);
+
+  EXPECT_EQ(via_scenario.result.ranks_ok, 2);
+  EXPECT_EQ(manual.ranks_ok, 2);
+  EXPECT_EQ(via_scenario.result.samples_replayed, manual.samples_replayed);
+  // Storage consumption duplicates per rank identically in both paths.
+  EXPECT_EQ(via_scenario.result.atom_stats.at("storage").bytes_written,
+            manual.atom_stats.at("storage").bytes_written);
+  EXPECT_EQ(via_scenario.result.atom_stats.at("storage").samples_consumed,
+            manual.atom_stats.at("storage").samples_consumed);
+}
+
+TEST(Scenario, RepetitionsAccumulateStats) {
+  HostGuard guard;
+  auto spec = small_io_scenario();
+  spec.atom_set = {"storage"};
+  spec.source.deltas.erase(std::string(m::kCyclesUsed));
+
+  const auto once = workload::run_scenario(spec, tmp_options());
+  spec.repetitions = 3;
+  const auto thrice = workload::run_scenario(spec, tmp_options());
+
+  EXPECT_EQ(thrice.repetitions, 3);
+  EXPECT_EQ(thrice.result.samples_replayed,
+            3 * once.result.samples_replayed);
+  EXPECT_EQ(thrice.result.atom_stats.at("storage").bytes_written,
+            3 * once.result.atom_stats.at("storage").bytes_written);
+}
+
+TEST(Scenario, CustomAtomScenarioRunsThroughInjectedRegistry) {
+  HostGuard guard;
+
+  class CountingAtom final : public atoms::Atom {
+   public:
+    CountingAtom() : Atom("counting") {}
+    bool wants(const profile::SampleDelta&) const override { return true; }
+    void consume(const profile::SampleDelta& delta) override {
+      stats_.samples_consumed += 1;
+      stats_.cycles += delta.get(m::kCyclesUsed);
+    }
+  };
+
+  atoms::AtomRegistry registry;
+  registry.register_atom("counting", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<CountingAtom>();
+  });
+
+  auto spec = small_io_scenario();
+  spec.name = "custom-atom";
+  spec.atom_set = {"counting"};
+  const auto run = workload::run_scenario(spec, tmp_options(), &registry);
+  ASSERT_TRUE(run.result.atom_stats.count("counting"));
+  EXPECT_EQ(run.result.atom_stats.at("counting").samples_consumed,
+            spec.source.samples);
+}
+
+TEST(Scenario, EveryBuiltinRunsEndToEndWithNonZeroStats) {
+  HostGuard guard;
+  for (const auto& s : workload::builtin_scenarios()) {
+    const auto run = workload::run_scenario(s, tmp_options());
+    EXPECT_EQ(run.result.samples_replayed, s.source.samples) << s.name;
+    uint64_t consumed = 0;
+    for (const auto& atom : s.atom_set) {
+      ASSERT_TRUE(run.result.atom_stats.count(atom)) << s.name << "/" << atom;
+      consumed += run.result.atom_stats.at(atom).samples_consumed;
+    }
+    EXPECT_GT(consumed, 0u) << s.name;
+  }
+}
