@@ -1,0 +1,153 @@
+// Scenario-driven ProfileStore ingest benchmark (ROADMAP: "scenario-
+// driven store ingest benchmarks").
+//
+// Synthesizes a profile stream from the built-in scenario catalog (each
+// repetition re-tagged so the stream spreads across shards, as a fleet
+// of concurrent recorders would) and measures, per backend and shard
+// count:
+//
+//   put        - one store insert per profile (one lock each)
+//   put_many   - the whole stream in one batched insert
+//   flush      - synchronous persistence of the batch
+//   flush_async- foreground cost of handing persistence to the worker
+//                (the drain is timed separately as "drain")
+//
+// Usage: bench_store_ingest [--smoke] [N]
+//   --smoke  tiny stream (CI smoke run)
+//   N        profiles per scenario (default 40, smoke 4)
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "profile/profile_store.hpp"
+#include "sys/clock.hpp"
+#include "workload/scenario.hpp"
+
+namespace profile = synapse::profile;
+namespace workload = synapse::workload;
+namespace sys = synapse::sys;
+
+namespace {
+
+/// Profile stream shaped like repeated scenario recordings: every
+/// catalog entry contributes `reps` profiles with distinct rep tags and
+/// monotonically increasing timestamps.
+std::vector<profile::Profile> make_stream(size_t reps) {
+  std::vector<profile::Profile> stream;
+  double clock = 1.0e9;  // synthetic created_at epoch
+  for (const auto& spec : workload::builtin_scenarios()) {
+    const profile::Profile base = spec.make_profile();
+    for (size_t rep = 0; rep < reps; ++rep) {
+      profile::Profile p = base;
+      p.tags.push_back("rep=" + std::to_string(rep));
+      p.created_at = clock += 1.0;
+      stream.push_back(std::move(p));
+    }
+  }
+  return stream;
+}
+
+struct IngestTiming {
+  double put_s = 0.0;
+  double put_many_s = 0.0;
+  double flush_s = 0.0;
+  double async_fg_s = 0.0;  ///< foreground put_many + flush_async
+  double drain_s = 0.0;     ///< waiting for the background worker
+};
+
+const char* backend_name(profile::ProfileStore::Backend backend) {
+  switch (backend) {
+    case profile::ProfileStore::Backend::Memory: return "memory";
+    case profile::ProfileStore::Backend::DocStore: return "docstore";
+    case profile::ProfileStore::Backend::Files: return "files";
+  }
+  return "?";
+}
+
+profile::ProfileStore make_store(profile::ProfileStore::Backend backend,
+                                 const std::string& dir, size_t shards) {
+  profile::ProfileStoreOptions options;
+  options.shards = shards;
+  if (backend == profile::ProfileStore::Backend::Memory) {
+    return profile::ProfileStore(options);
+  }
+  std::system(("rm -rf " + dir).c_str());
+  return profile::ProfileStore(backend, dir, options);
+}
+
+IngestTiming run_one(profile::ProfileStore::Backend backend, size_t shards,
+                     const std::vector<profile::Profile>& stream) {
+  const std::string dir = "/tmp/synapse_bench_ingest";
+  IngestTiming t;
+
+  {
+    auto store = make_store(backend, dir, shards);
+    sys::Stopwatch w;
+    for (const auto& p : stream) store.put(p);
+    t.put_s = w.elapsed();
+    w.reset();
+    store.flush();
+    t.flush_s = w.elapsed();
+  }
+  {
+    auto store = make_store(backend, dir, shards);
+    sys::Stopwatch w;
+    store.put_many(stream);
+    t.put_many_s = w.elapsed();
+  }
+  {
+    auto store = make_store(backend, dir, shards);
+    sys::Stopwatch w;
+    store.put_many(stream);
+    store.flush_async();
+    t.async_fg_s = w.elapsed();
+    w.reset();
+    store.flush();  // bounded: waits for everything queued above
+    t.drain_s = w.elapsed();
+  }
+  std::system(("rm -rf " + dir).c_str());
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t reps = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      reps = 4;
+    } else {
+      const long n = std::atol(argv[i]);
+      if (n > 0) reps = static_cast<size_t>(n);
+    }
+  }
+
+  const auto stream = make_stream(reps);
+  bench::heading("ProfileStore ingest — " + std::to_string(stream.size()) +
+                 " profiles (" + std::to_string(reps) + " reps x " +
+                 std::to_string(workload::builtin_scenarios().size()) +
+                 " scenarios)");
+  bench::row("%-9s %6s %10s %10s %10s %12s %10s  %s", "backend", "shards",
+             "put", "put_many", "flush", "async(fg)", "drain", "speedup");
+
+  const double n = static_cast<double>(stream.size());
+  for (const auto backend : {profile::ProfileStore::Backend::Memory,
+                             profile::ProfileStore::Backend::DocStore,
+                             profile::ProfileStore::Backend::Files}) {
+    for (const size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+      IngestTiming t = run_one(backend, shards, stream);
+      // Sub-microsecond phases (tiny smoke streams) would divide to inf.
+      t.put_s = std::max(t.put_s, 1e-9);
+      t.put_many_s = std::max(t.put_many_s, 1e-9);
+      bench::row("%-9s %6zu %8.0f/s %8.0f/s %9.3fs %11.3fs %9.3fs  %4.1fx",
+                 backend_name(backend), shards, n / t.put_s,
+                 n / t.put_many_s, t.flush_s, t.async_fg_s, t.drain_s,
+                 t.put_s / t.put_many_s);
+    }
+  }
+  return 0;
+}

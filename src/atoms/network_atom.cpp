@@ -55,9 +55,9 @@ NetworkAtom::NetworkAtom(NetworkAtomOptions options)
 
   drain_thread_ = std::thread([this] {
     std::vector<char> buf(256 * 1024);
-    while (!stop_.load(std::memory_order_relaxed)) {
+    for (;;) {
       const ssize_t n = ::recv(recv_fd_, buf.data(), buf.size(), 0);
-      if (n <= 0) break;  // peer closed or error: end of emulation
+      if (n <= 0) break;  // peer EOF or error: end of emulation
       drained_.fetch_add(static_cast<uint64_t>(n),
                          std::memory_order_relaxed);
     }
@@ -65,12 +65,16 @@ NetworkAtom::NetworkAtom(NetworkAtomOptions options)
 }
 
 NetworkAtom::~NetworkAtom() {
-  stop_.store(true, std::memory_order_relaxed);
-  if (send_fd_ >= 0) {
-    ::shutdown(send_fd_, SHUT_RDWR);
-    ::close(send_fd_);
-  }
+  // Finish the stream instead of dropping it: send() only queues bytes
+  // in the socket buffer, and closing both directions here used to
+  // discard whatever the drain thread had not received yet — those
+  // bytes never traversed the loopback device, so the emulated traffic
+  // was silently truncated (and invisible to the net watcher).
+  // Shutting down the write side sends EOF; the drain thread reads the
+  // queued remainder until it sees it, which bounds the join.
+  if (send_fd_ >= 0) ::shutdown(send_fd_, SHUT_WR);
   if (drain_thread_.joinable()) drain_thread_.join();
+  if (send_fd_ >= 0) ::close(send_fd_);
   if (recv_fd_ >= 0) ::close(recv_fd_);
 }
 

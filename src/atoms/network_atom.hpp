@@ -32,8 +32,8 @@ class NetworkAtom final : public Atom {
   NetworkAtomOptions options_;
   int send_fd_ = -1;
   int recv_fd_ = -1;
+  /// Drains the receive side until the destructor's SHUT_WR EOF.
   std::thread drain_thread_;
-  std::atomic<bool> stop_{false};
   std::atomic<uint64_t> drained_{0};
 };
 

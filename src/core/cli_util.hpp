@@ -1,0 +1,33 @@
+#pragma once
+// Small argument-parsing helpers shared by the synapse-* CLI mains.
+
+#include <string>
+#include <vector>
+
+namespace synapse::cli {
+
+/// Split a comma-separated name list ("compute, storage,my-atom"),
+/// trimming whitespace around each entry; empty entries are dropped.
+inline std::vector<std::string> split_name_list(const std::string& list) {
+  std::vector<std::string> names;
+  std::string current;
+  auto flush = [&] {
+    const auto begin = current.find_first_not_of(" \t");
+    if (begin != std::string::npos) {
+      const auto end = current.find_last_not_of(" \t");
+      names.push_back(current.substr(begin, end - begin + 1));
+    }
+    current.clear();
+  };
+  for (const char c : list) {
+    if (c == ',') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return names;
+}
+
+}  // namespace synapse::cli

@@ -26,10 +26,29 @@ profile::ProfileStore make_store(const SessionOptions& options) {
 Session::Session(SessionOptions options)
     : options_(std::move(options)), store_(make_store(options_)) {}
 
+Session::~Session() { flush_pending(); }
+
 profile::Profile Session::profile(const std::string& command,
                                   const std::vector<std::string>& tags) {
   watchers::Profiler profiler(options_.profiler);
   profile::Profile p = profiler.profile(command, tags);
+  if (options_.store_batch >= 2) {
+    // Async-batching ingest: queue recordings and hand each full batch
+    // to put_many (one lock per shard instead of one per profile).
+    std::vector<profile::Profile> batch;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.push_back(p);
+      if (pending_.size() >= options_.store_batch) {
+        batch.swap(pending_);
+      }
+    }
+    if (!batch.empty()) {
+      store_.put_many(batch);
+      store_.flush_async();
+    }
+    return p;
+  }
   store_.put(p);
   // Persistence rides the store's background flush worker so repeated
   // recordings don't serialize on docstore writes; the store drains
@@ -39,8 +58,21 @@ profile::Profile Session::profile(const std::string& command,
   return p;
 }
 
+void Session::flush_pending() {
+  std::vector<profile::Profile> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) return;
+  store_.put_many(batch);
+  store_.flush_async();
+}
+
 emulator::EmulationResult Session::emulate(
     const std::string& command, const std::vector<std::string>& tags) {
+  // Batched recordings must be visible to the lookup below.
+  flush_pending();
   const auto p = store_.find_latest(command, tags);
   if (!p) {
     throw sys::ProfileNotFound("no profile stored for command '" + command +

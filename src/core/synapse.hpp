@@ -14,6 +14,7 @@
 // modules directly (watchers::Profiler, emulator::Emulator); the session
 // is the convenience layer the command-line tools use.
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,12 @@ struct SessionOptions {
   /// Sharding/caching knobs of the profile store (persistent backends
   /// keep the shard count they were created with; see ProfileStoreOptions).
   profile::ProfileStoreOptions store_options;
+  /// Batch size for profile() recordings: >= 2 queues profiles and
+  /// hands each full batch to ProfileStore::put_many + flush_async in
+  /// one go (one lock per shard instead of one per profile — the
+  /// async-batching ingest path); 1 stores each profile immediately.
+  /// Queued profiles are flushed by flush_pending() and on destruction.
+  size_t store_batch = 1;
   watchers::ProfilerOptions profiler;
   emulator::EmulatorOptions emulator;
   /// Atom registry emulation resolves atom names through (nullptr = the
@@ -42,6 +49,7 @@ struct SessionOptions {
 class Session {
  public:
   explicit Session(SessionOptions options = {});
+  ~Session();  ///< flushes any batched profiles
 
   /// Profile `command`, store and return the profile. Repeated calls
   /// accumulate repetitions for statistics (ProfileStore::stats).
@@ -56,6 +64,10 @@ class Session {
   emulator::EmulationResult emulate(const std::string& command,
                                     const std::vector<std::string>& tags = {});
 
+  /// Hand any batched profiles (store_batch >= 2) to the store now
+  /// (put_many + flush_async). Thread-safe; no-op when nothing pends.
+  void flush_pending();
+
   /// Direct access for advanced use.
   profile::ProfileStore& store() { return store_; }
   const SessionOptions& options() const { return options_; }
@@ -63,6 +75,8 @@ class Session {
  private:
   SessionOptions options_;
   profile::ProfileStore store_;
+  std::mutex pending_mutex_;
+  std::vector<profile::Profile> pending_;  ///< batched recordings
 };
 
 /// One-shot helpers with default options (the basic usage mode shown in

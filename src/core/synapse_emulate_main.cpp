@@ -7,8 +7,12 @@
 //                   [--atoms NAME[,NAME...]] [--net]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
 //                   -- COMMAND [ARGS...]
-//   synapse-emulate --scenario NAME|FILE [tuning flags...]
+//   synapse-emulate --scenario NAME|FILE [--profile] [tuning flags...]
 //   synapse-emulate --list-scenarios
+//
+// --profile runs the scenario's emulation under the profiler (watcher
+// set from the scenario's `watchers` field) and stores the recorded
+// profile as "scenario:<name>" — the profile-then-emulate round trip.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,35 +20,13 @@
 #include <vector>
 
 #include "atoms/atom_registry.hpp"
+#include "core/cli_util.hpp"
 #include "core/synapse.hpp"
+#include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
-
-/// Split a comma-separated atom list ("compute, storage,my-atom"),
-/// trimming whitespace around each name.
-std::vector<std::string> split_atom_list(const std::string& list) {
-  std::vector<std::string> names;
-  std::string current;
-  auto flush = [&] {
-    const auto begin = current.find_first_not_of(" \t");
-    if (begin != std::string::npos) {
-      const auto end = current.find_last_not_of(" \t");
-      names.push_back(current.substr(begin, end - begin + 1));
-    }
-    current.clear();
-  };
-  for (const char c : list) {
-    if (c == ',') {
-      flush();
-    } else {
-      current += c;
-    }
-  }
-  flush();
-  return names;
-}
 
 /// One line per atom so scripts (and tests) can assert per-atom stats.
 void print_atom_stats(const synapse::emulator::EmulationResult& result) {
@@ -78,10 +60,32 @@ int list_scenarios() {
 }
 
 int run_scenario_mode(const std::string& scenario_arg,
-                      const synapse::SessionOptions& options) {
+                      const synapse::SessionOptions& options,
+                      bool profile_run) {
   using namespace synapse;
   const workload::ScenarioSpec spec =
       workload::resolve_scenario(scenario_arg);
+  if (profile_run) {
+    // Profile-then-emulate round trip: run the scenario's emulation in
+    // a child with the profiler attached (watcher set from the
+    // scenario's own `watchers` field) and store the recorded profile
+    // so `synapse-emulate --store DIR -- scenario:<name>` replays it.
+    const profile::Profile p =
+        workload::profile_scenario(spec, options.profiler, options.emulator);
+    Session session(options);
+    session.store().put(p);
+    session.store().flush();
+    namespace m = synapse::metrics;
+    std::printf("profiled scenario : %s (%d reps in one run)\n",
+                spec.name.c_str(), spec.repetitions);
+    std::printf("  Tx        : %.3f s\n", p.runtime());
+    std::printf("  samples   : %zu\n", p.sample_count());
+    std::printf("  net rx/tx : %.0f/%.0f\n", p.total(m::kNetBytesRead),
+                p.total(m::kNetBytesWritten));
+    std::printf("  stored as : %s (in %s)\n", p.command.c_str(),
+                session.options().store_dir.c_str());
+    return 0;
+  }
   const auto run = workload::run_scenario(spec, options.emulator);
   std::printf("scenario : %s (%zu samples x %d reps)\n", spec.name.c_str(),
               spec.source.samples, run.repetitions);
@@ -103,6 +107,7 @@ int main(int argc, char** argv) {
   std::string resource_name;
   std::string scenario;
   bool store_flag = false;
+  bool profile_flag = false;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -126,7 +131,7 @@ int main(int argc, char** argv) {
       options.emulator.parallel_mode = emulator::ParallelMode::Process;
       options.emulator.parallel_degree = std::atoi(next());
     } else if (arg == "--atoms") {
-      options.emulator.atom_set = split_atom_list(next());
+      options.emulator.atom_set = cli::split_name_list(next());
       if (options.emulator.atom_set.empty()) {
         // An explicit-but-empty list must not silently fall back to
         // the full default set — the opposite of the user's intent.
@@ -145,6 +150,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--list-scenarios") {
       return list_scenarios();
+    } else if (arg == "--profile") {
+      profile_flag = true;
     } else if (arg == "--read-block") {
       options.emulator.storage.read_block_bytes =
           std::strtoull(next(), nullptr, 10) * 1024;
@@ -163,7 +170,9 @@ int main(int argc, char** argv) {
           "                [--atoms NAME[,NAME...]] [--net]\n"
           "                [--read-block KiB] [--write-block KiB]\n"
           "                [--fs NAME] -- COMMAND...\n"
-          "synapse-emulate --scenario NAME|FILE [tuning flags...]\n"
+          "synapse-emulate --scenario NAME|FILE [--profile] [tuning...]\n"
+          "                (--profile records the scenario run through the\n"
+          "                 profiler and stores it as scenario:<name>)\n"
           "synapse-emulate --list-scenarios\n"
           "registered atoms:");
       for (const auto& name : synapse::atoms::AtomRegistry::instance().names()) {
@@ -208,17 +217,30 @@ int main(int argc, char** argv) {
     resource::activate_resource(resource_name);
   }
 
+  if (profile_flag && scenario.empty()) {
+    std::fprintf(stderr,
+                 "synapse-emulate: --profile only applies to --scenario "
+                 "runs\n");
+    return 2;
+  }
+
   if (!scenario.empty()) {
-    // Scenarios synthesize their own samples; they neither read nor
-    // write the profile store, so say so instead of silently ignoring
-    // these flags.
-    if (store_flag || !tags.empty()) {
+    // Plain scenario runs synthesize their own samples and neither read
+    // nor write the profile store; say so instead of silently ignoring
+    // these flags. With --profile the store is the destination and the
+    // profile carries the scenario's own tags.
+    if (!profile_flag && (store_flag || !tags.empty())) {
       std::fprintf(stderr,
                    "synapse-emulate: note: --store/--tag have no effect "
                    "with --scenario (scenarios do not touch the store)\n");
     }
+    if (profile_flag && !tags.empty()) {
+      std::fprintf(stderr,
+                   "synapse-emulate: note: --profile stores the scenario's "
+                   "own tags; --tag is ignored\n");
+    }
     try {
-      return run_scenario_mode(scenario, options);
+      return run_scenario_mode(scenario, options, profile_flag);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
       return 1;

@@ -48,6 +48,15 @@ void print_profile(const Profile& p) {
   std::printf("resource     : %s\n", p.system.resource_name.c_str());
   std::printf("sample rate  : %.1f Hz\n", p.sample_rate_hz);
   std::printf("samples      : %zu\n", p.sample_count());
+  std::printf("series:\n");
+  for (const auto& ts : p.series) {
+    // Per-series rates may diverge from the profile-level rate
+    // (WatcherConfig::rate_overrides); 0 means "not recorded".
+    const double rate =
+        ts.sample_rate_hz > 0 ? ts.sample_rate_hz : p.sample_rate_hz;
+    std::printf("  %-10s %6zu samples @ %.1f Hz\n", ts.watcher.c_str(),
+                ts.size(), rate);
+  }
   std::printf("totals:\n");
   for (const auto& [metric, value] : p.totals) {
     std::printf("  %-36s %.6g\n", metric.c_str(), value);

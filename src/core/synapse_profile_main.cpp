@@ -4,15 +4,42 @@
 //
 // Usage:
 //   synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]
+//                   [--watchers LIST] [--watcher-rate NAME=HZ]...
+//                   [--scheduler thread|multiplexed] [--store-batch N]
 //                   [--resource NAME] -- COMMAND [ARGS...]
+//   synapse-profile --list-watchers
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/cli_util.hpp"
 #include "core/synapse.hpp"
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
+#include "watchers/watcher_registry.hpp"
+
+namespace {
+
+int list_watchers() {
+  using synapse::watchers::WatcherRegistry;
+  const auto& defaults = WatcherRegistry::default_set();
+  std::printf("%-10s %s\n", "name", "attached by default");
+  for (const auto& name : WatcherRegistry::instance().names()) {
+    const bool dflt = std::find(defaults.begin(), defaults.end(), name) !=
+                      defaults.end();
+    std::printf("%-10s %s\n", name.c_str(), dflt ? "yes" : "no");
+  }
+  std::printf(
+      "\nnote: 'net' attributes system-wide /proc/net/dev deltas to the\n"
+      "profiled process (accurate when it dominates traffic); opt in\n"
+      "with --watchers ...,net\n");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace synapse;
@@ -38,13 +65,52 @@ int main(int argc, char** argv) {
       resource_name = next();
     } else if (arg == "--adaptive") {
       options.profiler.adaptive = true;
+    } else if (arg == "--watchers") {
+      options.profiler.watcher_set = cli::split_name_list(next());
+      if (options.profiler.watcher_set.empty()) {
+        // An explicit-but-empty list must not silently fall back to
+        // the default set — the opposite of the user's intent.
+        std::fprintf(stderr,
+                     "synapse-profile: --watchers needs at least one name\n");
+        return 2;
+      }
+    } else if (arg == "--list-watchers") {
+      return list_watchers();
+    } else if (arg == "--watcher-rate") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      const double hz =
+          eq == std::string::npos ? 0.0 : std::atof(spec.c_str() + eq + 1);
+      if (eq == std::string::npos || eq == 0 || hz <= 0.0) {
+        std::fprintf(stderr,
+                     "synapse-profile: --watcher-rate expects NAME=HZ "
+                     "with HZ > 0 (got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.profiler.watcher_rates[spec.substr(0, eq)] = hz;
+    } else if (arg == "--scheduler") {
+      try {
+        options.profiler.scheduler =
+            watchers::scheduler_mode_from_string(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "synapse-profile: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--store-batch") {
+      options.store_batch = std::strtoull(next(), nullptr, 10);
+      if (options.store_batch == 0) options.store_batch = 1;
     } else if (arg == "--") {
       ++i;
       break;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]\n"
-          "                [--resource NAME] [--adaptive] -- COMMAND...\n");
+          "                [--watchers LIST] [--watcher-rate NAME=HZ]...\n"
+          "                [--scheduler thread|multiplexed] "
+          "[--store-batch N]\n"
+          "                [--resource NAME] [--adaptive] -- COMMAND...\n"
+          "synapse-profile --list-watchers\n");
       return 0;
     } else {
       std::fprintf(stderr, "synapse-profile: unknown option %s\n",
@@ -61,23 +127,51 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // A rate override for a watcher that will not run is a typo, not a
+  // no-op: diagnose it with the same loudness as an unknown --watchers
+  // name.
+  {
+    const auto set =
+        watchers::Profiler(options.profiler).effective_watcher_set();
+    for (const auto& [name, hz] : options.profiler.watcher_rates) {
+      if (std::find(set.begin(), set.end(), name) == set.end()) {
+        std::fprintf(stderr,
+                     "synapse-profile: --watcher-rate names '%s', which is "
+                     "not in the watcher set (running:",
+                     name.c_str());
+        for (const auto& w : set) std::fprintf(stderr, " %s", w.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
+  }
+
   if (!resource_name.empty()) {
     resource::activate_resource(resource_name);
   }
 
-  Session session(options);
-  const profile::Profile p = session.profile(command, tags);
+  try {
+    Session session(options);
+    const profile::Profile p = session.profile(command, tags);
 
-  namespace m = synapse::metrics;
-  std::printf("profiled: %s\n", command.c_str());
-  std::printf("  resource    : %s\n", p.system.resource_name.c_str());
-  std::printf("  Tx          : %.3f s\n", p.runtime());
-  std::printf("  samples     : %zu\n", p.sample_count());
-  std::printf("  cycles      : %.3e\n", p.total(m::kCyclesUsed));
-  std::printf("  instructions: %.3e\n", p.total(m::kInstructions));
-  std::printf("  bytes read  : %.0f\n", p.total(m::kBytesRead));
-  std::printf("  bytes written: %.0f\n", p.total(m::kBytesWritten));
-  std::printf("  peak RSS    : %.0f\n", p.total(m::kMemPeak));
-  std::printf("  stored in   : %s\n", session.options().store_dir.c_str());
-  return 0;
+    namespace m = synapse::metrics;
+    std::printf("profiled: %s\n", command.c_str());
+    std::printf("  resource    : %s\n", p.system.resource_name.c_str());
+    std::printf("  Tx          : %.3f s\n", p.runtime());
+    std::printf("  samples     : %zu\n", p.sample_count());
+    std::printf("  cycles      : %.3e\n", p.total(m::kCyclesUsed));
+    std::printf("  instructions: %.3e\n", p.total(m::kInstructions));
+    std::printf("  bytes read  : %.0f\n", p.total(m::kBytesRead));
+    std::printf("  bytes written: %.0f\n", p.total(m::kBytesWritten));
+    std::printf("  peak RSS    : %.0f\n", p.total(m::kMemPeak));
+    if (p.find_series("net") != nullptr) {
+      std::printf("  net rx/tx   : %.0f/%.0f\n", p.total(m::kNetBytesRead),
+                  p.total(m::kNetBytesWritten));
+    }
+    std::printf("  stored in   : %s\n", session.options().store_dir.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synapse-profile: %s\n", e.what());
+    return 1;
+  }
 }

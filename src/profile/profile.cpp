@@ -95,8 +95,13 @@ bool is_instantaneous_metric(std::string_view metric) {
 }
 
 std::vector<SampleDelta> Profile::sample_deltas() const {
-  if (sample_rate_hz <= 0.0) return {};
-  const double period = 1.0 / sample_rate_hz;
+  // Period resolution follows the fastest recorded series: with
+  // per-watcher rate overrides the high-rate series defines the replay
+  // granularity, slower series simply contribute to fewer buckets.
+  double rate = sample_rate_hz;
+  for (const auto& ts : series) rate = std::max(rate, ts.sample_rate_hz);
+  if (rate <= 0.0) return {};
+  const double period = 1.0 / rate;
 
   // Establish the profile time origin: earliest timestamp seen anywhere.
   double origin = std::numeric_limits<double>::infinity();
@@ -188,6 +193,7 @@ json::Value Profile::to_json() const {
   for (const auto& ts : series) {
     json::Object jts;
     jts["watcher"] = ts.watcher;
+    if (ts.sample_rate_hz > 0) jts["rate_hz"] = ts.sample_rate_hz;
     json::Array jsamples;
     for (const auto& s : ts.samples) {
       json::Object js;
@@ -226,6 +232,7 @@ Profile Profile::from_json(const json::Value& v) {
     for (const auto& jts : v["series"].as_array()) {
       TimeSeries ts;
       ts.watcher = jts.get_or("watcher", std::string());
+      ts.sample_rate_hz = jts.get_or("rate_hz", 0.0);
       for (const auto& js : jts["samples"].as_array()) {
         Sample s;
         s.timestamp = js.get_or("t", 0.0);

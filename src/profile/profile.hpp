@@ -33,6 +33,10 @@ struct Sample {
 /// Ordered samples from one watcher.
 struct TimeSeries {
   std::string watcher;  ///< producing watcher name ("cpu", "mem", ...)
+  /// Rate this series was sampled at. Watchers may run at individual
+  /// rates (WatcherConfig::rate_overrides); 0 means "not recorded",
+  /// i.e. the profile-level Profile::sample_rate_hz applies.
+  double sample_rate_hz = 0.0;
   std::vector<Sample> samples;
 
   bool empty() const { return samples.empty(); }

@@ -47,8 +47,8 @@ std::optional<NetDevTotals> read_netdev_totals(bool include_loopback) {
   return totals;
 }
 
-void NetWatcher::pre_process(const WatcherConfig& config) {
-  Watcher::pre_process(config);
+NetWatcher::NetWatcher(bool include_loopback)
+    : Watcher("net"), include_loopback_(include_loopback) {
   if (const auto t = read_netdev_totals(include_loopback_)) {
     baseline_ = *t;
     have_baseline_ = true;

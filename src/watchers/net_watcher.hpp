@@ -27,10 +27,13 @@ std::optional<NetDevTotals> read_netdev_totals(bool include_loopback);
 
 class NetWatcher final : public Watcher {
  public:
-  explicit NetWatcher(bool include_loopback = true)
-      : Watcher("net"), include_loopback_(include_loopback) {}
+  /// The baseline snapshot is taken HERE, at construction: the profiler
+  /// builds its watchers before spawning the application, so counting
+  /// starts strictly before any application traffic — a baseline taken
+  /// later (e.g. in pre_process, which runs on the sampling thread)
+  /// would race the first packets of a short-lived child.
+  explicit NetWatcher(bool include_loopback = true);
 
-  void pre_process(const WatcherConfig& config) override;
   void sample(double now) override;
   void finalize(const std::vector<const Watcher*>& all,
                 std::map<std::string, double>& totals) override;

@@ -2,28 +2,41 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
-#include "sys/affinity.hpp"
 #include "sys/clock.hpp"
 #include "sys/cpuinfo.hpp"
 #include "sys/env.hpp"
 #include "sys/procfs.hpp"
-#include "watchers/cpu_watcher.hpp"
-#include "watchers/io_watcher.hpp"
-#include "watchers/mem_watcher.hpp"
-#include "watchers/sys_watcher.hpp"
 #include "watchers/trace.hpp"
-#include "watchers/trace_watcher.hpp"
 
 namespace synapse::watchers {
 
 namespace m = synapse::metrics;
 
 Profiler::Profiler(ProfilerOptions options) : options_(std::move(options)) {}
+
+const WatcherRegistry& Profiler::registry() const {
+  return options_.registry != nullptr ? *options_.registry
+                                      : WatcherRegistry::instance();
+}
+
+std::vector<std::string> Profiler::effective_watcher_set() const {
+  const std::vector<std::string>& requested =
+      options_.watcher_set.empty() ? WatcherRegistry::default_set()
+                                   : options_.watcher_set;
+  std::vector<std::string> names;
+  names.reserve(requested.size());
+  for (const auto& name : requested) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
 
 std::string Profiler::make_trace_path() const {
   const std::string dir =
@@ -35,12 +48,35 @@ std::string Profiler::make_trace_path() const {
          std::to_string(counter.fetch_add(1)) + ".bin";
 }
 
+std::string Profiler::prepare_run() const {
+  bool trace = false;
+  for (const auto& name : effective_watcher_set()) {
+    registry().ensure_registered(name);  // throws before the spawn
+    trace = trace || name == "trace";
+  }
+  return trace ? make_trace_path() : std::string();
+}
+
+std::vector<std::unique_ptr<Watcher>> Profiler::build_watchers(
+    const std::string& trace_path) const {
+  WatcherBuildContext build;
+  build.net_include_loopback = options_.net_include_loopback;
+
+  std::vector<std::unique_ptr<Watcher>> watchers;
+  for (const auto& name : effective_watcher_set()) {
+    // The trace watcher is a no-op without its side channel; drop it
+    // rather than attaching a watcher that can never produce data.
+    if (name == "trace" && trace_path.empty()) continue;
+    watchers.push_back(registry().create(name, build));
+  }
+  return watchers;
+}
+
 profile::Profile Profiler::profile_command(
     const std::vector<std::string>& argv,
     const std::vector<std::string>& tags,
     const std::string& command_label) {
-  const std::string trace_path =
-      options_.watch_trace ? make_trace_path() : std::string();
+  const std::string trace_path = prepare_run();
 
   sys::SpawnOptions spawn_opts;
   spawn_opts.extra_env = options_.extra_env;
@@ -58,8 +94,9 @@ profile::Profile Profiler::profile_command(
       command += a;
     }
   }
-  return run(sys::ChildProcess::spawn(argv, spawn_opts), command, tags,
-             trace_path);
+  auto watchers = build_watchers(trace_path);
+  return run(sys::ChildProcess::spawn(argv, spawn_opts), std::move(watchers),
+             command, tags, trace_path);
 }
 
 profile::Profile Profiler::profile(const std::string& command,
@@ -72,18 +109,20 @@ profile::Profile Profiler::profile(const std::string& command,
 profile::Profile Profiler::profile_function(
     const std::function<int()>& fn, const std::string& pseudo_command,
     const std::vector<std::string>& tags) {
-  const std::string trace_path =
-      options_.watch_trace ? make_trace_path() : std::string();
+  const std::string trace_path = prepare_run();
+  auto watchers = build_watchers(trace_path);
   if (!trace_path.empty()) {
     // fork_function children inherit our environment directly.
     sys::setenv_str(kTraceEnvVar, trace_path);
   }
   auto child = sys::ChildProcess::fork_function(fn);
   if (!trace_path.empty()) sys::unsetenv_str(kTraceEnvVar);
-  return run(std::move(child), pseudo_command, tags, trace_path);
+  return run(std::move(child), std::move(watchers), pseudo_command, tags,
+             trace_path);
 }
 
 profile::Profile Profiler::run(sys::ChildProcess child,
+                               std::vector<std::unique_ptr<Watcher>> watchers,
                                const std::string& command,
                                const std::vector<std::string>& tags,
                                const std::string& trace_path) {
@@ -94,55 +133,16 @@ profile::Profile Profiler::run(sys::ChildProcess child,
   config.adaptive_window_s = options_.adaptive_window_s;
   config.adaptive_floor_hz = options_.adaptive_floor_hz;
   config.trace_path = trace_path;
+  config.rate_overrides = options_.watcher_rates;
 
-  std::vector<std::unique_ptr<Watcher>> watchers;
-  if (options_.watch_cpu) watchers.push_back(std::make_unique<CpuWatcher>());
-  if (options_.watch_mem) watchers.push_back(std::make_unique<MemWatcher>());
-  if (options_.watch_io) watchers.push_back(std::make_unique<IoWatcher>());
-  if (options_.watch_sys) watchers.push_back(std::make_unique<SysWatcher>());
-  if (options_.watch_trace && !trace_path.empty()) {
-    watchers.push_back(std::make_unique<TraceWatcher>());
-  }
+  std::vector<Watcher*> scheduled;
+  scheduled.reserve(watchers.size());
+  for (const auto& w : watchers) scheduled.push_back(w.get());
 
-  // One thread per watcher, as in the paper: each loops at the sampling
-  // rate with its own (unsynchronised) timestamps. The adaptive scheme
-  // decays the rate after the startup window.
-  std::atomic<bool> terminate{false};
-  std::vector<std::thread> threads;
-  threads.reserve(watchers.size());
-  const double t0 = sys::steady_now();
-  for (auto& w : watchers) {
-    threads.emplace_back([&terminate, &w, &config, t0] {
-      sys::set_thread_name("syn:" + w->name());
-      w->pre_process(config);
-      while (!terminate.load(std::memory_order_relaxed)) {
-        w->sample(sys::wallclock_now());
-        double rate = config.sample_rate_hz;
-        if (config.adaptive &&
-            sys::steady_now() - t0 > config.adaptive_window_s) {
-          rate = config.adaptive_floor_hz;
-        }
-        if (rate <= 0) rate = 1.0;
-        // Sleep in short slices so a fast child exit does not leave the
-        // watcher sleeping through a long (low-rate) period.
-        double remaining = 1.0 / rate;
-        while (remaining > 0 && !terminate.load(std::memory_order_relaxed)) {
-          const double slice = remaining > 0.05 ? 0.05 : remaining;
-          sys::sleep_for(slice);
-          remaining -= slice;
-        }
-      }
-      // Closing sample: capture the final cumulative state (the paper's
-      // profiler waits for the last full period; a final read is
-      // equivalent without the delay).
-      w->sample(sys::wallclock_now());
-      w->post_process();
-    });
-  }
-
+  SamplingScheduler scheduler(options_.scheduler);
+  scheduler.start(scheduled, config);
   const sys::ExitStatus status = child.wait();
-  terminate.store(true, std::memory_order_relaxed);
-  for (auto& t : threads) t.join();
+  scheduler.stop();
 
   // Assemble the profile.
   profile::Profile p;
@@ -183,6 +183,7 @@ profile::Profile Profiler::run(sys::ChildProcess child,
   for (auto& w : watchers) {
     w->finalize(watcher_ptrs, p.totals);
     profile::TimeSeries ts = w->series();
+    ts.sample_rate_hz = config.rate_for(w->name());
     if (trace_has_counters && ts.watcher == "cpu") {
       for (auto& s : ts.samples) {
         s.values.erase(std::string(m::kCyclesUsed));

@@ -1,8 +1,10 @@
 #pragma once
 // The Synapse profiler driver (paper sections 4.1, Fig. 1 left half).
 //
-// Spawns the application, attaches one thread per watcher, samples at
-// the configured (optionally adaptive) rate, and assembles a Profile:
+// Spawns the application, attaches the configured watcher set (resolved
+// by name through watchers::WatcherRegistry), samples at the configured
+// (optionally adaptive, optionally per-watcher) rate through a
+// SamplingScheduler, and assembles a Profile:
 //
 //   profiler.profile_command({"./mdsim", "--steps", "10000"}, {"tag"});
 //
@@ -12,13 +14,16 @@
 // opt-in), P.4 (consistency — tested), P.5 (profiles feed the emulator).
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "profile/profile.hpp"
 #include "sys/spawn.hpp"
+#include "watchers/sampling_scheduler.hpp"
 #include "watchers/watcher.hpp"
+#include "watchers/watcher_registry.hpp"
 
 namespace synapse::watchers {
 
@@ -27,11 +32,25 @@ struct ProfilerOptions {
   bool adaptive = false;         ///< high rate during startup, then decay
   double adaptive_window_s = 2.0;
   double adaptive_floor_hz = 1.0;
-  bool watch_cpu = true;
-  bool watch_mem = true;
-  bool watch_io = true;
-  bool watch_sys = true;
-  bool watch_trace = true;  ///< cooperative analytic counters
+  /// Declarative watcher-set selection: registry names to attach, in
+  /// order (e.g. {"cpu", "mem", "net"}). Empty = the registry's
+  /// default_set() — every built-in except "net", whose system-wide
+  /// attribution is opt-in. Unknown names fail with sys::ConfigError
+  /// BEFORE the application is spawned. Duplicates collapse (first
+  /// occurrence wins).
+  std::vector<std::string> watcher_set;
+  /// Per-watcher sampling-rate overrides (watcher name -> Hz); watchers
+  /// not listed sample at `sample_rate_hz`.
+  std::map<std::string, double> watcher_rates;
+  /// Run-loop mode: thread-per-watcher (paper-faithful default) or one
+  /// multiplexed timer thread (see sampling_scheduler.hpp).
+  SchedulerMode scheduler = SchedulerMode::ThreadPerWatcher;
+  /// Count loopback traffic in the "net" watcher (profiling an
+  /// emulation wants it on: the network atom replays over loopback).
+  bool net_include_loopback = true;
+  /// Registry watcher names resolve through (nullptr = the process-wide
+  /// WatcherRegistry::instance()); must outlive the profiler.
+  const WatcherRegistry* registry = nullptr;
   /// Directory for the trace side-channel file (default: $TMPDIR or /tmp).
   std::string scratch_dir;
   /// Extra environment for the application (NAME=VALUE).
@@ -65,11 +84,28 @@ class Profiler {
 
   const ProfilerOptions& options() const { return options_; }
 
+  /// The watcher names this profiler will attach (watcher_set resolved
+  /// against the default set, deduplicated, order preserved).
+  std::vector<std::string> effective_watcher_set() const;
+
  private:
-  profile::Profile run(sys::ChildProcess child, const std::string& command,
+  profile::Profile run(sys::ChildProcess child,
+                       std::vector<std::unique_ptr<Watcher>> watchers,
+                       const std::string& command,
                        const std::vector<std::string>& tags,
                        const std::string& trace_path);
+  /// Shared entry-point setup: validates the watcher set against the
+  /// registry (throwing BEFORE any child is spawned) and returns the
+  /// trace side-channel path — "" when the trace watcher is not in the
+  /// set, so callers skip the env plumbing entirely.
+  std::string prepare_run() const;
+  /// Instantiate the effective watcher set. Called BEFORE the child is
+  /// spawned so construction-time state (the net watcher's counter
+  /// baseline) predates all application activity.
+  std::vector<std::unique_ptr<Watcher>> build_watchers(
+      const std::string& trace_path) const;
   std::string make_trace_path() const;
+  const WatcherRegistry& registry() const;
 
   ProfilerOptions options_;
 };

@@ -1,0 +1,137 @@
+#include "watchers/sampling_scheduler.hpp"
+
+#include <algorithm>
+
+#include "sys/affinity.hpp"
+#include "sys/clock.hpp"
+#include "sys/error.hpp"
+
+namespace synapse::watchers {
+
+namespace {
+
+/// Longest uninterruptible sleep slice: short enough that a fast child
+/// exit never leaves a watcher sleeping through a long (low-rate)
+/// period.
+constexpr double kSleepSlice = 0.05;
+
+/// The rate a watcher samples at right now: its configured per-watcher
+/// rate, decayed to the adaptive floor once the startup window is over.
+double current_rate(const WatcherConfig& config, const std::string& name,
+                    double t0) {
+  double rate = config.rate_for(name);
+  if (config.adaptive && sys::steady_now() - t0 > config.adaptive_window_s) {
+    rate = config.adaptive_floor_hz;
+  }
+  return rate > 0 ? rate : 1.0;
+}
+
+}  // namespace
+
+SchedulerMode scheduler_mode_from_string(const std::string& name) {
+  if (name == "thread" || name == "thread_per_watcher") {
+    return SchedulerMode::ThreadPerWatcher;
+  }
+  if (name == "multiplexed") return SchedulerMode::Multiplexed;
+  throw sys::ConfigError("unknown scheduler mode: " + name +
+                         " (expected thread or multiplexed)");
+}
+
+const char* scheduler_mode_name(SchedulerMode mode) {
+  return mode == SchedulerMode::Multiplexed ? "multiplexed" : "thread";
+}
+
+SamplingScheduler::SamplingScheduler(SchedulerMode mode) : mode_(mode) {}
+
+SamplingScheduler::~SamplingScheduler() { stop(); }
+
+void SamplingScheduler::start(const std::vector<Watcher*>& watchers,
+                              const WatcherConfig& config) {
+  stop();
+  watchers_ = watchers;
+  config_ = config;
+  terminate_.store(false, std::memory_order_relaxed);
+  t0_ = sys::steady_now();
+  running_ = true;
+  if (mode_ == SchedulerMode::Multiplexed) {
+    run_multiplexed();
+  } else {
+    run_thread_per_watcher();
+  }
+}
+
+void SamplingScheduler::stop() {
+  if (!running_) return;
+  terminate_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  watchers_.clear();
+  running_ = false;
+}
+
+void SamplingScheduler::run_thread_per_watcher() {
+  threads_.reserve(watchers_.size());
+  for (Watcher* w : watchers_) {
+    threads_.emplace_back([this, w] {
+      sys::set_thread_name("syn:" + w->name());
+      w->pre_process(config_);
+      while (!terminate_.load(std::memory_order_relaxed)) {
+        w->sample(sys::wallclock_now());
+        double remaining = 1.0 / current_rate(config_, w->name(), t0_);
+        while (remaining > 0 &&
+               !terminate_.load(std::memory_order_relaxed)) {
+          const double slice = std::min(remaining, kSleepSlice);
+          sys::sleep_for(slice);
+          remaining -= slice;
+        }
+      }
+      // Closing sample: capture the final cumulative state (the paper's
+      // profiler waits for the last full period; a final read is
+      // equivalent without the delay).
+      w->sample(sys::wallclock_now());
+      w->post_process();
+    });
+  }
+}
+
+void SamplingScheduler::run_multiplexed() {
+  threads_.emplace_back([this] {
+    sys::set_thread_name("syn:mux");
+    struct Entry {
+      Watcher* watcher;
+      double next_due;  ///< steady-clock seconds
+    };
+    std::vector<Entry> entries;
+    entries.reserve(watchers_.size());
+    for (Watcher* w : watchers_) {
+      w->pre_process(config_);
+      entries.push_back({w, sys::steady_now()});
+    }
+    while (!terminate_.load(std::memory_order_relaxed)) {
+      const double now = sys::steady_now();
+      double earliest = now + kSleepSlice;
+      for (auto& e : entries) {
+        if (e.next_due <= now) {
+          e.watcher->sample(sys::wallclock_now());
+          const double period =
+              1.0 / current_rate(config_, e.watcher->name(), t0_);
+          // Advance from the due time to keep the cadence; if sampling
+          // fell behind a full period, re-anchor on now instead of
+          // bursting to catch up.
+          e.next_due += period;
+          if (e.next_due <= now) e.next_due = now + period;
+        }
+        earliest = std::min(earliest, e.next_due);
+      }
+      const double wait =
+          std::min(kSleepSlice, std::max(0.0, earliest - sys::steady_now()));
+      if (wait > 0) sys::sleep_for(wait);
+    }
+    for (auto& e : entries) {
+      e.watcher->sample(sys::wallclock_now());
+      e.watcher->post_process();
+    }
+  });
+}
+
+}  // namespace synapse::watchers

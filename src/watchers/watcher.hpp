@@ -39,6 +39,17 @@ struct WatcherConfig {
   bool estimate_block_sizes = true;
   /// Path of the cooperative counter trace file ("" disables).
   std::string trace_path;
+  /// Per-watcher sampling-rate overrides (watcher name -> Hz); watchers
+  /// not listed sample at the global `sample_rate_hz`.
+  std::map<std::string, double> rate_overrides;
+
+  /// Effective sampling rate of one watcher (always > 0).
+  double rate_for(const std::string& watcher) const {
+    const auto it = rate_overrides.find(watcher);
+    const double rate =
+        it != rate_overrides.end() ? it->second : sample_rate_hz;
+    return rate > 0 ? rate : 1.0;
+  }
 };
 
 class Watcher {

@@ -1,0 +1,86 @@
+#include "watchers/watcher_registry.hpp"
+
+#include "sys/error.hpp"
+#include "watchers/cpu_watcher.hpp"
+#include "watchers/io_watcher.hpp"
+#include "watchers/mem_watcher.hpp"
+#include "watchers/net_watcher.hpp"
+#include "watchers/sys_watcher.hpp"
+#include "watchers/trace_watcher.hpp"
+
+namespace synapse::watchers {
+
+WatcherRegistry::WatcherRegistry() {
+  factories_["cpu"] = [](const WatcherBuildContext&) {
+    return std::make_unique<CpuWatcher>();
+  };
+  factories_["mem"] = [](const WatcherBuildContext&) {
+    return std::make_unique<MemWatcher>();
+  };
+  factories_["io"] = [](const WatcherBuildContext&) {
+    return std::make_unique<IoWatcher>();
+  };
+  factories_["sys"] = [](const WatcherBuildContext&) {
+    return std::make_unique<SysWatcher>();
+  };
+  factories_["trace"] = [](const WatcherBuildContext&) {
+    return std::make_unique<TraceWatcher>();
+  };
+  factories_["net"] = [](const WatcherBuildContext& ctx) {
+    return std::make_unique<NetWatcher>(ctx.net_include_loopback);
+  };
+}
+
+WatcherRegistry& WatcherRegistry::instance() {
+  static WatcherRegistry registry;
+  return registry;
+}
+
+void WatcherRegistry::register_watcher(const std::string& name,
+                                       Factory factory) {
+  if (name.empty()) throw sys::ConfigError("watcher name must not be empty");
+  if (!factory) throw sys::ConfigError("watcher factory must not be empty");
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Watcher> WatcherRegistry::create(
+    const std::string& name, const WatcherBuildContext& context) const {
+  ensure_registered(name);
+  return factories_.at(name)(context);
+}
+
+void WatcherRegistry::ensure_registered(const std::string& name) const {
+  if (factories_.count(name) != 0) return;
+  std::string known;
+  for (const auto& [key, unused] : factories_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw sys::ConfigError("unknown watcher: " + name +
+                         " (registered: " + known + ")");
+}
+
+bool WatcherRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> WatcherRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) out.push_back(key);
+  return out;
+}
+
+const std::vector<std::string>& WatcherRegistry::builtin_names() {
+  static const std::vector<std::string> names = {"cpu", "mem", "io",
+                                                 "sys", "trace", "net"};
+  return names;
+}
+
+const std::vector<std::string>& WatcherRegistry::default_set() {
+  static const std::vector<std::string> names = {"cpu", "mem", "io", "sys",
+                                                 "trace"};
+  return names;
+}
+
+}  // namespace synapse::watchers

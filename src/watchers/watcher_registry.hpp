@@ -1,0 +1,79 @@
+#pragma once
+// Watcher registry: name -> factory for profiling watchers.
+//
+// The profiling-side twin of atoms::AtomRegistry: the profiler asks for
+// watchers by name, and anything registered here — the six built-ins or
+// a user-registered custom watcher — samples alongside them without the
+// profiler knowing its type. ProfilerOptions::watcher_set selects the
+// set declaratively (empty = default_set()), the same way
+// EmulatorOptions::atom_set selects atoms.
+//
+// Built-ins: "cpu", "mem", "io", "sys", "trace" and "net". The network
+// watcher closes the paper's Table 1 "(-)" row; it attributes
+// system-wide /proc/net/dev deltas to the observed process (documented
+// approximation, see net_watcher.hpp), so it is registered but NOT part
+// of the default set.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "watchers/watcher.hpp"
+
+namespace synapse::watchers {
+
+/// Per-run configuration handed to watcher factories. The profiler
+/// fills it from ProfilerOptions; standalone users fill it directly.
+struct WatcherBuildContext {
+  /// Count loopback traffic in the net watcher (Synapse's own network
+  /// atom emulates over loopback, so profiling an emulation wants it).
+  bool net_include_loopback = true;
+};
+
+class WatcherRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Watcher>(const WatcherBuildContext&)>;
+
+  /// The process-wide registry with the built-ins pre-registered.
+  /// Runtime registrations here are visible to every Profiler that does
+  /// not inject its own registry.
+  static WatcherRegistry& instance();
+
+  /// A fresh registry seeded with the built-in factories. Use this (and
+  /// inject it via ProfilerOptions::registry) to scope custom watchers
+  /// to one profiler.
+  WatcherRegistry();
+
+  /// Register or replace a factory. Registering a name that already
+  /// exists overrides it — this is how a user swaps a built-in for a
+  /// custom implementation.
+  void register_watcher(const std::string& name, Factory factory);
+
+  /// Instantiate one watcher. Throws sys::ConfigError for unknown names
+  /// (the message lists what is registered).
+  std::unique_ptr<Watcher> create(const std::string& name,
+                                  const WatcherBuildContext& context) const;
+
+  /// Throw the same ConfigError as create() for an unknown name,
+  /// without instantiating anything — lets the profiler validate a
+  /// whole watcher set before spawning the application.
+  void ensure_registered(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// All built-in watchers, in the profiler's attach order.
+  static const std::vector<std::string>& builtin_names();
+
+  /// The built-ins a default-constructed profiler attaches: everything
+  /// except "net", whose system-wide attribution is opt-in.
+  static const std::vector<std::string>& default_set();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace synapse::watchers

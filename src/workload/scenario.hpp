@@ -22,6 +22,7 @@
 #include "emulator/emulator.hpp"
 #include "json/json.hpp"
 #include "profile/profile.hpp"
+#include "watchers/profiler.hpp"
 
 namespace synapse::workload {
 
@@ -40,6 +41,11 @@ struct ScenarioSpec {
   std::string name;
   std::string description;
   std::vector<std::string> atom_set;  ///< registry names, dispatch order
+  /// Watcher set for profile-then-emulate round trips (names resolved
+  /// through watchers::WatcherRegistry). Empty = the profiler's default
+  /// set. Only consulted by profile_scenario(); plain run_scenario()
+  /// never attaches watchers.
+  std::vector<std::string> watchers;
   SampleSourceSpec source;
   int repetitions = 1;
   std::vector<std::string> tags;
@@ -49,9 +55,14 @@ struct ScenarioSpec {
   double memory_scale = 1.0;
   double io_scale = 1.0;
 
-  /// Structural checks plus atom-set resolution through `registry`.
+  /// Structural checks plus atom-set resolution through `registry` and
+  /// watcher-set resolution through `watcher_registry` (nullptr = the
+  /// process-wide WatcherRegistry::instance(); profile_scenario passes
+  /// the scoped registry it will actually build watchers from).
   /// Throws sys::ConfigError with a diagnostic naming the scenario.
-  void validate(const atoms::AtomRegistry& registry) const;
+  void validate(const atoms::AtomRegistry& registry,
+                const watchers::WatcherRegistry* watcher_registry =
+                    nullptr) const;
 
   /// Materialize the synthetic sample source as a replayable Profile
   /// (cumulative counters for cumulative metrics, absolute values for
@@ -95,5 +106,18 @@ struct ScenarioResult {
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             const emulator::EmulatorOptions& base = {},
                             const atoms::AtomRegistry* registry = nullptr);
+
+/// Profile-then-emulate round trip (the paper's Fig. 1 loop driven from
+/// a scenario): run the scenario's emulation in a forked child with the
+/// profiler attached and return the recorded profile
+/// (command = "scenario:<name>", tagged with the scenario tags). The
+/// watcher set is `popts.watcher_set` when non-empty, else the
+/// scenario's own `watchers` field, else the profiler default — so a
+/// scenario listing "net" records the replayed loopback traffic, and
+/// the resulting profile feeds straight back into the emulator.
+profile::Profile profile_scenario(const ScenarioSpec& spec,
+                                  watchers::ProfilerOptions popts = {},
+                                  const emulator::EmulatorOptions& base = {},
+                                  const atoms::AtomRegistry* registry = nullptr);
 
 }  // namespace synapse::workload

@@ -228,3 +228,98 @@ TEST(Cli, HelpAndBadUsage) {
   ::unlink(out.c_str());
   ::unlink((out + ".err").c_str());
 }
+
+TEST(Cli, ListWatchersShowsRegistry) {
+  const std::string out = "/tmp/synapse_cli_watchers.txt";
+  ASSERT_TRUE(run_tool({SYNAPSE_PROFILE_BIN, "--list-watchers"}, out)
+                  .success());
+  const std::string listing = slurp(out);
+  for (const char* name : {"cpu", "mem", "io", "sys", "trace", "net"}) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ProfileWithExplicitWatchersRecordsNetSeries) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_net.txt";
+
+  auto status = run_tool(
+      {SYNAPSE_PROFILE_BIN, "--store", kStore, "--rate", "20", "--watchers",
+       "cpu, net", "--scheduler", "multiplexed", "--", "sleep", "0.2"},
+      out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  // The summary reports the net row only when the watcher ran.
+  EXPECT_NE(slurp(out).find("net rx/tx"), std::string::npos);
+
+  status = run_tool(
+      {SYNAPSE_INSPECT_BIN, "--store", kStore, "show", "--", "sleep", "0.2"},
+      out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string shown = slurp(out);
+  // The per-series listing names both watchers with their rates.
+  EXPECT_NE(shown.find("net"), std::string::npos);
+  EXPECT_NE(shown.find("cpu"), std::string::npos);
+  EXPECT_NE(shown.find("@ 20.0 Hz"), std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ScenarioProfileRoundTrip) {
+  // The paper's "(-)" row, driven purely through the CLIs: record a
+  // profiled scenario emulation, then replay the stored profile.
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_scn_profile.txt";
+
+  auto status = run_tool({SYNAPSE_EMULATE_BIN, "--scenario",
+                          "network-loopback", "--profile", "--store", kStore},
+                         out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string recorded = slurp(out);
+  EXPECT_NE(recorded.find("stored as : scenario:network-loopback"),
+            std::string::npos);
+
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--store", kStore, "--tag",
+                     "builtin", "--tag", "network", "--atoms", "network",
+                     "--", "scenario:network-loopback"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  EXPECT_NE(slurp(out).find("emulated: scenario:network-loopback"),
+            std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, WatcherFlagDiagnostics) {
+  const std::string out = "/tmp/synapse_cli_watcher_diag.txt";
+  // Unknown watcher: diagnosed (with the registered list) before any
+  // child is spawned.
+  auto status = run_tool({SYNAPSE_PROFILE_BIN, "--watchers", "bogus", "--",
+                          "sleep", "5"},
+                         out);
+  EXPECT_EQ(status.exit_code, 1);
+  EXPECT_NE(slurp(out + ".err").find("unknown watcher"), std::string::npos);
+  // Malformed per-watcher rate.
+  status = run_tool({SYNAPSE_PROFILE_BIN, "--watcher-rate", "cpu", "--",
+                     "true"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  // Rate override for a watcher that is not in the running set.
+  status = run_tool({SYNAPSE_PROFILE_BIN, "--watchers", "cpu,net",
+                     "--watcher-rate", "nett=100", "--", "true"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  EXPECT_NE(slurp(out + ".err").find("not in the watcher set"),
+            std::string::npos);
+  // Unknown scheduler mode.
+  status = run_tool({SYNAPSE_PROFILE_BIN, "--scheduler", "fancy", "--",
+                     "true"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  // --profile without --scenario.
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--profile", "--", "true"}, out);
+  EXPECT_EQ(status.exit_code, 2);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}

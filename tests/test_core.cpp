@@ -107,3 +107,39 @@ TEST(Core, TagsSeparateWorkloads) {
   EXPECT_EQ(session.store().find("sleep 0.05", {"config=b"}).size(), 1u);
   EXPECT_TRUE(session.store().find("sleep 0.05").empty());
 }
+
+TEST(Core, StoreBatchQueuesUntilFullThenPutMany) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  opts.store_batch = 3;
+  // Keep each recording cheap: one watcher, fast child.
+  opts.profiler.watcher_set = {"cpu"};
+  Session session(opts);
+
+  session.profile("true");
+  session.profile("true");
+  // Two recordings pend below the batch threshold...
+  EXPECT_EQ(session.store().size(), 0u);
+  session.profile("true");
+  // ...the third completes the batch and lands via put_many.
+  EXPECT_EQ(session.store().size(), 3u);
+
+  session.profile("true");
+  EXPECT_EQ(session.store().size(), 3u);  // pending again
+  session.flush_pending();
+  EXPECT_EQ(session.store().size(), 4u);
+}
+
+TEST(Core, EmulateSeesBatchedRecordings) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  opts.store_batch = 10;  // nothing would flush on its own
+  opts.profiler.watcher_set = {"cpu"};
+  opts.emulator.storage.base_dir = "/tmp";
+  Session session(opts);
+  session.profile("sleep 0.05");
+  // emulate() must flush pending recordings before the lookup.
+  EXPECT_NO_THROW(session.emulate("sleep 0.05"));
+}

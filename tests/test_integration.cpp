@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "apps/mdsim.hpp"
 #include "core/synapse.hpp"
 #include "profile/metrics.hpp"
 #include "profile/stats.hpp"
 #include "resource/resource_spec.hpp"
+#include "workload/scenario.hpp"
 
 namespace apps = synapse::apps;
 namespace resource = synapse::resource;
@@ -205,4 +208,52 @@ TEST(Integration, ProfilingTheEmulationAgrees) {
       "emulation-of-mdsim");
 
   EXPECT_NEAR(p2.total(m::kCyclesUsed), app_cycles, app_cycles * 0.10);
+}
+
+// Table 1 "(-)" closure, end to end: profile an emulation with the net
+// watcher attached, store the profile, look it up again, and replay its
+// recorded network series through the network atom. Non-zero bytes must
+// flow at every step of the loop.
+TEST(Integration, NetworkProfileEmulateRoundTrip) {
+  HostGuard guard;
+  namespace workload = synapse::workload;
+
+  const workload::ScenarioSpec* spec =
+      workload::find_builtin("network-loopback");
+  ASSERT_NE(spec, nullptr);
+  const double expected_bytes =
+      static_cast<double>(spec->source.samples) *
+      spec->source.deltas.at(std::string(m::kNetBytesWritten));
+
+  // 1. Profile the scenario's emulation; the scenario's own watcher
+  //    list ({"cpu", "net"}) opts into network profiling.
+  watchers::ProfilerOptions popts;
+  popts.sample_rate_hz = 50.0;
+  const auto p = workload::profile_scenario(*spec, popts, default_emu());
+  const auto* net = p.find_series("net");
+  ASSERT_NE(net, nullptr);
+  // The net baseline is taken at watcher construction (before the child
+  // is spawned) and the closing sample after it exits, so the full
+  // replayed payload — plus protocol headers — must be recorded.
+  EXPECT_GE(p.total(m::kNetBytesWritten), expected_bytes * 0.9);
+
+  // 2. Store and retrieve (the persistence leg of the round trip).
+  profile::ProfileStore store(profile::ProfileStore::Backend::Files,
+                              "/tmp/synapse_net_roundtrip_store");
+  store.put(p);
+  store.flush();
+  const auto found = store.find_latest(p.command, p.tags);
+  ASSERT_TRUE(found.has_value());
+  ASSERT_NE(found->find_series("net"), nullptr);
+
+  // 3. Replay the recorded network series through the network atom.
+  auto eopts = default_emu();
+  eopts.atom_set = {"network"};
+  const auto replayed = synapse::emulate_profile(*found, eopts);
+  const uint64_t transferred =
+      replayed.network.net_bytes_sent + replayed.network.net_bytes_received;
+  EXPECT_GT(transferred, 0u);
+  EXPECT_GE(static_cast<double>(transferred), expected_bytes * 0.5);
+
+  std::system("rm -rf /tmp/synapse_net_roundtrip_store");
 }

@@ -199,3 +199,39 @@ TEST_P(DeltaConservation, CyclesConserved) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, DeltaConservation,
                          ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 100.0));
+
+TEST(Profile, PerSeriesSampleRateRoundTripsThroughJson) {
+  profile::Profile p = make_profile();
+  ASSERT_FALSE(p.series.empty());
+  p.series[0].sample_rate_hz = 42.0;  // per-watcher override metadata
+
+  const profile::Profile q = profile::Profile::from_json(p.to_json());
+  ASSERT_EQ(q.series.size(), p.series.size());
+  EXPECT_DOUBLE_EQ(q.series[0].sample_rate_hz, 42.0);
+  // Unset rates stay unset (0 = profile-level rate applies).
+  for (size_t i = 1; i < q.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q.series[i].sample_rate_hz, 0.0) << i;
+  }
+}
+
+TEST(Profile, SampleDeltasBucketAtFastestSeriesRate) {
+  // A profile-level 10 Hz rate with one 50 Hz series: buckets form at
+  // 50 Hz, so the fast series' five samples land in distinct periods.
+  profile::Profile p;
+  p.sample_rate_hz = 10.0;
+  profile::TimeSeries cpu;
+  cpu.watcher = "cpu";
+  cpu.sample_rate_hz = 50.0;
+  for (int i = 0; i < 5; ++i) {
+    cpu.samples.push_back(
+        sample_at(100.0 + i * 0.02, {{m::kCyclesUsed, (i + 1) * 100.0}}));
+  }
+  p.series.push_back(cpu);
+
+  const auto deltas = p.sample_deltas();
+  ASSERT_EQ(deltas.size(), 5u);
+  EXPECT_DOUBLE_EQ(deltas[0].duration, 0.02);
+  double sum = 0.0;
+  for (const auto& d : deltas) sum += d.get(m::kCyclesUsed);
+  EXPECT_NEAR(sum, 500.0, 1e-9);
+}

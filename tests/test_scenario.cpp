@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -349,4 +350,53 @@ TEST(Scenario, EveryBuiltinRunsEndToEndWithNonZeroStats) {
     }
     EXPECT_GT(consumed, 0u) << s.name;
   }
+}
+
+// --- watchers field (profile-then-emulate round trips) ---------------------
+
+TEST(Scenario, WatchersFieldRoundTripsThroughJson) {
+  auto spec = small_io_scenario();
+  spec.watchers = {"cpu", "net"};
+  const auto back = workload::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.watchers, spec.watchers);
+  // Absent watchers stay absent (no key written, empty on parse).
+  const auto plain =
+      workload::ScenarioSpec::from_json(small_io_scenario().to_json());
+  EXPECT_TRUE(plain.watchers.empty());
+}
+
+TEST(Scenario, UnknownWatcherIsADiagnostic) {
+  auto spec = small_io_scenario();
+  spec.watchers = {"cpu", "quantum-flux"};
+  try {
+    spec.validate(atoms::AtomRegistry::instance());
+    FAIL() << "expected ConfigError";
+  } catch (const sys::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum-flux"), std::string::npos);
+  }
+}
+
+TEST(Scenario, NetworkLoopbackBuiltinCarriesNetWatcher) {
+  const auto* spec = workload::find_builtin("network-loopback");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_NE(std::find(spec->watchers.begin(), spec->watchers.end(), "net"),
+            spec->watchers.end());
+}
+
+TEST(Scenario, ProfileScenarioRecordsTheEmulation) {
+  HostGuard guard;
+  auto spec = small_io_scenario();
+  spec.name = "profiled-io";
+  spec.watchers = {"cpu", "io"};
+
+  synapse::watchers::ProfilerOptions popts;
+  popts.sample_rate_hz = 50.0;
+  const auto p = workload::profile_scenario(spec, popts, tmp_options());
+
+  EXPECT_EQ(p.command, "scenario:profiled-io");
+  EXPECT_GT(p.runtime(), 0.0);
+  // The scenario's watcher list drove the attached set.
+  EXPECT_NE(p.find_series("cpu"), nullptr);
+  EXPECT_NE(p.find_series("io"), nullptr);
+  EXPECT_EQ(p.find_series("mem"), nullptr);
 }
