@@ -1,0 +1,96 @@
+// Single-vs-batched replay throughput (ROADMAP: "batching inside the
+// replay path itself").
+//
+// Replays one dispatch-bound synthetic profile (many samples, tiny
+// per-sample budgets, the full compute+memory+storage atom mix) through
+// the ReplayEngine in single mode and in batch mode across a sweep of
+// batch sizes, and reports samples/s plus the speedup over single mode.
+// With per-sample work this small, the single-mode cost is dominated by
+// spawning one thread per atom per sample — exactly what the batched
+// pipeline's persistent consumers amortize; the expectation (asserted
+// by CI eyeballs, not exit codes) is batch >= 8 at least matching
+// single mode.
+//
+// Usage: bench_replay_batch [--smoke] [N]
+//   --smoke  tiny sample count (CI smoke run)
+//   N        samples in the synthetic profile (default 1500, smoke 150)
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "emulator/replay_engine.hpp"
+#include "profile/metrics.hpp"
+#include "sys/clock.hpp"
+#include "workload/scenario.hpp"
+
+namespace emulator = synapse::emulator;
+namespace profile = synapse::profile;
+namespace workload = synapse::workload;
+namespace sys = synapse::sys;
+namespace m = synapse::metrics;
+
+namespace {
+
+/// Dispatch-bound scenario: per-sample budgets small enough that the
+/// feed loop's own overhead, not the atoms' work, dominates.
+profile::Profile make_dispatch_bound_profile(size_t samples) {
+  workload::ScenarioSpec spec;
+  spec.name = "replay-batch-bench";
+  spec.atom_set = {"compute", "memory", "storage"};
+  spec.source.samples = samples;
+  spec.source.sample_rate_hz = 100.0;
+  spec.source.deltas[std::string(m::kCyclesUsed)] = 2e4;
+  spec.source.deltas[std::string(m::kMemAllocated)] = 64.0 * 1024;
+  spec.source.deltas[std::string(m::kMemFreed)] = 64.0 * 1024;
+  spec.source.deltas[std::string(m::kBytesWritten)] = 4.0 * 1024;
+  return spec.make_profile();
+}
+
+double run_once(const profile::Profile& p, size_t batch) {
+  emulator::EmulatorOptions opts = bench::emu_options();
+  opts.atom_set = {"compute", "memory", "storage"};
+  opts.replay_batch = batch;
+  emulator::ReplayEngine engine(opts);
+  const sys::Stopwatch w;
+  const auto r = engine.replay(p);
+  const double elapsed = w.elapsed();
+  if (r.samples_replayed != p.sample_count() / 3) {
+    // 3 series (trace/mem/io watcher buckets) over the same periods.
+    bench::row("!! replayed %zu of %zu samples", r.samples_replayed,
+               p.sample_count() / 3);
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t samples = 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      samples = 150;
+    } else {
+      const long n = std::atol(argv[i]);
+      if (n > 0) samples = static_cast<size_t>(n);
+    }
+  }
+
+  const profile::Profile p = make_dispatch_bound_profile(samples);
+  bench::heading("Replay feed modes — " + std::to_string(samples) +
+                 " samples, compute+memory+storage");
+  bench::row("%-12s %10s %12s  %s", "mode", "wall", "samples/s", "speedup");
+
+  const double single_s = run_once(p, 1);
+  const double n = static_cast<double>(samples);
+  bench::row("%-12s %9.3fs %10.0f/s  %5s", "single", single_s, n / single_s,
+             "1.0x");
+
+  for (const size_t batch : {size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
+    const double batch_s = run_once(p, batch);
+    bench::row("%-12s %9.3fs %10.0f/s  %4.1fx",
+               ("batch=" + std::to_string(batch)).c_str(), batch_s,
+               n / batch_s, single_s / batch_s);
+  }
+  return 0;
+}

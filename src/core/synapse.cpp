@@ -1,5 +1,8 @@
 #include "core/synapse.hpp"
 
+#include <utility>
+
+#include "sys/clock.hpp"
 #include "sys/error.hpp"
 
 namespace synapse {
@@ -26,7 +29,28 @@ profile::ProfileStore make_store(const SessionOptions& options) {
 Session::Session(SessionOptions options)
     : options_(std::move(options)), store_(make_store(options_)) {}
 
-Session::~Session() { flush_pending(); }
+Session::~Session() {
+  // Destruction is the last exit path for queued recordings; a store
+  // failure here cannot propagate (throwing destructor), so fall back
+  // to per-profile puts and swallow what still fails — flush_pending()
+  // re-queued exactly the profiles that did not land.
+  try {
+    flush_pending();
+  } catch (...) {
+    std::vector<profile::Profile> leftover;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      leftover.swap(pending_);
+    }
+    for (const auto& p : leftover) {
+      try {
+        store_.put(p);
+      } catch (...) {
+        // Unstorable (backend gone); nothing safe left to do in a dtor.
+      }
+    }
+  }
+}
 
 profile::Profile Session::profile(const std::string& command,
                                   const std::vector<std::string>& tags) {
@@ -34,19 +58,24 @@ profile::Profile Session::profile(const std::string& command,
   profile::Profile p = profiler.profile(command, tags);
   if (options_.store_batch >= 2) {
     // Async-batching ingest: queue recordings and hand each full batch
-    // to put_many (one lock per shard instead of one per profile).
-    std::vector<profile::Profile> batch;
+    // to put_many (one lock per shard instead of one per profile). The
+    // flush itself is shared with every other exit path
+    // (flush_pending), so the tail of an interrupted run follows the
+    // same exactly-once contract as a full batch.
+    bool due = false;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
+      if (pending_.empty()) oldest_pending_ = sys::steady_now();
       pending_.push_back(p);
-      if (pending_.size() >= options_.store_batch) {
-        batch.swap(pending_);
+      due = pending_.size() >= options_.store_batch;
+      const double max_age = options_.store_options.flush_policy.max_age_s;
+      if (!due && max_age > 0.0) {
+        // Time trigger: a trickle of recordings must not let a partial
+        // batch sit unstored beyond the configured age.
+        due = sys::steady_now() - oldest_pending_ >= max_age;
       }
     }
-    if (!batch.empty()) {
-      store_.put_many(batch);
-      store_.flush_async();
-    }
+    if (due) flush_pending();
     return p;
   }
   store_.put(p);
@@ -65,7 +94,24 @@ void Session::flush_pending() {
     batch.swap(pending_);
   }
   if (batch.empty()) return;
-  store_.put_many(batch);
+  std::vector<bool> stored;
+  try {
+    store_.put_many(batch, &stored);
+  } catch (...) {
+    // Exactly-once: re-queue precisely the profiles that did not land,
+    // ahead of anything queued meanwhile, so a later flush retries them
+    // in order without duplicating the ones put_many already wrote.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    std::vector<profile::Profile> keep;
+    keep.reserve(batch.size() + pending_.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (i >= stored.size() || !stored[i]) keep.push_back(std::move(batch[i]));
+    }
+    for (auto& p : pending_) keep.push_back(std::move(p));
+    pending_ = std::move(keep);
+    oldest_pending_ = sys::steady_now();
+    throw;
+  }
   store_.flush_async();
 }
 

@@ -30,14 +30,21 @@ struct SessionOptions {
   std::string store_backend = "files";
   /// Store directory for persistent backends.
   std::string store_dir = ".synapse";
-  /// Sharding/caching knobs of the profile store (persistent backends
-  /// keep the shard count they were created with; see ProfileStoreOptions).
+  /// Sharding/caching/flush knobs of the profile store (persistent
+  /// backends keep the shard count they were created with; see
+  /// ProfileStoreOptions). store_options.flush_policy drives the
+  /// store's background worker (docstore backend): flush after
+  /// max_pending writes or once the oldest write is max_age_s old.
   profile::ProfileStoreOptions store_options;
   /// Batch size for profile() recordings: >= 2 queues profiles and
   /// hands each full batch to ProfileStore::put_many + flush_async in
   /// one go (one lock per shard instead of one per profile — the
   /// async-batching ingest path); 1 stores each profile immediately.
-  /// Queued profiles are flushed by flush_pending() and on destruction.
+  /// Queued profiles are flushed by flush_pending(), emulate(), and on
+  /// destruction — and, when store_options.flush_policy.max_age_s is
+  /// set, a partially filled batch is handed to the store as soon as a
+  /// recording arrives after its oldest queued profile exceeded that
+  /// age (so the same knob bounds staleness at both layers).
   size_t store_batch = 1;
   watchers::ProfilerOptions profiler;
   emulator::EmulatorOptions emulator;
@@ -66,6 +73,10 @@ class Session {
 
   /// Hand any batched profiles (store_batch >= 2) to the store now
   /// (put_many + flush_async). Thread-safe; no-op when nothing pends.
+  /// Exactly-once contract: when the store throws mid-batch, the
+  /// profiles that did NOT land are re-queued (ahead of newer arrivals)
+  /// before the exception propagates, so a later flush retries them
+  /// without duplicating the ones that landed.
   void flush_pending();
 
   /// Direct access for advanced use.
@@ -77,6 +88,7 @@ class Session {
   profile::ProfileStore store_;
   std::mutex pending_mutex_;
   std::vector<profile::Profile> pending_;  ///< batched recordings
+  double oldest_pending_ = 0.0;  ///< steady-clock age anchor of pending_
 };
 
 /// One-shot helpers with default options (the basic usage mode shown in

@@ -3,12 +3,19 @@
 //
 // Usage:
 //   synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]
+//                   [--store-backend files|docstore|memory]
 //                   [--kernel NAME] [--omp N | --ranks N]
-//                   [--atoms NAME[,NAME...]] [--net]
+//                   [--atoms NAME[,NAME...]] [--net] [--replay-batch N]
+//                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
 //                   -- COMMAND [ARGS...]
 //   synapse-emulate --scenario NAME|FILE [--profile] [tuning flags...]
 //   synapse-emulate --list-scenarios
+//
+// --replay-batch >= 2 replays through the async batched pipeline
+// (identical non-timing stats, amortized dispatch); --store-flush-ms /
+// --store-flush-max set the store's FlushPolicy (age / size triggers
+// for the background flush worker).
 //
 // --profile runs the scenario's emulation under the profiler (watcher
 // set from the scenario's `watchers` field) and stores the recorded
@@ -120,6 +127,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--store") {
       options.store_dir = next();
       store_flag = true;
+    } else if (arg == "--store-backend") {
+      // "files" (default), "docstore" or "memory"; Session rejects
+      // unknown names with a ConfigError. The FlushPolicy flags only
+      // have a worker to drive on the docstore backend.
+      options.store_backend = next();
     } else if (arg == "--resource") {
       resource_name = next();
     } else if (arg == "--kernel") {
@@ -141,6 +153,34 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--net") {
       options.emulator.emulate_network = true;
+    } else if (arg == "--replay-batch") {
+      const long n = std::atol(next());
+      if (n < 1) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --replay-batch needs a batch size "
+                     ">= 1\n");
+        return 2;
+      }
+      options.emulator.replay_batch = static_cast<size_t>(n);
+    } else if (arg == "--store-flush-ms") {
+      const double ms = std::atof(next());
+      if (ms <= 0.0) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-flush-ms needs a positive "
+                     "duration in milliseconds\n");
+        return 2;
+      }
+      options.store_options.flush_policy.max_age_s = ms / 1000.0;
+    } else if (arg == "--store-flush-max") {
+      const long n = std::atol(next());
+      if (n < 1) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-flush-max needs a pending-"
+                     "write count >= 1\n");
+        return 2;
+      }
+      options.store_options.flush_policy.max_pending =
+          static_cast<size_t>(n);
     } else if (arg == "--scenario") {
       scenario = next();
       if (scenario.empty()) {
@@ -166,8 +206,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]\n"
+          "                [--store-backend files|docstore|memory]\n"
           "                [--kernel asm|c|omp|sleep] [--omp N | --ranks N]\n"
           "                [--atoms NAME[,NAME...]] [--net]\n"
+          "                [--replay-batch N] (N >= 2: async batched replay\n"
+          "                 pipeline; same non-timing stats)\n"
+          "                [--store-flush-ms MS] [--store-flush-max N]\n"
+          "                (store FlushPolicy: docstore background flush\n"
+          "                 by age/size)\n"
           "                [--read-block KiB] [--write-block KiB]\n"
           "                [--fs NAME] -- COMMAND...\n"
           "synapse-emulate --scenario NAME|FILE [--profile] [tuning...]\n"

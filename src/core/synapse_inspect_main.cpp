@@ -172,7 +172,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ProfileStore store(ProfileStore::Backend::Files, store_dir);
+    // Open with the backend the store was created with (the meta file
+    // records it): hard-coding Files here used to make every
+    // docstore-backed store uninspectable ("was created with the
+    // docstore backend, not files").
+    ProfileStore store(ProfileStore::detect_backend(store_dir), store_dir);
     if (subcommand == "list") return cmd_list(store, store_dir);
     if (command.empty()) {
       std::fprintf(stderr, "synapse-inspect: missing -- COMMAND\n");

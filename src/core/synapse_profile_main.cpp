@@ -4,10 +4,17 @@
 //
 // Usage:
 //   synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]
+//                   [--store-backend files|docstore|memory]
 //                   [--watchers LIST] [--watcher-rate NAME=HZ]...
 //                   [--scheduler thread|multiplexed] [--store-batch N]
+//                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--resource NAME] -- COMMAND [ARGS...]
 //   synapse-profile --list-watchers
+//
+// --store-flush-ms / --store-flush-max set the store's FlushPolicy:
+// the background worker flushes once the oldest unflushed write is MS
+// old or N writes accumulated, and a partially filled --store-batch is
+// handed to the store once it exceeds the same age.
 
 #include <algorithm>
 #include <cstdio>
@@ -61,6 +68,11 @@ int main(int argc, char** argv) {
       tags.push_back(next());
     } else if (arg == "--store") {
       options.store_dir = next();
+    } else if (arg == "--store-backend") {
+      // "files" (default), "docstore" or "memory"; Session rejects
+      // unknown names with a ConfigError. The FlushPolicy flags below
+      // only have a worker to drive on the docstore backend.
+      options.store_backend = next();
     } else if (arg == "--resource") {
       resource_name = next();
     } else if (arg == "--adaptive") {
@@ -100,15 +112,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--store-batch") {
       options.store_batch = std::strtoull(next(), nullptr, 10);
       if (options.store_batch == 0) options.store_batch = 1;
+    } else if (arg == "--store-flush-ms") {
+      const double ms = std::atof(next());
+      if (ms <= 0.0) {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-flush-ms needs a positive "
+                     "duration in milliseconds\n");
+        return 2;
+      }
+      options.store_options.flush_policy.max_age_s = ms / 1000.0;
+    } else if (arg == "--store-flush-max") {
+      const long n = std::atol(next());
+      if (n < 1) {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-flush-max needs a pending-"
+                     "write count >= 1\n");
+        return 2;
+      }
+      options.store_options.flush_policy.max_pending =
+          static_cast<size_t>(n);
     } else if (arg == "--") {
       ++i;
       break;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]\n"
+          "                [--store-backend files|docstore|memory]\n"
           "                [--watchers LIST] [--watcher-rate NAME=HZ]...\n"
           "                [--scheduler thread|multiplexed] "
           "[--store-batch N]\n"
+          "                [--store-flush-ms MS] [--store-flush-max N]\n"
+          "                (store FlushPolicy: docstore background flush\n"
+          "                 by age/size)\n"
           "                [--resource NAME] [--adaptive] -- COMMAND...\n"
           "synapse-profile --list-watchers\n");
       return 0;

@@ -64,6 +64,26 @@ struct EmulatorOptions {
   ParallelMode parallel_mode = ParallelMode::None;
   int parallel_degree = 1;  ///< threads or ranks
 
+  /// Replay execution mode: 0 (default, "unset") and 1 both replay one
+  /// sample at a time with a thread spawned per atom per sample (the
+  /// paper-faithful barrier loop); >= 2 switches the engine to the
+  /// async batched pipeline — a producer thread decodes and scales
+  /// deltas into batches of this size and feeds one persistent
+  /// consumer thread per atom through bounded SampleQueues. Per-atom
+  /// consumption order (and therefore every non-timing stat) is
+  /// identical to single mode; the per-sample barrier coarsens to a
+  /// per-batch barrier, amortizing dispatch cost across the batch.
+  /// 0 vs 1 only matters for scenario precedence: a scenario's
+  /// replay_batch field applies when this is 0, while an explicit 1
+  /// (e.g. --replay-batch 1) pins single mode against it.
+  size_t replay_batch = 0;
+
+  /// Bounded depth, in batches, of each pipeline queue (batch mode
+  /// only). Caps decoded-but-unconsumed memory: a slow atom
+  /// back-pressures the producer once its queue holds this many
+  /// batches. Clamped to >= 1.
+  size_t replay_queue_depth = 4;
+
   /// Ring-exchange bytes per rank per replayed sample in Process mode
   /// (0 = no communication, the paper's behaviour). Models the halo
   /// exchange of domain-decomposed codes; see emulator/comm.hpp.

@@ -1,9 +1,13 @@
 #include "emulator/replay_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <memory>
 #include <thread>
+#include <utility>
 
+#include "emulator/sample_queue.hpp"
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
 #include "sys/clock.hpp"
@@ -135,6 +139,26 @@ EmulationResult ReplayEngine::replay(const profile::Profile& profile,
   result.startup_seconds = startup.elapsed();
 
   // --- the global sample feed loop (section 4.2) ---------------------------
+  if (opts.replay_batch >= 2) {
+    feed_batched(profile, opts, active, per_sample_hook, result);
+  } else {
+    feed_single(profile, opts, active, per_sample_hook, result);
+  }
+
+  for (size_t i = 0; i < active.size(); ++i) {
+    result.atom_stats[atom_names[i]] = active[i]->stats();
+    mirror_builtin_stats(result, atom_names[i], active[i]->stats());
+  }
+
+  result.wall_seconds = total.elapsed();
+  result.ranks_ok = 1;
+  return result;
+}
+
+void ReplayEngine::feed_single(
+    const profile::Profile& profile, const EmulatorOptions& opts,
+    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+    const SampleHook& per_sample_hook, EmulationResult& result) {
   const auto deltas = profile.sample_deltas();
   for (const auto& raw : deltas) {
     const profile::SampleDelta delta = scale_delta(raw, opts);
@@ -142,7 +166,7 @@ EmulationResult ReplayEngine::replay(const profile::Profile& profile,
     // All resource consumptions of one sample start concurrently; the
     // sample ends when the last one completes (Fig. 2).
     std::vector<std::thread> workers;
-    for (auto& atom : active) {
+    for (const auto& atom : active) {
       if (!atom->wants(delta)) continue;
       workers.emplace_back([&atom, &delta] {
         try {
@@ -157,15 +181,123 @@ EmulationResult ReplayEngine::replay(const profile::Profile& profile,
     if (per_sample_hook) per_sample_hook(result.samples_replayed);
     ++result.samples_replayed;
   }
+}
 
+void ReplayEngine::feed_batched(
+    const profile::Profile& profile, const EmulatorOptions& opts,
+    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+    const SampleHook& per_sample_hook, EmulationResult& result) {
+  const size_t batch_size = opts.replay_batch;
+  const size_t depth = opts.replay_queue_depth;
+
+  // One bounded queue per atom consumer, plus one for this thread (the
+  // coordinator), which restores per-sample ordering: it waits for the
+  // batch's completion latch, then fires the hook for every sample in
+  // recorded order. Queues share the same depth, so the producer is
+  // back-pressured by the slowest party.
+  std::vector<std::unique_ptr<SampleQueue>> queues;
+  queues.reserve(active.size());
   for (size_t i = 0; i < active.size(); ++i) {
-    result.atom_stats[atom_names[i]] = active[i]->stats();
-    mirror_builtin_stats(result, atom_names[i], active[i]->stats());
+    queues.push_back(std::make_unique<SampleQueue>(depth));
+  }
+  SampleQueue inflight(depth);
+
+  // Persistent consumers: one thread per atom for the whole run (the
+  // amortization over single mode's thread-per-atom-per-sample). Each
+  // drains its own queue in FIFO order, so the atom sees exactly the
+  // sample sequence single mode would feed it.
+  std::vector<std::thread> consumers;
+  consumers.reserve(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    atoms::Atom* atom = active[i].get();
+    SampleQueue* queue = queues[i].get();
+    consumers.emplace_back([atom, queue] {
+      while (const auto batch = queue->pop()) {
+        for (const auto& delta : batch->deltas) {
+          if (!atom->wants(delta)) continue;
+          try {
+            atom->consume(delta);
+          } catch (const std::exception&) {
+            // Same contract as single mode: a failing atom must not
+            // wedge the batch; the shortfall shows up in its stats.
+          }
+        }
+        batch->mark_consumed();
+      }
+    });
   }
 
-  result.wall_seconds = total.elapsed();
-  result.ranks_ok = 1;
-  return result;
+  // Producer: decode (sample_deltas merges and differences the watcher
+  // series — the expensive part) and scale on a dedicated thread,
+  // overlapping with consumption. The tail batch is flushed
+  // unconditionally: a partial final batch carries real samples and
+  // must never be dropped. `aborted` is the coordinator's error
+  // signal: once set, producing more work is pointless.
+  std::atomic<bool> aborted{false};
+  std::exception_ptr producer_error;
+  std::thread producer([&] {
+    try {
+      const auto deltas = profile.sample_deltas();
+      std::shared_ptr<SampleBatch> batch;
+      size_t index = 0;
+      const auto dispatch = [&] {
+        if (!batch || batch->deltas.empty()) return;
+        batch->expect_consumers(queues.size());
+        // The coordinator sees the batch first so completion latches
+        // are awaited strictly in production order.
+        inflight.push(batch);
+        for (const auto& queue : queues) queue->push(batch);
+        batch.reset();
+      };
+      for (const auto& raw : deltas) {
+        if (aborted.load(std::memory_order_relaxed)) break;
+        if (!batch) {
+          batch = std::make_shared<SampleBatch>();
+          batch->first_index = index;
+          batch->deltas.reserve(batch_size);
+        }
+        batch->deltas.push_back(scale_delta(raw, opts));
+        ++index;
+        if (batch->deltas.size() >= batch_size) dispatch();
+      }
+      if (!aborted.load(std::memory_order_relaxed)) {
+        dispatch();  // the partial tail batch
+      }
+    } catch (...) {
+      // Decode failure (malformed profile): surface it on the replay()
+      // caller's thread after the pipeline drained.
+      producer_error = std::current_exception();
+    }
+    inflight.close();
+    for (const auto& queue : queues) queue->close();
+  });
+
+  std::exception_ptr hook_error;
+  try {
+    while (const auto batch = inflight.pop()) {
+      batch->wait_consumed();
+      for (size_t k = 0; k < batch->deltas.size(); ++k) {
+        if (per_sample_hook) per_sample_hook(batch->first_index + k);
+        ++result.samples_replayed;
+      }
+    }
+  } catch (...) {
+    // A throwing hook (e.g. a ring-exchange failure in Process mode)
+    // must not leave the producer blocked on a full queue: signal the
+    // abort, then close everything discarding queued backlog, so
+    // consumers stop after the batch they are on and the producer stops
+    // decoding — mirroring single mode, which performs no further atom
+    // work past the failing sample. Then propagate.
+    hook_error = std::current_exception();
+    aborted.store(true, std::memory_order_relaxed);
+    inflight.close(/*discard_pending=*/true);
+    for (const auto& queue : queues) queue->close(/*discard_pending=*/true);
+  }
+
+  producer.join();
+  for (auto& consumer : consumers) consumer.join();
+  if (hook_error) std::rethrow_exception(hook_error);
+  if (producer_error) std::rethrow_exception(producer_error);
 }
 
 }  // namespace synapse::emulator

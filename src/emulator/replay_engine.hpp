@@ -14,8 +14,21 @@
 // recorded order, all atoms of one sample start concurrently, the
 // sample ends when the LAST atom finishes, and intra-sample timing is
 // discarded.
+//
+// Two feed modes drive that loop (EmulatorOptions::replay_batch):
+//
+//   single (replay_batch <= 1) - the paper-faithful loop: one thread
+//     per atom per sample, a barrier after every sample.
+//
+//   batch (replay_batch >= 2) - the async pipeline: a producer thread
+//     decodes+scales deltas into batches and feeds one persistent
+//     consumer thread per atom through bounded SampleQueues
+//     (sample_queue.hpp). Each atom consumes its samples in recorded
+//     order, so non-timing stats are bit-identical to single mode; the
+//     barrier (and the per-sample hook) moves to batch granularity.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +77,17 @@ class ReplayEngine {
   const atoms::AtomRegistry& registry() const { return *registry_; }
 
  private:
+  /// The paper-faithful per-sample barrier loop (replay_batch <= 1).
+  void feed_single(const profile::Profile& profile,
+                   const EmulatorOptions& opts,
+                   const std::vector<std::unique_ptr<atoms::Atom>>& active,
+                   const SampleHook& per_sample_hook, EmulationResult& result);
+  /// The async batched pipeline (replay_batch >= 2).
+  void feed_batched(const profile::Profile& profile,
+                    const EmulatorOptions& opts,
+                    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+                    const SampleHook& per_sample_hook, EmulationResult& result);
+
   EmulatorOptions options_;
   const atoms::AtomRegistry* registry_;  ///< not owned, never null
 };

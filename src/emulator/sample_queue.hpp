@@ -1,0 +1,86 @@
+#pragma once
+// The plumbing of the batched replay pipeline (ReplayEngine's `batch`
+// execution mode): decoded+scaled sample deltas travel from the
+// producer thread to the per-atom consumer threads in SampleBatch
+// units, through bounded SampleQueues.
+//
+// A batch is produced once and shared read-only by every consumer; a
+// per-batch completion latch lets the coordinating thread restore the
+// engine's per-sample ordering guarantees (the SampleHook fires in
+// recorded sample order, after every atom has consumed the batch).
+// The queues are bounded, so a slow consumer back-pressures the
+// producer instead of letting decoded batches pile up without limit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace synapse::emulator {
+
+/// One contiguous run of decoded+scaled sample deltas, shared read-only
+/// by every consumer. `first_index` is the 0-based index of the first
+/// delta within the full replay (hooks report global sample indices).
+class SampleBatch {
+ public:
+  size_t first_index = 0;
+  std::vector<profile::SampleDelta> deltas;
+
+  /// Arm the completion latch: the batch is done once `n` consumers
+  /// called mark_consumed(). Must be called before the batch is pushed
+  /// to any queue; n == 0 means "already done".
+  void expect_consumers(size_t n);
+
+  /// One consumer finished this batch (signals wait_consumed when all
+  /// expected consumers did).
+  void mark_consumed();
+
+  /// Block until every expected consumer finished the batch.
+  void wait_consumed();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t remaining_ = 0;
+};
+
+/// Bounded FIFO of SampleBatch handles (mutex + condvar). One queue per
+/// consumer: batches are not competed for, every consumer sees every
+/// batch, so the producer pushes the same shared handle into each
+/// queue. push() blocks while the queue is at capacity (backpressure);
+/// pop() blocks until a batch arrives or the queue is closed and
+/// drained.
+class SampleQueue {
+ public:
+  /// `capacity` is clamped to >= 1 (a zero-capacity queue could never
+  /// accept a push).
+  explicit SampleQueue(size_t capacity);
+
+  /// Enqueue, blocking while full. Returns false (and drops the batch)
+  /// when the queue was closed — the consumer is gone, nobody will pop.
+  bool push(std::shared_ptr<SampleBatch> batch);
+
+  /// Dequeue, blocking while empty. nullptr once the queue is closed
+  /// AND drained — the consumer's termination signal.
+  std::shared_ptr<SampleBatch> pop();
+
+  /// No further pushes; pending batches remain poppable (a normal
+  /// end-of-stream must drain). `discard_pending` additionally drops
+  /// everything queued — the error-path variant, so consumers stop
+  /// after the batch they are on instead of working through stale
+  /// backlog. Idempotent.
+  void close(bool discard_pending = false);
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<SampleBatch>> items_;
+  bool closed_ = false;
+};
+
+}  // namespace synapse::emulator

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <condition_variable>
 #include <list>
@@ -181,12 +182,26 @@ struct ProfileStore::Shard {
 // --- background flush worker ----------------------------------------------
 
 struct ProfileStore::Flusher {
+  using Clock = std::chrono::steady_clock;
+
   std::mutex mutex;
   std::condition_variable cv;
   bool pending = false;  ///< a flush_async() request not yet picked up
   bool running = false;  ///< the worker is flushing right now
   bool stop = false;
+  /// Writes since the last flush began; drives FlushPolicy::max_pending
+  /// and the drain-on-destruction guarantee.
+  size_t dirty = 0;
+  /// When the first of the `dirty` writes happened; the age deadline
+  /// anchor (meaningful only while dirty > 0).
+  Clock::time_point oldest_dirty{};
+  FlushPolicy policy;
   std::thread worker;
+
+  Clock::duration max_age() const {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(policy.max_age_s));
+  }
 
   ~Flusher() {
     {
@@ -194,6 +209,9 @@ struct ProfileStore::Flusher {
       stop = true;
     }
     cv.notify_all();
+    // The worker drains outstanding writes (a timed flush still in
+    // flight, or dirty puts whose deadline never fired) before exiting;
+    // see start_flush_worker().
     if (worker.joinable()) worker.join();
   }
 };
@@ -391,6 +409,28 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
 
 // --- keys and routing ------------------------------------------------------
 
+ProfileStore::Backend ProfileStore::detect_backend(
+    const std::string& directory) {
+  const std::string meta_path = directory + "/" + kMetaFile;
+  if (file_exists(meta_path)) {
+    try {
+      const json::Value meta = json::load_file(meta_path);
+      if (meta.get_or("backend", std::string("files")) == "docstore") {
+        return Backend::DocStore;
+      }
+      return Backend::Files;
+    } catch (const std::exception&) {
+      // Unreadable meta: fall through to the layout scan below.
+    }
+  }
+  // Pre-meta legacy layouts: a root docstore collection marks DocStore;
+  // anything else (flat profile files, empty, fresh) opens as Files.
+  if (file_exists(directory + "/profiles.collection.json")) {
+    return Backend::DocStore;
+  }
+  return Backend::Files;
+}
+
 std::string ProfileStore::tags_key(const std::vector<std::string>& tags) {
   std::vector<std::string> sorted = tags;
   std::sort(sorted.begin(), sorted.end());
@@ -457,32 +497,50 @@ bool ProfileStore::put_into(Shard& shard, const Profile& profile,
 bool ProfileStore::put(const Profile& profile) {
   const std::string tkey = tags_key(profile.tags);
   Shard& shard = shard_for(profile.command, tkey);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.cache_invalidate(index_key(profile.command, tkey));
-  return put_into(shard, profile, tkey);
+  bool truncated;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache_invalidate(index_key(profile.command, tkey));
+    truncated = put_into(shard, profile, tkey);
+  }
+  note_puts(1);
+  return truncated;
 }
 
-size_t ProfileStore::put_many(const std::vector<Profile>& profiles) {
+size_t ProfileStore::put_many(const std::vector<Profile>& profiles,
+                              std::vector<bool>* stored) {
   // Group by shard so each shard is locked once per batch; tags_key is
   // computed once per profile and reused for routing, cache keys and
   // the backend write.
   struct Pending {
     const Profile* profile;
     std::string tkey;
+    size_t index;  ///< position in the caller's vector, for `stored`
   };
+  if (stored != nullptr) stored->assign(profiles.size(), false);
   std::map<Shard*, std::vector<Pending>> by_shard;
-  for (const auto& p : profiles) {
-    std::string tkey = tags_key(p.tags);
-    Shard& shard = shard_for(p.command, tkey);
-    by_shard[&shard].push_back(Pending{&p, std::move(tkey)});
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    std::string tkey = tags_key(profiles[i].tags);
+    Shard& shard = shard_for(profiles[i].command, tkey);
+    by_shard[&shard].push_back(Pending{&profiles[i], std::move(tkey), i});
   }
   size_t truncated = 0;
+  size_t landed = 0;
+  // Account writes even when a put throws mid-batch: everything flagged
+  // in `stored` is in the store and needs flushing like any other put.
+  struct NoteGuard {
+    ProfileStore* self;
+    const size_t* landed;
+    ~NoteGuard() { self->note_puts(*landed); }
+  } note_guard{this, &landed};
   for (auto& [shard, batch] : by_shard) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (const Pending& pending : batch) {
       shard->cache_invalidate(
           index_key(pending.profile->command, pending.tkey));
       if (put_into(*shard, *pending.profile, pending.tkey)) ++truncated;
+      ++landed;
+      if (stored != nullptr) (*stored)[pending.index] = true;
     }
   }
   return truncated;
@@ -589,6 +647,16 @@ void ProfileStore::flush_all_shards() {
 }
 
 void ProfileStore::flush() {
+  // Every put that happened-before this call is about to be persisted,
+  // so its dirty accounting is settled — otherwise an armed FlushPolicy
+  // deadline would rewrite every collection file again later for data
+  // already on disk. Clearing BEFORE flushing is the safe order: a put
+  // racing with the flush re-arms the counter via note_puts and at
+  // worst earns one redundant background flush, never a lost one.
+  if (flusher_) {
+    std::lock_guard<std::mutex> lock(flusher_->mutex);
+    flusher_->dirty = 0;
+  }
   // No need to wait for the background worker: flush_all_shards() is
   // idempotent and every put() that happened-before this call is
   // covered by it directly. (Waiting on the worker would also let
@@ -599,6 +667,7 @@ void ProfileStore::flush() {
 
 void ProfileStore::start_flush_worker() {
   flusher_ = std::make_unique<Flusher>();
+  flusher_->policy = options_.flush_policy;
   // The worker captures stable heap pointers (the Flusher and the
   // Shards), so it survives moves of the ProfileStore object itself.
   Flusher* f = flusher_.get();
@@ -606,22 +675,63 @@ void ProfileStore::start_flush_worker() {
   shard_ptrs.reserve(shards_.size());
   for (auto& s : shards_) shard_ptrs.push_back(s.get());
   f->worker = std::thread([f, shard_ptrs] {
+    using Clock = Flusher::Clock;
     std::unique_lock<std::mutex> lock(f->mutex);
     while (true) {
-      f->cv.wait(lock, [f] { return f->pending || f->stop; });
-      if (f->stop && !f->pending) return;
-      f->pending = false;
-      f->running = true;
-      lock.unlock();
-      for (Shard* shard : shard_ptrs) {
-        std::lock_guard<std::mutex> shard_lock(shard->mutex);
-        if (shard->store) shard->store->flush();
+      const auto requested = [f] { return f->pending || f->stop; };
+      if (f->policy.max_age_s > 0 && f->dirty > 0) {
+        // An age deadline is armed: sleep at most until the oldest
+        // dirty put matures, then flush even without a request.
+        f->cv.wait_until(lock, f->oldest_dirty + f->max_age(), requested);
+      } else {
+        // Also wake when the first dirty put arms an age deadline —
+        // note_puts' notify would otherwise be swallowed here and the
+        // worker would never switch to the deadline wait above.
+        f->cv.wait(lock, [f, &requested] {
+          return requested() || (f->policy.max_age_s > 0 && f->dirty > 0);
+        });
       }
-      lock.lock();
-      f->running = false;
-      f->cv.notify_all();
+      const bool age_due = f->policy.max_age_s > 0 && f->dirty > 0 &&
+                           Clock::now() >= f->oldest_dirty + f->max_age();
+      // On stop, drain whatever is outstanding — a timed flush whose
+      // deadline has not fired yet must not be lost with the store.
+      if (f->pending || age_due || (f->stop && f->dirty > 0)) {
+        f->pending = false;
+        f->dirty = 0;
+        f->running = true;
+        lock.unlock();
+        for (Shard* shard : shard_ptrs) {
+          std::lock_guard<std::mutex> shard_lock(shard->mutex);
+          if (shard->store) shard->store->flush();
+        }
+        lock.lock();
+        f->running = false;
+        f->cv.notify_all();
+        continue;  // re-evaluate stop/pending with fresh state
+      }
+      if (f->stop) return;
     }
   });
+}
+
+void ProfileStore::note_puts(size_t n) {
+  if (!flusher_ || n == 0) return;
+  Flusher* f = flusher_.get();
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(f->mutex);
+    if (f->dirty == 0) {
+      f->oldest_dirty = Flusher::Clock::now();
+      // Wake the worker so it re-arms its wait with the new deadline.
+      wake = f->policy.max_age_s > 0;
+    }
+    f->dirty += n;
+    if (f->policy.max_pending > 0 && f->dirty >= f->policy.max_pending) {
+      f->pending = true;
+      wake = true;
+    }
+  }
+  if (wake) f->cv.notify_all();
 }
 
 void ProfileStore::flush_async() {
@@ -629,6 +739,7 @@ void ProfileStore::flush_async() {
   {
     std::lock_guard<std::mutex> lock(flusher_->mutex);
     flusher_->pending = true;
+    flusher_->dirty = 0;  // everything queued so far is covered
   }
   flusher_->cv.notify_all();
 }

@@ -29,6 +29,18 @@
 
 namespace synapse::profile {
 
+/// When the background flush worker persists pending docstore writes on
+/// its own (the other backends persist eagerly, so the policy is a
+/// no-op there). Both triggers combine with explicit flush()/
+/// flush_async() calls; 0 disables a trigger.
+struct FlushPolicy {
+  /// Flush once this many puts accumulated since the last flush.
+  size_t max_pending = 0;
+  /// Flush once the oldest unflushed put is this many seconds old (the
+  /// worker arms a deadline at the first dirty put).
+  double max_age_s = 0.0;
+};
+
 /// Sharding and caching knobs. Persistent backends record the shard
 /// count in a meta file inside the store directory, so reopening an
 /// existing store always uses the layout it was created with (the
@@ -36,6 +48,7 @@ namespace synapse::profile {
 struct ProfileStoreOptions {
   size_t shards = 8;                   ///< clamped to >= 1
   size_t cache_entries_per_shard = 16; ///< LRU find() cache; 0 disables
+  FlushPolicy flush_policy;            ///< time/size-triggered flushing
 };
 
 /// Aggregate read-cache counters across all shards.
@@ -69,7 +82,13 @@ class ProfileStore {
   /// Batched insert: profiles are grouped per shard and each shard is
   /// locked once, so concurrent writers pay one lock per shard rather
   /// than one per profile. Returns the number of truncated profiles.
-  size_t put_many(const std::vector<Profile>& profiles);
+  /// `stored`, when non-null, is resized to profiles.size() and
+  /// stored[i] is set true the moment profiles[i] lands — so a caller
+  /// catching an exception out of a partial batch knows exactly which
+  /// profiles made it and can retry only the rest (the Session's
+  /// exactly-once batching contract).
+  size_t put_many(const std::vector<Profile>& profiles,
+                  std::vector<bool>* stored = nullptr);
 
   /// All profiles recorded for this command/tags combination, ordered
   /// by recorded timestamp (`created_at`), ties keeping backend order.
@@ -94,8 +113,18 @@ class ProfileStore {
   void flush();
 
   /// Queue a flush on the background flush worker and return
-  /// immediately. No-op for backends that persist eagerly.
+  /// immediately. No-op for backends that persist eagerly. The same
+  /// worker also honours ProfileStoreOptions::flush_policy: it flushes
+  /// on its own once max_pending puts accumulated or the oldest
+  /// unflushed put exceeds max_age_s, and it drains outstanding writes
+  /// (timed or requested) before the store destructs.
   void flush_async();
+
+  /// The backend a store directory was created with, read from its meta
+  /// file (tools that only got a directory use this instead of guessing
+  /// Files and refusing docstore-backed stores). Defaults to Files for
+  /// fresh/meta-less directories.
+  static Backend detect_backend(const std::string& directory);
 
   size_t size() const;
   size_t shard_count() const;
@@ -122,6 +151,10 @@ class ProfileStore {
                                  const std::string& tkey) const;
   void start_flush_worker();
   void flush_all_shards();
+  /// Account `n` fresh docstore writes with the flush worker: arms the
+  /// age deadline at the first dirty put, requests a flush when the
+  /// size trigger fires. No-op without a worker.
+  void note_puts(size_t n);
   /// Adoption of a pre-sharding store directory (flat *.profile.json
   /// files or a root-level docstore collection): re-route every legacy
   /// profile into its owning shard, then remove the legacy files.

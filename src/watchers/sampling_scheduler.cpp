@@ -17,10 +17,11 @@ constexpr double kSleepSlice = 0.05;
 
 /// The rate a watcher samples at right now: its configured per-watcher
 /// rate, decayed to the adaptive floor once the startup window is over.
+/// `now` is the scheduler's steady clock (injectable for tests).
 double current_rate(const WatcherConfig& config, const std::string& name,
-                    double t0) {
+                    double t0, double now) {
   double rate = config.rate_for(name);
-  if (config.adaptive && sys::steady_now() - t0 > config.adaptive_window_s) {
+  if (config.adaptive && now - t0 > config.adaptive_window_s) {
     rate = config.adaptive_floor_hz;
   }
   return rate > 0 ? rate : 1.0;
@@ -41,7 +42,8 @@ const char* scheduler_mode_name(SchedulerMode mode) {
   return mode == SchedulerMode::Multiplexed ? "multiplexed" : "thread";
 }
 
-SamplingScheduler::SamplingScheduler(SchedulerMode mode) : mode_(mode) {}
+SamplingScheduler::SamplingScheduler(SchedulerMode mode, ClockFn clock)
+    : mode_(mode), clock_(clock ? std::move(clock) : &sys::steady_now) {}
 
 SamplingScheduler::~SamplingScheduler() { stop(); }
 
@@ -51,7 +53,7 @@ void SamplingScheduler::start(const std::vector<Watcher*>& watchers,
   watchers_ = watchers;
   config_ = config;
   terminate_.store(false, std::memory_order_relaxed);
-  t0_ = sys::steady_now();
+  t0_ = clock_();
   running_ = true;
   if (mode_ == SchedulerMode::Multiplexed) {
     run_multiplexed();
@@ -77,7 +79,8 @@ void SamplingScheduler::run_thread_per_watcher() {
       w->pre_process(config_);
       while (!terminate_.load(std::memory_order_relaxed)) {
         w->sample(sys::wallclock_now());
-        double remaining = 1.0 / current_rate(config_, w->name(), t0_);
+        double remaining =
+            1.0 / current_rate(config_, w->name(), t0_, clock_());
         while (remaining > 0 &&
                !terminate_.load(std::memory_order_relaxed)) {
           const double slice = std::min(remaining, kSleepSlice);
@@ -105,26 +108,33 @@ void SamplingScheduler::run_multiplexed() {
     entries.reserve(watchers_.size());
     for (Watcher* w : watchers_) {
       w->pre_process(config_);
-      entries.push_back({w, sys::steady_now()});
+      entries.push_back({w, clock_()});
     }
     while (!terminate_.load(std::memory_order_relaxed)) {
-      const double now = sys::steady_now();
+      const double now = clock_();
       double earliest = now + kSleepSlice;
       for (auto& e : entries) {
         if (e.next_due <= now) {
           e.watcher->sample(sys::wallclock_now());
           const double period =
-              1.0 / current_rate(config_, e.watcher->name(), t0_);
-          // Advance from the due time to keep the cadence; if sampling
-          // fell behind a full period, re-anchor on now instead of
-          // bursting to catch up.
+              1.0 / current_rate(config_, e.watcher->name(), t0_, now);
+          // Advance from the due time to keep the cadence — but clamp
+          // catch-up to this ONE tick: after a stall (suspended child,
+          // a slow watcher, scheduler starvation) the due time is
+          // re-anchored past the post-sample clock, never the stale
+          // loop-top `now`. Anchoring on `now` would leave the due time
+          // behind whenever sample() itself outlasted the period, and
+          // the loop would fire back-to-back samples every iteration
+          // until it caught up — the burst the cadence contract
+          // forbids.
           e.next_due += period;
-          if (e.next_due <= now) e.next_due = now + period;
+          const double after = clock_();
+          if (e.next_due <= after) e.next_due = after + period;
         }
         earliest = std::min(earliest, e.next_due);
       }
       const double wait =
-          std::min(kSleepSlice, std::max(0.0, earliest - sys::steady_now()));
+          std::min(kSleepSlice, std::max(0.0, earliest - clock_()));
       if (wait > 0) sys::sleep_for(wait);
     }
     for (auto& e : entries) {

@@ -22,6 +22,7 @@
 // after) applies per watcher.
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,8 +42,14 @@ const char* scheduler_mode_name(SchedulerMode mode);
 
 class SamplingScheduler {
  public:
+  /// Steady-clock source driving due times, catch-up re-anchoring and
+  /// the adaptive window. The default ({}) is sys::steady_now; tests
+  /// inject a fake clock to exercise stall behaviour deterministically.
+  using ClockFn = std::function<double()>;
+
   explicit SamplingScheduler(
-      SchedulerMode mode = SchedulerMode::ThreadPerWatcher);
+      SchedulerMode mode = SchedulerMode::ThreadPerWatcher,
+      ClockFn clock = {});
   ~SamplingScheduler();  ///< stops sampling if still running
 
   SamplingScheduler(const SamplingScheduler&) = delete;
@@ -65,6 +72,7 @@ class SamplingScheduler {
   void run_multiplexed();
 
   SchedulerMode mode_;
+  ClockFn clock_;  ///< never empty (defaulted in the constructor)
   bool running_ = false;
   std::vector<Watcher*> watchers_;
   WatcherConfig config_;

@@ -136,6 +136,13 @@ emulator::EmulatorOptions ScenarioSpec::make_options(
   // An explicit --atoms selection on the command line outranks the
   // scenario's own set (same precedence as atom_set over the flags).
   if (base.atom_set.empty()) base.atom_set = atom_set;
+  // Same precedence for the replay feed mode: the scenario's requested
+  // batch size (including an explicit 1 = pin single mode) applies only
+  // when the base options left it unset (0); an explicit --replay-batch
+  // outranks the scenario either way.
+  if (base.replay_batch == 0 && replay_batch >= 1) {
+    base.replay_batch = replay_batch;
+  }
   base.cycle_scale *= cycle_scale;
   base.memory_scale *= memory_scale;
   base.io_scale *= io_scale;
@@ -160,6 +167,7 @@ json::Value ScenarioSpec::to_json() const {
   for (const auto& [metric, value] : source.deltas) deltas[metric] = value;
   root["deltas"] = std::move(deltas);
   root["repetitions"] = repetitions;
+  if (replay_batch >= 1) root["replay_batch"] = replay_batch;
   json::Array jtags;
   for (const auto& t : tags) jtags.push_back(t);
   root["tags"] = std::move(jtags);
@@ -212,6 +220,13 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
                              "'repetitions' must be an integer in [1, 1e6]");
     }
     spec.repetitions = static_cast<int>(reps_raw);
+    const double batch_raw = require_number(v, "replay_batch", 0.0, prefix);
+    if (batch_raw < 0.0 || batch_raw > 1e6 ||
+        batch_raw != std::floor(batch_raw)) {
+      throw sys::ConfigError(prefix +
+                             "'replay_batch' must be an integer in [0, 1e6]");
+    }
+    spec.replay_batch = static_cast<size_t>(batch_raw);
     if (v.contains("tags")) {
       for (const auto& t : v["tags"].as_array()) {
         spec.tags.push_back(t.as_string());

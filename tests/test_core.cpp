@@ -6,6 +6,7 @@
 
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
 #include "sys/error.hpp"
 
 namespace m = synapse::metrics;
@@ -142,4 +143,66 @@ TEST(Core, EmulateSeesBatchedRecordings) {
   session.profile("sleep 0.05");
   // emulate() must flush pending recordings before the lookup.
   EXPECT_NO_THROW(session.emulate("sleep 0.05"));
+}
+
+// Tail-batch regression: an exception thrown mid-run (here: emulating a
+// command that was never profiled) must not lose the recordings queued
+// below the batch threshold — every exit path flushes them first.
+TEST(Core, ThrowingEmulateDoesNotLoseQueuedTailBatch) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  opts.store_batch = 10;  // both recordings stay queued until the throw
+  opts.profiler.watcher_set = {"cpu"};
+  Session session(opts);
+  session.profile("true", {"tail"});
+  session.profile("true", {"tail"});
+  EXPECT_EQ(session.store().size(), 0u);  // still pending
+
+  EXPECT_THROW(session.emulate("never profiled"),
+               synapse::sys::ProfileNotFound);
+  // The throw happened AFTER the pending batch reached the store.
+  EXPECT_EQ(session.store().size(), 2u);
+  EXPECT_EQ(session.store().find("true", {"tail"}).size(), 2u);
+}
+
+// Destruction is an exit path too: a partial batch held by a session
+// going out of scope must land in the (persistent) store.
+TEST(Core, SessionDestructionFlushesQueuedTailBatch) {
+  HostGuard guard;
+  const std::string dir = "/tmp/synapse_core_tail_batch";
+  std::system(("rm -rf " + dir).c_str());
+  SessionOptions opts;
+  opts.store_backend = "files";
+  opts.store_dir = dir;
+  opts.store_batch = 50;
+  opts.profiler.watcher_set = {"cpu"};
+  {
+    Session session(opts);
+    session.profile("true", {"dtor"});
+    session.profile("true", {"dtor"});
+    EXPECT_EQ(session.store().size(), 0u);  // pending at destruction
+  }
+  synapse::profile::ProfileStore reopened(
+      synapse::profile::ProfileStore::Backend::Files, dir);
+  EXPECT_EQ(reopened.find("true", {"dtor"}).size(), 2u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+// The FlushPolicy age trigger reaches the session queue: a recording
+// arriving after the oldest queued one exceeded max_age_s hands the
+// partial batch to the store even though the size threshold is far off.
+TEST(Core, AgedPartialBatchFlushesOnNextRecording) {
+  HostGuard guard;
+  SessionOptions opts;
+  opts.store_backend = "memory";
+  opts.store_batch = 100;
+  opts.store_options.flush_policy.max_age_s = 0.05;
+  opts.profiler.watcher_set = {"cpu"};
+  Session session(opts);
+  session.profile("true");
+  EXPECT_EQ(session.store().size(), 0u);  // young batch stays queued
+  synapse::sys::sleep_for(0.1);           // let the queue age past max_age
+  session.profile("true");
+  EXPECT_EQ(session.store().size(), 2u);
 }

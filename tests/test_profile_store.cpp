@@ -8,6 +8,7 @@
 #include "docstore/docstore.hpp"
 #include "json/json.hpp"
 #include "profile/metrics.hpp"
+#include "sys/clock.hpp"
 #include "sys/error.hpp"
 
 namespace profile = synapse::profile;
@@ -389,6 +390,108 @@ TEST(ProfileStore, DestructorDrainsPendingAsyncFlush) {
     EXPECT_EQ(store.find("drain").size(), 1u);
   }
   std::system(("rm -rf " + dir).c_str());
+}
+
+// --- FlushPolicy (time/size-triggered background flushing) ------------------
+
+namespace {
+
+/// Profiles visible to a FRESH store opened over `dir` — i.e. actually
+/// flushed to disk, not just resident in the writer's memory. Retries
+/// around concurrent collection writes (docstore saves are not atomic).
+size_t flushed_profiles(const std::string& dir, const std::string& cmd) {
+  try {
+    profile::ProfileStore reader(profile::ProfileStore::Backend::DocStore,
+                                 dir);
+    return reader.find(cmd).size();
+  } catch (const std::exception&) {
+    return 0;  // mid-write collection file; caller polls again
+  }
+}
+
+}  // namespace
+
+TEST(ProfileStore, FlushPolicyAgeFlushesWithoutExplicitRequest) {
+  const std::string dir = "/tmp/synapse_store_policy_age";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStoreOptions options;
+  options.flush_policy.max_age_s = 0.05;
+  profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir,
+                              options);
+  store.put(make_profile("aged", {}, 1, 1.0));
+  // No flush()/flush_async(): the worker must flush on its own once the
+  // put is 50 ms old. Poll (bounded) for the background write.
+  size_t seen = 0;
+  for (int i = 0; i < 100 && seen == 0; ++i) {
+    synapse::sys::sleep_for(0.05);
+    seen = flushed_profiles(dir, "aged");
+  }
+  EXPECT_EQ(seen, 1u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, FlushPolicyMaxPendingFlushesAtThreshold) {
+  const std::string dir = "/tmp/synapse_store_policy_size";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStoreOptions options;
+  options.flush_policy.max_pending = 3;
+  profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir,
+                              options);
+  store.put(make_profile("sized", {}, 1, 1.0));
+  store.put(make_profile("sized", {}, 2, 2.0));
+  // Below the threshold, with no age trigger, nothing flushes.
+  synapse::sys::sleep_for(0.15);
+  EXPECT_EQ(flushed_profiles(dir, "sized"), 0u);
+  store.put(make_profile("sized", {}, 3, 3.0));  // threshold reached
+  size_t seen = 0;
+  for (int i = 0; i < 100 && seen < 3; ++i) {
+    synapse::sys::sleep_for(0.05);
+    seen = flushed_profiles(dir, "sized");
+  }
+  EXPECT_EQ(seen, 3u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, DestructorDrainsDirtyPutsWithoutAnyFlushCall) {
+  const std::string dir = "/tmp/synapse_store_policy_drain";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStoreOptions options;
+    options.flush_policy.max_age_s = 30.0;  // deadline far in the future
+    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                dir, options);
+    store.put(make_profile("undrained", {}, 1, 1.0));
+    // Neither flush() nor flush_async(), and the age deadline has not
+    // fired: destruction must still drain the dirty put.
+  }
+  EXPECT_EQ(flushed_profiles(dir, "undrained"), 1u);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStore, PutManyReportsStoredFlags) {
+  profile::ProfileStore store;  // memory backend
+  std::vector<profile::Profile> batch;
+  batch.push_back(make_profile("flags", {"a"}, 1, 1.0));
+  batch.push_back(make_profile("flags", {"b"}, 2, 2.0));
+  std::vector<bool> stored;
+  store.put_many(batch, &stored);
+  ASSERT_EQ(stored.size(), 2u);
+  EXPECT_TRUE(stored[0]);
+  EXPECT_TRUE(stored[1]);
+}
+
+TEST(ProfileStore, DetectBackendReadsMetaFile) {
+  const std::string dir = "/tmp/synapse_store_detect";
+  for (const auto backend : {profile::ProfileStore::Backend::DocStore,
+                             profile::ProfileStore::Backend::Files}) {
+    std::system(("rm -rf " + dir).c_str());
+    { profile::ProfileStore store(backend, dir); }
+    EXPECT_EQ(profile::ProfileStore::detect_backend(dir), backend);
+  }
+  // Fresh (meta-less) directories default to Files.
+  std::system(("rm -rf " + dir).c_str());
+  EXPECT_EQ(profile::ProfileStore::detect_backend(dir),
+            profile::ProfileStore::Backend::Files);
 }
 
 TEST(ProfileStore, CommandsWithShellCharsAreStorable) {

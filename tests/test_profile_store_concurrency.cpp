@@ -193,6 +193,49 @@ INSTANTIATE_TEST_SUITE_P(
                       profile::ProfileStore::Backend::DocStore,
                       profile::ProfileStore::Backend::Files));
 
+// FlushPolicy destructor-race hammer: stores with an aggressive age
+// trigger are destroyed while timed flushes are in flight, with writers
+// racing right up to destruction. The invariants: no deadlock (the test
+// would time out), no crash from a double flush, and no lost write —
+// every put must be on disk after the store is gone (the worker drains
+// on stop).
+TEST(ProfileStoreConcurrencyCross, DestructionDrainsTimedFlushesInFlight) {
+  const std::string dir = "/tmp/synapse_store_conc_drain";
+  constexpr int kIterations = 12;
+  constexpr int kWriters = 3;
+  constexpr int kPutsPerWriter = 10;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::system(("rm -rf " + dir).c_str());
+    {
+      profile::ProfileStoreOptions options;
+      options.shards = 4;
+      // Tiny age: timed flushes fire continuously while writers run, so
+      // destruction routinely lands mid-flush.
+      options.flush_policy.max_age_s = 0.002;
+      profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+                                  dir, options);
+      std::vector<std::thread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&store, w] {
+          for (int i = 0; i < kPutsPerWriter; ++i) {
+            store.put(make_profile("drain-" + std::to_string(w), {"hammer"},
+                                   i, static_cast<double>(i)));
+          }
+        });
+      }
+      for (auto& t : writers) t.join();
+      // Destroy immediately: the youngest puts' deadline has not fired.
+    }
+    profile::ProfileStore reopened(profile::ProfileStore::Backend::DocStore,
+                                   dir);
+    ASSERT_EQ(reopened.size(),
+              static_cast<size_t>(kWriters) * kPutsPerWriter)
+        << "iteration " << iter;
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
 TEST(ProfileStoreConcurrencyCross, TwoInstancesWriteTheSameFilesStore) {
   // Two ProfileStore instances over one directory model two processes
   // (their shard mutexes are unrelated): concurrent puts to the same

@@ -239,6 +239,111 @@ TEST(ReplayEngine, CustomAtomAggregatesAcrossRanks) {
   EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 2u * 4);
 }
 
+// --- batched replay pipeline -----------------------------------------------
+
+namespace {
+
+/// Non-timing fields of two AtomStats must match bit-for-bit; only the
+/// wall-time field (busy_seconds) is allowed to differ between feed
+/// modes.
+void expect_stats_parity(const atoms::AtomStats& a, const atoms::AtomStats& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.flops, b.flops) << label;
+  EXPECT_EQ(a.bytes_read, b.bytes_read) << label;
+  EXPECT_EQ(a.bytes_written, b.bytes_written) << label;
+  EXPECT_EQ(a.bytes_allocated, b.bytes_allocated) << label;
+  EXPECT_EQ(a.bytes_freed, b.bytes_freed) << label;
+  EXPECT_EQ(a.net_bytes_sent, b.net_bytes_sent) << label;
+  EXPECT_EQ(a.net_bytes_received, b.net_bytes_received) << label;
+  EXPECT_EQ(a.samples_consumed, b.samples_consumed) << label;
+}
+
+}  // namespace
+
+TEST(ReplayEngine, BatchModeMatchesSingleModeStats) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  // 10 samples with batch 4 exercises the partial tail batch (4+4+2).
+  const auto p = synthetic_profile(10, 0.005 * hz, 64 * 1024, 256 * 1024);
+
+  emulator::ReplayEngine single(tmp_options());
+  const auto rs = single.replay(p);
+
+  auto opts = tmp_options();
+  opts.replay_batch = 4;
+  emulator::ReplayEngine batched(opts);
+  const auto rb = batched.replay(p);
+
+  EXPECT_EQ(rb.samples_replayed, rs.samples_replayed);
+  ASSERT_EQ(rb.atom_stats.size(), rs.atom_stats.size());
+  for (const auto& [name, stats] : rs.atom_stats) {
+    ASSERT_TRUE(rb.atom_stats.count(name)) << name;
+    expect_stats_parity(rb.atom_stats.at(name), stats, name);
+  }
+}
+
+TEST(ReplayEngine, BatchModePartialTailBatchNotDropped) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.atom_set = {"storage"};
+  opts.replay_batch = 8;  // 5 samples => a single, partial batch
+  emulator::ReplayEngine engine(opts);
+  const auto r = engine.replay(synthetic_profile(5, 0, 32 * 1024));
+  EXPECT_EQ(r.samples_replayed, 5u);
+  EXPECT_EQ(r.storage.bytes_written, 5u * 32 * 1024);
+  EXPECT_EQ(r.storage.samples_consumed, 5u);
+}
+
+TEST(ReplayEngine, BatchModeFiresHooksInRecordedOrder) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.atom_set = {"memory"};
+  opts.replay_batch = 3;
+  emulator::ReplayEngine engine(opts);
+  std::vector<size_t> seen;
+  const auto r = engine.replay(
+      synthetic_profile(7, 0, 0, 128 * 1024),
+      [&seen](size_t index) { seen.push_back(index); });
+  EXPECT_EQ(r.samples_replayed, 7u);
+  ASSERT_EQ(seen.size(), 7u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ReplayEngine, BatchModeFeedsCustomAtomInOrder) {
+  HostGuard guard;
+  atoms::AtomRegistry registry;
+  registry.register_atom("tally", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<TallyAtom>();
+  });
+
+  auto opts = tmp_options();
+  opts.atom_set = {"tally"};
+  opts.replay_batch = 2;
+  emulator::ReplayEngine engine(opts, &registry);
+  const auto r = engine.replay(synthetic_profile(5, 1e6));
+  ASSERT_TRUE(r.atom_stats.count("tally"));
+  EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 5u);
+  EXPECT_NEAR(r.atom_stats.at("tally").cycles, 5e6, 1.0);
+}
+
+TEST(ReplayEngine, BatchModeWorksUnderProcessParallelDriver) {
+  HostGuard guard;
+  const double hz = resource::active_resource().turbo_hz;
+  const auto p = synthetic_profile(6, 0.005 * hz, 32 * 1024);
+
+  auto opts = tmp_options();
+  opts.replay_batch = 4;
+  opts.parallel_mode = emulator::ParallelMode::Process;
+  opts.parallel_degree = 2;
+  emulator::Emulator emu(opts);
+  const auto r = emu.emulate(p);
+  ASSERT_EQ(r.ranks_ok, 2);
+  EXPECT_EQ(r.samples_replayed, 6u);
+  // Storage duplicates per rank, exactly as in single-sample mode.
+  EXPECT_EQ(r.storage.bytes_written, 2u * 6u * 32 * 1024);
+}
+
 TEST(ReplayEngine, SingleAndProcessParallelStatsParity) {
   HostGuard guard;
   const double hz = resource::active_resource().turbo_hz;

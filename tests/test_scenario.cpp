@@ -352,6 +352,89 @@ TEST(Scenario, EveryBuiltinRunsEndToEndWithNonZeroStats) {
   }
 }
 
+// --- batched replay (satellite of the async pipeline PR) -------------------
+
+// The pipeline's core guarantee: every built-in scenario produces
+// bit-identical aggregated non-timing AtomStats whether replayed one
+// sample at a time or through the async batched pipeline. Only
+// wall-time metrics (busy_seconds, wall_seconds) may differ.
+TEST(Scenario, BatchAndSingleReplayParityAcrossBuiltinCatalog) {
+  HostGuard guard;
+  for (const auto& s : workload::builtin_scenarios()) {
+    const auto single = workload::run_scenario(s, tmp_options());
+    for (const size_t batch : {size_t{3}, size_t{8}}) {
+      auto opts = tmp_options();
+      opts.replay_batch = batch;
+      const auto batched = workload::run_scenario(s, opts);
+      const std::string label = s.name + " @batch=" + std::to_string(batch);
+      EXPECT_EQ(batched.result.samples_replayed,
+                single.result.samples_replayed)
+          << label;
+      ASSERT_EQ(batched.result.atom_stats.size(),
+                single.result.atom_stats.size())
+          << label;
+      for (const auto& [atom, ss] : single.result.atom_stats) {
+        ASSERT_TRUE(batched.result.atom_stats.count(atom))
+            << label << "/" << atom;
+        const auto& bs = batched.result.atom_stats.at(atom);
+        EXPECT_EQ(bs.cycles, ss.cycles) << label << "/" << atom;
+        EXPECT_EQ(bs.flops, ss.flops) << label << "/" << atom;
+        EXPECT_EQ(bs.bytes_read, ss.bytes_read) << label << "/" << atom;
+        EXPECT_EQ(bs.bytes_written, ss.bytes_written)
+            << label << "/" << atom;
+        EXPECT_EQ(bs.bytes_allocated, ss.bytes_allocated)
+            << label << "/" << atom;
+        EXPECT_EQ(bs.bytes_freed, ss.bytes_freed) << label << "/" << atom;
+        EXPECT_EQ(bs.net_bytes_sent, ss.net_bytes_sent)
+            << label << "/" << atom;
+        EXPECT_EQ(bs.net_bytes_received, ss.net_bytes_received)
+            << label << "/" << atom;
+        EXPECT_EQ(bs.samples_consumed, ss.samples_consumed)
+            << label << "/" << atom;
+      }
+    }
+  }
+}
+
+TEST(Scenario, ReplayBatchFieldRoundTripsThroughJson) {
+  auto spec = small_io_scenario();
+  spec.replay_batch = 16;
+  const auto back = workload::ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.replay_batch, 16u);
+  // Unset stays unset (no key written, 0 on parse).
+  const auto plain =
+      workload::ScenarioSpec::from_json(small_io_scenario().to_json());
+  EXPECT_EQ(plain.replay_batch, 0u);
+}
+
+TEST(Scenario, ReplayBatchAppliesUnlessBaseSelectsExplicitly) {
+  auto spec = small_io_scenario();
+  spec.replay_batch = 8;
+  // Default (unset) base options inherit the scenario's batch size...
+  EXPECT_EQ(spec.make_options(tmp_options()).replay_batch, 8u);
+  // ...an explicit command-line selection outranks it...
+  auto base = tmp_options();
+  base.replay_batch = 2;
+  EXPECT_EQ(spec.make_options(base).replay_batch, 2u);
+  // ...including an explicit 1, which pins single mode.
+  base.replay_batch = 1;
+  EXPECT_EQ(spec.make_options(base).replay_batch, 1u);
+  // A scenario's own explicit 1 also pins single mode (not dropped).
+  spec.replay_batch = 1;
+  EXPECT_EQ(spec.make_options(tmp_options()).replay_batch, 1u);
+  EXPECT_EQ(workload::ScenarioSpec::from_json(spec.to_json()).replay_batch,
+            1u);
+}
+
+TEST(Scenario, BadReplayBatchFieldIsADiagnostic) {
+  const std::string path = write_temp(
+      "bad_batch",
+      R"({"name":"x","atoms":["compute"],"deltas":{"compute.cycles_used":1.0},
+          "replay_batch": 2.5})");
+  EXPECT_THROW(workload::resolve_scenario(path), sys::ConfigError);
+  std::remove(path.c_str());
+}
+
 // --- watchers field (profile-then-emulate round trips) ---------------------
 
 TEST(Scenario, WatchersFieldRoundTripsThroughJson) {

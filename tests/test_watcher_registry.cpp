@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 
 #include "apps/mdsim.hpp"
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
 #include "sys/error.hpp"
 #include "watchers/profiler.hpp"
 #include "watchers/sampling_scheduler.hpp"
@@ -175,6 +177,55 @@ TEST(SamplingScheduler, MultiplexedModeProfiles) {
 // deterministic workload the recorded totals match thread-per-watcher
 // within tolerance (the paper's consistency requirement P.4 applied to
 // the new run loop).
+// Catch-up clamp regression: when the multiplexed loop stalls (a
+// suspended child, a watcher whose sample() outlasts the period,
+// scheduler starvation), it must fire at most ONE catch-up sample and
+// re-anchor its cadence on the post-stall clock — never a burst of
+// back-to-back samples. The scheduler's injectable steady clock makes
+// the stall deterministic: every sample() advances the fake clock by
+// 50 periods, simulating a pathologically slow watcher. The unfixed
+// loop re-anchored against the stale loop-top time, degenerating into
+// a zero-sleep sampling storm (hundreds of samples in this window).
+TEST(SamplingScheduler, MultiplexedClampsCatchUpToOneTickAfterStall) {
+  // Single-writer fake clock: only the scheduler thread reads it inside
+  // the loop, and only StallingWatcher::sample (same thread) advances it.
+  std::atomic<double> fake_now{0.0};
+
+  class StallingWatcher final : public watchers::Watcher {
+   public:
+    explicit StallingWatcher(std::atomic<double>* clock)
+        : Watcher("stall"), clock_(clock) {}
+    void sample(double) override {
+      ++samples_;
+      clock_->store(clock_->load() + 5.0);  // 50x the 0.1 s period
+    }
+    int samples() const { return samples_; }
+
+   private:
+    std::atomic<double>* clock_;
+    int samples_ = 0;
+  };
+
+  StallingWatcher watcher(&fake_now);
+  watchers::WatcherConfig config;
+  config.sample_rate_hz = 10.0;  // period 0.1 s on the fake clock
+
+  watchers::SamplingScheduler scheduler(
+      watchers::SchedulerMode::Multiplexed,
+      [&fake_now] { return fake_now.load(); });
+  scheduler.start({&watcher}, config);
+  // Real time for the loop to spin; the fake clock only moves when a
+  // sample fires, so any extra samples in here are catch-up bursts.
+  synapse::sys::sleep_for(0.4);
+  scheduler.stop();
+
+  // One initial sample, at most one legitimate catch-up tick, one
+  // closing sample from stop(). The pre-fix burst produced dozens to
+  // thousands here.
+  EXPECT_GE(watcher.samples(), 2);
+  EXPECT_LE(watcher.samples(), 4);
+}
+
 TEST(SamplingScheduler, MultiplexedMatchesThreadPerWatcherTotals) {
   HostGuard guard;
   synapse::apps::MdOptions md;
