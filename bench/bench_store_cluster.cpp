@@ -1,0 +1,147 @@
+// Cluster-backend scaling benchmark (ROADMAP: "multi-node backends —
+// distribute shards across docstore instances").
+//
+// Synthesizes a profile stream from the built-in scenario catalog (the
+// same stream as bench_store_ingest) and measures, at a FIXED shard
+// count, how put / put_many / find_latest move as the store's shards
+// are spread across 1, 2 and 4 docstore instances. The single-instance
+// row is the baseline the plain docstore backend would give; extra
+// instances spread the collection files (and their flush I/O) across
+// independent directories.
+//
+// Usage: bench_store_cluster [--smoke] [N]
+//   --smoke  tiny stream (CI smoke run)
+//   N        profiles per scenario (default 40, smoke 4)
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "profile/profile_store.hpp"
+#include "sys/clock.hpp"
+#include "workload/scenario.hpp"
+
+namespace profile = synapse::profile;
+namespace workload = synapse::workload;
+namespace sys = synapse::sys;
+
+namespace {
+
+constexpr size_t kShards = 8;
+const std::string kBase = "/tmp/synapse_bench_cluster";
+
+/// Profile stream shaped like repeated scenario recordings (distinct
+/// rep tags spread the stream across shards, and therefore instances).
+std::vector<profile::Profile> make_stream(size_t reps) {
+  std::vector<profile::Profile> stream;
+  double clock = 1.0e9;  // synthetic created_at epoch
+  for (const auto& spec : workload::builtin_scenarios()) {
+    const profile::Profile base = spec.make_profile();
+    for (size_t rep = 0; rep < reps; ++rep) {
+      profile::Profile p = base;
+      p.tags.push_back("rep=" + std::to_string(rep));
+      p.created_at = clock += 1.0;
+      stream.push_back(std::move(p));
+    }
+  }
+  return stream;
+}
+
+std::string write_spec(size_t instances) {
+  const std::string path = kBase + "/cluster.json";
+  std::ofstream spec(path);
+  spec << "{\"instances\": [";
+  for (size_t i = 0; i < instances; ++i) {
+    if (i > 0) spec << ",";
+    spec << "{\"name\": \"inst-" << i << "\", \"root\": \"" << kBase
+         << "/inst-" << i << "\"}";
+  }
+  spec << "]}";
+  return path;
+}
+
+profile::ProfileStore make_store(size_t instances) {
+  std::system(("rm -rf " + kBase).c_str());
+  ::system(("mkdir -p " + kBase).c_str());
+  profile::ProfileStoreOptions options;
+  options.backend = "cluster";
+  options.directory = kBase + "/store";
+  options.cluster_spec = write_spec(instances);
+  options.shards = kShards;
+  return profile::ProfileStore(std::move(options));
+}
+
+struct ClusterTiming {
+  double put_s = 0.0;
+  double put_many_s = 0.0;
+  double flush_s = 0.0;
+  double find_latest_s = 0.0;
+};
+
+ClusterTiming run_one(size_t instances,
+                      const std::vector<profile::Profile>& stream) {
+  ClusterTiming t;
+  {
+    auto store = make_store(instances);
+    sys::Stopwatch w;
+    for (const auto& p : stream) store.put(p);
+    t.put_s = w.elapsed();
+    w.reset();
+    store.flush();
+    t.flush_s = w.elapsed();
+    // Uncached lookups: every workload once, cache cold for the first
+    // pass over a shard's key (cache_entries_per_shard default holds
+    // only some of the keys, so this mixes hits and misses like a real
+    // reader fleet).
+    w.reset();
+    for (const auto& p : stream) {
+      if (!store.find_latest(p.command, p.tags)) std::abort();
+    }
+    t.find_latest_s = w.elapsed();
+  }
+  {
+    auto store = make_store(instances);
+    sys::Stopwatch w;
+    store.put_many(stream);
+    t.put_many_s = w.elapsed();
+  }
+  std::system(("rm -rf " + kBase).c_str());
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t reps = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      reps = 4;
+    } else {
+      const long n = std::atol(argv[i]);
+      if (n > 0) reps = static_cast<size_t>(n);
+    }
+  }
+
+  const auto stream = make_stream(reps);
+  bench::heading("ProfileStore cluster backend — " +
+                 std::to_string(stream.size()) + " profiles across " +
+                 std::to_string(kShards) + " shards");
+  bench::row("%-9s %10s %10s %10s %12s", "instances", "put", "put_many",
+             "flush", "find_latest");
+
+  const double n = static_cast<double>(stream.size());
+  for (const size_t instances : {size_t{1}, size_t{2}, size_t{4}}) {
+    ClusterTiming t = run_one(instances, stream);
+    t.put_s = std::max(t.put_s, 1e-9);
+    t.put_many_s = std::max(t.put_many_s, 1e-9);
+    t.find_latest_s = std::max(t.find_latest_s, 1e-9);
+    bench::row("%-9zu %8.0f/s %8.0f/s %9.3fs %10.0f/s", instances,
+               n / t.put_s, n / t.put_many_s, t.flush_s,
+               n / t.find_latest_s);
+  }
+  return 0;
+}

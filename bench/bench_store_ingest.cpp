@@ -59,27 +59,20 @@ struct IngestTiming {
   double drain_s = 0.0;     ///< waiting for the background worker
 };
 
-const char* backend_name(profile::ProfileStore::Backend backend) {
-  switch (backend) {
-    case profile::ProfileStore::Backend::Memory: return "memory";
-    case profile::ProfileStore::Backend::DocStore: return "docstore";
-    case profile::ProfileStore::Backend::Files: return "files";
-  }
-  return "?";
-}
-
-profile::ProfileStore make_store(profile::ProfileStore::Backend backend,
+profile::ProfileStore make_store(const std::string& backend,
                                  const std::string& dir, size_t shards) {
   profile::ProfileStoreOptions options;
   options.shards = shards;
-  if (backend == profile::ProfileStore::Backend::Memory) {
-    return profile::ProfileStore(options);
+  options.backend = backend;
+  if (backend == "memory") {
+    return profile::ProfileStore(std::move(options));
   }
   std::system(("rm -rf " + dir).c_str());
-  return profile::ProfileStore(backend, dir, options);
+  options.directory = dir;
+  return profile::ProfileStore(std::move(options));
 }
 
-IngestTiming run_one(profile::ProfileStore::Backend backend, size_t shards,
+IngestTiming run_one(const std::string& backend, size_t shards,
                      const std::vector<profile::Profile>& stream) {
   const std::string dir = "/tmp/synapse_bench_ingest";
   IngestTiming t;
@@ -135,16 +128,14 @@ int main(int argc, char** argv) {
              "put", "put_many", "flush", "async(fg)", "drain", "speedup");
 
   const double n = static_cast<double>(stream.size());
-  for (const auto backend : {profile::ProfileStore::Backend::Memory,
-                             profile::ProfileStore::Backend::DocStore,
-                             profile::ProfileStore::Backend::Files}) {
+  for (const std::string backend : {"memory", "docstore", "files"}) {
     for (const size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
       IngestTiming t = run_one(backend, shards, stream);
       // Sub-microsecond phases (tiny smoke streams) would divide to inf.
       t.put_s = std::max(t.put_s, 1e-9);
       t.put_many_s = std::max(t.put_many_s, 1e-9);
       bench::row("%-9s %6zu %8.0f/s %8.0f/s %9.3fs %11.3fs %9.3fs  %4.1fx",
-                 backend_name(backend), shards, n / t.put_s,
+                 backend.c_str(), shards, n / t.put_s,
                  n / t.put_many_s, t.flush_s, t.async_fg_s, t.drain_s,
                  t.put_s / t.put_many_s);
     }

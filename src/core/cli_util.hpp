@@ -1,10 +1,30 @@
 #pragma once
 // Small argument-parsing helpers shared by the synapse-* CLI mains.
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "profile/store_backend.hpp"
+
 namespace synapse::cli {
+
+/// --list-store-backends, shared so every CLI prints the same table.
+inline int list_store_backends() {
+  using profile::StoreBackendRegistry;
+  const auto& builtins = StoreBackendRegistry::builtin_names();
+  std::printf("%-10s %s\n", "name", "built-in");
+  for (const auto& name : StoreBackendRegistry::instance().names()) {
+    const bool builtin = std::find(builtins.begin(), builtins.end(), name) !=
+                         builtins.end();
+    std::printf("%-10s %s\n", name.c_str(), builtin ? "yes" : "no");
+  }
+  std::printf(
+      "\nnote: 'cluster' distributes the store's shards across the\n"
+      "docstore instances of a --store-cluster spec.json\n");
+  return 0;
+}
 
 /// Split a comma-separated name list ("compute, storage,my-atom"),
 /// trimming whitespace around each entry; empty entries are dropped.

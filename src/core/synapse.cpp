@@ -10,18 +10,12 @@ namespace synapse {
 namespace {
 
 profile::ProfileStore make_store(const SessionOptions& options) {
-  if (options.store_backend == "memory") {
-    return profile::ProfileStore(options.store_options);
-  }
-  if (options.store_backend == "docstore") {
-    return profile::ProfileStore(profile::ProfileStore::Backend::DocStore,
-                                 options.store_dir, options.store_options);
-  }
-  if (options.store_backend == "files") {
-    return profile::ProfileStore(profile::ProfileStore::Backend::Files,
-                                 options.store_dir, options.store_options);
-  }
-  throw sys::ConfigError("unknown store backend: " + options.store_backend);
+  // Any registered StoreBackend name resolves here; unknown names fail
+  // inside the store with a ConfigError listing what is registered.
+  profile::ProfileStoreOptions store_options = options.store_options;
+  store_options.backend = options.store_backend;
+  store_options.directory = options.store_dir;
+  return profile::ProfileStore(std::move(store_options));
 }
 
 }  // namespace

@@ -26,9 +26,12 @@
 namespace synapse {
 
 struct SessionOptions {
-  /// Store backend: "memory", "files" or "docstore".
+  /// Store backend: any name registered with the StoreBackendRegistry
+  /// — built-ins "memory", "files", "docstore", "cluster", or a custom
+  /// registration. Overrides store_options.backend.
   std::string store_backend = "files";
-  /// Store directory for persistent backends.
+  /// Store directory for persistent backends. Overrides
+  /// store_options.directory.
   std::string store_dir = ".synapse";
   /// Sharding/caching/flush knobs of the profile store (persistent
   /// backends keep the shard count they were created with; see

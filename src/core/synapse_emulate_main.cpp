@@ -3,7 +3,7 @@
 //
 // Usage:
 //   synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]
-//                   [--store-backend files|docstore|memory]
+//                   [--store-backend NAME] [--store-cluster SPEC.json]
 //                   [--kernel NAME] [--omp N | --ranks N]
 //                   [--atoms NAME[,NAME...]] [--net] [--replay-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
@@ -114,6 +114,7 @@ int main(int argc, char** argv) {
   std::string resource_name;
   std::string scenario;
   bool store_flag = false;
+  bool backend_flag = false;
   bool profile_flag = false;
 
   int i = 1;
@@ -128,10 +129,24 @@ int main(int argc, char** argv) {
       options.store_dir = next();
       store_flag = true;
     } else if (arg == "--store-backend") {
-      // "files" (default), "docstore" or "memory"; Session rejects
-      // unknown names with a ConfigError. The FlushPolicy flags only
-      // have a worker to drive on the docstore backend.
+      // Any name registered with the StoreBackendRegistry ("files" is
+      // the default); unknown names fail with a ConfigError listing
+      // what is registered. The FlushPolicy flags only have a worker to
+      // drive on buffering backends (docstore, cluster).
       options.store_backend = next();
+      backend_flag = true;
+    } else if (arg == "--store-cluster") {
+      // Cluster-spec file for the multi-instance backend; implies
+      // --store-backend cluster unless one was named explicitly.
+      options.store_options.cluster_spec = next();
+      if (options.store_options.cluster_spec.empty()) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-cluster needs a spec file\n");
+        return 2;
+      }
+      if (!backend_flag) options.store_backend = "cluster";
+    } else if (arg == "--list-store-backends") {
+      return cli::list_store_backends();
     } else if (arg == "--resource") {
       resource_name = next();
     } else if (arg == "--kernel") {
@@ -206,7 +221,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-emulate [--tag TAG]... [--store DIR] [--resource NAME]\n"
-          "                [--store-backend files|docstore|memory]\n"
+          "                [--store-backend NAME | --list-store-backends]\n"
+          "                [--store-cluster SPEC.json]\n"
           "                [--kernel asm|c|omp|sleep] [--omp N | --ranks N]\n"
           "                [--atoms NAME[,NAME...]] [--net]\n"
           "                [--replay-batch N] (N >= 2: async batched replay\n"

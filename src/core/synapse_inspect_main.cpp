@@ -9,7 +9,14 @@
 //   export-series FILE -- CMD  tidy per-sample CSV of the latest profile
 //
 // Options before the subcommand: --store DIR (default .synapse),
-// --tag TAG (repeatable).
+// --tag TAG (repeatable), --store-cluster SPEC.json (cluster stores:
+// override the persisted instance roots), --stats (after the
+// subcommand, report the store backend by registry name and the read
+// cache counters the run accumulated).
+//
+// The store opens with whatever backend its meta file records
+// (ProfileStore::detect_backend); a meta naming an unregistered
+// backend is a hard error listing what is registered.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "json/json.hpp"
 #include "profile/export.hpp"
 #include "profile/profile_store.hpp"
 #include "profile/stats.hpp"
@@ -97,6 +105,31 @@ int cmd_stats(const ProfileStore& store, const std::string& command,
   return 0;
 }
 
+/// --stats: the backend (by registry name), layout, and the read-cache
+/// counters accumulated by the queries this invocation ran.
+void print_store_stats(const ProfileStore& store) {
+  const auto cache = store.cache_stats();
+  std::printf("store stats:\n");
+  std::printf("  backend             : %s\n", store.backend().c_str());
+  std::printf("  shards              : %zu\n", store.shard_count());
+  // Per-instance shard placement (the cluster backend reports one
+  // instance per shard; single-instance backends have no such field).
+  std::map<std::string, size_t> instances;
+  for (const auto& meta : store.shard_meta()) {
+    const std::string instance = meta.get_or("instance", std::string());
+    if (!instance.empty()) ++instances[instance];
+  }
+  for (const auto& [name, shards] : instances) {
+    std::printf("  instance %-10s : %zu shards\n", name.c_str(), shards);
+  }
+  std::printf("  cache hits          : %llu\n",
+              static_cast<unsigned long long>(cache.hits));
+  std::printf("  cache misses        : %llu\n",
+              static_cast<unsigned long long>(cache.misses));
+  std::printf("  cache invalidations : %llu\n",
+              static_cast<unsigned long long>(cache.invalidations));
+}
+
 int cmd_diff(const ProfileStore& store, const std::string& command,
              const std::vector<std::string>& tags) {
   const auto profiles = store.find(command, tags);
@@ -126,10 +159,12 @@ int cmd_diff(const ProfileStore& store, const std::string& command,
 
 int main(int argc, char** argv) {
   std::string store_dir = ".synapse";
+  std::string cluster_spec;
   std::vector<std::string> tags;
   std::string subcommand;
   std::string export_path;
   std::string command;
+  bool stats_flag = false;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -139,13 +174,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--store") {
       store_dir = next();
+    } else if (arg == "--store-cluster") {
+      cluster_spec = next();
+    } else if (arg == "--stats") {
+      stats_flag = true;
     } else if (arg == "--tag") {
       tags.push_back(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "synapse-inspect [--store DIR] [--tag TAG]... SUBCOMMAND\n"
+          "synapse-inspect [--store DIR] [--store-cluster SPEC.json]\n"
+          "                [--tag TAG]... [--stats] SUBCOMMAND\n"
           "  list | show -- CMD | stats -- CMD | diff -- CMD\n"
-          "  export FILE -- CMD | export-series FILE -- CMD\n");
+          "  export FILE -- CMD | export-series FILE -- CMD\n"
+          "  (--stats appends the store backend name, shard/instance\n"
+          "   layout and read-cache counters)\n");
       return 0;
     } else if (subcommand.empty()) {
       subcommand = arg;
@@ -173,19 +215,39 @@ int main(int argc, char** argv) {
 
   try {
     // Open with the backend the store was created with (the meta file
-    // records it): hard-coding Files here used to make every
-    // docstore-backed store uninspectable ("was created with the
-    // docstore backend, not files").
-    ProfileStore store(ProfileStore::detect_backend(store_dir), store_dir);
-    if (subcommand == "list") return cmd_list(store, store_dir);
-    if (command.empty()) {
-      std::fprintf(stderr, "synapse-inspect: missing -- COMMAND\n");
+    // records its registered name): hard-coding "files" here used to
+    // make every docstore-backed store uninspectable. Cluster stores
+    // reopen from their persisted placement; --store-cluster overrides
+    // the instance roots when they moved.
+    synapse::profile::ProfileStoreOptions store_options;
+    store_options.backend = ProfileStore::detect_backend(store_dir);
+    store_options.directory = store_dir;
+    store_options.cluster_spec = cluster_spec;
+    if (!cluster_spec.empty() && store_options.backend != "cluster") {
+      // Dropping an explicitly given spec would hide a mistyped
+      // --store path (a fresh directory detects as "files") behind an
+      // empty-looking store.
+      std::fprintf(stderr,
+                   "synapse-inspect: --store-cluster given, but '%s' is a "
+                   "%s store, not a cluster store\n",
+                   store_dir.c_str(), store_options.backend.c_str());
       return 2;
     }
-    if (subcommand == "show") return cmd_show(store, command, tags);
-    if (subcommand == "stats") return cmd_stats(store, command, tags);
-    if (subcommand == "diff") return cmd_diff(store, command, tags);
-    if (subcommand == "export") {
+    ProfileStore store(std::move(store_options));
+
+    int rc = 2;
+    if (subcommand == "list") {
+      rc = cmd_list(store, store_dir);
+    } else if (command.empty()) {
+      std::fprintf(stderr, "synapse-inspect: missing -- COMMAND\n");
+      return 2;
+    } else if (subcommand == "show") {
+      rc = cmd_show(store, command, tags);
+    } else if (subcommand == "stats") {
+      rc = cmd_stats(store, command, tags);
+    } else if (subcommand == "diff") {
+      rc = cmd_diff(store, command, tags);
+    } else if (subcommand == "export") {
       const auto profiles = store.find(command, tags);
       if (profiles.empty()) {
         std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
@@ -195,9 +257,8 @@ int main(int argc, char** argv) {
           export_path, synapse::profile::totals_to_csv(profiles));
       std::printf("wrote %zu profiles to %s\n", profiles.size(),
                   export_path.c_str());
-      return 0;
-    }
-    if (subcommand == "export-series") {
+      rc = 0;
+    } else if (subcommand == "export-series") {
       const auto p = store.find_latest(command, tags);
       if (!p) {
         std::fprintf(stderr, "no profile for '%s'\n", command.c_str());
@@ -206,11 +267,15 @@ int main(int argc, char** argv) {
       synapse::profile::write_file(export_path,
                                    synapse::profile::series_to_csv(*p));
       std::printf("wrote series to %s\n", export_path.c_str());
-      return 0;
+      rc = 0;
+    } else {
+      std::fprintf(stderr, "synapse-inspect: unknown subcommand %s\n",
+                   subcommand.c_str());
+      return 2;
     }
-    std::fprintf(stderr, "synapse-inspect: unknown subcommand %s\n",
-                 subcommand.c_str());
-    return 2;
+    // After the subcommand, so the counters reflect the queries it ran.
+    if (stats_flag) print_store_stats(store);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "synapse-inspect: %s\n", e.what());
     return 1;

@@ -4,12 +4,12 @@
 //
 // Usage:
 //   synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]
-//                   [--store-backend files|docstore|memory]
+//                   [--store-backend NAME] [--store-cluster SPEC.json]
 //                   [--watchers LIST] [--watcher-rate NAME=HZ]...
 //                   [--scheduler thread|multiplexed] [--store-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--resource NAME] -- COMMAND [ARGS...]
-//   synapse-profile --list-watchers
+//   synapse-profile --list-watchers | --list-store-backends
 //
 // --store-flush-ms / --store-flush-max set the store's FlushPolicy:
 // the background worker flushes once the oldest unflushed write is MS
@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> tags;
   std::string command;
   std::string resource_name;
+  bool backend_flag = false;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -69,10 +70,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--store") {
       options.store_dir = next();
     } else if (arg == "--store-backend") {
-      // "files" (default), "docstore" or "memory"; Session rejects
-      // unknown names with a ConfigError. The FlushPolicy flags below
-      // only have a worker to drive on the docstore backend.
+      // Any name registered with the StoreBackendRegistry ("files" is
+      // the default); unknown names fail with a ConfigError listing
+      // what is registered. The FlushPolicy flags below only have a
+      // worker to drive on buffering backends (docstore, cluster).
       options.store_backend = next();
+      backend_flag = true;
+    } else if (arg == "--store-cluster") {
+      // Cluster-spec file for the multi-instance backend; implies
+      // --store-backend cluster unless one was named explicitly.
+      options.store_options.cluster_spec = next();
+      if (options.store_options.cluster_spec.empty()) {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-cluster needs a spec file\n");
+        return 2;
+      }
+      if (!backend_flag) options.store_backend = "cluster";
+    } else if (arg == "--list-store-backends") {
+      return cli::list_store_backends();
     } else if (arg == "--resource") {
       resource_name = next();
     } else if (arg == "--adaptive") {
@@ -137,15 +152,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]\n"
-          "                [--store-backend files|docstore|memory]\n"
+          "                [--store-backend NAME] (registered backend; see\n"
+          "                 --list-store-backends)\n"
+          "                [--store-cluster SPEC.json] (multi-instance\n"
+          "                 cluster backend; implies --store-backend "
+          "cluster)\n"
           "                [--watchers LIST] [--watcher-rate NAME=HZ]...\n"
           "                [--scheduler thread|multiplexed] "
           "[--store-batch N]\n"
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
-          "                (store FlushPolicy: docstore background flush\n"
-          "                 by age/size)\n"
+          "                (store FlushPolicy: background flush by\n"
+          "                 age/size on buffering backends)\n"
           "                [--resource NAME] [--adaptive] -- COMMAND...\n"
-          "synapse-profile --list-watchers\n");
+          "synapse-profile --list-watchers | --list-store-backends\n");
       return 0;
     } else {
       std::fprintf(stderr, "synapse-profile: unknown option %s\n",

@@ -1,0 +1,111 @@
+#pragma once
+// ClusterBackend: the first multi-instance scale backend.
+//
+// The paper's store is a single MongoDB instance and inherits its
+// limits (section 4.5). This backend distributes a store's N shards
+// across M independent docstore instances — each instance its own
+// directory holding its own docstore::Store per placed shard — so
+// capacity and write bandwidth scale with instances while the
+// ProfileStore API (and the shard routing above it) stays unchanged.
+//
+// Configuration is a JSON cluster-spec file (CLI: --store-cluster):
+//
+//   {
+//     "instances": [
+//       {"name": "a", "root": "/data/docstore-a", "weight": 1.0},
+//       {"name": "b", "root": "/data/docstore-b", "weight": 2.0}
+//     ]
+//   }
+//
+// `name` identifies the instance across reopens (roots may move with
+// the data; defaults to "instance-<i>"), `weight` biases how many
+// shards the instance receives (default 1.0). Shard -> instance
+// placement is computed once, at store creation, by deterministic
+// weighted balancing and persisted in `cluster.placement.json` inside
+// the store directory; every reopen honours the persisted placement,
+// so a profile always lives on the instance that first stored it.
+// Reopening with a spec that no longer contains a placed instance is a
+// hard error (the diagnostic names the missing instances) — never
+// silent data loss. Reopening WITHOUT a spec file uses the instance
+// roots persisted at creation (this is how synapse-inspect opens a
+// cluster store from just --store DIR).
+//
+// Degraded mode: when an instance cannot be opened (root unreachable,
+// corrupt collection), only the shards placed on it fail — their
+// operations throw a diagnostic naming the instance — while shards on
+// healthy instances keep serving. flush() on a degraded shard is a
+// no-op (nothing ever buffered), so the store's background flush
+// worker survives a dead instance.
+//
+// An instance root belongs to one store (shards are addressed as
+// <root>/shard-<i>, like a database per store in the MongoDB analogy);
+// prefer absolute root paths, relative ones resolve against the
+// working directory of whichever process opens the store.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profile/store_backend.hpp"
+
+namespace synapse::profile {
+
+struct ClusterInstance {
+  std::string name;
+  std::string root;
+  double weight = 1.0;
+};
+
+struct ClusterSpec {
+  std::vector<ClusterInstance> instances;
+
+  /// Parse + validate (>= 1 instance, non-empty roots, weights > 0,
+  /// unique names; missing names default to "instance-<i>").
+  static ClusterSpec from_json(const json::Value& value);
+  static ClusterSpec load_file(const std::string& path);
+  json::Value to_json() const;
+
+  const ClusterInstance* find(const std::string& name) const;
+};
+
+class ClusterBackend : public StoreBackend {
+ public:
+  /// Resolves (or creates and persists) the shard placement for
+  /// context.shard_index and opens that shard's docstore under its
+  /// instance root. Throws sys::ConfigError for spec/placement
+  /// mismatches; an unreachable instance does NOT throw here — the
+  /// shard opens degraded and its operations fail with a diagnostic.
+  explicit ClusterBackend(const StoreBackendContext& context);
+
+  bool put(const Profile& profile, const std::string& tkey) override;
+  std::vector<Profile> read(const std::string& command,
+                            const std::string& tkey) const override;
+  size_t remove(const std::string& command, const std::string& tkey) override;
+  void flush() override;
+  size_t size() const override;
+  bool needs_flush() const override { return true; }
+  /// {"instance": name, "root": path, "degraded": bool}
+  json::Value meta() const override;
+
+  const std::string& instance_name() const { return instance_name_; }
+  bool degraded() const { return !degraded_reason_.empty(); }
+
+  /// Deterministic weighted placement: shard i goes to the instance
+  /// minimizing (assigned + 1) / weight, ties broken by spec order —
+  /// so equal weights round-robin and a weight-2 instance receives
+  /// twice the shards. Exposed for tests and capacity planning.
+  static std::vector<std::string> compute_placement(const ClusterSpec& spec,
+                                                    size_t shard_count);
+
+ private:
+  /// Throws a diagnostic naming the degraded instance.
+  [[noreturn]] void fail(const std::string& op) const;
+
+  std::string instance_name_;
+  std::string instance_root_;
+  size_t shard_index_ = 0;
+  std::string degraded_reason_;  ///< non-empty: shard is degraded
+  std::unique_ptr<DocStoreShardBackend> shard_;
+};
+
+}  // namespace synapse::profile

@@ -5,12 +5,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
-#include <cctype>
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <condition_variable>
+#include <cstdio>
 #include <list>
 #include <map>
 #include <mutex>
@@ -18,6 +16,7 @@
 
 #include "docstore/docstore.hpp"
 #include "json/json.hpp"
+#include "profile/store_backend.hpp"
 #include "sys/error.hpp"
 
 namespace synapse::profile {
@@ -25,81 +24,16 @@ namespace synapse::profile {
 namespace {
 
 constexpr const char* kMetaFile = "store.meta.json";
-constexpr const char* kProfileSuffix = ".profile.json";
-constexpr size_t kSuffixLen = 13;  // strlen(kProfileSuffix)
 
-std::string sanitize(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
-            c == '_' || c == '.')
-               ? c
-               : '_';
-  }
-  return out.substr(0, 120);
-}
-
-/// FNV-1a, chosen over std::hash for a stable on-disk shard layout
-/// across processes and library versions.
-uint64_t fnv1a(const std::string& key) {
-  uint64_t h = 1469598103934665603ull;
-  for (const unsigned char c : key) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+using storedetail::count_profile_files;
+using storedetail::file_exists;
+using storedetail::fnv1a;
+using storedetail::has_profile_suffix;
+using storedetail::unique_tmp_suffix;
 
 std::string index_key(const std::string& command,
                       const std::string& tags_key) {
   return command + '\x1f' + tags_key;
-}
-
-bool file_exists(const std::string& path) {
-  struct stat st {};
-  return ::stat(path.c_str(), &st) == 0;
-}
-
-/// Temp-file suffix unique across processes (pid) AND across store
-/// instances/threads within one process (counter): two ProfileStore
-/// objects over the same directory share no mutex, so the pid alone
-/// would let their writes collide.
-std::string unique_tmp_suffix() {
-  static std::atomic<uint64_t> counter{0};
-  return std::to_string(::getpid()) + "-" +
-         std::to_string(counter.fetch_add(1));
-}
-
-bool has_profile_suffix(const std::string& name) {
-  return name.size() > kSuffixLen &&
-         name.compare(name.size() - kSuffixLen, kSuffixLen, kProfileSuffix) ==
-             0;
-}
-
-size_t count_profile_files(const std::string& dir) {
-  size_t n = 0;
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return 0;
-  while (struct dirent* entry = ::readdir(d)) {
-    if (has_profile_suffix(entry->d_name)) ++n;
-  }
-  ::closedir(d);
-  return n;
-}
-
-/// Cross-process version stamp of a Files-backend shard, used to spot
-/// writes by OTHER processes (in-process writes invalidate the cache
-/// explicitly). Combines the directory mtime with the profile-file
-/// count: the count is monotone (puts only ever add files), so even
-/// two writes inside one filesystem-timestamp tick change the stamp.
-uint64_t files_shard_stamp(const std::string& dir) {
-  struct stat st {};
-  uint64_t stamp = 0;
-  if (::stat(dir.c_str(), &st) == 0) {
-    stamp = static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
-            static_cast<uint64_t>(st.st_mtim.tv_nsec);
-  }
-  return stamp ^ (count_profile_files(dir) * 0x9e3779b97f4a7c15ull);
 }
 
 }  // namespace
@@ -109,15 +43,14 @@ uint64_t files_shard_stamp(const std::string& dir) {
 struct ProfileStore::Shard {
   mutable std::mutex mutex;
 
-  // Exactly one of these is active, matching the store backend.
-  std::vector<Profile> memory;             ///< Backend::Memory
-  std::unique_ptr<docstore::Store> store;  ///< Backend::DocStore
-  std::string directory;                   ///< Backend::Files
+  /// Registry-resolved persistence for this shard.
+  std::unique_ptr<StoreBackend> backend;
 
   // In-shard LRU read cache: find() results keyed by command+tags.
   // Guarded by `mutex`; front of the list is most recently used. Each
-  // entry carries the shard directory's mtime at fill time (Files
-  // backend), so writes from other processes invalidate stale entries.
+  // entry carries the backend's cache_stamp() at fill time, so writes
+  // from other processes invalidate stale entries (backends with a
+  // process-private view keep a constant stamp).
   struct CacheEntry {
     std::string key;
     std::vector<Profile> profiles;
@@ -219,52 +152,49 @@ struct ProfileStore::Flusher {
 // --- construction ----------------------------------------------------------
 
 ProfileStore::ProfileStore(ProfileStoreOptions options)
-    : backend_(Backend::Memory), options_(options) {
+    : options_(std::move(options)) {
   options_.shards = std::max<size_t>(1, options_.shards);
-  shards_.reserve(options_.shards);
-  for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
-}
+  const StoreBackendRegistry& registry =
+      options_.registry ? *options_.registry : StoreBackendRegistry::instance();
+  // Validate the requested name before touching the filesystem — the
+  // diagnostic lists every registered backend.
+  registry.ensure_registered(options_.backend);
+  // The memory backend never persists; a stray directory would only
+  // stamp a meta file over a path it will never read again.
+  if (options_.backend == "memory") options_.directory.clear();
 
-ProfileStore::ProfileStore(Backend backend, const std::string& directory,
-                           ProfileStoreOptions options)
-    : backend_(backend), directory_(directory), options_(options) {
-  options_.shards = std::max<size_t>(1, options_.shards);
   bool fresh_meta = false;
-  if (backend_ == Backend::Memory) {
-    directory_.clear();
-  } else {
-    ::mkdir(directory_.c_str(), 0755);
-    // The shard count is part of the on-disk layout: honour the meta
-    // file of an existing store over the requested option, so a store
-    // reopened with different options still finds every profile. The
-    // meta file is claimed with link() so that when several processes
-    // first-open the same directory concurrently, exactly one defines
-    // the layout; losers read the winner's (complete, link() only
-    // exposes whole files) meta.
-    const std::string meta_path = directory_ + "/" + kMetaFile;
-    const std::string backend_name =
-        backend_ == Backend::DocStore ? "docstore" : "files";
+  if (!options_.directory.empty()) {
+    ::mkdir(options_.directory.c_str(), 0755);
+    // The backend name and shard count are part of the on-disk layout:
+    // honour the meta file of an existing store over the requested
+    // options, so a store reopened with different options still finds
+    // every profile. The meta file is claimed with link() so that when
+    // several processes first-open the same directory concurrently,
+    // exactly one defines the layout; losers read the winner's
+    // (complete, link() only exposes whole files) meta.
+    const std::string meta_path = options_.directory + "/" + kMetaFile;
     if (!file_exists(meta_path)) {
-      // Refuse to stamp a meta file over legacy content of the OTHER
+      // Refuse to stamp a meta file over legacy content of ANOTHER
       // backend: that would bind the directory to a layout that can
       // never adopt the existing profiles.
-      if (backend_ == Backend::DocStore &&
-          count_profile_files(directory_) > 0) {
+      if (options_.backend != "files" &&
+          count_profile_files(options_.directory) > 0) {
         throw sys::ConfigError(
-            "profile store '" + directory_ +
-            "' holds a files-backend layout; open it with Backend::Files");
+            "profile store '" + options_.directory +
+            "' holds a files-backend layout; open it with the 'files' "
+            "backend");
       }
-      if (backend_ == Backend::Files &&
-          file_exists(directory_ + "/profiles.collection.json")) {
+      if (options_.backend != "docstore" &&
+          file_exists(options_.directory + "/profiles.collection.json")) {
         throw sys::ConfigError(
-            "profile store '" + directory_ +
-            "' holds a docstore layout; open it with Backend::DocStore");
+            "profile store '" + options_.directory +
+            "' holds a docstore layout; open it with the 'docstore' "
+            "backend");
       }
       json::Object meta;
       meta["shards"] = options_.shards;
-      meta["backend"] = backend_name;
+      meta["backend"] = options_.backend;
       const std::string tmp = meta_path + ".tmp-" + unique_tmp_suffix();
       json::save_file(tmp, json::Value(std::move(meta)), /*indent=*/0);
       if (::link(tmp.c_str(), meta_path.c_str()) == 0) {
@@ -282,14 +212,27 @@ ProfileStore::ProfileStore(Backend backend, const std::string& directory,
           static_cast<size_t>(meta.get_or("shards", 0.0));
       if (persisted >= 1) options_.shards = persisted;
       // A store directory is bound to the backend that created it;
-      // opening it with the other backend would silently show zero
-      // profiles and interleave incompatible layouts.
+      // opening it with another backend would silently show zero
+      // profiles and interleave incompatible layouts. A meta file
+      // naming a backend nobody registered is a hard error too — not a
+      // silent fall-through to some default.
       const std::string persisted_backend =
-          meta.get_or("backend", backend_name);
-      if (persisted_backend != backend_name) {
-        throw sys::ConfigError("profile store '" + directory_ +
+          meta.get_or("backend", options_.backend);
+      if (persisted_backend != options_.backend) {
+        if (!registry.contains(persisted_backend)) {
+          std::string known;
+          for (const auto& name : registry.names()) {
+            if (!known.empty()) known += ", ";
+            known += name;
+          }
+          throw sys::ConfigError(
+              "profile store '" + options_.directory +
+              "' was created with backend '" + persisted_backend +
+              "', which is not registered (registered: " + known + ")");
+        }
+        throw sys::ConfigError("profile store '" + options_.directory +
                                "' was created with the " + persisted_backend +
-                               " backend, not " + backend_name);
+                               " backend, not " + options_.backend);
       }
     }
   }
@@ -297,16 +240,12 @@ ProfileStore::ProfileStore(Backend backend, const std::string& directory,
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    if (backend_ != Backend::Memory) {
-      const std::string shard_dir =
-          directory_ + "/shard-" + std::to_string(i);
-      if (backend_ == Backend::DocStore) {
-        shard->store = std::make_unique<docstore::Store>(shard_dir);
-      } else {
-        ::mkdir(shard_dir.c_str(), 0755);
-        shard->directory = shard_dir;
-      }
-    }
+    StoreBackendContext context;
+    context.directory = options_.directory;
+    context.shard_index = i;
+    context.shard_count = options_.shards;
+    context.spec_file = options_.cluster_spec;
+    shard->backend = registry.create(options_.backend, context);
     shards_.push_back(std::move(shard));
   }
   // A directory may hold profiles written by the pre-sharding layout —
@@ -314,17 +253,26 @@ ProfileStore::ProfileStore(Backend backend, const std::string& directory,
   // earlier migration was interrupted mid-way. The check is a cheap
   // existence scan, so attempt adoption on every open; leftovers from
   // an interrupted run are picked up then.
-  if (backend_ != Backend::Memory) migrate_legacy_layout();
-  // The async-flush worker only matters for the docstore backend (the
-  // other backends persist eagerly); started here so flush_async() and
-  // flush() never race on its creation.
-  if (backend_ == Backend::DocStore) start_flush_worker();
+  if (!options_.directory.empty()) migrate_legacy_layout();
+  // The async-flush worker only matters for backends that buffer until
+  // flush() (the others persist eagerly); started here so flush_async()
+  // and flush() never race on its creation.
+  if (shards_.front()->backend->needs_flush()) start_flush_worker();
 }
 
+ProfileStore::ProfileStore(const std::string& backend,
+                           const std::string& directory,
+                           ProfileStoreOptions options)
+    : ProfileStore([&] {
+        options.backend = backend;
+        options.directory = directory;
+        return std::move(options);
+      }()) {}
+
 void ProfileStore::migrate_legacy_layout() {
-  if (backend_ == Backend::Files) {
+  if (options_.backend == "files") {
     // Legacy layout: *.profile.json directly in the store root.
-    DIR* dir = ::opendir(directory_.c_str());
+    DIR* dir = ::opendir(options_.directory.c_str());
     if (dir == nullptr) return;
     std::vector<std::string> legacy;
     while (struct dirent* entry = ::readdir(dir)) {
@@ -334,7 +282,7 @@ void ProfileStore::migrate_legacy_layout() {
     }
     ::closedir(dir);
     for (const auto& name : legacy) {
-      const std::string path = directory_ + "/" + name;
+      const std::string path = options_.directory + "/" + name;
       // Claim the file with an atomic rename so concurrent openers
       // cannot both adopt it (the claimed name no longer matches the
       // *.profile.json scans); the loser's rename fails and it skips.
@@ -351,16 +299,16 @@ void ProfileStore::migrate_legacy_layout() {
       }
       ::unlink(claimed.c_str());
     }
-  } else if (backend_ == Backend::DocStore) {
+  } else if (options_.backend == "docstore") {
     // Legacy layout: one docstore rooted at the store directory itself.
     // Claim the collection file by renaming it into a scratch directory
     // (atomic, so concurrent openers cannot both adopt it), then open a
     // docstore over that scratch directory to read the documents.
     const std::string legacy_path =
-        directory_ + "/profiles.collection.json";
+        options_.directory + "/profiles.collection.json";
     if (!file_exists(legacy_path)) return;
     const std::string scratch =
-        directory_ + "/.migrating-" + unique_tmp_suffix();
+        options_.directory + "/.migrating-" + unique_tmp_suffix();
     ::mkdir(scratch.c_str(), 0755);
     const std::string claimed = scratch + "/profiles.collection.json";
     if (::rename(legacy_path.c_str(), claimed.c_str()) != 0) {
@@ -398,9 +346,7 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
     // member-wise move would assign shards_ first (declaration order)
     // and leave a running worker pointing at destroyed shards.
     flusher_.reset();
-    backend_ = other.backend_;
-    directory_ = std::move(other.directory_);
-    options_ = other.options_;
+    options_ = std::move(other.options_);
     shards_ = std::move(other.shards_);
     flusher_ = std::move(other.flusher_);
   }
@@ -409,37 +355,33 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
 
 // --- keys and routing ------------------------------------------------------
 
-ProfileStore::Backend ProfileStore::detect_backend(
-    const std::string& directory) {
+std::string ProfileStore::detect_backend(const std::string& directory) {
   const std::string meta_path = directory + "/" + kMetaFile;
   if (file_exists(meta_path)) {
     try {
       const json::Value meta = json::load_file(meta_path);
-      if (meta.get_or("backend", std::string("files")) == "docstore") {
-        return Backend::DocStore;
-      }
-      return Backend::Files;
+      const std::string name = meta.get_or("backend", std::string());
+      // Return the recorded name VERBATIM (even one nobody registered):
+      // opening resolves it through the registry, which fails unknown
+      // names with a diagnostic listing the registered backends —
+      // falling back to a default here would silently misread the
+      // store.
+      if (!name.empty()) return name;
+      return "files";  // pre-backend-field meta: always a files store
     } catch (const std::exception&) {
       // Unreadable meta: fall through to the layout scan below.
     }
   }
-  // Pre-meta legacy layouts: a root docstore collection marks DocStore;
-  // anything else (flat profile files, empty, fresh) opens as Files.
+  // Pre-meta legacy layouts: a root docstore collection marks docstore;
+  // anything else (flat profile files, empty, fresh) opens as files.
   if (file_exists(directory + "/profiles.collection.json")) {
-    return Backend::DocStore;
+    return "docstore";
   }
-  return Backend::Files;
+  return "files";
 }
 
 std::string ProfileStore::tags_key(const std::vector<std::string>& tags) {
-  std::vector<std::string> sorted = tags;
-  std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  for (const auto& t : sorted) {
-    if (!key.empty()) key += ',';
-    key += t;
-  }
-  return key;
+  return store_tags_key(tags);
 }
 
 ProfileStore::Shard& ProfileStore::shard_for(const std::string& command,
@@ -452,48 +394,6 @@ size_t ProfileStore::shard_count() const { return shards_.size(); }
 
 // --- writes ----------------------------------------------------------------
 
-bool ProfileStore::put_into(Shard& shard, const Profile& profile,
-                            const std::string& tkey) {
-  switch (backend_) {
-    case Backend::Memory:
-      shard.memory.push_back(profile);
-      return false;
-    case Backend::DocStore: {
-      json::Value doc = profile.to_json();
-      doc.as_object()["tags_key"] = tkey;
-      const auto result =
-          shard.store->collection("profiles").insert(std::move(doc));
-      return result.truncated;
-    }
-    case Backend::Files: {
-      const std::string base = shard.directory + "/" +
-                               sanitize(profile.command) + "." +
-                               sanitize(tkey) + ".";
-      // Write the full document to a temp name (which never matches the
-      // *.profile.json read pattern), then claim the next free sequence
-      // number with link(): atomic against writers in other processes
-      // and other store instances, and readers only ever see complete
-      // files.
-      const std::string tmp =
-          shard.directory + "/.tmp-" + unique_tmp_suffix();
-      json::save_file(tmp, profile.to_json(), /*indent=*/0);
-      for (size_t seq = 0;; ++seq) {
-        const std::string path =
-            base + std::to_string(seq) + kProfileSuffix;
-        if (::link(tmp.c_str(), path.c_str()) == 0) break;
-        if (errno != EEXIST) {
-          const int err = errno;
-          ::unlink(tmp.c_str());
-          throw sys::SystemError("link(" + path + ")", err);
-        }
-      }
-      ::unlink(tmp.c_str());
-      return false;
-    }
-  }
-  return false;
-}
-
 bool ProfileStore::put(const Profile& profile) {
   const std::string tkey = tags_key(profile.tags);
   Shard& shard = shard_for(profile.command, tkey);
@@ -501,7 +401,7 @@ bool ProfileStore::put(const Profile& profile) {
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.cache_invalidate(index_key(profile.command, tkey));
-    truncated = put_into(shard, profile, tkey);
+    truncated = shard.backend->put(profile, tkey);
   }
   note_puts(1);
   return truncated;
@@ -538,7 +438,7 @@ size_t ProfileStore::put_many(const std::vector<Profile>& profiles,
     for (const Pending& pending : batch) {
       shard->cache_invalidate(
           index_key(pending.profile->command, pending.tkey));
-      if (put_into(*shard, *pending.profile, pending.tkey)) ++truncated;
+      if (shard->backend->put(*pending.profile, pending.tkey)) ++truncated;
       ++landed;
       if (stored != nullptr) (*stored)[pending.index] = true;
     }
@@ -546,49 +446,28 @@ size_t ProfileStore::put_many(const std::vector<Profile>& profiles,
   return truncated;
 }
 
+size_t ProfileStore::remove(const std::string& command,
+                            const std::vector<std::string>& tags) {
+  const std::string tkey = tags_key(tags);
+  Shard& shard = shard_for(command, tkey);
+  size_t removed;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache_invalidate(index_key(command, tkey));
+    removed = shard.backend->remove(command, tkey);
+  }
+  // A removal mutates buffering backends like a put does: account it so
+  // the flush worker persists the deletion.
+  if (removed > 0) note_puts(1);
+  return removed;
+}
+
 // --- reads -----------------------------------------------------------------
 
 std::vector<Profile> ProfileStore::read_from(const Shard& shard,
                                              const std::string& command,
                                              const std::string& tkey) const {
-  std::vector<Profile> out;
-  switch (backend_) {
-    case Backend::Memory: {
-      for (const auto& p : shard.memory) {
-        if (p.command == command && tags_key(p.tags) == tkey) {
-          out.push_back(p);
-        }
-      }
-      break;
-    }
-    case Backend::DocStore: {
-      const std::vector<docstore::FieldEquals> query = {
-          {"command", json::Value(command)},
-          {"tags_key", json::Value(tkey)}};
-      for (const auto& doc : shard.store->collection("profiles").find(query)) {
-        out.push_back(Profile::from_json(doc));
-      }
-      break;
-    }
-    case Backend::Files: {
-      DIR* dir = ::opendir(shard.directory.c_str());
-      if (dir == nullptr) break;
-      const std::string prefix = sanitize(command) + "." + sanitize(tkey) + ".";
-      while (struct dirent* entry = ::readdir(dir)) {
-        const std::string name = entry->d_name;
-        if (name.rfind(prefix, 0) == 0 && has_profile_suffix(name)) {
-          Profile p = Profile::from_json(
-              json::load_file(shard.directory + "/" + name));
-          // Sanitization can collide; verify the real identity.
-          if (p.command == command && tags_key(p.tags) == tkey) {
-            out.push_back(std::move(p));
-          }
-        }
-      }
-      ::closedir(dir);
-      break;
-    }
-  }
+  std::vector<Profile> out = shard.backend->read(command, tkey);
   // Recorded-timestamp order; stable so equal timestamps keep backend
   // (insertion) order.
   std::stable_sort(out.begin(), out.end(),
@@ -604,14 +483,12 @@ std::vector<Profile> ProfileStore::find(
   Shard& shard = shard_for(command, tkey);
   const std::string key = index_key(command, tkey);
 
-  // Files-backend caches are validated against a cross-process version
-  // stamp (a readdir-sized cost, so only paid when caching is on);
-  // in-memory and docstore state is process-private (docstore loads at
-  // open, snapshot semantics), so a constant stamp is correct there.
+  // Cache entries are validated against the backend's cross-process
+  // version stamp (for the files backend a readdir-sized cost, so only
+  // paid when caching is on); backends with a process-private view
+  // (memory, docstore snapshots) keep a constant stamp.
   const bool caching = options_.cache_entries_per_shard > 0;
-  const uint64_t stamp = caching && backend_ == Backend::Files
-                             ? files_shard_stamp(shard.directory)
-                             : 0;
+  const uint64_t stamp = caching ? shard.backend->cache_stamp() : 0;
 
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (caching) {
@@ -639,10 +516,9 @@ std::map<std::string, MetricStats> ProfileStore::stats(
 // --- flushing --------------------------------------------------------------
 
 void ProfileStore::flush_all_shards() {
-  if (backend_ != Backend::DocStore) return;  // others persist eagerly
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    if (shard->store) shard->store->flush();
+    shard->backend->flush();
   }
 }
 
@@ -702,7 +578,7 @@ void ProfileStore::start_flush_worker() {
         lock.unlock();
         for (Shard* shard : shard_ptrs) {
           std::lock_guard<std::mutex> shard_lock(shard->mutex);
-          if (shard->store) shard->store->flush();
+          shard->backend->flush();
         }
         lock.lock();
         f->running = false;
@@ -735,7 +611,7 @@ void ProfileStore::note_puts(size_t n) {
 }
 
 void ProfileStore::flush_async() {
-  if (backend_ != Backend::DocStore || !flusher_) return;
+  if (!flusher_) return;  // eager backends: nothing ever pends
   {
     std::lock_guard<std::mutex> lock(flusher_->mutex);
     flusher_->pending = true;
@@ -750,17 +626,7 @@ size_t ProfileStore::size() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    switch (backend_) {
-      case Backend::Memory:
-        n += shard->memory.size();
-        break;
-      case Backend::DocStore:
-        n += shard->store->collection("profiles").size();
-        break;
-      case Backend::Files:
-        n += count_profile_files(shard->directory);
-        break;
-    }
+    n += shard->backend->size();
   }
   return n;
 }
@@ -772,6 +638,16 @@ ProfileStoreCacheStats ProfileStore::cache_stats() const {
     out.hits += shard->cache_hits;
     out.misses += shard->cache_misses;
     out.invalidations += shard->cache_invalidations;
+  }
+  return out;
+}
+
+std::vector<json::Value> ProfileStore::shard_meta() const {
+  std::vector<json::Value> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.push_back(shard->backend->meta());
   }
   return out;
 }

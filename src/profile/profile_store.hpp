@@ -2,21 +2,23 @@
 // ProfileStore: sharded, thread-safe persistence facade, indexed by
 // command + tags.
 //
-// Mirrors the paper's dual storage backends (section 4): a database
-// (our embedded docstore standing in for MongoDB, including its 16 MB
-// document limit) or plain files on disk (no size limit). The command
-// line and the tag list form the search index, exactly as in
-// radical.synapse.profile(command, tags).
+// Mirrors the paper's dual storage backends (section 4) and goes
+// beyond them: persistence is delegated to a registry-resolved
+// StoreBackend per shard (see store_backend.hpp), so the store's
+// concurrency machinery — sharding, per-shard locking, read caching,
+// batched writes, background flushing — is shared by every backend,
+// built-in ("memory", "docstore", "files", "cluster") or
+// user-registered. The command line and the tag list form the search
+// index, exactly as in radical.synapse.profile(command, tags).
 //
 // Scale model: the store is split into N shards keyed by
 // hash(command, tags_key). Each shard owns its own mutex, its own
-// backend instance (memory vector / docstore::Store / files directory)
-// and an in-shard LRU read cache, so parallel emulation ranks and
-// watchers can record and query profiles concurrently without
-// serializing on one lock or one docstore file. All public methods are
-// safe to call from multiple threads; a given (command, tags) workload
-// always maps to the same shard, so per-workload ordering guarantees
-// are preserved.
+// registry-resolved backend instance and an in-shard LRU read cache,
+// so parallel emulation ranks and watchers can record and query
+// profiles concurrently without serializing on one lock or one
+// docstore file. All public methods are safe to call from multiple
+// threads; a given (command, tags) workload always maps to the same
+// shard, so per-workload ordering guarantees are preserved.
 
 #include <cstdint>
 #include <memory>
@@ -24,15 +26,18 @@
 #include <string>
 #include <vector>
 
+#include "json/json.hpp"
 #include "profile/profile.hpp"
 #include "profile/stats.hpp"
 
 namespace synapse::profile {
 
-/// When the background flush worker persists pending docstore writes on
-/// its own (the other backends persist eagerly, so the policy is a
-/// no-op there). Both triggers combine with explicit flush()/
-/// flush_async() calls; 0 disables a trigger.
+class StoreBackendRegistry;
+
+/// When the background flush worker persists pending writes on its own
+/// (eager backends never run the worker, so the policy is a no-op
+/// there). Both triggers combine with explicit flush()/flush_async()
+/// calls; 0 disables a trigger.
 struct FlushPolicy {
   /// Flush once this many puts accumulated since the last flush.
   size_t max_pending = 0;
@@ -41,14 +46,28 @@ struct FlushPolicy {
   double max_age_s = 0.0;
 };
 
-/// Sharding and caching knobs. Persistent backends record the shard
-/// count in a meta file inside the store directory, so reopening an
-/// existing store always uses the layout it was created with (the
-/// option is then ignored).
+/// Backend selection plus sharding and caching knobs. Persistent
+/// backends record the backend name and shard count in a meta file
+/// inside the store directory, so reopening an existing store always
+/// uses the layout it was created with (the options are then checked,
+/// not honoured: a backend mismatch is a hard error).
 struct ProfileStoreOptions {
+  /// Registered StoreBackend name; resolved through `registry` (or the
+  /// process-wide StoreBackendRegistry::instance() when unset).
+  std::string backend = "memory";
+  /// Store root for persistent backends; ignored (cleared) by the
+  /// "memory" backend.
+  std::string directory;
+  /// Backend-specific configuration file, handed to the backend
+  /// factories verbatim — the cluster backend's spec
+  /// (--store-cluster spec.json).
+  std::string cluster_spec;
   size_t shards = 8;                   ///< clamped to >= 1
   size_t cache_entries_per_shard = 16; ///< LRU find() cache; 0 disables
   FlushPolicy flush_policy;            ///< time/size-triggered flushing
+  /// Registry backend names resolve through (nullptr = the process-wide
+  /// StoreBackendRegistry::instance()); must outlive the store.
+  const StoreBackendRegistry* registry = nullptr;
 };
 
 /// Aggregate read-cache counters across all shards.
@@ -60,15 +79,12 @@ struct ProfileStoreCacheStats {
 
 class ProfileStore {
  public:
-  enum class Backend { Memory, DocStore, Files };
-
-  /// In-memory store (tests, short-lived runs).
+  /// Backend and layout from `options` (default: in-memory store).
   explicit ProfileStore(ProfileStoreOptions options = {});
 
-  /// Backed by the embedded document store under `directory` (16 MB
-  /// document limit applies) or by one flat JSON file per profile (no
-  /// limit). Each shard persists under `directory`/shard-N.
-  ProfileStore(Backend backend, const std::string& directory,
+  /// Convenience: options with `backend` (a registered name, e.g.
+  /// "files", "docstore", "cluster") and `directory` overridden.
+  ProfileStore(const std::string& backend, const std::string& directory,
                ProfileStoreOptions options = {});
 
   ~ProfileStore();
@@ -76,7 +92,7 @@ class ProfileStore {
   ProfileStore& operator=(ProfileStore&&) noexcept;
 
   /// Store a profile; returns true when the profile was truncated to fit
-  /// the docstore document limit (paper section 4.5).
+  /// a backend document limit (paper section 4.5).
   bool put(const Profile& profile);
 
   /// Batched insert: profiles are grouped per shard and each shard is
@@ -107,7 +123,13 @@ class ProfileStore {
       const std::string& command,
       const std::vector<std::string>& tags = {}) const;
 
-  /// Persist pending state (docstore flush; files are written eagerly).
+  /// Remove every stored repetition of a workload; returns the number
+  /// removed. The removal dirties the shard like a put, so buffering
+  /// backends persist it via the same flush machinery.
+  size_t remove(const std::string& command,
+                const std::vector<std::string>& tags = {});
+
+  /// Persist pending state (no-op for backends that persist eagerly).
   /// Synchronous and bounded: covers every put() that happened before
   /// the call, independent of the background flush worker.
   void flush();
@@ -120,16 +142,23 @@ class ProfileStore {
   /// (timed or requested) before the store destructs.
   void flush_async();
 
-  /// The backend a store directory was created with, read from its meta
-  /// file (tools that only got a directory use this instead of guessing
-  /// Files and refusing docstore-backed stores). Defaults to Files for
-  /// fresh/meta-less directories.
-  static Backend detect_backend(const std::string& directory);
+  /// The registered backend name a store directory was created with,
+  /// read from its meta file (tools that only got a directory use this
+  /// instead of guessing "files" and refusing other stores). Returns
+  /// the meta file's name VERBATIM — opening resolves it through the
+  /// registry, so an unknown name fails there with a diagnostic listing
+  /// what is registered. Meta-less directories fall back to the legacy
+  /// layout scan ("docstore" for a root collection, else "files").
+  static std::string detect_backend(const std::string& directory);
 
   size_t size() const;
   size_t shard_count() const;
-  Backend backend() const { return backend_; }
+  /// Registered backend name this store resolves through.
+  const std::string& backend() const { return options_.backend; }
   ProfileStoreCacheStats cache_stats() const;
+  /// Per-shard backend metadata (StoreBackend::meta()), indexed by
+  /// shard — e.g. the cluster backend reports each shard's instance.
+  std::vector<json::Value> shard_meta() const;
 
   /// Canonical tag index key: sorted, comma-joined (tag order is
   /// irrelevant for lookups, as in the paper's profile(command, tags)).
@@ -141,9 +170,6 @@ class ProfileStore {
 
   /// `tkey` is the profile's tags_key(), computed once by the caller.
   Shard& shard_for(const std::string& command, const std::string& tkey) const;
-  /// One insert into an already-locked shard; true on docstore truncation.
-  bool put_into(Shard& shard, const Profile& profile,
-                const std::string& tkey);
   /// Backend read of one workload from an already-locked shard, ordered
   /// by created_at.
   std::vector<Profile> read_from(const Shard& shard,
@@ -151,7 +177,7 @@ class ProfileStore {
                                  const std::string& tkey) const;
   void start_flush_worker();
   void flush_all_shards();
-  /// Account `n` fresh docstore writes with the flush worker: arms the
+  /// Account `n` fresh buffered writes with the flush worker: arms the
   /// age deadline at the first dirty put, requests a flush when the
   /// size trigger fires. No-op without a worker.
   void note_puts(size_t n);
@@ -166,10 +192,10 @@ class ProfileStore {
   /// and re-put leaves that one file parked under its *.migrating-*
   /// claim name (data preserved on disk, adopt manually by renaming it
   /// back) — the trade against double-adoption by concurrent openers.
+  /// Legacy layouts only ever existed for the files/docstore backends,
+  /// so other backends skip this.
   void migrate_legacy_layout();
 
-  Backend backend_;
-  std::string directory_;
   ProfileStoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Flusher> flusher_;

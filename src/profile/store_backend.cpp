@@ -1,0 +1,389 @@
+#include "profile/store_backend.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+
+#include "docstore/docstore.hpp"
+#include "profile/cluster_backend.hpp"
+#include "sys/error.hpp"
+
+namespace synapse::profile {
+
+namespace storedetail {
+
+constexpr const char* kProfileSuffix = ".profile.json";
+constexpr size_t kSuffixLen = 13;  // strlen(kProfileSuffix)
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string unique_tmp_suffix() {
+  static std::atomic<uint64_t> counter{0};
+  return std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+bool has_profile_suffix(const std::string& name) {
+  return name.size() > kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kProfileSuffix) ==
+             0;
+}
+
+size_t count_profile_files(const std::string& dir) {
+  size_t n = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    if (has_profile_suffix(entry->d_name)) ++n;
+  }
+  ::closedir(d);
+  return n;
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '_' || c == '.')
+               ? c
+               : '_';
+  }
+  return out.substr(0, 120);
+}
+
+uint64_t fnv1a(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace storedetail
+
+namespace {
+
+using storedetail::file_exists;
+using storedetail::has_profile_suffix;
+using storedetail::sanitize;
+using storedetail::unique_tmp_suffix;
+
+// --- memory ---------------------------------------------------------------
+
+class MemoryBackend : public StoreBackend {
+ public:
+  bool put(const Profile& profile, const std::string&) override {
+    profiles_.push_back(profile);
+    return false;
+  }
+
+  std::vector<Profile> read(const std::string& command,
+                            const std::string& tkey) const override {
+    std::vector<Profile> out;
+    for (const auto& p : profiles_) {
+      if (p.command == command && store_tags_key(p.tags) == tkey) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  size_t remove(const std::string& command, const std::string& tkey) override {
+    const size_t before = profiles_.size();
+    profiles_.erase(
+        std::remove_if(profiles_.begin(), profiles_.end(),
+                       [&](const Profile& p) {
+                         return p.command == command &&
+                                store_tags_key(p.tags) == tkey;
+                       }),
+        profiles_.end());
+    return before - profiles_.size();
+  }
+
+  size_t size() const override { return profiles_.size(); }
+
+ private:
+  std::vector<Profile> profiles_;
+};
+
+// --- files ----------------------------------------------------------------
+
+/// One flat JSON file per profile under the shard directory (no size
+/// limit). Writes are link()-claimed so concurrent writers in other
+/// processes or store instances never collide on a sequence number and
+/// readers only ever see complete files.
+class FilesBackend : public StoreBackend {
+ public:
+  /// Unique token rewritten by every remove(); part of cache_stamp().
+  static constexpr const char* kEpochFile = ".remove.epoch";
+  explicit FilesBackend(std::string shard_dir)
+      : directory_(std::move(shard_dir)) {
+    ::mkdir(directory_.c_str(), 0755);
+  }
+
+  bool put(const Profile& profile, const std::string& tkey) override {
+    const std::string base = directory_ + "/" + sanitize(profile.command) +
+                             "." + sanitize(tkey) + ".";
+    // Write the full document to a temp name (which never matches the
+    // *.profile.json read pattern), then claim the next free sequence
+    // number with link().
+    const std::string tmp = directory_ + "/.tmp-" + unique_tmp_suffix();
+    json::save_file(tmp, profile.to_json(), /*indent=*/0);
+    for (size_t seq = 0;; ++seq) {
+      const std::string path =
+          base + std::to_string(seq) + storedetail::kProfileSuffix;
+      if (::link(tmp.c_str(), path.c_str()) == 0) break;
+      if (errno != EEXIST) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw sys::SystemError("link(" + path + ")", err);
+      }
+    }
+    ::unlink(tmp.c_str());
+    return false;
+  }
+
+  std::vector<Profile> read(const std::string& command,
+                            const std::string& tkey) const override {
+    std::vector<Profile> out;
+    for (const auto& name : matching_files(command, tkey)) {
+      Profile p = Profile::from_json(json::load_file(directory_ + "/" + name));
+      // Sanitization can collide; verify the real identity.
+      if (p.command == command && store_tags_key(p.tags) == tkey) {
+        out.push_back(std::move(p));
+      }
+    }
+    return out;
+  }
+
+  size_t remove(const std::string& command, const std::string& tkey) override {
+    size_t removed = 0;
+    for (const auto& name : matching_files(command, tkey)) {
+      const std::string path = directory_ + "/" + name;
+      try {
+        const Profile p = Profile::from_json(json::load_file(path));
+        if (p.command != command || store_tags_key(p.tags) != tkey) continue;
+      } catch (const std::exception&) {
+        continue;  // unreadable file: leave it for diagnosis, not deletion
+      }
+      if (::unlink(path.c_str()) == 0) ++removed;
+    }
+    // A remove-then-put pair inside one filesystem-timestamp tick
+    // restores the profile-file count, so mtime+count alone could
+    // reproduce an old stamp; record a unique removal epoch the stamp
+    // mixes in, so other instances' caches always notice. rename() is
+    // atomic, readers never see a partial epoch.
+    if (removed > 0) {
+      const std::string epoch = directory_ + "/" + kEpochFile;
+      const std::string tmp = directory_ + "/.tmp-" + unique_tmp_suffix();
+      json::save_file(tmp, json::Value(unique_tmp_suffix()), /*indent=*/0);
+      if (::rename(tmp.c_str(), epoch.c_str()) != 0) ::unlink(tmp.c_str());
+    }
+    return removed;
+  }
+
+  size_t size() const override {
+    return storedetail::count_profile_files(directory_);
+  }
+
+  /// Cross-process version stamp: directory mtime combined with the
+  /// profile-file count and the removal epoch. The count is monotone
+  /// under puts and every remove() rewrites the epoch, so even a
+  /// count-restoring remove+put pair inside one filesystem-timestamp
+  /// tick changes the stamp.
+  uint64_t cache_stamp() const override {
+    struct stat st {};
+    uint64_t stamp = 0;
+    if (::stat(directory_.c_str(), &st) == 0) {
+      stamp = static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+              static_cast<uint64_t>(st.st_mtim.tv_nsec);
+    }
+    const std::string epoch = directory_ + "/" + kEpochFile;
+    if (file_exists(epoch)) {
+      try {
+        stamp ^= storedetail::fnv1a(json::dump(json::load_file(epoch)));
+      } catch (const std::exception&) {
+        // Torn/unreadable epoch: fall back to mtime+count alone.
+      }
+    }
+    return stamp ^
+           (storedetail::count_profile_files(directory_) *
+            0x9e3779b97f4a7c15ull);
+  }
+
+  json::Value meta() const override {
+    json::Object meta;
+    meta["directory"] = directory_;
+    return json::Value(std::move(meta));
+  }
+
+ private:
+  std::vector<std::string> matching_files(const std::string& command,
+                                          const std::string& tkey) const {
+    std::vector<std::string> names;
+    DIR* dir = ::opendir(directory_.c_str());
+    if (dir == nullptr) return names;
+    const std::string prefix = sanitize(command) + "." + sanitize(tkey) + ".";
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.rfind(prefix, 0) == 0 && has_profile_suffix(name)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  std::string directory_;
+};
+
+}  // namespace
+
+// --- docstore (shared with the cluster backend) ----------------------------
+
+DocStoreShardBackend::DocStoreShardBackend(const std::string& shard_dir)
+    : store_(std::make_unique<docstore::Store>(shard_dir)) {}
+
+DocStoreShardBackend::~DocStoreShardBackend() = default;
+
+bool DocStoreShardBackend::put(const Profile& profile,
+                               const std::string& tkey) {
+  json::Value doc = profile.to_json();
+  doc.as_object()["tags_key"] = tkey;
+  return store_->collection("profiles").insert(std::move(doc)).truncated;
+}
+
+std::vector<Profile> DocStoreShardBackend::read(
+    const std::string& command, const std::string& tkey) const {
+  const std::vector<docstore::FieldEquals> query = {
+      {"command", json::Value(command)}, {"tags_key", json::Value(tkey)}};
+  std::vector<Profile> out;
+  for (const auto& doc : store_->collection("profiles").find(query)) {
+    out.push_back(Profile::from_json(doc));
+  }
+  return out;
+}
+
+size_t DocStoreShardBackend::remove(const std::string& command,
+                                    const std::string& tkey) {
+  const std::vector<docstore::FieldEquals> query = {
+      {"command", json::Value(command)}, {"tags_key", json::Value(tkey)}};
+  return store_->collection("profiles").remove(query);
+}
+
+void DocStoreShardBackend::flush() { store_->flush(); }
+
+size_t DocStoreShardBackend::size() const {
+  return store_->collection("profiles").size();
+}
+
+json::Value DocStoreShardBackend::meta() const {
+  json::Object meta;
+  meta["directory"] = store_->directory();
+  return json::Value(std::move(meta));
+}
+
+// --- key canonicalization ---------------------------------------------------
+
+std::string store_tags_key(const std::vector<std::string>& tags) {
+  std::vector<std::string> sorted = tags;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& t : sorted) {
+    if (!key.empty()) key += ',';
+    key += t;
+  }
+  return key;
+}
+
+// --- registry ---------------------------------------------------------------
+
+namespace {
+
+std::string shard_dir(const StoreBackendContext& context) {
+  if (context.directory.empty()) {
+    throw sys::ConfigError(
+        "store backend needs a store directory (only 'memory' runs without "
+        "one)");
+  }
+  return context.directory + "/shard-" + std::to_string(context.shard_index);
+}
+
+}  // namespace
+
+StoreBackendRegistry::StoreBackendRegistry() {
+  factories_["memory"] = [](const StoreBackendContext&) {
+    return std::make_unique<MemoryBackend>();
+  };
+  factories_["docstore"] = [](const StoreBackendContext& ctx) {
+    return std::make_unique<DocStoreShardBackend>(shard_dir(ctx));
+  };
+  factories_["files"] = [](const StoreBackendContext& ctx) {
+    return std::make_unique<FilesBackend>(shard_dir(ctx));
+  };
+  factories_["cluster"] = [](const StoreBackendContext& ctx) {
+    return std::make_unique<ClusterBackend>(ctx);
+  };
+}
+
+StoreBackendRegistry& StoreBackendRegistry::instance() {
+  static StoreBackendRegistry registry;
+  return registry;
+}
+
+void StoreBackendRegistry::register_backend(const std::string& name,
+                                            Factory factory) {
+  if (name.empty()) {
+    throw sys::ConfigError("store backend name must not be empty");
+  }
+  if (!factory) {
+    throw sys::ConfigError("store backend factory must not be empty");
+  }
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<StoreBackend> StoreBackendRegistry::create(
+    const std::string& name, const StoreBackendContext& context) const {
+  ensure_registered(name);
+  return factories_.at(name)(context);
+}
+
+void StoreBackendRegistry::ensure_registered(const std::string& name) const {
+  if (factories_.count(name) != 0) return;
+  std::string known;
+  for (const auto& [key, unused] : factories_) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  throw sys::ConfigError("unknown store backend: " + name +
+                         " (registered: " + known + ")");
+}
+
+bool StoreBackendRegistry::contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> StoreBackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, unused] : factories_) out.push_back(key);
+  return out;
+}
+
+const std::vector<std::string>& StoreBackendRegistry::builtin_names() {
+  static const std::vector<std::string> names = {"memory", "docstore", "files",
+                                                 "cluster"};
+  return names;
+}
+
+}  // namespace synapse::profile

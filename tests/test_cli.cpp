@@ -110,6 +110,120 @@ TEST(Cli, InspectShowAndStats) {
   ::unlink((out + ".err").c_str());
 }
 
+TEST(Cli, InspectStatsFlagReportsBackendAndReadCache) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_inspect_stats.txt";
+
+  auto status = run_tool(
+      {SYNAPSE_PROFILE_BIN, "--store", kStore, "--", "sleep", "0.05"}, out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+
+  // --stats appends the backend (by registry name) and the read-cache
+  // counters the subcommand's queries accumulated.
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore, "--stats",
+                     "show", "--", "sleep", "0.05"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string output = slurp(out);
+  EXPECT_NE(output.find("store stats:"), std::string::npos);
+  EXPECT_NE(output.find("backend             : files"), std::string::npos);
+  EXPECT_NE(output.find("cache hits"), std::string::npos);
+  EXPECT_NE(output.find("cache misses"), std::string::npos);
+  EXPECT_NE(output.find("cache invalidations"), std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ClusterStoreEndToEnd) {
+  // The whole cluster surface through the real binaries: profile into a
+  // 2-instance cluster (--store-cluster implies the backend), emulate
+  // from it, and inspect it WITHOUT the spec (persisted placement).
+  const std::string base = "/tmp/synapse_cli_cluster";
+  const std::string store = base + "/store";
+  const std::string spec = base + "/cluster.json";
+  const std::string out = "/tmp/synapse_cli_cluster_out.txt";
+  std::system(("rm -rf " + base).c_str());
+  ::system(("mkdir -p " + base).c_str());
+  {
+    std::ofstream f(spec);
+    f << "{\"instances\": ["
+      << "{\"name\": \"a\", \"root\": \"" << base << "/inst-a\"},"
+      << "{\"name\": \"b\", \"root\": \"" << base << "/inst-b\"}]}";
+  }
+
+  auto status = run_tool({SYNAPSE_PROFILE_BIN, "--store", store,
+                          "--store-cluster", spec, "--", "sleep", "0.1"},
+                         out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--store", store,
+                     "--store-cluster", spec, "--", "sleep", "0.1"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  EXPECT_NE(slurp(out).find("emulated: sleep 0.1"), std::string::npos);
+
+  // detect_backend reads "cluster" from the meta file; the persisted
+  // placement supplies the instance roots, so no spec flag is needed.
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", store, "--stats",
+                     "show", "--", "sleep", "0.1"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string output = slurp(out);
+  EXPECT_NE(output.find("backend             : cluster"),
+            std::string::npos);
+  EXPECT_NE(output.find("instance a"), std::string::npos);
+  EXPECT_NE(output.find("instance b"), std::string::npos);
+  std::system(("rm -rf " + base).c_str());
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, InspectRejectsClusterSpecOnNonClusterStore) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_inspect_wrongspec.txt";
+  auto status = run_tool(
+      {SYNAPSE_PROFILE_BIN, "--store", kStore, "--", "sleep", "0.05"}, out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  // An explicitly given spec must not be silently dropped (it usually
+  // means the --store path is wrong).
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore,
+                     "--store-cluster", "/tmp/nonexistent-spec.json", "show",
+                     "--", "sleep", "0.05"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  EXPECT_NE(slurp(out + ".err").find("not a cluster store"),
+            std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, ListStoreBackendsShowsRegistry) {
+  const std::string out = "/tmp/synapse_cli_backends.txt";
+  ASSERT_TRUE(run_tool({SYNAPSE_PROFILE_BIN, "--list-store-backends"}, out)
+                  .success());
+  const std::string listing = slurp(out);
+  for (const std::string name : {"memory", "docstore", "files", "cluster"}) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, UnknownStoreBackendListsRegisteredNames) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_badbackend.txt";
+  const auto status =
+      run_tool({SYNAPSE_PROFILE_BIN, "--store", kStore, "--store-backend",
+                "oracle", "--", "sleep", "0.05"},
+               out);
+  EXPECT_EQ(status.exit_code, 1);
+  const std::string err = slurp(out + ".err");
+  EXPECT_NE(err.find("unknown store backend: oracle"), std::string::npos);
+  EXPECT_NE(err.find("registered:"), std::string::npos);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
 TEST(Cli, InspectExportCsv) {
   StoreGuard guard;
   const std::string out = "/tmp/synapse_cli_export.txt";

@@ -1,0 +1,343 @@
+// ClusterBackend: a ProfileStore whose shards are distributed across
+// multiple independent docstore instances. Covers the cluster-spec
+// parsing, deterministic weighted placement, reopen semantics (same
+// spec, no spec, changed spec) and per-instance degraded mode.
+
+#include "profile/cluster_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+
+#include "json/json.hpp"
+#include "profile/metrics.hpp"
+#include "profile/profile_store.hpp"
+#include "sys/error.hpp"
+#include "workload/scenario.hpp"
+
+namespace profile = synapse::profile;
+namespace json = synapse::json;
+namespace m = synapse::metrics;
+
+namespace {
+
+const std::string kBase = "/tmp/synapse_cluster_test";
+
+profile::Profile make_profile(const std::string& cmd,
+                              const std::vector<std::string>& tags,
+                              double cycles, double created_at) {
+  profile::Profile p;
+  p.command = cmd;
+  p.tags = tags;
+  p.created_at = created_at;
+  p.totals[std::string(m::kCyclesUsed)] = cycles;
+  return p;
+}
+
+/// Fresh scratch tree: spec file naming `names` as instances rooted
+/// under kBase, store directory at kBase/store.
+std::string write_spec(const std::vector<std::string>& names,
+                       const std::vector<double>& weights = {},
+                       const std::vector<std::string>& roots = {}) {
+  const std::string path = kBase + "/cluster.json";
+  std::ofstream spec(path);
+  spec << "{\"instances\": [";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) spec << ",";
+    const std::string root =
+        i < roots.size() ? roots[i] : kBase + "/inst-" + names[i];
+    spec << "{\"name\": \"" << names[i] << "\", \"root\": \"" << root
+         << "\"";
+    if (i < weights.size()) spec << ", \"weight\": " << weights[i];
+    spec << "}";
+  }
+  spec << "]}";
+  return path;
+}
+
+struct ScratchTree {
+  ScratchTree() {
+    std::system(("rm -rf " + kBase).c_str());
+    ::system(("mkdir -p " + kBase).c_str());
+  }
+  ~ScratchTree() { std::system(("rm -rf " + kBase).c_str()); }
+};
+
+profile::ProfileStore open_cluster(const std::string& spec,
+                                   size_t shards = 4) {
+  profile::ProfileStoreOptions options;
+  options.backend = "cluster";
+  options.directory = kBase + "/store";
+  options.cluster_spec = spec;
+  options.shards = shards;
+  return profile::ProfileStore(std::move(options));
+}
+
+/// Distinct instance names the store's shards are placed on.
+std::set<std::string> placed_instances(const profile::ProfileStore& store) {
+  std::set<std::string> out;
+  for (const auto& meta : store.shard_meta()) {
+    out.insert(meta.get_or("instance", std::string()));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ClusterSpec, ParsesNamesRootsAndWeights) {
+  ScratchTree scratch;
+  const auto spec = profile::ClusterSpec::load_file(
+      write_spec({"a", "b"}, {1.0, 2.5}));
+  ASSERT_EQ(spec.instances.size(), 2u);
+  EXPECT_EQ(spec.instances[0].name, "a");
+  EXPECT_DOUBLE_EQ(spec.instances[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(spec.instances[1].weight, 2.5);
+  EXPECT_NE(spec.find("b"), nullptr);
+  EXPECT_EQ(spec.find("zz"), nullptr);
+}
+
+TEST(ClusterSpec, RejectsMalformedSpecs) {
+  ScratchTree scratch;
+  const std::string path = kBase + "/bad.json";
+  const auto expect_rejected = [&](const std::string& content) {
+    {
+      std::ofstream f(path);
+      f << content;
+    }
+    EXPECT_THROW(profile::ClusterSpec::load_file(path),
+                 synapse::sys::ConfigError)
+        << content;
+  };
+  expect_rejected("{}");                                    // no instances
+  expect_rejected("{\"instances\": []}");                   // empty
+  expect_rejected("{\"instances\": [{\"name\": \"a\"}]}");  // no root
+  expect_rejected(
+      "{\"instances\": [{\"root\": \"/tmp/x\", \"weight\": 0}]}");
+  expect_rejected(
+      "{\"instances\": [{\"root\": \"/tmp/x\", \"weight\": \"heavy\"}]}");
+  expect_rejected(
+      "{\"instances\": [{\"name\": \"a\", \"root\": \"/tmp/x\"},"
+      "{\"name\": \"a\", \"root\": \"/tmp/y\"}]}");  // duplicate name
+  expect_rejected("{ not json");
+  EXPECT_THROW(profile::ClusterSpec::load_file(kBase + "/absent.json"),
+               synapse::sys::ConfigError);
+}
+
+TEST(ClusterBackend, PlacementBalancesByWeight) {
+  profile::ClusterSpec spec;
+  spec.instances = {{"a", "/tmp/a", 1.0}, {"b", "/tmp/b", 1.0}};
+  const auto equal = profile::ClusterBackend::compute_placement(spec, 4);
+  EXPECT_EQ(equal, (std::vector<std::string>{"a", "b", "a", "b"}));
+
+  spec.instances = {{"a", "/tmp/a", 1.0}, {"b", "/tmp/b", 3.0}};
+  const auto weighted = profile::ClusterBackend::compute_placement(spec, 8);
+  EXPECT_EQ(std::count(weighted.begin(), weighted.end(), "a"), 2);
+  EXPECT_EQ(std::count(weighted.begin(), weighted.end(), "b"), 6);
+}
+
+TEST(ClusterBackend, CatalogRoundTripsAcrossTwoInstances) {
+  ScratchTree scratch;
+  const std::string spec = write_spec({"a", "b"});
+  std::vector<profile::Profile> recorded;
+  {
+    auto store = open_cluster(spec);
+    EXPECT_EQ(store.backend(), "cluster");
+    EXPECT_EQ(store.shard_count(), 4u);
+    // Every shard landed on a spec instance, and both instances hold
+    // shards (the whole point of the backend).
+    const auto instances = placed_instances(store);
+    EXPECT_EQ(instances, (std::set<std::string>{"a", "b"}));
+
+    // The built-in scenario catalog is the workload stream: record
+    // every scenario's synthesized profile through the cluster.
+    for (const auto& scenario : synapse::workload::builtin_scenarios()) {
+      recorded.push_back(scenario.make_profile());
+      store.put(recorded.back());
+    }
+    EXPECT_EQ(store.size(), recorded.size());
+    for (const auto& p : recorded) {
+      const auto found = store.find_latest(p.command, p.tags);
+      ASSERT_TRUE(found.has_value()) << p.command;
+      EXPECT_EQ(found->sample_count(), p.sample_count()) << p.command;
+    }
+    store.flush();
+  }
+  // Data physically lives under BOTH instance roots.
+  EXPECT_EQ(std::system(("ls " + kBase +
+                         "/inst-a/shard-*/profiles.collection.json "
+                         ">/dev/null 2>&1")
+                            .c_str()),
+            0);
+  EXPECT_EQ(std::system(("ls " + kBase +
+                         "/inst-b/shard-*/profiles.collection.json "
+                         ">/dev/null 2>&1")
+                            .c_str()),
+            0);
+
+  // Reopen with the SAME spec: placement honoured, every profile
+  // readable.
+  {
+    auto store = open_cluster(spec);
+    EXPECT_EQ(placed_instances(store), (std::set<std::string>{"a", "b"}));
+    EXPECT_EQ(store.size(), recorded.size());
+    for (const auto& p : recorded) {
+      EXPECT_EQ(store.find(p.command, p.tags).size(), 1u) << p.command;
+    }
+  }
+}
+
+TEST(ClusterBackend, ReopenWithoutSpecUsesPersistedPlacement) {
+  ScratchTree scratch;
+  {
+    auto store = open_cluster(write_spec({"a", "b"}));
+    store.put(make_profile("specless", {"x"}, 7, 1.0));
+    store.flush();
+  }
+  // detect_backend + no spec file: exactly what synapse-inspect does
+  // with only --store DIR.
+  EXPECT_EQ(profile::ProfileStore::detect_backend(kBase + "/store"),
+            "cluster");
+  profile::ProfileStore store("cluster", kBase + "/store");
+  EXPECT_EQ(store.find("specless", {"x"}).size(), 1u);
+  EXPECT_EQ(placed_instances(store), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(ClusterBackend, ReopenKeepsShardCountFromMeta) {
+  ScratchTree scratch;
+  const std::string spec = write_spec({"a", "b"});
+  {
+    auto store = open_cluster(spec, /*shards=*/4);
+    store.put(make_profile("sticky", {}, 1, 1.0));
+    store.flush();
+  }
+  // A different shard option on reopen is ignored (meta wins), so the
+  // persisted placement still covers every shard.
+  auto store = open_cluster(spec, /*shards=*/16);
+  EXPECT_EQ(store.shard_count(), 4u);
+  EXPECT_EQ(store.find("sticky").size(), 1u);
+}
+
+TEST(ClusterBackend, ChangedSpecMissingPlacedInstanceIsRejected) {
+  ScratchTree scratch;
+  {
+    auto store = open_cluster(write_spec({"a", "b"}));
+    store.put(make_profile("spread-0", {}, 1, 1.0));
+    store.flush();
+  }
+  // The new spec dropped instance 'b', which holds shards: opening
+  // must fail with a diagnostic naming it — not silently show a store
+  // with half its profiles gone.
+  const std::string changed = write_spec({"a"});
+  try {
+    auto store = open_cluster(changed);
+    FAIL() << "expected ConfigError";
+  } catch (const synapse::sys::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'b'"), std::string::npos) << what;
+    EXPECT_NE(what.find("no longer lists"), std::string::npos) << what;
+  }
+  // Restoring the instance to the spec restores access.
+  auto store = open_cluster(write_spec({"a", "b"}));
+  EXPECT_EQ(store.find("spread-0").size(), 1u);
+}
+
+TEST(ClusterBackend, SpecCanMoveAnInstanceRoot) {
+  ScratchTree scratch;
+  {
+    auto store = open_cluster(write_spec({"a", "b"}));
+    store.put(make_profile("movable", {}, 1, 1.0));
+    store.flush();
+  }
+  // Operator moves instance b's data to a new directory and updates the
+  // spec: the placement (by instance NAME) still resolves.
+  ::system(("mv " + kBase + "/inst-b " + kBase + "/inst-b-moved").c_str());
+  const std::string moved = write_spec(
+      {"a", "b"}, {}, {kBase + "/inst-a", kBase + "/inst-b-moved"});
+  {
+    auto store = open_cluster(moved);
+    EXPECT_EQ(store.find("movable").size(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+  }
+  // The moved root was re-persisted into the placement file, so a later
+  // SPEC-LESS open (synapse-inspect's flow) resolves the new root too —
+  // not a recreated-empty copy of the stale one.
+  {
+    profile::ProfileStore store("cluster", kBase + "/store");
+    EXPECT_EQ(store.find("movable").size(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+  }
+  EXPECT_NE(std::system(("test -d " + kBase + "/inst-b").c_str()), 0)
+      << "stale root must not be recreated";
+}
+
+TEST(ClusterBackend, MissingSpecOnFirstOpenIsRejected) {
+  ScratchTree scratch;
+  profile::ProfileStoreOptions options;
+  options.backend = "cluster";
+  options.directory = kBase + "/store";
+  // No cluster_spec and no persisted placement: nothing to place on.
+  try {
+    profile::ProfileStore store(std::move(options));
+    FAIL() << "expected ConfigError";
+  } catch (const synapse::sys::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--store-cluster"),
+              std::string::npos);
+  }
+}
+
+TEST(ClusterBackend, DegradedInstanceFailsOnlyItsShards) {
+  ScratchTree scratch;
+  // Instance b's root cannot exist (/dev/null is not a directory), so
+  // every shard placed on it opens degraded.
+  const std::string spec =
+      write_spec({"a", "b"}, {}, {kBase + "/inst-a", "/dev/null/nope"});
+  auto store = open_cluster(spec);
+
+  size_t stored = 0;
+  size_t failed = 0;
+  std::vector<std::string> stored_cmds;
+  for (int i = 0; i < 16; ++i) {
+    const std::string cmd = "degraded-" + std::to_string(i);
+    try {
+      store.put(make_profile(cmd, {}, i, static_cast<double>(i)));
+      ++stored;
+      stored_cmds.push_back(cmd);
+    } catch (const synapse::sys::SynapseError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("instance 'b'"), std::string::npos) << what;
+      EXPECT_NE(what.find("unavailable"), std::string::npos) << what;
+      ++failed;
+    }
+  }
+  // Shards split across both instances, so some workloads land and
+  // some fail — never all of either.
+  EXPECT_GT(stored, 0u);
+  EXPECT_GT(failed, 0u);
+  // Healthy shards keep serving reads and flushes.
+  for (const auto& cmd : stored_cmds) {
+    EXPECT_EQ(store.find(cmd).size(), 1u) << cmd;
+  }
+  EXPECT_NO_THROW(store.flush());
+  // The degradation is visible in the shard metadata.
+  bool saw_degraded = false;
+  for (const auto& meta : store.shard_meta()) {
+    if (meta.get_or("degraded", false)) saw_degraded = true;
+  }
+  EXPECT_TRUE(saw_degraded);
+}
+
+TEST(ClusterBackend, TamperedPlacementShardCountIsRejected) {
+  ScratchTree scratch;
+  const std::string spec = write_spec({"a", "b"});
+  { open_cluster(spec, /*shards=*/4); }
+  // Truncate the persisted placement behind the store's back.
+  const std::string placement_path =
+      kBase + "/store/cluster.placement.json";
+  json::Value placement = json::load_file(placement_path);
+  placement.as_object()["placement"].as_array().resize(2);
+  json::save_file(placement_path, placement, 0);
+  EXPECT_THROW(open_cluster(spec), synapse::sys::ConfigError);
+}

@@ -183,8 +183,7 @@ TEST(Core, SessionDestructionFlushesQueuedTailBatch) {
     session.profile("true", {"dtor"});
     EXPECT_EQ(session.store().size(), 0u);  // pending at destruction
   }
-  synapse::profile::ProfileStore reopened(
-      synapse::profile::ProfileStore::Backend::Files, dir);
+  synapse::profile::ProfileStore reopened("files", dir);
   EXPECT_EQ(reopened.find("true", {"dtor"}).size(), 2u);
   std::system(("rm -rf " + dir).c_str());
 }

@@ -238,7 +238,7 @@ TEST(Integration, NetworkProfileEmulateRoundTrip) {
   EXPECT_GE(p.total(m::kNetBytesWritten), expected_bytes * 0.9);
 
   // 2. Store and retrieve (the persistence leg of the round trip).
-  profile::ProfileStore store(profile::ProfileStore::Backend::Files,
+  profile::ProfileStore store("files",
                               "/tmp/synapse_net_roundtrip_store");
   store.put(p);
   store.flush();

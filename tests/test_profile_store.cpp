@@ -30,15 +30,14 @@ profile::Profile make_profile(const std::string& cmd,
 }  // namespace
 
 class ProfileStoreAllBackends
-    : public ::testing::TestWithParam<profile::ProfileStore::Backend> {
+    : public ::testing::TestWithParam<std::string> {
  protected:
   profile::ProfileStore make_store() {
-    const auto backend = GetParam();
-    if (backend == profile::ProfileStore::Backend::Memory) {
+    const std::string backend = GetParam();
+    if (backend == "memory") {
       return profile::ProfileStore();
     }
-    dir_ = "/tmp/synapse_store_test_" +
-           std::to_string(static_cast<int>(backend));
+    dir_ = "/tmp/synapse_store_test_" + backend;
     std::system(("rm -rf " + dir_).c_str());
     return profile::ProfileStore(backend, dir_);
   }
@@ -157,21 +156,18 @@ TEST_P(ProfileStoreAllBackends, StatsAcrossRepetitions) {
   EXPECT_EQ(stats.at(std::string(m::kCyclesUsed)).n, 3u);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Backends, ProfileStoreAllBackends,
-    ::testing::Values(profile::ProfileStore::Backend::Memory,
-                      profile::ProfileStore::Backend::DocStore,
-                      profile::ProfileStore::Backend::Files));
+INSTANTIATE_TEST_SUITE_P(Backends, ProfileStoreAllBackends,
+                         ::testing::Values("memory", "docstore", "files"));
 
 TEST(ProfileStore, FilesBackendSurvivesReopen) {
   const std::string dir = "/tmp/synapse_store_reopen";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     store.put(make_profile("persist me", {"x"}, 42, 1.0));
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     const auto hits = store.find("persist me", {"x"});
     ASSERT_EQ(hits.size(), 1u);
     EXPECT_DOUBLE_EQ(hits[0].total(m::kCyclesUsed), 42.0);
@@ -183,12 +179,12 @@ TEST(ProfileStore, DocStoreBackendSurvivesFlushAndReopen) {
   const std::string dir = "/tmp/synapse_store_docflush";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir);
+    profile::ProfileStore store("docstore", dir);
     store.put(make_profile("cmd", {}, 7, 1.0));
     store.flush();
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir);
+    profile::ProfileStore store("docstore", dir);
     EXPECT_EQ(store.find("cmd").size(), 1u);
   }
   std::system(("rm -rf " + dir).c_str());
@@ -203,7 +199,7 @@ TEST(ProfileStore, ReopenWithDifferentShardOptionKeepsLayout) {
   profile::ProfileStoreOptions four;
   four.shards = 4;
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir,
+    profile::ProfileStore store("files", dir,
                                 four);
     ASSERT_EQ(store.shard_count(), 4u);
     for (int i = 0; i < 12; ++i) {
@@ -213,7 +209,7 @@ TEST(ProfileStore, ReopenWithDifferentShardOptionKeepsLayout) {
   {
     profile::ProfileStoreOptions one;
     one.shards = 1;  // ignored: meta file wins
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir,
+    profile::ProfileStore store("files", dir,
                                 one);
     EXPECT_EQ(store.shard_count(), 4u);
     EXPECT_EQ(store.size(), 12u);
@@ -234,7 +230,7 @@ TEST(ProfileStore, MigratesLegacyFlatFilesLayout) {
   synapse::json::save_file(dir + "/old_cmd.legacy.0.profile.json",
                            legacy.to_json(), 0);
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     EXPECT_EQ(store.size(), 1u);
     const auto hits = store.find("old cmd", {"legacy"});
     ASSERT_EQ(hits.size(), 1u);
@@ -242,7 +238,7 @@ TEST(ProfileStore, MigratesLegacyFlatFilesLayout) {
   }
   {
     // Still there after the one-time migration.
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     EXPECT_EQ(store.find("old cmd", {"legacy"}).size(), 1u);
   }
   std::system(("rm -rf " + dir).c_str());
@@ -263,7 +259,7 @@ TEST(ProfileStore, CorruptLegacyFileDoesNotHideTheOthers) {
     broken << "{ not json";
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     EXPECT_EQ(store.find("good", {"x"}).size(), 1u);
     EXPECT_EQ(store.size(), 1u);
   }
@@ -272,7 +268,7 @@ TEST(ProfileStore, CorruptLegacyFileDoesNotHideTheOthers) {
   synapse::json::save_file(dir + "/late.x.0.profile.json",
                            make_profile("late", {"x"}, 2, 2.0).to_json(), 0);
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore store("files", dir);
     EXPECT_EQ(store.find("late", {"x"}).size(), 1u);
     EXPECT_EQ(store.find("good", {"x"}).size(), 1u);
   }
@@ -291,13 +287,13 @@ TEST(ProfileStore, MigratesLegacyDocstoreLayout) {
     legacy.flush();
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     EXPECT_EQ(store.find("old doc cmd").size(), 1u);
     store.flush();
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     EXPECT_EQ(store.find("old doc cmd").size(), 1u);
   }
@@ -310,13 +306,13 @@ TEST(ProfileStore, ReopenWithWrongBackendIsRejected) {
   const std::string dir = "/tmp/synapse_store_wrongbackend";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     store.put(make_profile("cmd", {}, 1, 1.0));
     store.flush();
   }
   EXPECT_THROW(
-      profile::ProfileStore(profile::ProfileStore::Backend::Files, dir),
+      profile::ProfileStore("files", dir),
       synapse::sys::ConfigError);
   std::system(("rm -rf " + dir).c_str());
 }
@@ -330,10 +326,10 @@ TEST(ProfileStore, LegacyDirectoryOpenedWithWrongBackendIsRejected) {
   synapse::json::save_file(dir + "/cmd..0.profile.json",
                            make_profile("cmd", {}, 1, 1.0).to_json(), 0);
   EXPECT_THROW(
-      profile::ProfileStore(profile::ProfileStore::Backend::DocStore, dir),
+      profile::ProfileStore("docstore", dir),
       synapse::sys::ConfigError);
   // The right backend still adopts the profile afterwards.
-  profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+  profile::ProfileStore store("files", dir);
   EXPECT_EQ(store.find("cmd").size(), 1u);
   std::system(("rm -rf " + dir).c_str());
 }
@@ -343,8 +339,8 @@ TEST(ProfileStore, FilesCacheSeesWritesFromOtherStoreInstances) {
   // processes: instance A's read cache must not hide B's writes.
   const std::string dir = "/tmp/synapse_store_crossproc";
   std::system(("rm -rf " + dir).c_str());
-  profile::ProfileStore a(profile::ProfileStore::Backend::Files, dir);
-  profile::ProfileStore b(profile::ProfileStore::Backend::Files, dir);
+  profile::ProfileStore a("files", dir);
+  profile::ProfileStore b("files", dir);
 
   a.put(make_profile("xp", {}, 1, 1.0));
   EXPECT_EQ(a.find("xp").size(), 1u);  // fills A's cache
@@ -360,14 +356,14 @@ TEST(ProfileStore, AsyncFlushPersistsDocstore) {
   const std::string dir = "/tmp/synapse_store_asyncflush";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     store.put(make_profile("async", {}, 9, 1.0));
     store.flush_async();
     store.flush();  // synchronous flush is independent of the worker
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     EXPECT_EQ(store.find("async").size(), 1u);
   }
@@ -378,14 +374,14 @@ TEST(ProfileStore, DestructorDrainsPendingAsyncFlush) {
   const std::string dir = "/tmp/synapse_store_asyncdrain";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     store.put(make_profile("drain", {}, 1, 1.0));
     store.flush_async();
     // No explicit flush(): destruction must not lose the queued flush.
   }
   {
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir);
     EXPECT_EQ(store.find("drain").size(), 1u);
   }
@@ -401,7 +397,7 @@ namespace {
 /// around concurrent collection writes (docstore saves are not atomic).
 size_t flushed_profiles(const std::string& dir, const std::string& cmd) {
   try {
-    profile::ProfileStore reader(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore reader("docstore",
                                  dir);
     return reader.find(cmd).size();
   } catch (const std::exception&) {
@@ -416,7 +412,7 @@ TEST(ProfileStore, FlushPolicyAgeFlushesWithoutExplicitRequest) {
   std::system(("rm -rf " + dir).c_str());
   profile::ProfileStoreOptions options;
   options.flush_policy.max_age_s = 0.05;
-  profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir,
+  profile::ProfileStore store("docstore", dir,
                               options);
   store.put(make_profile("aged", {}, 1, 1.0));
   // No flush()/flush_async(): the worker must flush on its own once the
@@ -435,7 +431,7 @@ TEST(ProfileStore, FlushPolicyMaxPendingFlushesAtThreshold) {
   std::system(("rm -rf " + dir).c_str());
   profile::ProfileStoreOptions options;
   options.flush_policy.max_pending = 3;
-  profile::ProfileStore store(profile::ProfileStore::Backend::DocStore, dir,
+  profile::ProfileStore store("docstore", dir,
                               options);
   store.put(make_profile("sized", {}, 1, 1.0));
   store.put(make_profile("sized", {}, 2, 2.0));
@@ -458,7 +454,7 @@ TEST(ProfileStore, DestructorDrainsDirtyPutsWithoutAnyFlushCall) {
   {
     profile::ProfileStoreOptions options;
     options.flush_policy.max_age_s = 30.0;  // deadline far in the future
-    profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore store("docstore",
                                 dir, options);
     store.put(make_profile("undrained", {}, 1, 1.0));
     // Neither flush() nor flush_async(), and the age deadline has not
@@ -482,8 +478,8 @@ TEST(ProfileStore, PutManyReportsStoredFlags) {
 
 TEST(ProfileStore, DetectBackendReadsMetaFile) {
   const std::string dir = "/tmp/synapse_store_detect";
-  for (const auto backend : {profile::ProfileStore::Backend::DocStore,
-                             profile::ProfileStore::Backend::Files}) {
+  for (const auto backend : {"docstore",
+                             "files"}) {
     std::system(("rm -rf " + dir).c_str());
     { profile::ProfileStore store(backend, dir); }
     EXPECT_EQ(profile::ProfileStore::detect_backend(dir), backend);
@@ -491,13 +487,13 @@ TEST(ProfileStore, DetectBackendReadsMetaFile) {
   // Fresh (meta-less) directories default to Files.
   std::system(("rm -rf " + dir).c_str());
   EXPECT_EQ(profile::ProfileStore::detect_backend(dir),
-            profile::ProfileStore::Backend::Files);
+            "files");
 }
 
 TEST(ProfileStore, CommandsWithShellCharsAreStorable) {
   const std::string dir = "/tmp/synapse_store_chars";
   std::system(("rm -rf " + dir).c_str());
-  profile::ProfileStore store(profile::ProfileStore::Backend::Files, dir);
+  profile::ProfileStore store("files", dir);
   const std::string cmd = "./mdsim --steps 100 | tee 'out file'";
   store.put(make_profile(cmd, {}, 1, 1.0));
   EXPECT_EQ(store.find(cmd).size(), 1u);

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,25 +40,62 @@ profile::Profile make_profile(const std::string& cmd,
 
 }  // namespace
 
+/// A throwaway 2-instance cluster: spec file + instance roots under
+/// `base`, all removed by cleanup(). Used to run the same hammer suite
+/// against the multi-instance backend.
+struct ClusterFixture {
+  static std::string write_spec(const std::string& base) {
+    std::system(("rm -rf " + base).c_str());
+    ::system(("mkdir -p " + base).c_str());
+    const std::string spec_path = base + "/cluster.json";
+    std::ofstream spec(spec_path);
+    spec << "{\"instances\": ["
+         << "{\"name\": \"a\", \"root\": \"" << base << "/inst-a\"},"
+         << "{\"name\": \"b\", \"root\": \"" << base << "/inst-b\"}]}";
+    return spec_path;
+  }
+};
+
+/// Backends the parameterized hammer suites run against. The
+/// SYNAPSE_TEST_STORE_BACKEND environment variable narrows the run to
+/// one backend — CI uses it to repeat the whole `concurrency` label
+/// against `cluster`.
+std::vector<std::string> backends_under_test() {
+  if (const char* env = std::getenv("SYNAPSE_TEST_STORE_BACKEND")) {
+    if (*env != '\0') return {env};
+  }
+  return {"memory", "docstore", "files"};
+}
+
 class ProfileStoreConcurrency
-    : public ::testing::TestWithParam<profile::ProfileStore::Backend> {
+    : public ::testing::TestWithParam<std::string> {
  protected:
   profile::ProfileStore make_store() {
-    const auto backend = GetParam();
-    if (backend == profile::ProfileStore::Backend::Memory) {
+    const std::string backend = GetParam();
+    if (backend == "memory") {
       return profile::ProfileStore();
     }
-    dir_ = "/tmp/synapse_store_conc_" +
-           std::to_string(static_cast<int>(backend));
+    dir_ = "/tmp/synapse_store_conc_" + backend;
     std::system(("rm -rf " + dir_).c_str());
-    return profile::ProfileStore(backend, dir_);
+    profile::ProfileStoreOptions options;
+    options.backend = backend;
+    options.directory = dir_;
+    if (backend == "cluster") {
+      cluster_base_ = "/tmp/synapse_store_conc_cluster_instances";
+      options.cluster_spec = ClusterFixture::write_spec(cluster_base_);
+    }
+    return profile::ProfileStore(std::move(options));
   }
 
   void TearDown() override {
     if (!dir_.empty()) std::system(("rm -rf " + dir_).c_str());
+    if (!cluster_base_.empty()) {
+      std::system(("rm -rf " + cluster_base_).c_str());
+    }
   }
 
   std::string dir_;
+  std::string cluster_base_;
 };
 
 TEST_P(ProfileStoreConcurrency, ParallelWritersLoseNothing) {
@@ -187,11 +225,64 @@ TEST_P(ProfileStoreConcurrency, ConcurrentFlushesAreSafe) {
             static_cast<size_t>(kThreads) * 40);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Backends, ProfileStoreConcurrency,
-    ::testing::Values(profile::ProfileStore::Backend::Memory,
-                      profile::ProfileStore::Backend::DocStore,
-                      profile::ProfileStore::Backend::Files));
+INSTANTIATE_TEST_SUITE_P(Backends, ProfileStoreConcurrency,
+                         ::testing::ValuesIn(backends_under_test()));
+
+// The PR 2 multi-writer scenario pinned to the `cluster` backend: four
+// threads hammer a store whose shards are distributed across two
+// docstore instances, so writes to both instances interleave. Runs
+// unconditionally (the parameterized suite covers cluster only when
+// SYNAPSE_TEST_STORE_BACKEND=cluster).
+TEST(ProfileStoreConcurrencyCluster, ParallelWritersLoseNothing) {
+  const std::string base = "/tmp/synapse_store_conc_cluster_pinned";
+  const std::string dir = base + "/store";
+  const std::string spec = ClusterFixture::write_spec(base);
+  {
+    profile::ProfileStoreOptions options;
+    options.backend = "cluster";
+    options.directory = dir;
+    options.cluster_spec = spec;
+    profile::ProfileStore store(std::move(options));
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&store, t] {
+        for (int i = 0; i < kProfilesPerThread; ++i) {
+          if (i % 2 == 0) {
+            store.put(make_profile("shared-cmd", {"conc"}, t * 1000 + i,
+                                   static_cast<double>(t * 1000 + i)));
+          } else {
+            store.put(make_profile("thread-" + std::to_string(t), {"conc"},
+                                   i, static_cast<double>(i)));
+          }
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+
+    EXPECT_EQ(store.size(),
+              static_cast<size_t>(kThreads) * kProfilesPerThread);
+    EXPECT_EQ(store.find("shared-cmd", {"conc"}).size(),
+              static_cast<size_t>(kThreads) * (kProfilesPerThread / 2));
+    const auto shared = store.find("shared-cmd", {"conc"});
+    for (size_t i = 1; i < shared.size(); ++i) {
+      EXPECT_LE(shared[i - 1].created_at, shared[i].created_at);
+    }
+    store.flush();
+  }
+  // Both instances actually hold shard data (the writes spread).
+  EXPECT_EQ(std::system(
+                ("ls " + base + "/inst-a/shard-*/profiles.collection.json "
+                 ">/dev/null 2>&1")
+                    .c_str()),
+            0);
+  EXPECT_EQ(std::system(
+                ("ls " + base + "/inst-b/shard-*/profiles.collection.json "
+                 ">/dev/null 2>&1")
+                    .c_str()),
+            0);
+  std::system(("rm -rf " + base).c_str());
+}
 
 // FlushPolicy destructor-race hammer: stores with an aggressive age
 // trigger are destroyed while timed flushes are in flight, with writers
@@ -213,7 +304,7 @@ TEST(ProfileStoreConcurrencyCross, DestructionDrainsTimedFlushesInFlight) {
       // Tiny age: timed flushes fire continuously while writers run, so
       // destruction routinely lands mid-flush.
       options.flush_policy.max_age_s = 0.002;
-      profile::ProfileStore store(profile::ProfileStore::Backend::DocStore,
+      profile::ProfileStore store("docstore",
                                   dir, options);
       std::vector<std::thread> writers;
       for (int w = 0; w < kWriters; ++w) {
@@ -227,7 +318,7 @@ TEST(ProfileStoreConcurrencyCross, DestructionDrainsTimedFlushesInFlight) {
       for (auto& t : writers) t.join();
       // Destroy immediately: the youngest puts' deadline has not fired.
     }
-    profile::ProfileStore reopened(profile::ProfileStore::Backend::DocStore,
+    profile::ProfileStore reopened("docstore",
                                    dir);
     ASSERT_EQ(reopened.size(),
               static_cast<size_t>(kWriters) * kPutsPerWriter)
@@ -243,8 +334,8 @@ TEST(ProfileStoreConcurrencyCross, TwoInstancesWriteTheSameFilesStore) {
   const std::string dir = "/tmp/synapse_store_conc_cross";
   std::system(("rm -rf " + dir).c_str());
   {
-    profile::ProfileStore a(profile::ProfileStore::Backend::Files, dir);
-    profile::ProfileStore b(profile::ProfileStore::Backend::Files, dir);
+    profile::ProfileStore a("files", dir);
+    profile::ProfileStore b("files", dir);
 
     constexpr int kPerInstance = 60;
     std::thread ta([&a] {
