@@ -11,16 +11,26 @@
 // by CI eyeballs, not exit codes) is batch >= 8 at least matching
 // single mode.
 //
-// Usage: bench_replay_batch [--smoke] [N]
-//   --smoke  tiny sample count (CI smoke run)
-//   N        samples in the synthetic profile (default 1500, smoke 150)
+// A second, decode-bound section replays the same profile out of a
+// files-backed ProfileStore written once as JSON and once as SYNB
+// binary: the timed path is store read (parse/decode) + sample_deltas
+// (map walk vs columnar fast path) + the replay itself, so the binary
+// codec's whole-pipeline win ("vs json" on the decode columns) is
+// measured where it matters.
+//
+// Usage: bench_replay_batch [--smoke] [--json PATH] [N]
+//   --smoke      tiny sample count (CI smoke run)
+//   --json PATH  machine-readable results (bench_util.hpp Results)
+//   N            samples in the synthetic profile (default 1500, smoke 150)
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "emulator/replay_engine.hpp"
 #include "profile/metrics.hpp"
+#include "profile/profile_store.hpp"
 #include "sys/clock.hpp"
 #include "workload/scenario.hpp"
 
@@ -63,12 +73,84 @@ double run_once(const profile::Profile& p, size_t batch) {
   return elapsed;
 }
 
+/// JSON-vs-binary replay out of a files store: read + sample_deltas +
+/// replay per format. The decode columns (read + deltas) are where the
+/// codec shows; the replay column is format-independent atom work.
+void store_backed_section(size_t samples) {
+  const std::string dir = "/tmp/synapse_bench_replay_store";
+  const profile::Profile src = make_dispatch_bound_profile(samples);
+
+  bench::heading("Store-backed replay — files backend, " +
+                 std::to_string(samples) + " samples per series");
+  bench::row("%-8s %10s %10s %10s %10s  %s", "format", "read", "deltas",
+             "replay", "total", "decode vs json");
+
+  double json_decode_s = 0.0;
+  for (const std::string format : {"json", "binary"}) {
+    std::system(("rm -rf " + dir).c_str());
+    {
+      profile::ProfileStoreOptions options;
+      options.backend = "files";
+      options.directory = dir;
+      options.format = format;
+      profile::ProfileStore store(std::move(options));
+      store.put(src);
+      store.flush();
+    }
+    profile::ProfileStoreOptions options;
+    options.backend = "files";
+    options.directory = dir;
+    profile::ProfileStore store(std::move(options));
+
+    sys::Stopwatch w;
+    const auto stored = store.find_latest(src.command);
+    const double read_s = w.elapsed();
+    if (!stored) {
+      bench::row("!! %s profile did not round-trip through the store",
+                 format.c_str());
+      continue;
+    }
+    w.reset();
+    const auto deltas = stored->sample_deltas();
+    const double deltas_s = w.elapsed();
+    (void)deltas;
+
+    emulator::EmulatorOptions opts = bench::emu_options();
+    opts.atom_set = {"compute", "memory", "storage"};
+    opts.replay_batch = 8;
+    emulator::ReplayEngine engine(opts);
+    w.reset();
+    engine.replay(*stored);
+    const double replay_s = w.elapsed();
+
+    const double decode_s = read_s + deltas_s;
+    if (format == "json") json_decode_s = decode_s;
+    std::string vs_json = "-";
+    if (format == "binary" && json_decode_s > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1fx", json_decode_s / decode_s);
+      vs_json = buf;
+    }
+    bench::row("%-8s %9.4fs %9.4fs %9.4fs %9.4fs  %s", format.c_str(),
+               read_s, deltas_s, replay_s, read_s + deltas_s + replay_s,
+               vs_json.c_str());
+    const std::string section = "store/" + format;
+    bench::results().record(section, "read_s", read_s, "s");
+    bench::results().record(section, "deltas_s", deltas_s, "s");
+    bench::results().record(section, "replay_s", replay_s, "s");
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::results().set_bench("bench_replay_batch");
   size_t samples = 1500;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
+    if (bench::json_flag(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
       samples = 150;
     } else {
       const long n = std::atol(argv[i]);
@@ -86,11 +168,17 @@ int main(int argc, char** argv) {
   bench::row("%-12s %9.3fs %10.0f/s  %5s", "single", single_s, n / single_s,
              "1.0x");
 
+  bench::results().record("feed", "single_per_s", n / single_s, "1/s");
   for (const size_t batch : {size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
     const double batch_s = run_once(p, batch);
     bench::row("%-12s %9.3fs %10.0f/s  %4.1fx",
                ("batch=" + std::to_string(batch)).c_str(), batch_s,
                n / batch_s, single_s / batch_s);
+    bench::results().record("feed", "batch" + std::to_string(batch) +
+                            "_per_s", n / batch_s, "1/s");
   }
+
+  store_backed_section(samples);
+  bench::results().write();
   return 0;
 }

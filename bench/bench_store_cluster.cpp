@@ -116,9 +116,12 @@ ClusterTiming run_one(size_t instances,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::results().set_bench("bench_store_cluster");
   size_t reps = 40;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
+    if (bench::json_flag(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
       reps = 4;
     } else {
       const long n = std::atol(argv[i]);
@@ -142,6 +145,14 @@ int main(int argc, char** argv) {
     bench::row("%-9zu %8.0f/s %8.0f/s %9.3fs %10.0f/s", instances,
                n / t.put_s, n / t.put_many_s, t.flush_s,
                n / t.find_latest_s);
+    const std::string section =
+        "instances=" + std::to_string(instances);
+    bench::results().record(section, "put_per_s", n / t.put_s, "1/s");
+    bench::results().record(section, "put_many_per_s", n / t.put_many_s,
+                            "1/s");
+    bench::results().record(section, "find_latest_per_s",
+                            n / t.find_latest_s, "1/s");
   }
+  bench::results().write();
   return 0;
 }

@@ -12,9 +12,16 @@
 //   flush_async- foreground cost of handing persistence to the worker
 //                (the drain is timed separately as "drain")
 //
-// Usage: bench_store_ingest [--smoke] [N]
-//   --smoke  tiny stream (CI smoke run)
-//   N        profiles per scenario (default 40, smoke 4)
+// Persistent backends run once per profile format (json, binary): the
+// encoder sits on the put path, so the SYNB-vs-JSON ingest speedup
+// shows up directly in the put/put_many columns ("vs json" is the
+// binary row's put_many rate over the json row's). The memory backend
+// stores Profile objects and never encodes, so it runs once.
+//
+// Usage: bench_store_ingest [--smoke] [--json PATH] [N]
+//   --smoke      tiny stream (CI smoke run)
+//   --json PATH  machine-readable results (bench_util.hpp Results)
+//   N            profiles per scenario (default 40, smoke 4)
 
 #include <algorithm>
 #include <cstdlib>
@@ -60,10 +67,12 @@ struct IngestTiming {
 };
 
 profile::ProfileStore make_store(const std::string& backend,
-                                 const std::string& dir, size_t shards) {
+                                 const std::string& dir, size_t shards,
+                                 const std::string& format) {
   profile::ProfileStoreOptions options;
   options.shards = shards;
   options.backend = backend;
+  options.format = format;
   if (backend == "memory") {
     return profile::ProfileStore(std::move(options));
   }
@@ -73,12 +82,13 @@ profile::ProfileStore make_store(const std::string& backend,
 }
 
 IngestTiming run_one(const std::string& backend, size_t shards,
+                     const std::string& format,
                      const std::vector<profile::Profile>& stream) {
   const std::string dir = "/tmp/synapse_bench_ingest";
   IngestTiming t;
 
   {
-    auto store = make_store(backend, dir, shards);
+    auto store = make_store(backend, dir, shards, format);
     sys::Stopwatch w;
     for (const auto& p : stream) store.put(p);
     t.put_s = w.elapsed();
@@ -87,13 +97,13 @@ IngestTiming run_one(const std::string& backend, size_t shards,
     t.flush_s = w.elapsed();
   }
   {
-    auto store = make_store(backend, dir, shards);
+    auto store = make_store(backend, dir, shards, format);
     sys::Stopwatch w;
     store.put_many(stream);
     t.put_many_s = w.elapsed();
   }
   {
-    auto store = make_store(backend, dir, shards);
+    auto store = make_store(backend, dir, shards, format);
     sys::Stopwatch w;
     store.put_many(stream);
     store.flush_async();
@@ -109,9 +119,12 @@ IngestTiming run_one(const std::string& backend, size_t shards,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::results().set_bench("bench_store_ingest");
   size_t reps = 40;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
+    if (bench::json_flag(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
       reps = 4;
     } else {
       const long n = std::atol(argv[i]);
@@ -124,21 +137,48 @@ int main(int argc, char** argv) {
                  " profiles (" + std::to_string(reps) + " reps x " +
                  std::to_string(workload::builtin_scenarios().size()) +
                  " scenarios)");
-  bench::row("%-9s %6s %10s %10s %10s %12s %10s  %s", "backend", "shards",
-             "put", "put_many", "flush", "async(fg)", "drain", "speedup");
+  bench::row("%-9s %-7s %6s %10s %10s %10s %12s %10s %8s %s", "backend",
+             "format", "shards", "put", "put_many", "flush", "async(fg)",
+             "drain", "speedup", "vs json");
 
   const double n = static_cast<double>(stream.size());
   for (const std::string backend : {"memory", "docstore", "files"}) {
     for (const size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
-      IngestTiming t = run_one(backend, shards, stream);
-      // Sub-microsecond phases (tiny smoke streams) would divide to inf.
-      t.put_s = std::max(t.put_s, 1e-9);
-      t.put_many_s = std::max(t.put_many_s, 1e-9);
-      bench::row("%-9s %6zu %8.0f/s %8.0f/s %9.3fs %11.3fs %9.3fs  %4.1fx",
-                 backend.c_str(), shards, n / t.put_s,
-                 n / t.put_many_s, t.flush_s, t.async_fg_s, t.drain_s,
-                 t.put_s / t.put_many_s);
+      double json_put_many_s = 0.0;
+      const std::vector<std::string> formats =
+          backend == "memory" ? std::vector<std::string>{"binary"}
+                              : std::vector<std::string>{"json", "binary"};
+      for (const std::string& format : formats) {
+        IngestTiming t = run_one(backend, shards, format, stream);
+        // Sub-microsecond phases (tiny smoke streams) would divide to inf.
+        t.put_s = std::max(t.put_s, 1e-9);
+        t.put_many_s = std::max(t.put_many_s, 1e-9);
+        if (format == "json") json_put_many_s = t.put_many_s;
+        std::string vs_json = "-";
+        if (format == "binary" && json_put_many_s > 0.0) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.1fx",
+                        json_put_many_s / t.put_many_s);
+          vs_json = buf;
+        }
+        const std::string shown =
+            backend == "memory" ? std::string("-") : format;
+        bench::row(
+            "%-9s %-7s %6zu %8.0f/s %8.0f/s %9.3fs %11.3fs %9.3fs %7.1fx %s",
+            backend.c_str(), shown.c_str(), shards, n / t.put_s,
+            n / t.put_many_s, t.flush_s, t.async_fg_s, t.drain_s,
+            t.put_s / t.put_many_s, vs_json.c_str());
+        const std::string section = backend + "/" + shown + "/shards=" +
+                                    std::to_string(shards);
+        bench::results().record(section, "put_per_s", n / t.put_s, "1/s");
+        bench::results().record(section, "put_many_per_s", n / t.put_many_s,
+                                "1/s");
+        bench::results().record(section, "flush_s", t.flush_s, "s");
+        bench::results().record(section, "async_fg_s", t.async_fg_s, "s");
+        bench::results().record(section, "drain_s", t.drain_s, "s");
+      }
     }
   }
+  bench::results().write();
   return 0;
 }

@@ -8,11 +8,14 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/mdsim.hpp"
 #include "core/synapse.hpp"
+#include "json/json.hpp"
 #include "profile/metrics.hpp"
 #include "profile/stats.hpp"
 #include "resource/resource_spec.hpp"
@@ -74,6 +77,78 @@ inline void row(const char* fmt, ...) {
   va_end(args);
   std::fputc('\n', stdout);
   std::fflush(stdout);
+}
+
+/// Machine-readable results sink behind the benches' `--json PATH`
+/// flag. The human tables stay on stdout; every measurement a bench
+/// also record()s lands in one JSON document:
+///
+///   {"bench": "...", "results": [
+///     {"section": "...", "name": "...", "value": N, "unit": "..."}]}
+///
+/// so figure scripts and before/after comparisons diff numbers instead
+/// of scraping printf columns. With no --json flag, record() and
+/// write() are no-ops.
+class Results {
+ public:
+  void set_bench(std::string name) { bench_ = std::move(name); }
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& section, const std::string& name,
+              double value, const std::string& unit) {
+    if (!enabled()) return;
+    synapse::json::Object entry;
+    entry["section"] = section;
+    entry["name"] = name;
+    entry["value"] = value;
+    entry["unit"] = unit;
+    entries_.push_back(synapse::json::Value(std::move(entry)));
+  }
+
+  /// Dump the document; exits loudly when the path is unwritable so a
+  /// CI step collecting results fails rather than silently losing them.
+  void write() {
+    if (!enabled()) return;
+    synapse::json::Object doc;
+    doc["bench"] = bench_;
+    doc["results"] = synapse::json::Value(std::move(entries_));
+    const std::string text =
+        synapse::json::dump(synapse::json::Value(std::move(doc)), 2);
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "bench: cannot write --json results to %s\n",
+                   path_.c_str());
+      std::exit(1);
+    }
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  synapse::json::Array entries_;
+};
+
+/// Process-wide sink shared by a bench's helpers.
+inline Results& results() {
+  static Results instance;
+  return instance;
+}
+
+/// Recognize `--json PATH` at argv[i] inside a bench's own flag loop;
+/// consumes the path operand and returns true when it matched.
+inline bool json_flag(int argc, char** argv, int& i) {
+  if (std::strcmp(argv[i], "--json") != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "bench: --json needs an output path\n");
+    std::exit(2);
+  }
+  results().set_path(argv[++i]);
+  return true;
 }
 
 }  // namespace bench

@@ -7,6 +7,7 @@
 //                   [--kernel NAME] [--omp N | --ranks N]
 //                   [--atoms NAME[,NAME...]] [--net] [--replay-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
+//                   [--store-format json|binary]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
 //                   -- COMMAND [ARGS...]
 //   synapse-emulate --scenario NAME|FILE [--profile] [tuning flags...]
@@ -145,6 +146,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (!backend_flag) options.store_backend = "cluster";
+    } else if (arg == "--store-format") {
+      // Profile encoding for new writes: "binary" (SYNB, the default
+      // for new stores) or "json". Reopened stores keep their recorded
+      // format unless this overrides it; reads sniff, so mixing is fine.
+      options.store_options.format = next();
+      if (options.store_options.format != "json" &&
+          options.store_options.format != "binary") {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-format wants json or binary, "
+                     "got '%s'\n",
+                     options.store_options.format.c_str());
+        return 2;
+      }
     } else if (arg == "--list-store-backends") {
       return cli::list_store_backends();
     } else if (arg == "--resource") {
@@ -230,6 +244,8 @@ int main(int argc, char** argv) {
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: docstore background flush\n"
           "                 by age/size)\n"
+          "                [--store-format json|binary] (encoding for new\n"
+          "                 writes; new stores default to binary SYNB)\n"
           "                [--read-block KiB] [--write-block KiB]\n"
           "                [--fs NAME] -- COMMAND...\n"
           "synapse-emulate --scenario NAME|FILE [--profile] [tuning...]\n"

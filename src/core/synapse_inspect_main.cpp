@@ -1,7 +1,7 @@
 // synapse-inspect: examine a profile store.
 //
 // Subcommands:
-//   list                       all (command, tags, reps) combinations
+//   list                       every stored profile: format, size, identity
 //   show    -- COMMAND         totals + derived of the latest profile
 //   stats   -- COMMAND         mean/stddev/CI99 across repetitions
 //   diff    -- COMMAND         latest vs previous profile, diff% per total
@@ -10,13 +10,17 @@
 //
 // Options before the subcommand: --store DIR (default .synapse),
 // --tag TAG (repeatable), --store-cluster SPEC.json (cluster stores:
-// override the persisted instance roots), --stats (after the
-// subcommand, report the store backend by registry name and the read
-// cache counters the run accumulated).
+// override the persisted instance roots), --convert json|binary
+// (re-encode every stored profile in place and record the format in
+// the store meta; runs on its own, no subcommand needed), --stats
+// (after the subcommand, report the store backend by registry name,
+// the write format, per-format stored counts and the read cache
+// counters the run accumulated).
 //
 // The store opens with whatever backend its meta file records
 // (ProfileStore::detect_backend); a meta naming an unregistered
-// backend is a hard error listing what is registered.
+// backend is a hard error listing what is registered. Reads sniff each
+// profile's stored bytes, so mixed-format stores inspect fine.
 
 #include <algorithm>
 #include <cstdio>
@@ -36,12 +40,38 @@ using synapse::profile::ProfileStore;
 namespace {
 
 int cmd_list(const ProfileStore& store, const std::string& dir) {
-  // The store API is keyed by (command, tags); enumerate via the file
-  // backend's own find. We list by scanning every stored profile's
-  // identity through a broad query: keep a registry of what we saw.
-  (void)store;
-  std::printf("store: %s\n", dir.c_str());
-  std::printf("(use `show`, `stats`, `diff` or `export` with -- COMMAND)\n");
+  std::printf("store: %s (backend %s, writes %s)\n", dir.c_str(),
+              store.backend().c_str(), store.format().c_str());
+  auto entries = store.list();
+  if (entries.empty()) {
+    std::printf("(no profiles)\n");
+    return 0;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const synapse::profile::StoredProfileEntry& a,
+               const synapse::profile::StoredProfileEntry& b) {
+              if (a.command != b.command) return a.command < b.command;
+              return a.created_at < b.created_at;
+            });
+  std::printf("%-7s %12s  %s\n", "format", "bytes", "command [tags]");
+  std::map<std::string, size_t> by_format;
+  for (const auto& e : entries) {
+    ++by_format[e.format];
+    std::string tags;
+    for (const auto& t : e.tags) {
+      tags += tags.empty() ? " [" : ", ";
+      tags += t;
+    }
+    if (!tags.empty()) tags += ']';
+    std::printf("%-7s %12zu  %s%s\n", e.format.c_str(), e.encoded_bytes,
+                e.command.c_str(), tags.c_str());
+  }
+  std::string breakdown;
+  for (const auto& [format, n] : by_format) {
+    if (!breakdown.empty()) breakdown += ", ";
+    breakdown += std::to_string(n) + " " + format;
+  }
+  std::printf("%zu profiles (%s)\n", entries.size(), breakdown.c_str());
   return 0;
 }
 
@@ -111,6 +141,14 @@ void print_store_stats(const ProfileStore& store) {
   const auto cache = store.cache_stats();
   std::printf("store stats:\n");
   std::printf("  backend             : %s\n", store.backend().c_str());
+  std::printf("  write format        : %s\n", store.format().c_str());
+  // What is actually at rest may mix formats (conversion, legacy data):
+  // count per format across all shards.
+  std::map<std::string, size_t> by_format;
+  for (const auto& e : store.list()) ++by_format[e.format];
+  for (const auto& [format, n] : by_format) {
+    std::printf("  stored %-12s : %zu profiles\n", format.c_str(), n);
+  }
   std::printf("  shards              : %zu\n", store.shard_count());
   // Per-instance shard placement (the cluster backend reports one
   // instance per shard; single-instance backends have no such field).
@@ -160,6 +198,7 @@ int cmd_diff(const ProfileStore& store, const std::string& command,
 int main(int argc, char** argv) {
   std::string store_dir = ".synapse";
   std::string cluster_spec;
+  std::string convert_format;
   std::vector<std::string> tags;
   std::string subcommand;
   std::string export_path;
@@ -176,6 +215,15 @@ int main(int argc, char** argv) {
       store_dir = next();
     } else if (arg == "--store-cluster") {
       cluster_spec = next();
+    } else if (arg == "--convert") {
+      convert_format = next();
+      if (convert_format != "json" && convert_format != "binary") {
+        std::fprintf(stderr,
+                     "synapse-inspect: --convert wants json or binary, got "
+                     "'%s'\n",
+                     convert_format.c_str());
+        return 2;
+      }
     } else if (arg == "--stats") {
       stats_flag = true;
     } else if (arg == "--tag") {
@@ -183,11 +231,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-inspect [--store DIR] [--store-cluster SPEC.json]\n"
-          "                [--tag TAG]... [--stats] SUBCOMMAND\n"
+          "                [--convert json|binary] [--tag TAG]... [--stats]\n"
+          "                [SUBCOMMAND]\n"
           "  list | show -- CMD | stats -- CMD | diff -- CMD\n"
           "  export FILE -- CMD | export-series FILE -- CMD\n"
-          "  (--stats appends the store backend name, shard/instance\n"
-          "   layout and read-cache counters)\n");
+          "  (--convert re-encodes every stored profile in place and\n"
+          "   records the format in the store meta; runs without a\n"
+          "   subcommand. --stats appends the store backend name, write\n"
+          "   format, per-format counts, shard/instance layout and\n"
+          "   read-cache counters)\n");
       return 0;
     } else if (subcommand.empty()) {
       subcommand = arg;
@@ -208,7 +260,7 @@ int main(int argc, char** argv) {
     command += argv[i];
   }
 
-  if (subcommand.empty()) {
+  if (subcommand.empty() && convert_format.empty()) {
     std::fprintf(stderr, "synapse-inspect: no subcommand (try --help)\n");
     return 2;
   }
@@ -223,6 +275,9 @@ int main(int argc, char** argv) {
     store_options.backend = ProfileStore::detect_backend(store_dir);
     store_options.directory = store_dir;
     store_options.cluster_spec = cluster_spec;
+    // --convert: the explicit format override makes new writes use the
+    // target encoding; convert_all() below then rewrites what is stored.
+    store_options.format = convert_format;
     if (!cluster_spec.empty() && store_options.backend != "cluster") {
       // Dropping an explicitly given spec would hide a mistyped
       // --store path (a fresh directory detects as "files") behind an
@@ -234,6 +289,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     ProfileStore store(std::move(store_options));
+
+    if (!convert_format.empty()) {
+      const size_t rewritten = store.convert_all();
+      std::printf("converted %zu profiles in %s to %s\n", rewritten,
+                  store_dir.c_str(), convert_format.c_str());
+      if (subcommand.empty()) {
+        if (stats_flag) print_store_stats(store);
+        return 0;
+      }
+    }
 
     int rc = 2;
     if (subcommand == "list") {

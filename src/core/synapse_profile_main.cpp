@@ -8,6 +8,7 @@
 //                   [--watchers LIST] [--watcher-rate NAME=HZ]...
 //                   [--scheduler thread|multiplexed] [--store-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
+//                   [--store-format json|binary]
 //                   [--resource NAME] -- COMMAND [ARGS...]
 //   synapse-profile --list-watchers | --list-store-backends
 //
@@ -86,6 +87,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (!backend_flag) options.store_backend = "cluster";
+    } else if (arg == "--store-format") {
+      // Profile encoding for new writes: "binary" (SYNB, the default
+      // for new stores) or "json". Reopened stores keep their recorded
+      // format unless this overrides it; reads sniff, so mixing is fine.
+      options.store_options.format = next();
+      if (options.store_options.format != "json" &&
+          options.store_options.format != "binary") {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-format wants json or binary, "
+                     "got '%s'\n",
+                     options.store_options.format.c_str());
+        return 2;
+      }
     } else if (arg == "--list-store-backends") {
       return cli::list_store_backends();
     } else if (arg == "--resource") {
@@ -163,6 +177,8 @@ int main(int argc, char** argv) {
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: background flush by\n"
           "                 age/size on buffering backends)\n"
+          "                [--store-format json|binary] (encoding for new\n"
+          "                 writes; new stores default to binary SYNB)\n"
           "                [--resource NAME] [--adaptive] -- COMMAND...\n"
           "synapse-profile --list-watchers | --list-store-backends\n");
       return 0;

@@ -62,10 +62,12 @@ double ReplayEngine::parallel_time_factor(int workers,
 
 namespace {
 
-/// Apply the emulator's workload overrides to one sample delta.
-profile::SampleDelta scale_delta(const profile::SampleDelta& in,
+/// Apply the emulator's workload overrides to one sample delta. Takes
+/// the delta by value so callers that are done with their copy (the
+/// replay feeders, which consume the decoded vector front to back) can
+/// move the metric map through instead of re-building it.
+profile::SampleDelta scale_delta(profile::SampleDelta out,
                                  const EmulatorOptions& opts) {
-  profile::SampleDelta out = in;
   auto scale = [&out](std::string_view key, double factor) {
     const auto it = out.deltas.find(std::string(key));
     if (it != out.deltas.end()) it->second *= factor;
@@ -159,9 +161,9 @@ void ReplayEngine::feed_single(
     const profile::Profile& profile, const EmulatorOptions& opts,
     const std::vector<std::unique_ptr<atoms::Atom>>& active,
     const SampleHook& per_sample_hook, EmulationResult& result) {
-  const auto deltas = profile.sample_deltas();
-  for (const auto& raw : deltas) {
-    const profile::SampleDelta delta = scale_delta(raw, opts);
+  auto deltas = profile.sample_deltas();
+  for (auto& raw : deltas) {
+    const profile::SampleDelta delta = scale_delta(std::move(raw), opts);
 
     // All resource consumptions of one sample start concurrently; the
     // sample ends when the last one completes (Fig. 2).
@@ -237,7 +239,7 @@ void ReplayEngine::feed_batched(
   std::exception_ptr producer_error;
   std::thread producer([&] {
     try {
-      const auto deltas = profile.sample_deltas();
+      auto deltas = profile.sample_deltas();
       std::shared_ptr<SampleBatch> batch;
       size_t index = 0;
       const auto dispatch = [&] {
@@ -249,14 +251,14 @@ void ReplayEngine::feed_batched(
         for (const auto& queue : queues) queue->push(batch);
         batch.reset();
       };
-      for (const auto& raw : deltas) {
+      for (auto& raw : deltas) {
         if (aborted.load(std::memory_order_relaxed)) break;
         if (!batch) {
           batch = std::make_shared<SampleBatch>();
           batch->first_index = index;
           batch->deltas.reserve(batch_size);
         }
-        batch->deltas.push_back(scale_delta(raw, opts));
+        batch->deltas.push_back(scale_delta(std::move(raw), opts));
         ++index;
         if (batch->deltas.size() >= batch_size) dispatch();
       }

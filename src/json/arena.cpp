@@ -1,0 +1,467 @@
+#include "json/arena.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace synapse::json {
+
+// --- Arena -----------------------------------------------------------------
+
+void* Arena::allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Oversized requests get a dedicated slab on a side list, so the
+  // current uniform slab keeps serving small nodes and the bump pointer
+  // never walks into big-slab memory.
+  if (bytes + align > slab_bytes_) {
+    Slab big;
+    big.size = bytes + align;
+    big.data = std::make_unique<char[]>(big.size);
+    char* base = big.data.get();
+    const size_t shift =
+        (align - reinterpret_cast<uintptr_t>(base) % align) % align;
+    used_ += bytes;
+    oversized_.push_back(std::move(big));
+    return base + shift;
+  }
+  for (;;) {
+    if (current_ < slabs_.size()) {
+      char* base = slabs_[current_].data.get() + offset_;
+      const size_t shift =
+          (align - reinterpret_cast<uintptr_t>(base) % align) % align;
+      if (offset_ + shift + bytes <= slabs_[current_].size) {
+        offset_ += shift + bytes;
+        used_ += bytes;
+        return base + shift;
+      }
+      // Current slab exhausted: move on (a reused slab may follow).
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    Slab slab;
+    slab.size = slab_bytes_;
+    slab.data = std::make_unique<char[]>(slab.size);
+    slabs_.push_back(std::move(slab));
+    current_ = slabs_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void Arena::reset() {
+  oversized_.clear();
+  current_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+size_t Arena::bytes_reserved() const {
+  size_t total = 0;
+  for (const auto& slab : slabs_) total += slab.size;
+  for (const auto& slab : oversized_) total += slab.size;
+  return total;
+}
+
+// --- ArenaValue ------------------------------------------------------------
+
+namespace {
+[[noreturn]] void arena_type_error(const char* want, Value::Type got) {
+  static const char* names[] = {"null",   "bool",  "number",
+                                "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  names[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool ArenaValue::as_bool() const {
+  if (type_ != Value::Type::Bool) arena_type_error("bool", type_);
+  return bool_;
+}
+
+double ArenaValue::as_double() const {
+  if (type_ != Value::Type::Number) arena_type_error("number", type_);
+  return number_;
+}
+
+std::string_view ArenaValue::as_string() const {
+  if (type_ != Value::Type::String) arena_type_error("string", type_);
+  return {string_, count_};
+}
+
+size_t ArenaValue::size() const {
+  if (type_ == Value::Type::Array || type_ == Value::Type::Object) {
+    return count_;
+  }
+  return 0;
+}
+
+const ArenaValue& ArenaValue::at(size_t index) const {
+  if (type_ != Value::Type::Array) arena_type_error("array", type_);
+  if (index >= count_) {
+    throw JsonError("array index " + std::to_string(index) + " out of range " +
+                    std::to_string(count_));
+  }
+  return items_[index];
+}
+
+const ArenaValue* ArenaValue::find(std::string_view key) const {
+  if (type_ != Value::Type::Object) return nullptr;
+  for (uint32_t i = 0; i < count_; ++i) {
+    if (members_[i].key == key) return &members_[i].value;
+  }
+  return nullptr;
+}
+
+const ArenaValue& ArenaValue::operator[](std::string_view key) const {
+  if (type_ != Value::Type::Object) arena_type_error("object", type_);
+  if (const ArenaValue* v = find(key)) return *v;
+  throw JsonError("missing key: " + std::string(key));
+}
+
+double ArenaValue::get_or(std::string_view key, double dflt) const {
+  const ArenaValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number_ : dflt;
+}
+
+std::string ArenaValue::get_or(std::string_view key,
+                               const std::string& dflt) const {
+  const ArenaValue* v = find(key);
+  return v != nullptr && v->is_string() ? std::string(v->as_string()) : dflt;
+}
+
+bool ArenaValue::get_or(std::string_view key, bool dflt) const {
+  const ArenaValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->bool_ : dflt;
+}
+
+const ArenaValue* ArenaValue::items_begin() const {
+  return type_ == Value::Type::Array ? items_ : nullptr;
+}
+const ArenaValue* ArenaValue::items_end() const {
+  return type_ == Value::Type::Array ? items_ + count_ : nullptr;
+}
+const ArenaMember* ArenaValue::members_begin() const {
+  return type_ == Value::Type::Object ? members_ : nullptr;
+}
+const ArenaMember* ArenaValue::members_end() const {
+  return type_ == Value::Type::Object ? members_ + count_ : nullptr;
+}
+
+Value ArenaValue::to_value() const {
+  switch (type_) {
+    case Value::Type::Null: return Value(nullptr);
+    case Value::Type::Bool: return Value(bool_);
+    case Value::Type::Number: return Value(number_);
+    case Value::Type::String: return Value(std::string(string_, count_));
+    case Value::Type::Array: {
+      Array arr;
+      arr.reserve(count_);
+      for (uint32_t i = 0; i < count_; ++i) {
+        arr.push_back(items_[i].to_value());
+      }
+      return Value(std::move(arr));
+    }
+    case Value::Type::Object: {
+      Object obj;
+      for (uint32_t i = 0; i < count_; ++i) {
+        obj[std::string(members_[i].key)] = members_[i].value.to_value();
+      }
+      return Value(std::move(obj));
+    }
+  }
+  return Value(nullptr);  // unreachable
+}
+
+// --- parser ----------------------------------------------------------------
+
+class ArenaParser {
+ public:
+  ArenaParser(std::string_view text, Arena& arena)
+      : text_(text), arena_(arena) {}
+
+  const ArenaValue& parse_document() {
+    skip_ws();
+    ArenaValue* root = arena_.allocate_array<ArenaValue>(1);
+    *root = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return *root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("parse error at line " + std::to_string(line) + ":" +
+                    std::to_string(col) + ": " + msg);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  ArenaValue make_string(std::string_view s) {
+    char* copy = arena_.allocate_array<char>(s.size());
+    std::memcpy(copy, s.data(), s.size());
+    ArenaValue v;
+    v.type_ = Value::Type::String;
+    v.string_ = copy;
+    v.count_ = static_cast<uint32_t>(s.size());
+    return v;
+  }
+
+  ArenaValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return make_string(parse_string());
+      case 't': {
+        if (consume_literal("true")) {
+          ArenaValue v;
+          v.type_ = Value::Type::Bool;
+          v.bool_ = true;
+          return v;
+        }
+        fail("invalid literal");
+      }
+      case 'f': {
+        if (consume_literal("false")) {
+          ArenaValue v;
+          v.type_ = Value::Type::Bool;
+          v.bool_ = false;
+          return v;
+        }
+        fail("invalid literal");
+      }
+      case 'n': {
+        if (consume_literal("null")) return ArenaValue();
+        fail("invalid literal");
+      }
+      default: return parse_number();
+    }
+  }
+
+  ArenaValue parse_object() {
+    expect('{');
+    const size_t start = member_stack_.size();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return finish_object(start);
+    }
+    while (true) {
+      skip_ws();
+      // The key must be arena-copied before parse_value() runs: nested
+      // values reuse scratch_, which would invalidate a view into it.
+      const ArenaValue key = make_string(parse_string());
+      skip_ws();
+      expect(':');
+      ArenaValue value = parse_value();
+      // Duplicate keys collapse to the last occurrence, matching the
+      // heap parser's map-assignment semantics.
+      bool replaced = false;
+      for (size_t i = start; i < member_stack_.size(); ++i) {
+        if (member_stack_[i].key == key.as_string()) {
+          member_stack_[i].value = value;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) member_stack_.push_back({key.as_string(), value});
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+    return finish_object(start);
+  }
+
+  ArenaValue finish_object(size_t start) {
+    const size_t count = member_stack_.size() - start;
+    ArenaMember* members = arena_.allocate_array<ArenaMember>(count);
+    for (size_t i = 0; i < count; ++i) members[i] = member_stack_[start + i];
+    member_stack_.resize(start);
+    ArenaValue v;
+    v.type_ = Value::Type::Object;
+    v.members_ = members;
+    v.count_ = static_cast<uint32_t>(count);
+    return v;
+  }
+
+  ArenaValue parse_array() {
+    expect('[');
+    const size_t start = value_stack_.size();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return finish_array(start);
+    }
+    while (true) {
+      value_stack_.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+    return finish_array(start);
+  }
+
+  ArenaValue finish_array(size_t start) {
+    const size_t count = value_stack_.size() - start;
+    ArenaValue* items = arena_.allocate_array<ArenaValue>(count);
+    for (size_t i = 0; i < count; ++i) items[i] = value_stack_[start + i];
+    value_stack_.resize(start);
+    ArenaValue v;
+    v.type_ = Value::Type::Array;
+    v.items_ = items;
+    v.count_ = static_cast<uint32_t>(count);
+    return v;
+  }
+
+  /// Unescapes into the reused scratch buffer; the caller arena-copies.
+  std::string_view parse_string() {
+    expect('"');
+    // Fast path: no escapes — return a view into the input directly.
+    const size_t content = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"' && text_[pos_] != '\\') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      const std::string_view raw = text_.substr(content, pos_ - content);
+      ++pos_;
+      return raw;
+    }
+    // Escapes present (or unterminated): restart with the scratch buffer.
+    pos_ = content;
+    scratch_.clear();
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': scratch_ += '"'; break;
+          case '\\': scratch_ += '\\'; break;
+          case '/': scratch_ += '/'; break;
+          case 'b': scratch_ += '\b'; break;
+          case 'f': scratch_ += '\f'; break;
+          case 'n': scratch_ += '\n'; break;
+          case 'r': scratch_ += '\r'; break;
+          case 't': scratch_ += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+              }
+            }
+            // UTF-8, BMP only — same coverage as the heap parser.
+            if (code < 0x80) {
+              scratch_ += static_cast<char>(code);
+            } else if (code < 0x800) {
+              scratch_ += static_cast<char>(0xC0 | (code >> 6));
+              scratch_ += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              scratch_ += static_cast<char>(0xE0 | (code >> 12));
+              scratch_ += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              scratch_ += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape");
+        }
+      } else {
+        scratch_ += c;
+      }
+    }
+    return scratch_;
+  }
+
+  ArenaValue parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("invalid value");
+    scratch_.assign(text_, start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(scratch_.c_str(), &end);
+    if (end != scratch_.c_str() + scratch_.size()) fail("invalid number");
+    ArenaValue v;
+    v.type_ = Value::Type::Number;
+    v.number_ = d;
+    return v;
+  }
+
+  std::string_view text_;
+  Arena& arena_;
+  size_t pos_ = 0;
+  std::string scratch_;  ///< reused unescape/number buffer
+  // Children accumulate here until their container's count is known,
+  // then move to an exact-size arena array — the tJson trick that keeps
+  // containers contiguous without per-push allocations.
+  std::vector<ArenaValue> value_stack_;
+  std::vector<ArenaMember> member_stack_;
+};
+
+const ArenaValue& parse(std::string_view text, Arena& arena) {
+  return ArenaParser(text, arena).parse_document();
+}
+
+}  // namespace synapse::json

@@ -1,0 +1,154 @@
+#pragma once
+// Arena-backed JSON parsing for the ingest/replay hot paths.
+//
+// The heap DOM (json.hpp) allocates one std::string/vector/map node per
+// JSON value — fine for specs and metadata, dominant for profile blobs
+// with tens of thousands of tiny sample objects. This module parses
+// into pooled nodes instead, in the style of tJson's jmem_alloc'd
+// jmem_obj values: every node, string and member table is bump-
+// allocated from a reusable Arena, so a parse costs a handful of slab
+// mallocs instead of one malloc per node, and a reset() recycles the
+// slabs for the next document.
+//
+// ArenaValue mirrors the read-side API of json::Value (type tests,
+// checked accessors, operator[], get_or) so extraction code can be
+// written once against either DOM; to_value() materializes a heap
+// Value for writers and interop. Values live exactly as long as their
+// Arena; the parsed text may be freed immediately (strings are copied
+// into the arena, unescaped).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace synapse::json {
+
+/// Slab ("jmem"-style) bump allocator. Allocation never frees
+/// individually; reset() rewinds to empty while keeping the slabs, so a
+/// long-lived parser pays the slab mallocs once. Oversized requests get
+/// a dedicated slab, so any document shape fits.
+class Arena {
+ public:
+  static constexpr size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit Arena(size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes < 256 ? 256 : slab_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(size_t bytes, size_t align);
+
+  template <typename T>
+  T* allocate_array(size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty, keeping the uniform slabs for reuse (dedicated
+  /// oversized slabs are released — they are rare and request-shaped).
+  void reset();
+
+  /// Bytes handed out since construction/reset (excludes alignment and
+  /// slab slack).
+  size_t bytes_used() const { return used_; }
+  /// Total slab capacity currently held.
+  size_t bytes_reserved() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  std::vector<Slab> slabs_;      ///< uniform slabs, reused across reset()
+  std::vector<Slab> oversized_;  ///< dedicated big allocations
+  size_t slab_bytes_;
+  size_t current_ = 0;  ///< slab being filled (valid when !slabs_.empty())
+  size_t offset_ = 0;   ///< fill offset inside that slab
+  size_t used_ = 0;
+};
+
+class ArenaValue;
+
+/// One object member; members keep document order (duplicate keys are
+/// collapsed at parse time, last occurrence wins, matching the heap
+/// parser).
+struct ArenaMember;
+
+/// A JSON value whose storage lives in an Arena. Plain-old-data: nodes
+/// are never destructed, only the arena is released/reset.
+class ArenaValue {
+ public:
+  Value::Type type() const { return type_; }
+  bool is_null() const { return type_ == Value::Type::Null; }
+  bool is_bool() const { return type_ == Value::Type::Bool; }
+  bool is_number() const { return type_ == Value::Type::Number; }
+  bool is_string() const { return type_ == Value::Type::String; }
+  bool is_array() const { return type_ == Value::Type::Array; }
+  bool is_object() const { return type_ == Value::Type::Object; }
+
+  /// Checked accessors; throw JsonError on type mismatch (same
+  /// diagnostics as json::Value).
+  bool as_bool() const;
+  double as_double() const;
+  int64_t as_int() const { return static_cast<int64_t>(as_double()); }
+  uint64_t as_uint() const {
+    const double d = as_double();
+    return d <= 0 ? 0 : static_cast<uint64_t>(d);
+  }
+  std::string_view as_string() const;
+
+  /// Array/object element count, 0 for scalars.
+  size_t size() const;
+
+  /// Array element access with bounds checking.
+  const ArenaValue& at(size_t index) const;
+
+  /// Object member lookup; nullptr when missing or not an object.
+  const ArenaValue* find(std::string_view key) const;
+  const ArenaValue& operator[](std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Lookup with default for optional fields (mirrors json::Value).
+  double get_or(std::string_view key, double dflt) const;
+  std::string get_or(std::string_view key, const std::string& dflt) const;
+  bool get_or(std::string_view key, bool dflt) const;
+
+  /// Iteration. items() is valid for arrays, members() for objects.
+  const ArenaValue* items_begin() const;
+  const ArenaValue* items_end() const;
+  const ArenaMember* members_begin() const;
+  const ArenaMember* members_end() const;
+
+  /// Deep-copy into the heap DOM (writers, interop, parity tests).
+  Value to_value() const;
+
+ private:
+  friend class ArenaParser;
+
+  Value::Type type_ = Value::Type::Null;
+  uint32_t count_ = 0;  ///< string length / element count
+  union {
+    bool bool_;
+    double number_;
+    const char* string_;
+    const ArenaValue* items_;
+    const ArenaMember* members_;
+  };
+};
+
+struct ArenaMember {
+  std::string_view key;
+  ArenaValue value;
+};
+
+/// Parse a JSON document into `arena`; the returned reference lives as
+/// long as the arena (until reset()). Throws JsonError with line/column
+/// on malformed input, like json::parse.
+const ArenaValue& parse(std::string_view text, Arena& arena);
+
+}  // namespace synapse::json

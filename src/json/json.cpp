@@ -367,12 +367,15 @@ void dump_number(double d, std::string& out) {
   }
 }
 
+/// Appends `n` spaces without materializing a pad string per node.
+void dump_pad(size_t n, std::string& out) { out.append(n, ' '); }
+
 void dump_value(const Value& v, int indent, int depth, std::string& out) {
-  const std::string pad =
-      indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
-                 : "";
-  const std::string close_pad =
-      indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  const size_t pad =
+      indent > 0 ? static_cast<size_t>(indent) * (static_cast<size_t>(depth) + 1)
+                 : 0;
+  const size_t close_pad =
+      indent > 0 ? static_cast<size_t>(indent) * static_cast<size_t>(depth) : 0;
   const char* nl = indent > 0 ? "\n" : "";
   const char* kv_sep = indent > 0 ? ": " : ":";
 
@@ -390,12 +393,12 @@ void dump_value(const Value& v, int indent, int depth, std::string& out) {
       out += '[';
       out += nl;
       for (size_t i = 0; i < arr.size(); ++i) {
-        out += pad;
+        dump_pad(pad, out);
         dump_value(arr[i], indent, depth + 1, out);
         if (i + 1 < arr.size()) out += ',';
         out += nl;
       }
-      out += close_pad;
+      dump_pad(close_pad, out);
       out += ']';
       break;
     }
@@ -409,18 +412,48 @@ void dump_value(const Value& v, int indent, int depth, std::string& out) {
       out += nl;
       size_t i = 0;
       for (const auto& [key, val] : obj) {
-        out += pad;
+        dump_pad(pad, out);
         dump_string(key, out);
         out += kv_sep;
         dump_value(val, indent, depth + 1, out);
         if (++i < obj.size()) out += ',';
         out += nl;
       }
-      out += close_pad;
+      dump_pad(close_pad, out);
       out += '}';
       break;
     }
   }
+}
+
+/// Serialized-size guess for the reserve() in dump(): exact enough that
+/// a compact profile dump does no (or one) growth reallocation, cheap
+/// enough that the walk is a fraction of the serialization itself.
+size_t estimate_size(const Value& v, int indent, int depth) {
+  const size_t per_entry =
+      indent > 0 ? static_cast<size_t>(indent) * (static_cast<size_t>(depth) + 1) + 2
+                 : 1;
+  switch (v.type()) {
+    case Value::Type::Null: return 4;
+    case Value::Type::Bool: return 5;
+    case Value::Type::Number: return 20;  // "%.17g" worst case ~ 24
+    case Value::Type::String: return v.as_string().size() + 8;
+    case Value::Type::Array: {
+      size_t n = 2 + per_entry;
+      for (const auto& item : v.as_array()) {
+        n += estimate_size(item, indent, depth + 1) + per_entry;
+      }
+      return n;
+    }
+    case Value::Type::Object: {
+      size_t n = 2 + per_entry;
+      for (const auto& [key, val] : v.as_object()) {
+        n += key.size() + 4 + estimate_size(val, indent, depth + 1) + per_entry;
+      }
+      return n;
+    }
+  }
+  return 8;
 }
 
 }  // namespace
@@ -428,7 +461,12 @@ void dump_value(const Value& v, int indent, int depth, std::string& out) {
 Value parse(const std::string& text) { return Parser(text).parse_document(); }
 
 std::string dump(const Value& value, int indent) {
+  // One preallocated output buffer for the whole document: the writer
+  // only ever appends, so reserving the estimate up front turns the
+  // former repeated grow-and-copy cycles (worst on profile dumps, whose
+  // sample arrays are long) into at most one allocation.
   std::string out;
+  out.reserve(estimate_size(value, indent, 0));
   dump_value(value, indent, 0, out);
   return out;
 }

@@ -280,7 +280,8 @@ ClusterBackend::ClusterBackend(const StoreBackendContext& context)
   try {
     ::mkdir(instance_root_.c_str(), 0755);  // EEXIST is fine
     shard_ = std::make_unique<DocStoreShardBackend>(
-        instance_root_ + "/shard-" + std::to_string(shard_index_));
+        instance_root_ + "/shard-" + std::to_string(shard_index_),
+        context.format);
   } catch (const std::exception& e) {
     degraded_reason_ = e.what();
   }
@@ -319,6 +320,11 @@ void ClusterBackend::flush() {
 size_t ClusterBackend::size() const {
   if (!shard_) fail("size");
   return shard_->size();
+}
+
+std::vector<StoredProfileEntry> ClusterBackend::list() const {
+  if (!shard_) fail("list");
+  return shard_->list();
 }
 
 json::Value ClusterBackend::meta() const {

@@ -86,6 +86,7 @@ class ClusterBackend : public StoreBackend {
   bool needs_flush() const override { return true; }
   /// {"instance": name, "root": path, "degraded": bool}
   json::Value meta() const override;
+  std::vector<StoredProfileEntry> list() const override;
 
   const std::string& instance_name() const { return instance_name_; }
   bool degraded() const { return !degraded_reason_.empty(); }

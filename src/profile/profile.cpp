@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
+#include "json/arena.hpp"
+#include "profile/binary_codec.hpp"
 #include "profile/metrics.hpp"
 
 namespace synapse::profile {
@@ -94,7 +97,43 @@ bool is_instantaneous_metric(std::string_view metric) {
   return inst.count(metric) > 0;
 }
 
+namespace {
+
+/// True when the retained SYNB payload still describes `series`: same
+/// watchers, rates, sample counts and timestamps. Cheap relative to a
+/// delta computation (no per-sample maps are touched), and the guard
+/// that lets sample_deltas() trust the columns.
+bool matches_payload_shape(const ProfileColumnsView& cols,
+                           const std::vector<TimeSeries>& series) {
+  if (cols.series.size() != series.size()) return false;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const SeriesColumnsView& sv = cols.series[i];
+    const TimeSeries& ts = series[i];
+    if (sv.watcher != ts.watcher || sv.rate_hz != ts.sample_rate_hz ||
+        sv.sample_count != ts.samples.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < ts.samples.size(); ++j) {
+      if (sv.timestamp(j) != ts.samples[j].timestamp) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<SampleDelta> Profile::sample_deltas() const {
+  if (binary_) {
+    try {
+      const ProfileColumnsView cols = decode_columns(*binary_);
+      if (matches_payload_shape(cols, series)) {
+        return sample_deltas_from_columns(cols, sample_rate_hz);
+      }
+    } catch (const CodecError&) {
+      // A damaged retained payload is not fatal — the materialized
+      // series below is authoritative.
+    }
+  }
   // Period resolution follows the fastest recorded series: with
   // per-watcher rate overrides the high-rate series defines the replay
   // granularity, slower series simply contribute to fewer buckets.
@@ -254,6 +293,87 @@ Profile Profile::from_json(const json::Value& v) {
       p.derived[k] = val.as_double();
     }
   }
+  return p;
+}
+
+namespace {
+
+SystemInfo system_from_arena(const json::ArenaValue& v) {
+  SystemInfo s;
+  s.hostname = v.get_or("hostname", std::string());
+  s.cpu_model = v.get_or("cpu_model", std::string());
+  s.num_cores = static_cast<int>(v.get_or("num_cores", 0.0));
+  s.max_cpu_freq_hz = v.get_or("max_cpu_freq_hz", 0.0);
+  s.total_memory_bytes =
+      static_cast<uint64_t>(v.get_or("total_memory_bytes", 0.0));
+  s.resource_name = v.get_or("resource_name", std::string());
+  return s;
+}
+
+}  // namespace
+
+Profile Profile::from_arena(const json::ArenaValue& v) {
+  Profile p;
+  p.command = v.get_or("command", std::string());
+  if (v.contains("tags")) {
+    const json::ArenaValue& jt = v["tags"];
+    for (const auto* t = jt.items_begin(); t != jt.items_end(); ++t) {
+      p.tags.emplace_back(t->as_string());
+    }
+  }
+  p.sample_rate_hz = v.get_or("sample_rate_hz", 10.0);
+  p.created_at = v.get_or("created_at", 0.0);
+  if (v.contains("system")) p.system = system_from_arena(v["system"]);
+
+  if (v.contains("series")) {
+    const json::ArenaValue& jseries = v["series"];
+    for (const auto* jts = jseries.items_begin(); jts != jseries.items_end();
+         ++jts) {
+      TimeSeries ts;
+      ts.watcher = jts->get_or("watcher", std::string());
+      ts.sample_rate_hz = jts->get_or("rate_hz", 0.0);
+      const json::ArenaValue& jsamples = (*jts)["samples"];
+      ts.samples.reserve(jsamples.size());
+      for (const auto* js = jsamples.items_begin();
+           js != jsamples.items_end(); ++js) {
+        Sample s;
+        s.timestamp = js->get_or("t", 0.0);
+        const json::ArenaValue& jv = (*js)["v"];
+        // Parsed member order is document order; profile documents are
+        // written from sorted maps, so appending at end is the common
+        // case and emplace_hint degrades gracefully otherwise.
+        for (const auto* m = jv.members_begin(); m != jv.members_end(); ++m) {
+          s.values.emplace_hint(s.values.end(), std::string(m->key),
+                                m->value.as_double());
+        }
+        ts.samples.push_back(std::move(s));
+      }
+      p.series.push_back(std::move(ts));
+    }
+  }
+  if (v.contains("totals")) {
+    const json::ArenaValue& jt = v["totals"];
+    for (const auto* m = jt.members_begin(); m != jt.members_end(); ++m) {
+      p.totals.emplace_hint(p.totals.end(), std::string(m->key),
+                            m->value.as_double());
+    }
+  }
+  if (v.contains("derived")) {
+    const json::ArenaValue& jd = v["derived"];
+    for (const auto* m = jd.members_begin(); m != jd.members_end(); ++m) {
+      p.derived.emplace_hint(p.derived.end(), std::string(m->key),
+                             m->value.as_double());
+    }
+  }
+  return p;
+}
+
+std::string Profile::to_binary() const { return encode_binary(*this); }
+
+Profile Profile::from_binary(std::string data) {
+  auto payload = std::make_shared<const std::string>(std::move(data));
+  Profile p = decode_binary(*payload);
+  p.binary_ = std::move(payload);
   return p;
 }
 

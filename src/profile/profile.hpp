@@ -9,11 +9,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "json/json.hpp"
+
+namespace synapse::json {
+class ArenaValue;
+}
 
 namespace synapse::profile {
 
@@ -113,6 +118,12 @@ class Profile {
   /// their max within the period. Periods are formed on the union of all
   /// watcher timestamps, rounded to the sampling period, preserving the
   /// recorded order across resource types (paper Fig. 2/3 semantics).
+  ///
+  /// Profiles decoded via from_binary() keep their SYNB payload and take
+  /// a columnar fast path here (flat array walk, bit-identical result).
+  /// The payload is trusted while `series` still matches its shape and
+  /// timestamps; code that edits sample *values* of a decoded profile in
+  /// place must call drop_binary_payload() first.
   std::vector<SampleDelta> sample_deltas() const;
 
   /// Compute derived metrics (efficiency, utilization, FLOP/s) from
@@ -122,6 +133,24 @@ class Profile {
   // --- serialization ----------------------------------------------------------
   json::Value to_json() const;
   static Profile from_json(const json::Value& v);
+
+  /// from_json against the arena DOM (json/arena.hpp) — same shape, no
+  /// per-node heap traffic on the parse side. Store backends use this
+  /// for JSON-format reads.
+  static Profile from_arena(const json::ArenaValue& v);
+
+  /// SYNB binary columnar container (binary_codec.hpp). from_binary
+  /// retains the encoded payload so sample_deltas() can walk columns.
+  std::string to_binary() const;
+  static Profile from_binary(std::string data);
+
+  bool has_binary_payload() const { return binary_ != nullptr; }
+  void drop_binary_payload() { binary_.reset(); }
+
+ private:
+  /// SYNB blob this profile was decoded from, if any; shared so Profile
+  /// copies stay cheap-ish and keep the fast path.
+  std::shared_ptr<const std::string> binary_;
 };
 
 }  // namespace synapse::profile

@@ -29,10 +29,9 @@
 #include "json/json.hpp"
 #include "profile/profile.hpp"
 #include "profile/stats.hpp"
+#include "profile/store_backend.hpp"
 
 namespace synapse::profile {
-
-class StoreBackendRegistry;
 
 /// When the background flush worker persists pending writes on its own
 /// (eager backends never run the worker, so the policy is a no-op
@@ -62,6 +61,14 @@ struct ProfileStoreOptions {
   /// factories verbatim — the cluster backend's spec
   /// (--store-cluster spec.json).
   std::string cluster_spec;
+  /// Profile encoding for NEW writes: "json", "binary" (SYNB,
+  /// binary_codec.hpp), or "" to use what the store was created with
+  /// ("binary" for new stores, and legacy meta files without a format
+  /// field mean "json"). A non-empty value always wins — reads sniff
+  /// each stored blob's magic bytes, so opening an existing store with
+  /// the other format is safe and is exactly how convert_all()
+  /// re-encodes a store in place.
+  std::string format;
   size_t shards = 8;                   ///< clamped to >= 1
   size_t cache_entries_per_shard = 16; ///< LRU find() cache; 0 disables
   FlushPolicy flush_policy;            ///< time/size-triggered flushing
@@ -151,10 +158,32 @@ class ProfileStore {
   /// layout scan ("docstore" for a root collection, else "files").
   static std::string detect_backend(const std::string& directory);
 
+  /// The profile format recorded in a store directory's meta file.
+  /// Meta files that predate the format field (and meta-less legacy
+  /// layouts) report "json" — everything written before SYNB existed is
+  /// JSON. Mirrors detect_backend for tools that only got a directory.
+  static std::string detect_format(const std::string& directory);
+
+  /// Catalog of every stored profile across all shards
+  /// (StoreBackend::list()), in no particular order.
+  std::vector<StoredProfileEntry> list() const;
+
+  /// Re-encode every stored profile in the store's current write format
+  /// (read → remove → re-put per workload, each shard under its lock),
+  /// then record the format in the meta file. Returns the number of
+  /// profiles rewritten. Open the store with an explicit
+  /// ProfileStoreOptions::format to pick the target encoding; profiles
+  /// already in that encoding are rewritten too (idempotent, cheap
+  /// relative to the conversion). Backends without list() support are
+  /// skipped.
+  size_t convert_all();
+
   size_t size() const;
   size_t shard_count() const;
   /// Registered backend name this store resolves through.
   const std::string& backend() const { return options_.backend; }
+  /// Resolved write format ("json" or "binary").
+  const std::string& format() const { return options_.format; }
   ProfileStoreCacheStats cache_stats() const;
   /// Per-shard backend metadata (StoreBackend::meta()), indexed by
   /// shard — e.g. the cluster backend reports each shard's instance.

@@ -9,17 +9,23 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "docstore/docstore.hpp"
+#include "json/arena.hpp"
+#include "profile/binary_codec.hpp"
 #include "profile/cluster_backend.hpp"
 #include "sys/error.hpp"
+#include "sys/procfs.hpp"
 
 namespace synapse::profile {
 
 namespace storedetail {
 
 constexpr const char* kProfileSuffix = ".profile.json";
-constexpr size_t kSuffixLen = 13;  // strlen(kProfileSuffix)
+constexpr const char* kBinarySuffix = ".profile.synb";
+constexpr size_t kSuffixLen = 13;  // strlen of either suffix
 
 bool file_exists(const std::string& path) {
   struct stat st {};
@@ -38,12 +44,21 @@ bool has_profile_suffix(const std::string& name) {
              0;
 }
 
+bool has_binary_profile_suffix(const std::string& name) {
+  return name.size() > kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kBinarySuffix) ==
+             0;
+}
+
 size_t count_profile_files(const std::string& dir) {
   size_t n = 0;
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return 0;
   while (struct dirent* entry = ::readdir(d)) {
-    if (has_profile_suffix(entry->d_name)) ++n;
+    if (has_profile_suffix(entry->d_name) ||
+        has_binary_profile_suffix(entry->d_name)) {
+      ++n;
+    }
   }
   ::closedir(d);
   return n;
@@ -74,14 +89,28 @@ uint64_t fnv1a(const std::string& key) {
 namespace {
 
 using storedetail::file_exists;
+using storedetail::has_binary_profile_suffix;
 using storedetail::has_profile_suffix;
 using storedetail::sanitize;
 using storedetail::unique_tmp_suffix;
+
+/// Decode stored profile bytes in either format: SYNB by magic sniff,
+/// otherwise JSON through the arena parser (no per-node heap traffic;
+/// `arena` is reset and reused here so multi-file reads recycle slabs).
+Profile parse_profile_bytes(std::string&& data, json::Arena& arena) {
+  if (looks_like_binary_profile(data)) {
+    return Profile::from_binary(std::move(data));
+  }
+  arena.reset();
+  return Profile::from_arena(json::parse(data, arena));
+}
 
 // --- memory ---------------------------------------------------------------
 
 class MemoryBackend : public StoreBackend {
  public:
+  explicit MemoryBackend(std::string format) : format_(std::move(format)) {}
+
   bool put(const Profile& profile, const std::string&) override {
     profiles_.push_back(profile);
     return false;
@@ -112,22 +141,37 @@ class MemoryBackend : public StoreBackend {
 
   size_t size() const override { return profiles_.size(); }
 
+  std::vector<StoredProfileEntry> list() const override {
+    std::vector<StoredProfileEntry> out;
+    out.reserve(profiles_.size());
+    for (const auto& p : profiles_) {
+      // Nothing is encoded at rest in memory; report the configured
+      // format with no size so listings stay uniform across backends.
+      out.push_back(StoredProfileEntry{p.command, p.tags, p.created_at,
+                                       format_, 0});
+    }
+    return out;
+  }
+
  private:
   std::vector<Profile> profiles_;
+  std::string format_;
 };
 
 // --- files ----------------------------------------------------------------
 
-/// One flat JSON file per profile under the shard directory (no size
-/// limit). Writes are link()-claimed so concurrent writers in other
+/// One flat file per profile under the shard directory (no size
+/// limit): *.profile.json for the JSON format, *.profile.synb for
+/// SYNB. Writes are link()-claimed so concurrent writers in other
 /// processes or store instances never collide on a sequence number and
-/// readers only ever see complete files.
+/// readers only ever see complete files. Reads sniff each file's magic
+/// bytes, so one shard may mix both formats (conversion, legacy data).
 class FilesBackend : public StoreBackend {
  public:
   /// Unique token rewritten by every remove(); part of cache_stamp().
   static constexpr const char* kEpochFile = ".remove.epoch";
-  explicit FilesBackend(std::string shard_dir)
-      : directory_(std::move(shard_dir)) {
+  FilesBackend(std::string shard_dir, std::string format)
+      : directory_(std::move(shard_dir)), format_(std::move(format)) {
     ::mkdir(directory_.c_str(), 0755);
   }
 
@@ -135,13 +179,19 @@ class FilesBackend : public StoreBackend {
     const std::string base = directory_ + "/" + sanitize(profile.command) +
                              "." + sanitize(tkey) + ".";
     // Write the full document to a temp name (which never matches the
-    // *.profile.json read pattern), then claim the next free sequence
+    // profile-file read patterns), then claim the next free sequence
     // number with link().
     const std::string tmp = directory_ + "/.tmp-" + unique_tmp_suffix();
-    json::save_file(tmp, profile.to_json(), /*indent=*/0);
+    const bool binary = format_ == "binary";
+    if (binary) {
+      write_raw(tmp, profile.to_binary());
+    } else {
+      json::save_file(tmp, profile.to_json(), /*indent=*/0);
+    }
+    const char* suffix =
+        binary ? storedetail::kBinarySuffix : storedetail::kProfileSuffix;
     for (size_t seq = 0;; ++seq) {
-      const std::string path =
-          base + std::to_string(seq) + storedetail::kProfileSuffix;
+      const std::string path = base + std::to_string(seq) + suffix;
       if (::link(tmp.c_str(), path.c_str()) == 0) break;
       if (errno != EEXIST) {
         const int err = errno;
@@ -156,8 +206,11 @@ class FilesBackend : public StoreBackend {
   std::vector<Profile> read(const std::string& command,
                             const std::string& tkey) const override {
     std::vector<Profile> out;
+    json::Arena arena;
     for (const auto& name : matching_files(command, tkey)) {
-      Profile p = Profile::from_json(json::load_file(directory_ + "/" + name));
+      auto data = sys::slurp_file(directory_ + "/" + name);
+      if (!data) continue;  // racing remove()
+      Profile p = parse_profile_bytes(std::move(*data), arena);
       // Sanitization can collide; verify the real identity.
       if (p.command == command && store_tags_key(p.tags) == tkey) {
         out.push_back(std::move(p));
@@ -171,8 +224,9 @@ class FilesBackend : public StoreBackend {
     for (const auto& name : matching_files(command, tkey)) {
       const std::string path = directory_ + "/" + name;
       try {
-        const Profile p = Profile::from_json(json::load_file(path));
-        if (p.command != command || store_tags_key(p.tags) != tkey) continue;
+        const auto identity = read_identity(path);
+        if (!identity) continue;
+        if (identity->first != command || identity->second != tkey) continue;
       } catch (const std::exception&) {
         continue;  // unreadable file: leave it for diagnosis, not deletion
       }
@@ -224,10 +278,89 @@ class FilesBackend : public StoreBackend {
   json::Value meta() const override {
     json::Object meta;
     meta["directory"] = directory_;
+    meta["format"] = format_;
     return json::Value(std::move(meta));
   }
 
+  std::vector<StoredProfileEntry> list() const override {
+    std::vector<StoredProfileEntry> out;
+    DIR* dir = ::opendir(directory_.c_str());
+    if (dir == nullptr) return out;
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (has_profile_suffix(name) || has_binary_profile_suffix(name)) {
+        names.push_back(name);
+      }
+    }
+    ::closedir(dir);
+    for (const auto& name : names) {
+      const std::string path = directory_ + "/" + name;
+      auto data = sys::slurp_file(path);
+      if (!data) continue;  // racing remove()
+      StoredProfileEntry e;
+      e.encoded_bytes = data->size();
+      try {
+        if (looks_like_binary_profile(*data)) {
+          BinaryProfileInfo info = decode_binary_identity(*data);
+          e.command = std::move(info.command);
+          e.tags = std::move(info.tags);
+          e.created_at = info.created_at;
+          e.format = "binary";
+        } else {
+          const json::Value v = json::parse(*data);
+          e.command = v.get_or("command", std::string());
+          if (v.contains("tags")) {
+            for (const auto& t : v["tags"].as_array()) {
+              e.tags.push_back(t.as_string());
+            }
+          }
+          e.created_at = v.get_or("created_at", 0.0);
+          e.format = "json";
+        }
+      } catch (const std::exception&) {
+        continue;  // unreadable file: absent from the catalog
+      }
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
  private:
+  /// (command, tags_key) of a stored file, header/top-level fields
+  /// only. nullopt when the file vanished (racing remove()).
+  std::optional<std::pair<std::string, std::string>> read_identity(
+      const std::string& path) const {
+    auto data = sys::slurp_file(path);
+    if (!data) return std::nullopt;
+    if (looks_like_binary_profile(*data)) {
+      BinaryProfileInfo info = decode_binary_identity(*data);
+      return std::make_pair(std::move(info.command),
+                            store_tags_key(info.tags));
+    }
+    const json::Value v = json::parse(*data);
+    std::vector<std::string> tags;
+    if (v.contains("tags")) {
+      for (const auto& t : v["tags"].as_array()) tags.push_back(t.as_string());
+    }
+    return std::make_pair(v.get_or("command", std::string()),
+                          store_tags_key(tags));
+  }
+
+  static void write_raw(const std::string& path, const std::string& bytes) {
+    FILE* f = ::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      throw sys::SystemError("fopen(" + path + ")", errno);
+    }
+    const size_t written = ::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = written == bytes.size() && ::fclose(f) == 0;
+    if (!ok) {
+      if (written != bytes.size()) ::fclose(f);
+      ::unlink(path.c_str());
+      throw sys::SystemError("write(" + path + ")", errno);
+    }
+  }
+
   std::vector<std::string> matching_files(const std::string& command,
                                           const std::string& tkey) const {
     std::vector<std::string> names;
@@ -236,7 +369,8 @@ class FilesBackend : public StoreBackend {
     const std::string prefix = sanitize(command) + "." + sanitize(tkey) + ".";
     while (struct dirent* entry = ::readdir(dir)) {
       const std::string name = entry->d_name;
-      if (name.rfind(prefix, 0) == 0 && has_profile_suffix(name)) {
+      if (name.rfind(prefix, 0) == 0 &&
+          (has_profile_suffix(name) || has_binary_profile_suffix(name))) {
         names.push_back(name);
       }
     }
@@ -245,23 +379,63 @@ class FilesBackend : public StoreBackend {
   }
 
   std::string directory_;
+  std::string format_;
 };
 
 }  // namespace
 
 // --- docstore (shared with the cluster backend) ----------------------------
 
-DocStoreShardBackend::DocStoreShardBackend(const std::string& shard_dir)
-    : store_(std::make_unique<docstore::Store>(shard_dir)) {}
+DocStoreShardBackend::DocStoreShardBackend(const std::string& shard_dir,
+                                           std::string format)
+    : store_(std::make_unique<docstore::Store>(shard_dir)),
+      format_(std::move(format)) {}
 
 DocStoreShardBackend::~DocStoreShardBackend() = default;
 
 bool DocStoreShardBackend::put(const Profile& profile,
                                const std::string& tkey) {
+  if (format_ == "binary") {
+    // Envelope document: the SYNB blob rides as base64, the query
+    // fields stay plain top-level members so FieldEquals lookups work
+    // identically for both document shapes.
+    const std::string blob = profile.to_binary();
+    // The docstore enforces its 16 MB document limit by trimming the
+    // largest array (paper section 4.5) — a base64 string offers it
+    // nothing to trim, so an envelope that cannot fit falls back to the
+    // plain JSON document and inherits the documented sample-array
+    // truncation instead of a hard failure.
+    if (blob.size() / 3 * 4 + 4096 < docstore::kMaxDocumentBytes) {
+      json::Object doc;
+      doc["command"] = profile.command;
+      json::Array jtags;
+      for (const auto& t : profile.tags) jtags.push_back(t);
+      doc["tags"] = std::move(jtags);
+      doc["tags_key"] = tkey;
+      doc["created_at"] = profile.created_at;
+      doc["synb"] = base64_encode(blob);
+      return store_->collection("profiles")
+          .insert(json::Value(std::move(doc)))
+          .truncated;
+    }
+  }
   json::Value doc = profile.to_json();
   doc.as_object()["tags_key"] = tkey;
   return store_->collection("profiles").insert(std::move(doc)).truncated;
 }
+
+namespace {
+
+/// Decode one stored document of either shape (binary envelope or
+/// plain profile document).
+Profile profile_from_doc(const json::Value& doc) {
+  if (doc.contains("synb")) {
+    return Profile::from_binary(base64_decode(doc["synb"].as_string()));
+  }
+  return Profile::from_json(doc);
+}
+
+}  // namespace
 
 std::vector<Profile> DocStoreShardBackend::read(
     const std::string& command, const std::string& tkey) const {
@@ -269,7 +443,33 @@ std::vector<Profile> DocStoreShardBackend::read(
       {"command", json::Value(command)}, {"tags_key", json::Value(tkey)}};
   std::vector<Profile> out;
   for (const auto& doc : store_->collection("profiles").find(query)) {
-    out.push_back(Profile::from_json(doc));
+    out.push_back(profile_from_doc(doc));
+  }
+  return out;
+}
+
+std::vector<StoredProfileEntry> DocStoreShardBackend::list() const {
+  std::vector<StoredProfileEntry> out;
+  for (const auto& doc : store_->collection("profiles").all()) {
+    StoredProfileEntry e;
+    e.command = doc.get_or("command", std::string());
+    if (doc.contains("tags")) {
+      for (const auto& t : doc["tags"].as_array()) {
+        e.tags.push_back(t.as_string());
+      }
+    }
+    e.created_at = doc.get_or("created_at", 0.0);
+    if (doc.contains("synb")) {
+      e.format = "binary";
+      // Stored size is the decoded blob, not its base64 inflation —
+      // that is what a files-backend copy of the same profile would
+      // occupy, so sizes compare across backends.
+      e.encoded_bytes = doc["synb"].as_string().size() / 4 * 3;
+    } else {
+      e.format = "json";
+      e.encoded_bytes = json::dump(doc).size();
+    }
+    out.push_back(std::move(e));
   }
   return out;
 }
@@ -290,6 +490,7 @@ size_t DocStoreShardBackend::size() const {
 json::Value DocStoreShardBackend::meta() const {
   json::Object meta;
   meta["directory"] = store_->directory();
+  meta["format"] = format_;
   return json::Value(std::move(meta));
 }
 
@@ -322,14 +523,14 @@ std::string shard_dir(const StoreBackendContext& context) {
 }  // namespace
 
 StoreBackendRegistry::StoreBackendRegistry() {
-  factories_["memory"] = [](const StoreBackendContext&) {
-    return std::make_unique<MemoryBackend>();
+  factories_["memory"] = [](const StoreBackendContext& ctx) {
+    return std::make_unique<MemoryBackend>(ctx.format);
   };
   factories_["docstore"] = [](const StoreBackendContext& ctx) {
-    return std::make_unique<DocStoreShardBackend>(shard_dir(ctx));
+    return std::make_unique<DocStoreShardBackend>(shard_dir(ctx), ctx.format);
   };
   factories_["files"] = [](const StoreBackendContext& ctx) {
-    return std::make_unique<FilesBackend>(shard_dir(ctx));
+    return std::make_unique<FilesBackend>(shard_dir(ctx), ctx.format);
   };
   factories_["cluster"] = [](const StoreBackendContext& ctx) {
     return std::make_unique<ClusterBackend>(ctx);

@@ -50,6 +50,22 @@ struct StoreBackendContext {
   size_t shard_index = 0;
   size_t shard_count = 1;
   std::string spec_file;
+  /// Encoding for NEW writes: "json" or "binary" (SYNB, see
+  /// binary_codec.hpp). Reads always sniff the stored bytes, so a shard
+  /// may hold both formats at once — that is how format conversion and
+  /// legacy stores work.
+  std::string format = "json";
+};
+
+/// One stored profile as a backend catalogs it (synapse-inspect
+/// listings, format conversion): identity plus how and how big it is
+/// encoded at rest.
+struct StoredProfileEntry {
+  std::string command;
+  std::vector<std::string> tags;
+  double created_at = 0.0;
+  std::string format;         ///< "json" | "binary"
+  size_t encoded_bytes = 0;   ///< size at rest (0 when not encoded)
 };
 
 class StoreBackend {
@@ -91,6 +107,12 @@ class StoreBackend {
   /// synapse-inspect): e.g. the cluster backend reports the docstore
   /// instance the shard is placed on. Default: empty object.
   virtual json::Value meta() const { return json::Value(json::Object{}); }
+
+  /// Catalog of every profile in this shard, in any order. Default:
+  /// empty — custom backends that predate the listing API keep working,
+  /// they just show up empty in synapse-inspect listings and are
+  /// skipped by format conversion.
+  virtual std::vector<StoredProfileEntry> list() const { return {}; }
 };
 
 /// The docstore built-in: one embedded docstore::Store per shard
@@ -101,7 +123,13 @@ class StoreBackend {
 /// directory.
 class DocStoreShardBackend : public StoreBackend {
  public:
-  explicit DocStoreShardBackend(const std::string& shard_dir);
+  /// `format` selects the encoding for new writes ("json" stores the
+  /// profile as a plain document; "binary" wraps a SYNB blob in a
+  /// base64 envelope document that keeps the query fields — command,
+  /// tags_key, created_at — as plain top-level members). Reads handle
+  /// both document shapes regardless.
+  explicit DocStoreShardBackend(const std::string& shard_dir,
+                                std::string format = "json");
   ~DocStoreShardBackend() override;
 
   bool put(const Profile& profile, const std::string& tkey) override;
@@ -112,9 +140,11 @@ class DocStoreShardBackend : public StoreBackend {
   size_t size() const override;
   bool needs_flush() const override { return true; }
   json::Value meta() const override;
+  std::vector<StoredProfileEntry> list() const override;
 
  private:
   std::unique_ptr<docstore::Store> store_;
+  std::string format_;
 };
 
 class StoreBackendRegistry {
@@ -170,10 +200,15 @@ bool file_exists(const std::string& path);
 std::string unique_tmp_suffix();
 
 /// True for names ending in ".profile.json" (the files backend's
-/// one-file-per-profile layout).
+/// one-file-per-profile layout; also the pre-sharding legacy layout,
+/// which is why the legacy migration scans use exactly this).
 bool has_profile_suffix(const std::string& name);
 
-/// Number of *.profile.json entries directly inside `dir`.
+/// True for names ending in ".profile.synb" (the files backend's
+/// binary-format files).
+bool has_binary_profile_suffix(const std::string& name);
+
+/// Number of profile entries (either suffix) directly inside `dir`.
 size_t count_profile_files(const std::string& dir);
 
 /// Filesystem-safe mangling of commands/tags for file names.

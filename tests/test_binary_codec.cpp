@@ -1,0 +1,240 @@
+// SYNB binary columnar container (profile/binary_codec.hpp): lossless
+// round trips across the scenario catalog with bit-identical replay
+// deltas, size bounds against compact JSON, and loud rejection of
+// truncated/corrupt/foreign payloads.
+
+#include "profile/binary_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "profile/profile.hpp"
+#include "workload/scenario.hpp"
+
+namespace json = synapse::json;
+namespace profile = synapse::profile;
+namespace workload = synapse::workload;
+
+using profile::CodecError;
+
+namespace {
+
+/// Catalog profiles plus hand-built edge cases (empty profile, series
+/// with holes so presence bitmaps are exercised, negative/huge values).
+std::vector<profile::Profile> fixture_profiles() {
+  std::vector<profile::Profile> out;
+  for (const auto& spec : workload::builtin_scenarios()) {
+    out.push_back(spec.make_profile());
+  }
+
+  profile::Profile empty;
+  empty.command = "empty";
+  out.push_back(std::move(empty));
+
+  profile::Profile holes;
+  holes.command = "holes \"quoted\" \xc3\xa9";  // header escaping
+  holes.tags = {"b-tag", "a-tag"};
+  holes.sample_rate_hz = 7.5;
+  holes.created_at = 1.5e9;
+  holes.totals["cycles_used"] = 1e12;
+  holes.derived["flops_per_cycle"] = 0.25;
+  profile::TimeSeries ts;
+  ts.watcher = "cpu";
+  ts.sample_rate_hz = 5.0;
+  for (int i = 0; i < 10; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + 0.2 * i;
+    s.values["cycles_used"] = 1e9 + i;           // dense
+    if (i % 3 == 0) s.values["io_wait"] = -0.5;  // sparse, negative
+    if (i == 7) s.values["rare"] = 1e300;        // near-max double
+    ts.samples.push_back(std::move(s));
+  }
+  holes.series.push_back(std::move(ts));
+  profile::TimeSeries none;
+  none.watcher = "idle";
+  none.sample_rate_hz = 1.0;
+  holes.series.push_back(std::move(none));
+  out.push_back(std::move(holes));
+  return out;
+}
+
+/// Replay-input equality, bitwise: same buckets, same metrics, same
+/// double bits (the decoded fast path must be indistinguishable from
+/// the map walk).
+void expect_same_deltas(const std::vector<profile::SampleDelta>& a,
+                        const std::vector<profile::SampleDelta>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].duration, b[i].duration) << "bucket " << i;
+    ASSERT_EQ(a[i].deltas.size(), b[i].deltas.size()) << "bucket " << i;
+    auto it_a = a[i].deltas.begin();
+    auto it_b = b[i].deltas.begin();
+    for (; it_a != a[i].deltas.end(); ++it_a, ++it_b) {
+      EXPECT_EQ(it_a->first, it_b->first) << "bucket " << i;
+      EXPECT_EQ(it_a->second, it_b->second)
+          << "bucket " << i << " metric " << it_a->first;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(BinaryCodec, RoundTripIsLosslessAcrossCatalog) {
+  for (const auto& p : fixture_profiles()) {
+    const std::string blob = p.to_binary();
+    const profile::Profile back = profile::Profile::from_binary(blob);
+    // Identical JSON projection == identical identity, system info,
+    // totals, derived, and every series/sample/value.
+    EXPECT_EQ(json::dump(back.to_json()), json::dump(p.to_json()))
+        << p.command;
+    // Re-encoding is deterministic and stable.
+    EXPECT_EQ(back.to_binary(), blob) << p.command;
+  }
+}
+
+TEST(BinaryCodec, ColumnarDeltasMatchMapWalkBitForBit) {
+  for (const auto& p : fixture_profiles()) {
+    const profile::Profile decoded =
+        profile::Profile::from_binary(p.to_binary());
+    ASSERT_TRUE(decoded.has_binary_payload());
+    // `p` has no payload -> map walk; `decoded` -> columnar fast path.
+    expect_same_deltas(decoded.sample_deltas(), p.sample_deltas());
+  }
+}
+
+TEST(BinaryCodec, DropBinaryPayloadFallsBackToMapWalk) {
+  const profile::Profile src = fixture_profiles().back();
+  profile::Profile decoded = profile::Profile::from_binary(src.to_binary());
+  const auto fast = decoded.sample_deltas();
+  decoded.drop_binary_payload();
+  EXPECT_FALSE(decoded.has_binary_payload());
+  expect_same_deltas(decoded.sample_deltas(), fast);
+}
+
+TEST(BinaryCodec, BinaryIsAtMostHalfOfCompactJsonOnCatalog) {
+  // The acceptance bar: across the catalog, SYNB costs <= 50% of the
+  // compact JSON encoding (tiny profiles are header-dominated, so the
+  // bound is on the aggregate).
+  size_t json_bytes = 0;
+  size_t synb_bytes = 0;
+  for (const auto& spec : workload::builtin_scenarios()) {
+    const profile::Profile p = spec.make_profile();
+    json_bytes += json::dump(p.to_json()).size();
+    synb_bytes += p.to_binary().size();
+  }
+  EXPECT_LE(synb_bytes * 2, json_bytes)
+      << synb_bytes << " binary vs " << json_bytes << " JSON bytes";
+}
+
+TEST(BinaryCodec, SniffsMagic) {
+  const profile::Profile p = fixture_profiles().front();
+  EXPECT_TRUE(profile::looks_like_binary_profile(p.to_binary()));
+  EXPECT_FALSE(profile::looks_like_binary_profile(json::dump(p.to_json())));
+  EXPECT_FALSE(profile::looks_like_binary_profile(""));
+  EXPECT_FALSE(profile::looks_like_binary_profile("SYN"));
+}
+
+TEST(BinaryCodec, IdentityDecodesWithoutColumns) {
+  profile::Profile p;
+  p.command = "ident-cmd";
+  p.tags = {"x", "y"};
+  p.created_at = 123.5;
+  const auto info = profile::decode_binary_identity(p.to_binary());
+  EXPECT_EQ(info.command, "ident-cmd");
+  EXPECT_EQ(info.tags, (std::vector<std::string>{"x", "y"}));
+  EXPECT_DOUBLE_EQ(info.created_at, 123.5);
+}
+
+TEST(BinaryCodec, RejectsWrongMagic) {
+  std::string blob = fixture_profiles().front().to_binary();
+  blob[0] = 'X';
+  try {
+    profile::decode_binary(blob);
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryCodec, RejectsUnsupportedVersion) {
+  std::string blob = fixture_profiles().front().to_binary();
+  blob[4] = 9;  // version u32 lives right after the magic
+  try {
+    profile::decode_binary(blob);
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported SYNB version 9"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryCodec, EveryTruncationThrowsWithDiagnostics) {
+  const std::string blob = fixture_profiles().back().to_binary();
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    try {
+      profile::decode_binary(std::string_view(blob).substr(0, cut));
+      FAIL() << "cut at " << cut << " decoded";
+    } catch (const CodecError& e) {
+      // Diagnostics name the container, not just "error".
+      EXPECT_NE(std::string(e.what()).find("SYNB"), std::string::npos)
+          << "cut " << cut << ": " << e.what();
+    }
+  }
+}
+
+TEST(BinaryCodec, ByteMutationsNeverCrash) {
+  // Single-byte corruption must either still decode (payload bytes are
+  // arbitrary doubles) or throw CodecError — never crash or exhaust
+  // memory on a corrupt count.
+  const std::string blob = fixture_profiles().back().to_binary();
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string mutated = blob;
+    const size_t pos =
+        std::uniform_int_distribution<size_t>(0, blob.size() - 1)(rng);
+    mutated[pos] = static_cast<char>(
+        std::uniform_int_distribution<int>(0, 255)(rng));
+    try {
+      const profile::Profile p = profile::decode_binary(mutated);
+      (void)p.sample_deltas();  // decoded fine: replay input must too
+    } catch (const CodecError&) {
+      // Expected for framing corruption.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(BinaryCodec, TrailingGarbageRejected) {
+  const std::string blob = fixture_profiles().front().to_binary() + "x";
+  try {
+    profile::decode_binary(blob);
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryCodec, Base64RoundTripsAllLengths) {
+  std::string raw;
+  for (int len = 0; len <= 64; ++len) {
+    const std::string encoded = profile::base64_encode(raw);
+    EXPECT_EQ(profile::base64_decode(encoded), raw) << "len " << len;
+    raw.push_back(static_cast<char>(len * 37 + 250));  // includes >127
+  }
+}
+
+TEST(BinaryCodec, Base64RejectsMalformedInput) {
+  EXPECT_THROW(profile::base64_decode("abc"), CodecError);     // length % 4
+  EXPECT_THROW(profile::base64_decode("ab!d"), CodecError);    // alphabet
+  EXPECT_THROW(profile::base64_decode("=abc"), CodecError);    // padding
+  EXPECT_THROW(profile::base64_decode("ab=c"), CodecError);    // padding
+  EXPECT_NO_THROW(profile::base64_decode("abc="));
+  EXPECT_NO_THROW(profile::base64_decode("ab=="));
+}

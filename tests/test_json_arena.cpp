@@ -1,0 +1,202 @@
+// Arena-backed JSON parsing (json/arena.hpp): the pooled DOM must be
+// observationally identical to the heap parser — same values, same
+// error diagnostics, same duplicate-key and escape handling — while
+// recycling its slabs across reset().
+
+#include "json/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace json = synapse::json;
+
+namespace {
+
+/// The fixture set mirrors test_json.cpp: every document the heap
+/// parser is tested against, parsed both ways and compared.
+const std::vector<std::string>& fixtures() {
+  static const std::vector<std::string> docs = {
+      "null",
+      "true",
+      "false",
+      "42",
+      "-3.25",
+      "1e6",
+      "\"hi\"",
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})",
+      R"("a\"b\\c\nd\teA")",
+      R"("é")",
+      R"("€")",
+      R"("Aé€")",
+      R"({"s": "x", "n": 2.5, "b": true})",
+      R"({"arr":[1,2.5,"s",true,null],"nested":{"k":"v"},"z":-7})",
+      R"({"a":[1,{"b":[]},{}],"c":"d"})",
+      "[]",
+      "{}",
+      "[[[[[1]]]]]",
+      R"({"dup":1,"dup":2,"dup":3})",
+      R"({"x":0.0,"y":1e-12,"z":1e15,"w":-2.5e9})",
+      R"("az")",
+  };
+  return docs;
+}
+
+}  // namespace
+
+TEST(JsonArena, ParityWithHeapParserOnEveryFixture) {
+  json::Arena arena;
+  for (const auto& doc : fixtures()) {
+    arena.reset();
+    const json::Value heap = json::parse(doc);
+    const json::ArenaValue& pooled = json::parse(doc, arena);
+    // to_value() deep-copies into the heap DOM; value equality plus
+    // byte-identical dumps pin ordering and number formatting too.
+    EXPECT_TRUE(pooled.to_value() == heap) << doc;
+    EXPECT_EQ(json::dump(pooled.to_value()), json::dump(heap)) << doc;
+  }
+}
+
+TEST(JsonArena, ParityOnRandomDocuments) {
+  // Seeded heap-DOM generator (the test_json_fuzz shape): dump it, then
+  // both parsers must agree on the reparse.
+  std::mt19937 rng(20260807);
+  json::Arena arena;
+  for (int trial = 0; trial < 200; ++trial) {
+    json::Object o;
+    const int n = std::uniform_int_distribution<int>(0, 6)(rng);
+    for (int i = 0; i < n; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      switch (std::uniform_int_distribution<int>(0, 4)(rng)) {
+        case 0: o[key] = nullptr; break;
+        case 1: o[key] = (rng() & 1) == 0; break;
+        case 2:
+          o[key] = std::uniform_real_distribution<double>(-1e9, 1e9)(rng);
+          break;
+        case 3: o[key] = "s\t\"\\" + std::to_string(rng() % 1000); break;
+        default: {
+          json::Array a;
+          const int len = std::uniform_int_distribution<int>(0, 5)(rng);
+          for (int k = 0; k < len; ++k) a.push_back(k * 0.5);
+          o[key] = std::move(a);
+        }
+      }
+    }
+    const std::string doc = json::dump(json::Value(std::move(o)));
+    arena.reset();
+    EXPECT_TRUE(json::parse(doc, arena).to_value() == json::parse(doc))
+        << doc;
+  }
+}
+
+TEST(JsonArena, ErrorDiagnosticsMatchHeapParser) {
+  const std::vector<std::string> bad = {
+      "", "{", "[1,]", "{\"a\":1} trailing", "tru", "'single'",
+      "{\n  \"a\": ,\n}",
+  };
+  json::Arena arena;
+  for (const auto& doc : bad) {
+    std::string heap_error;
+    try {
+      json::parse(doc);
+      FAIL() << "heap parser accepted: " << doc;
+    } catch (const json::JsonError& e) {
+      heap_error = e.what();
+    }
+    try {
+      json::parse(doc, arena);
+      FAIL() << "arena parser accepted: " << doc;
+    } catch (const json::JsonError& e) {
+      EXPECT_EQ(std::string(e.what()), heap_error) << doc;
+    }
+  }
+}
+
+TEST(JsonArena, ReadApiMirrorsValue) {
+  json::Arena arena;
+  const auto& v = json::parse(
+      R"({"s":"x","n":2.5,"b":true,"arr":[10,20],"o":{"k":"v"}})", arena);
+  EXPECT_EQ(v["s"].as_string(), "x");
+  EXPECT_DOUBLE_EQ(v["n"].as_double(), 2.5);
+  EXPECT_EQ(v["b"].as_bool(), true);
+  EXPECT_EQ(v["arr"].size(), 2u);
+  EXPECT_DOUBLE_EQ(v["arr"].at(1).as_double(), 20.0);
+  EXPECT_TRUE(v.contains("o"));
+  EXPECT_FALSE(v.contains("missing"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.get_or("s", std::string("d")), "x");
+  EXPECT_EQ(v.get_or("absent", std::string("d")), "d");
+  EXPECT_DOUBLE_EQ(v.get_or("n", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(v.get_or("s", 9.0), 9.0);  // wrong type -> default
+  EXPECT_THROW(v["missing"], json::JsonError);
+  EXPECT_THROW(v["s"].as_double(), json::JsonError);
+  EXPECT_THROW(v["arr"].at(2), json::JsonError);
+}
+
+TEST(JsonArena, IterationCoversMembersAndItems) {
+  json::Arena arena;
+  const auto& v = json::parse(R"({"a":1,"b":2,"c":[3,4,5]})", arena);
+  std::string keys;
+  double sum = 0.0;
+  for (const auto* m = v.members_begin(); m != v.members_end(); ++m) {
+    keys += m->key;
+    if (m->value.is_number()) sum += m->value.as_double();
+  }
+  EXPECT_EQ(keys, "abc");
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  const auto& arr = v["c"];
+  double arr_sum = 0.0;
+  for (const auto* it = arr.items_begin(); it != arr.items_end(); ++it) {
+    arr_sum += it->as_double();
+  }
+  EXPECT_DOUBLE_EQ(arr_sum, 12.0);
+  // Wrong-type iteration is an empty range, not UB.
+  EXPECT_EQ(v["a"].items_begin(), v["a"].items_end());
+  EXPECT_EQ(arr.members_begin(), arr.members_end());
+}
+
+TEST(JsonArena, DuplicateKeysLastWins) {
+  json::Arena arena;
+  const auto& v = json::parse(R"({"dup":1,"dup":2,"dup":3})", arena);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v["dup"].as_double(), 3.0);
+}
+
+TEST(JsonArena, ResetRecyclesUniformSlabs) {
+  json::Arena arena;
+  json::parse(R"({"a":[1,2,3,4],"b":"some string content"})", arena);
+  ASSERT_GT(arena.bytes_used(), 0u);
+  const size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+  for (int i = 0; i < 16; ++i) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    json::parse(R"({"a":[1,2,3,4],"b":"some string content"})", arena);
+  }
+  // Same document shape, same slabs: no growth across resets.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(JsonArena, OversizedAllocationsAreReleasedOnReset) {
+  json::Arena arena(1024);  // small uniform slabs
+  const std::string big(64 * 1024, 'x');
+  json::parse("\"" + big + "\"", arena);
+  const size_t with_big = arena.bytes_reserved();
+  EXPECT_GE(with_big, big.size());
+  arena.reset();
+  // The dedicated slab is gone; only uniform slabs remain.
+  EXPECT_LT(arena.bytes_reserved(), big.size());
+}
+
+TEST(JsonArena, ValuesSurviveUntilReset) {
+  json::Arena arena;
+  const auto& a = json::parse(R"({"first":1})", arena);
+  const auto& b = json::parse(R"({"second":2})", arena);
+  // Multiple documents coexist in one arena.
+  EXPECT_DOUBLE_EQ(a["first"].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(b["second"].as_double(), 2.0);
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 
@@ -498,4 +499,247 @@ TEST(ProfileStore, CommandsWithShellCharsAreStorable) {
   store.put(make_profile(cmd, {}, 1, 1.0));
   EXPECT_EQ(store.find(cmd).size(), 1u);
   std::system(("rm -rf " + dir).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Profile formats: SYNB binary vs JSON text, per-store format
+// persistence, mixed stores, and in-place conversion (convert_all).
+
+namespace {
+
+/// A profile with real sample series, so format tests cover the data
+/// that actually round-trips through the codecs (not just identity).
+profile::Profile make_series_profile(const std::string& cmd, double cycles,
+                                     double created_at) {
+  profile::Profile p = make_profile(cmd, {"fmt"}, cycles, created_at);
+  p.sample_rate_hz = 10.0;
+  profile::TimeSeries ts;
+  ts.watcher = "cpu";
+  ts.sample_rate_hz = 10.0;
+  for (int i = 0; i < 20; ++i) {
+    profile::Sample s;
+    s.timestamp = created_at + 0.1 * i;
+    s.values[std::string(m::kCyclesUsed)] = cycles + i * 1e6;
+    if (i % 4 == 0) s.values["io_wait"] = 0.01 * i;
+    ts.samples.push_back(std::move(s));
+  }
+  p.series.push_back(std::move(ts));
+  return p;
+}
+
+void expect_equal_profiles(const profile::Profile& a,
+                           const profile::Profile& b) {
+  EXPECT_EQ(synapse::json::dump(a.to_json()), synapse::json::dump(b.to_json()));
+}
+
+}  // namespace
+
+TEST(ProfileStoreFormat, NewStoresDefaultToBinary) {
+  const std::string dir = "/tmp/synapse_store_fmt_default";
+  std::system(("rm -rf " + dir).c_str());
+  {
+    profile::ProfileStore store("files", dir);
+    EXPECT_EQ(store.format(), "binary");
+    store.put(make_series_profile("fmt-cmd", 100, 1.0));
+    const auto entries = store.list();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].format, "binary");
+    EXPECT_EQ(entries[0].command, "fmt-cmd");
+    EXPECT_GT(entries[0].encoded_bytes, 0u);
+  }
+  EXPECT_EQ(profile::ProfileStore::detect_format(dir), "binary");
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStoreFormat, ExplicitFormatPersistsAcrossReopen) {
+  const std::string dir = "/tmp/synapse_store_fmt_persist";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStoreOptions options;
+  options.format = "json";
+  {
+    profile::ProfileStore store("files", dir, options);
+    EXPECT_EQ(store.format(), "json");
+    store.put(make_series_profile("json-cmd", 7, 1.0));
+  }
+  EXPECT_EQ(profile::ProfileStore::detect_format(dir), "json");
+  {
+    // No format in the options: the store keeps what it was created
+    // with, it does NOT silently upgrade to the binary default.
+    profile::ProfileStore store("files", dir);
+    EXPECT_EQ(store.format(), "json");
+    const auto entries = store.list();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].format, "json");
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStoreFormat, LegacyMetaWithoutFormatMeansJson) {
+  // Stores written before SYNB existed have no "format" field in
+  // store.meta.json; they must open as JSON stores with no data loss.
+  const std::string dir = "/tmp/synapse_store_fmt_legacy";
+  std::system(("rm -rf " + dir).c_str());
+  const auto original = make_series_profile("legacy-cmd", 42, 2.0);
+  profile::ProfileStoreOptions options;
+  options.format = "json";
+  {
+    profile::ProfileStore store("files", dir, options);
+    store.put(original);
+  }
+  {
+    auto meta = synapse::json::load_file(dir + "/store.meta.json");
+    meta.as_object().erase("format");
+    synapse::json::save_file(dir + "/store.meta.json", meta);
+  }
+  EXPECT_EQ(profile::ProfileStore::detect_format(dir), "json");
+  {
+    profile::ProfileStore store("files", dir);
+    EXPECT_EQ(store.format(), "json");
+    const auto hits = store.find("legacy-cmd", {"fmt"});
+    ASSERT_EQ(hits.size(), 1u);
+    expect_equal_profiles(hits[0], original);
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(ProfileStoreFormat, MixedFormatStoreReadsBoth) {
+  // Reads sniff each blob's magic, so a store written under both
+  // formats (e.g. mid-conversion, or by old and new recorders) serves
+  // every profile.
+  const std::string dir = "/tmp/synapse_store_fmt_mixed";
+  std::system(("rm -rf " + dir).c_str());
+  profile::ProfileStoreOptions json_opts;
+  json_opts.format = "json";
+  {
+    profile::ProfileStore store("files", dir, json_opts);
+    store.put(make_series_profile("mixed-cmd", 1, 1.0));
+  }
+  profile::ProfileStoreOptions bin_opts;
+  bin_opts.format = "binary";
+  {
+    profile::ProfileStore store("files", dir, bin_opts);
+    store.put(make_series_profile("mixed-cmd", 2, 2.0));
+    const auto hits = store.find("mixed-cmd", {"fmt"});
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_DOUBLE_EQ(hits[0].total(m::kCyclesUsed), 1.0);
+    EXPECT_DOUBLE_EQ(hits[1].total(m::kCyclesUsed), 2.0);
+    std::vector<std::string> formats;
+    for (const auto& e : store.list()) formats.push_back(e.format);
+    std::sort(formats.begin(), formats.end());
+    EXPECT_EQ(formats, (std::vector<std::string>{"binary", "json"}));
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+class ProfileStoreConvert : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileStoreConvert, JsonStoreConvertsToBinaryWithoutDataLoss) {
+  const std::string backend = GetParam();
+  const std::string dir = "/tmp/synapse_store_fmt_convert_" + backend;
+  std::system(("rm -rf " + dir).c_str());
+  std::vector<profile::Profile> originals;
+  for (int i = 0; i < 6; ++i) {
+    originals.push_back(make_series_profile("conv-" + std::to_string(i % 3),
+                                            i * 10.0, 1.0 + i));
+  }
+  profile::ProfileStoreOptions json_opts;
+  json_opts.format = "json";
+  {
+    profile::ProfileStore store(backend, dir, json_opts);
+    store.put_many(originals);
+    store.flush();
+  }
+  {
+    profile::ProfileStoreOptions bin_opts;
+    bin_opts.format = "binary";
+    profile::ProfileStore store(backend, dir, bin_opts);
+    EXPECT_EQ(store.convert_all(), originals.size());
+    store.flush();
+  }
+  EXPECT_EQ(profile::ProfileStore::detect_format(dir), "binary");
+  {
+    profile::ProfileStore store(backend, dir);
+    EXPECT_EQ(store.format(), "binary");
+    EXPECT_EQ(store.size(), originals.size());
+    for (const auto& e : store.list()) EXPECT_EQ(e.format, "binary");
+    for (const auto& original : originals) {
+      const auto hits = store.find(original.command, original.tags);
+      bool found = false;
+      for (const auto& hit : hits) {
+        if (hit.created_at != original.created_at) continue;
+        found = true;
+        expect_equal_profiles(hit, original);
+        // The replay input survives the re-encoding bit for bit.
+        const auto a = hit.sample_deltas();
+        const auto b = original.sample_deltas();
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].deltas, b[i].deltas);
+        }
+      }
+      EXPECT_TRUE(found) << original.command << " @ " << original.created_at;
+    }
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST_P(ProfileStoreConvert, BinaryStoreConvertsBackToJson) {
+  const std::string backend = GetParam();
+  const std::string dir = "/tmp/synapse_store_fmt_unconvert_" + backend;
+  std::system(("rm -rf " + dir).c_str());
+  const auto original = make_series_profile("unconv", 5, 3.0);
+  {
+    profile::ProfileStore store(backend, dir);  // binary by default
+    store.put(original);
+    store.flush();
+  }
+  {
+    profile::ProfileStoreOptions json_opts;
+    json_opts.format = "json";
+    profile::ProfileStore store(backend, dir, json_opts);
+    EXPECT_EQ(store.convert_all(), 1u);
+    store.flush();
+  }
+  EXPECT_EQ(profile::ProfileStore::detect_format(dir), "json");
+  {
+    profile::ProfileStore store(backend, dir);
+    const auto hits = store.find("unconv", {"fmt"});
+    ASSERT_EQ(hits.size(), 1u);
+    expect_equal_profiles(hits[0], original);
+    for (const auto& e : store.list()) EXPECT_EQ(e.format, "json");
+  }
+  std::system(("rm -rf " + dir).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ProfileStoreConvert,
+                         ::testing::Values("files", "docstore"));
+
+TEST(ProfileStoreFormat, BinaryStoresAreSmallerOnDisk) {
+  // Same stream, both formats: the files backend's on-disk footprint
+  // (list() reports the encoded byte sizes) must at most halve.
+  const std::string dir = "/tmp/synapse_store_fmt_size";
+  size_t bytes[2] = {0, 0};
+  int slot = 0;
+  for (const std::string format : {"json", "binary"}) {
+    std::system(("rm -rf " + dir).c_str());
+    profile::ProfileStoreOptions options;
+    options.format = format;
+    profile::ProfileStore store("files", dir, options);
+    for (int i = 0; i < 4; ++i) {
+      store.put(make_series_profile("size-cmd", i * 100.0, 1.0 + i));
+    }
+    for (const auto& e : store.list()) bytes[slot] += e.encoded_bytes;
+    ++slot;
+  }
+  std::system(("rm -rf " + dir).c_str());
+  ASSERT_GT(bytes[0], 0u);
+  EXPECT_LE(bytes[1] * 2, bytes[0])
+      << bytes[1] << " binary vs " << bytes[0] << " JSON bytes";
+}
+
+TEST(ProfileStoreFormat, UnknownFormatIsRejected) {
+  profile::ProfileStoreOptions options;
+  options.format = "msgpack";
+  EXPECT_THROW(profile::ProfileStore store(std::move(options)),
+               synapse::sys::ConfigError);
 }
