@@ -18,6 +18,10 @@
 // binary row's put_many rate over the json row's). The memory backend
 // stores Profile objects and never encodes, so it runs once.
 //
+// A second section sweeps ProfileStoreOptions::threads (1/2/4/shared
+// pool) over a 16-shard binary files store and times the pool-parallel
+// cross-shard operations: put_many, the list() scan, and convert_all.
+//
 // Usage: bench_store_ingest [--smoke] [--json PATH] [N]
 //   --smoke      tiny stream (CI smoke run)
 //   --json PATH  machine-readable results (bench_util.hpp Results)
@@ -68,11 +72,13 @@ struct IngestTiming {
 
 profile::ProfileStore make_store(const std::string& backend,
                                  const std::string& dir, size_t shards,
-                                 const std::string& format) {
+                                 const std::string& format,
+                                 size_t threads = 1) {
   profile::ProfileStoreOptions options;
   options.shards = shards;
   options.backend = backend;
   options.format = format;
+  options.threads = threads;
   if (backend == "memory") {
     return profile::ProfileStore(std::move(options));
   }
@@ -114,6 +120,54 @@ IngestTiming run_one(const std::string& backend, size_t shards,
   }
   std::system(("rm -rf " + dir).c_str());
   return t;
+}
+
+/// Cross-shard parallelism sweep: the same binary files-backed stream,
+/// shards fixed at 16, worker threads 1 (fully serial store), 2, 4 and
+/// 0 (the process-wide shared pool at its default width). put_many
+/// fans out one task per shard; list() is the full-store scan; the
+/// speedup column is each row's put_many rate over the threads=1 row.
+void parallel_section(const std::vector<profile::Profile>& stream) {
+  const std::string dir = "/tmp/synapse_bench_ingest_par";
+  const double n = static_cast<double>(stream.size());
+  constexpr size_t kShards = 16;
+
+  bench::heading("Cross-shard parallelism — files/binary, " +
+                 std::to_string(kShards) + " shards");
+  bench::row("%-12s %10s %10s %12s %9s", "threads", "put_many", "scan",
+             "convert_all", "speedup");
+
+  double serial_put_many_s = 0.0;
+  for (const size_t threads :
+       {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    auto store = make_store("files", dir, kShards, "binary", threads);
+    sys::Stopwatch w;
+    store.put_many(stream);
+    const double put_many_s = std::max(w.elapsed(), 1e-9);
+    w.reset();
+    const size_t listed = store.list().size();
+    const double scan_s = std::max(w.elapsed(), 1e-9);
+    w.reset();
+    store.convert_all();
+    const double convert_s = std::max(w.elapsed(), 1e-9);
+    if (listed != stream.size()) {
+      bench::row("!! scan saw %zu of %zu profiles", listed, stream.size());
+    }
+
+    if (threads == 1) serial_put_many_s = put_many_s;
+    const std::string label =
+        threads == 0 ? "pool(" + std::to_string(store.task_threads()) + ")"
+                     : std::to_string(threads);
+    bench::row("%-12s %8.0f/s %9.3fs %11.3fs %8.1fx", label.c_str(),
+               n / put_many_s, scan_s, convert_s,
+               serial_put_many_s / put_many_s);
+    const std::string section = "parallel/threads=" + label;
+    bench::results().record(section, "put_many_per_s", n / put_many_s,
+                            "1/s");
+    bench::results().record(section, "scan_s", scan_s, "s");
+    bench::results().record(section, "convert_all_s", convert_s, "s");
+  }
+  std::system(("rm -rf " + dir).c_str());
 }
 
 }  // namespace
@@ -179,6 +233,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  parallel_section(stream);
   bench::results().write();
   return 0;
 }

@@ -113,7 +113,10 @@ emulator::EmulationResult Session::emulate(
     const std::string& command, const std::vector<std::string>& tags) {
   // Batched recordings must be visible to the lookup below.
   flush_pending();
-  const auto p = store_.find_latest(command, tags);
+  // Shared snapshot, not a copy: repeated emulation of a hot workload
+  // hits the store's decoded-profile cache and pays one refcount bump
+  // per replay instead of a decode (or a deep Profile copy).
+  const auto p = store_.find_latest_shared(command, tags);
   if (!p) {
     throw sys::ProfileNotFound("no profile stored for command '" + command +
                                "'");

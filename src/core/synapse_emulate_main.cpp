@@ -210,6 +210,25 @@ int main(int argc, char** argv) {
       }
       options.store_options.flush_policy.max_pending =
           static_cast<size_t>(n);
+    } else if (arg == "--store-threads") {
+      const long n = std::atol(next());
+      if (n < 0) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-threads needs a thread "
+                     "count >= 0 (0 = shared pool)\n");
+        return 2;
+      }
+      options.store_options.threads = static_cast<size_t>(n);
+    } else if (arg == "--store-cache-mb") {
+      const long mb = std::atol(next());
+      if (mb < 0) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --store-cache-mb needs a budget "
+                     ">= 0 MiB\n");
+        return 2;
+      }
+      options.store_options.cache_max_bytes =
+          static_cast<size_t>(mb) * 1024 * 1024;
     } else if (arg == "--scenario") {
       scenario = next();
       if (scenario.empty()) {
@@ -244,6 +263,12 @@ int main(int argc, char** argv) {
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: docstore background flush\n"
           "                 by age/size)\n"
+          "                [--store-threads N] (cross-shard store "
+          "parallelism;\n"
+          "                 0 = shared pool, 1 = serial)\n"
+          "                [--store-cache-mb MB] (decoded-profile cache "
+          "byte\n"
+          "                 budget; 0 = unbounded)\n"
           "                [--store-format json|binary] (encoding for new\n"
           "                 writes; new stores default to binary SYNB)\n"
           "                [--read-block KiB] [--write-block KiB]\n"

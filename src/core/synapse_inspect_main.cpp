@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
@@ -150,6 +151,7 @@ void print_store_stats(const ProfileStore& store) {
     std::printf("  stored %-12s : %zu profiles\n", format.c_str(), n);
   }
   std::printf("  shards              : %zu\n", store.shard_count());
+  std::printf("  store threads       : %zu\n", store.task_threads());
   // Per-instance shard placement (the cluster backend reports one
   // instance per shard; single-instance backends have no such field).
   std::map<std::string, size_t> instances;
@@ -166,6 +168,8 @@ void print_store_stats(const ProfileStore& store) {
               static_cast<unsigned long long>(cache.misses));
   std::printf("  cache invalidations : %llu\n",
               static_cast<unsigned long long>(cache.invalidations));
+  std::printf("  cache bytes         : %llu\n",
+              static_cast<unsigned long long>(cache.bytes));
 }
 
 int cmd_diff(const ProfileStore& store, const std::string& command,
@@ -204,6 +208,8 @@ int main(int argc, char** argv) {
   std::string export_path;
   std::string command;
   bool stats_flag = false;
+  size_t store_threads = 0;
+  long store_cache_mb = -1;  ///< -1 = keep the store default
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -226,12 +232,34 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       stats_flag = true;
+    } else if (arg == "--store-threads") {
+      const long n = std::atol(next());
+      if (n < 0) {
+        std::fprintf(stderr,
+                     "synapse-inspect: --store-threads needs a thread "
+                     "count >= 0 (0 = shared pool)\n");
+        return 2;
+      }
+      store_threads = static_cast<size_t>(n);
+    } else if (arg == "--store-cache-mb") {
+      const long mb = std::atol(next());
+      if (mb < 0) {
+        std::fprintf(stderr,
+                     "synapse-inspect: --store-cache-mb needs a budget "
+                     ">= 0 MiB\n");
+        return 2;
+      }
+      store_cache_mb = mb;
     } else if (arg == "--tag") {
       tags.push_back(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "synapse-inspect [--store DIR] [--store-cluster SPEC.json]\n"
           "                [--convert json|binary] [--tag TAG]... [--stats]\n"
+          "                [--store-threads N] (cross-shard parallelism;\n"
+          "                 0 = shared pool, 1 = serial)\n"
+          "                [--store-cache-mb MB] (decoded-profile cache\n"
+          "                 byte budget; 0 = unbounded)\n"
           "                [SUBCOMMAND]\n"
           "  list | show -- CMD | stats -- CMD | diff -- CMD\n"
           "  export FILE -- CMD | export-series FILE -- CMD\n"
@@ -278,6 +306,11 @@ int main(int argc, char** argv) {
     // --convert: the explicit format override makes new writes use the
     // target encoding; convert_all() below then rewrites what is stored.
     store_options.format = convert_format;
+    store_options.threads = store_threads;
+    if (store_cache_mb >= 0) {
+      store_options.cache_max_bytes =
+          static_cast<size_t>(store_cache_mb) * 1024 * 1024;
+    }
     if (!cluster_spec.empty() && store_options.backend != "cluster") {
       // Dropping an explicitly given spec would hide a mistyped
       // --store path (a fresh directory detects as "files") behind an

@@ -8,6 +8,7 @@
 //                   [--watchers LIST] [--watcher-rate NAME=HZ]...
 //                   [--scheduler thread|multiplexed] [--store-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
+//                   [--store-threads N] [--store-cache-mb MB]
 //                   [--store-format json|binary]
 //                   [--resource NAME] -- COMMAND [ARGS...]
 //   synapse-profile --list-watchers | --list-store-backends
@@ -160,6 +161,29 @@ int main(int argc, char** argv) {
       }
       options.store_options.flush_policy.max_pending =
           static_cast<size_t>(n);
+    } else if (arg == "--store-threads") {
+      // Cross-shard store parallelism: 0 = process-wide sys::TaskPool
+      // (default), 1 = serial, N = private pool of N threads.
+      const long n = std::atol(next());
+      if (n < 0) {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-threads needs a thread "
+                     "count >= 0 (0 = shared pool)\n");
+        return 2;
+      }
+      options.store_options.threads = static_cast<size_t>(n);
+    } else if (arg == "--store-cache-mb") {
+      // Decoded-profile cache budget in MiB; 0 removes the byte bound
+      // (the per-shard entry count still applies).
+      const long mb = std::atol(next());
+      if (mb < 0) {
+        std::fprintf(stderr,
+                     "synapse-profile: --store-cache-mb needs a budget "
+                     ">= 0 MiB\n");
+        return 2;
+      }
+      options.store_options.cache_max_bytes =
+          static_cast<size_t>(mb) * 1024 * 1024;
     } else if (arg == "--") {
       ++i;
       break;
@@ -177,6 +201,12 @@ int main(int argc, char** argv) {
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: background flush by\n"
           "                 age/size on buffering backends)\n"
+          "                [--store-threads N] (cross-shard store "
+          "parallelism;\n"
+          "                 0 = shared pool, 1 = serial)\n"
+          "                [--store-cache-mb MB] (decoded-profile cache "
+          "byte\n"
+          "                 budget; 0 = unbounded)\n"
           "                [--store-format json|binary] (encoding for new\n"
           "                 writes; new stores default to binary SYNB)\n"
           "                [--resource NAME] [--adaptive] -- COMMAND...\n"

@@ -8,6 +8,7 @@
 #include "json/arena.hpp"
 #include "profile/binary_codec.hpp"
 #include "profile/metrics.hpp"
+#include "sys/mmap_file.hpp"
 
 namespace synapse::profile {
 
@@ -125,7 +126,7 @@ bool matches_payload_shape(const ProfileColumnsView& cols,
 std::vector<SampleDelta> Profile::sample_deltas() const {
   if (binary_) {
     try {
-      const ProfileColumnsView cols = decode_columns(*binary_);
+      const ProfileColumnsView cols = decode_columns(binary_->view());
       if (matches_payload_shape(cols, series)) {
         return sample_deltas_from_columns(cols, sample_rate_hz);
       }
@@ -371,10 +372,43 @@ Profile Profile::from_arena(const json::ArenaValue& v) {
 std::string Profile::to_binary() const { return encode_binary(*this); }
 
 Profile Profile::from_binary(std::string data) {
-  auto payload = std::make_shared<const std::string>(std::move(data));
-  Profile p = decode_binary(*payload);
-  p.binary_ = std::move(payload);
+  return from_binary_view(
+      std::make_shared<const sys::StringBlob>(std::move(data)));
+}
+
+Profile Profile::from_binary_view(std::shared_ptr<const sys::Blob> blob) {
+  Profile p = decode_binary(blob->view());
+  p.binary_ = std::move(blob);
   return p;
+}
+
+size_t Profile::decoded_bytes() const {
+  // Map nodes dominate; count them with a flat per-node overhead
+  // (key + two doubles-ish + rb-tree pointers) so the cache budget
+  // tracks sample volume rather than pretending to be malloc-exact.
+  constexpr size_t kMapNode = 64;
+  size_t bytes = sizeof(Profile) + command.capacity();
+  for (const auto& t : tags) bytes += sizeof(std::string) + t.capacity();
+  for (const auto& ts : series) {
+    bytes += sizeof(TimeSeries) + ts.watcher.capacity();
+    for (const auto& s : ts.samples) {
+      bytes += sizeof(Sample);
+      for (const auto& [k, v] : s.values) {
+        (void)v;
+        bytes += kMapNode + k.capacity();
+      }
+    }
+  }
+  for (const auto& [k, v] : totals) {
+    (void)v;
+    bytes += kMapNode + k.capacity();
+  }
+  for (const auto& [k, v] : derived) {
+    (void)v;
+    bytes += kMapNode + k.capacity();
+  }
+  if (binary_) bytes += binary_->view().size();
+  return bytes;
 }
 
 }  // namespace synapse::profile

@@ -20,6 +20,10 @@ namespace synapse::json {
 class ArenaValue;
 }
 
+namespace synapse::sys {
+class Blob;
+}
+
 namespace synapse::profile {
 
 /// Metric values observed at one sampling instant by one watcher.
@@ -144,13 +148,27 @@ class Profile {
   std::string to_binary() const;
   static Profile from_binary(std::string data);
 
+  /// from_binary over a shared buffer — no copy of the encoded bytes.
+  /// The profile holds a reference on `blob` for its lifetime, which is
+  /// what lets the files backend decode straight out of an mmap-ed
+  /// .profile.synb (sys::MappedBlob) and keep the mapping alive past a
+  /// concurrent remove() of the file. Throws CodecError like
+  /// from_binary; `blob` must not be null.
+  static Profile from_binary_view(std::shared_ptr<const sys::Blob> blob);
+
   bool has_binary_payload() const { return binary_ != nullptr; }
   void drop_binary_payload() { binary_.reset(); }
 
+  /// Rough in-memory footprint (materialized structures + retained
+  /// payload reference) — the unit of the store's decoded-profile cache
+  /// budget. An estimate, not an allocator-exact measure.
+  size_t decoded_bytes() const;
+
  private:
   /// SYNB blob this profile was decoded from, if any; shared so Profile
-  /// copies stay cheap-ish and keep the fast path.
-  std::shared_ptr<const std::string> binary_;
+  /// copies stay cheap-ish and keep the fast path (and, for mapped
+  /// blobs, the mapping) alive.
+  std::shared_ptr<const sys::Blob> binary_;
 };
 
 }  // namespace synapse::profile

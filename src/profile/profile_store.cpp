@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -15,12 +16,14 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "docstore/docstore.hpp"
 #include "json/json.hpp"
 #include "profile/store_backend.hpp"
 #include "sys/error.hpp"
+#include "sys/task_pool.hpp"
 
 namespace synapse::profile {
 
@@ -49,32 +52,45 @@ struct ProfileStore::Shard {
   /// Registry-resolved persistence for this shard.
   std::unique_ptr<StoreBackend> backend;
 
-  // In-shard LRU read cache: find() results keyed by command+tags.
+  // In-shard LRU decoded-profile cache: find() results keyed by
+  // command+tags, bounded by an entry count AND a decoded-byte budget.
   // Guarded by `mutex`; front of the list is most recently used. Each
   // entry carries the backend's cache_stamp() at fill time, so writes
   // from other processes invalidate stale entries (backends with a
-  // process-private view keep a constant stamp).
+  // process-private view keep a constant stamp). Entries are immutable
+  // shared snapshots: find_shared() hands out a reference to the cached
+  // vector, and writers REPLACE entries rather than mutating them, so a
+  // reader's snapshot survives concurrent puts/removes/evictions.
   struct CacheEntry {
     std::string key;
-    std::vector<Profile> profiles;
+    std::shared_ptr<const std::vector<Profile>> profiles;
     uint64_t stamp = 0;
+    size_t bytes = 0;  ///< decoded_bytes() sum at fill time
   };
   std::list<CacheEntry> lru;
   std::map<std::string, std::list<CacheEntry>::iterator> lru_index;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
+  size_t cache_bytes = 0;  ///< sum of CacheEntry::bytes
+
+  static size_t entry_bytes(const std::vector<Profile>& profiles) {
+    size_t bytes = 0;
+    for (const auto& p : profiles) bytes += p.decoded_bytes();
+    return bytes;
+  }
 
   /// Caller holds `mutex`. `stamp` must match the entry's fill stamp;
   /// a mismatched (stale) entry is dropped and counted as a miss.
-  std::vector<Profile>* cache_lookup(const std::string& key,
-                                     uint64_t stamp) {
+  std::shared_ptr<const std::vector<Profile>> cache_lookup(
+      const std::string& key, uint64_t stamp) {
     const auto it = lru_index.find(key);
     if (it == lru_index.end()) {
       ++cache_misses;
       return nullptr;
     }
     if (it->second->stamp != stamp) {
+      cache_bytes -= it->second->bytes;
       lru.erase(it->second);
       lru_index.erase(it);
       ++cache_invalidations;
@@ -83,23 +99,38 @@ struct ProfileStore::Shard {
     }
     lru.splice(lru.begin(), lru, it->second);
     ++cache_hits;
-    return &it->second->profiles;
+    return it->second->profiles;
   }
 
-  /// Caller holds `mutex`.
-  void cache_store(const std::string& key, std::vector<Profile> profiles,
-                   uint64_t stamp, size_t capacity) {
+  /// Caller holds `mutex`. `max_bytes` is this shard's slice of the
+  /// store's decoded-byte budget (0 = unbounded); an entry that alone
+  /// exceeds it is not cached at all — a single oversize workload must
+  /// not wipe every other hot entry.
+  void cache_store(const std::string& key,
+                   std::shared_ptr<const std::vector<Profile>> profiles,
+                   uint64_t stamp, size_t capacity, size_t max_bytes) {
     if (capacity == 0) return;
-    const auto it = lru_index.find(key);
-    if (it != lru_index.end()) {
-      it->second->profiles = std::move(profiles);
-      it->second->stamp = stamp;
-      lru.splice(lru.begin(), lru, it->second);
+    const size_t bytes = entry_bytes(*profiles);
+    if (max_bytes > 0 && bytes > max_bytes) {
+      cache_invalidate(key);  // don't leave a stale smaller snapshot
       return;
     }
-    lru.push_front(CacheEntry{key, std::move(profiles), stamp});
-    lru_index[key] = lru.begin();
-    while (lru.size() > capacity) {
+    const auto it = lru_index.find(key);
+    if (it != lru_index.end()) {
+      cache_bytes -= it->second->bytes;
+      it->second->profiles = std::move(profiles);
+      it->second->stamp = stamp;
+      it->second->bytes = bytes;
+      cache_bytes += bytes;
+      lru.splice(lru.begin(), lru, it->second);
+    } else {
+      lru.push_front(CacheEntry{key, std::move(profiles), stamp, bytes});
+      lru_index[key] = lru.begin();
+      cache_bytes += bytes;
+    }
+    while (lru.size() > capacity ||
+           (max_bytes > 0 && cache_bytes > max_bytes)) {
+      cache_bytes -= lru.back().bytes;
       lru_index.erase(lru.back().key);
       lru.pop_back();
     }
@@ -109,6 +140,7 @@ struct ProfileStore::Shard {
   void cache_invalidate(const std::string& key) {
     const auto it = lru_index.find(key);
     if (it == lru_index.end()) return;
+    cache_bytes -= it->second->bytes;
     lru.erase(it->second);
     lru_index.erase(it);
     ++cache_invalidations;
@@ -262,6 +294,16 @@ ProfileStore::ProfileStore(ProfileStoreOptions options)
   // Directory-less (memory) stores have no meta to honour.
   if (options_.format.empty()) options_.format = "binary";
 
+  // The pool cross-shard operations fan out on. threads == 1 keeps the
+  // store fully serial (no pool at all); 0 shares the process-wide
+  // pool so a dozen stores do not spawn a dozen thread herds.
+  if (options_.threads == 0) {
+    pool_ = &sys::TaskPool::shared();
+  } else if (options_.threads >= 2) {
+    owned_pool_ = std::make_unique<sys::TaskPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -373,6 +415,12 @@ ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
     // and leave a running worker pointing at destroyed shards.
     flusher_.reset();
     options_ = std::move(other.options_);
+    // Pool pointers stay valid across the move: they reference either
+    // the process-wide shared pool or the heap pool owned_pool_ now
+    // owns (the flush worker captured the same raw pointer).
+    owned_pool_ = std::move(other.owned_pool_);
+    pool_ = other.pool_;
+    other.pool_ = nullptr;
     shards_ = std::move(other.shards_);
     flusher_ = std::move(other.flusher_);
   }
@@ -433,6 +481,19 @@ ProfileStore::Shard& ProfileStore::shard_for(const std::string& command,
 
 size_t ProfileStore::shard_count() const { return shards_.size(); }
 
+size_t ProfileStore::task_threads() const {
+  return pool_ == nullptr ? 1 : pool_->thread_count();
+}
+
+void ProfileStore::run_sharded(
+    size_t count, const std::function<void(size_t)>& body) const {
+  if (pool_ == nullptr || count <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool_->parallel_for(count, body);
+}
+
 // --- writes ----------------------------------------------------------------
 
 bool ProfileStore::put(const Profile& profile) {
@@ -452,7 +513,9 @@ size_t ProfileStore::put_many(const std::vector<Profile>& profiles,
                               std::vector<bool>* stored) {
   // Group by shard so each shard is locked once per batch; tags_key is
   // computed once per profile and reused for routing, cache keys and
-  // the backend write.
+  // the backend write. The per-shard batches then run CONCURRENTLY on
+  // the task pool (one task per shard, each locking only its own
+  // shard), which is where multi-shard ingest scales.
   struct Pending {
     const Profile* profile;
     std::string tkey;
@@ -465,26 +528,50 @@ size_t ProfileStore::put_many(const std::vector<Profile>& profiles,
     Shard& shard = shard_for(profiles[i].command, tkey);
     by_shard[&shard].push_back(Pending{&profiles[i], std::move(tkey), i});
   }
-  size_t truncated = 0;
-  size_t landed = 0;
-  // Account writes even when a put throws mid-batch: everything flagged
-  // in `stored` is in the store and needs flushing like any other put.
-  struct NoteGuard {
+  std::vector<std::pair<Shard*, std::vector<Pending>*>> groups;
+  groups.reserve(by_shard.size());
+  for (auto& [shard, batch] : by_shard) groups.emplace_back(shard, &batch);
+
+  std::atomic<size_t> truncated{0};
+  std::atomic<size_t> landed{0};
+  // Per-profile landed flags live in a vector<char>, not vector<bool>:
+  // shard tasks set disjoint elements concurrently, which vector<bool>'s
+  // bit packing would turn into a data race. Merged into the caller's
+  // vector<bool> below — in the guard, because the flags must reach the
+  // caller even when a put throws mid-batch (the exactly-once retry
+  // contract) and parallel_for rethrows only after every index ran.
+  std::vector<char> landed_flags(profiles.size(), 0);
+  struct MergeGuard {
     ProfileStore* self;
-    const size_t* landed;
-    ~NoteGuard() { self->note_puts(*landed); }
-  } note_guard{this, &landed};
-  for (auto& [shard, batch] : by_shard) {
+    const std::atomic<size_t>* landed;
+    const std::vector<char>* flags;
+    std::vector<bool>* stored;
+    ~MergeGuard() {
+      if (stored != nullptr) {
+        for (size_t i = 0; i < flags->size(); ++i) {
+          (*stored)[i] = (*flags)[i] != 0;
+        }
+      }
+      // Account writes even on a throwing batch: everything flagged is
+      // in the store and needs flushing like any other put.
+      self->note_puts(landed->load());
+    }
+  } guard{this, &landed, &landed_flags, stored};
+
+  run_sharded(groups.size(), [&](size_t g) {
+    Shard* shard = groups[g].first;
     std::lock_guard<std::mutex> lock(shard->mutex);
-    for (const Pending& pending : batch) {
+    for (const Pending& pending : *groups[g].second) {
       shard->cache_invalidate(
           index_key(pending.profile->command, pending.tkey));
-      if (shard->backend->put(*pending.profile, pending.tkey)) ++truncated;
-      ++landed;
-      if (stored != nullptr) (*stored)[pending.index] = true;
+      if (shard->backend->put(*pending.profile, pending.tkey)) {
+        truncated.fetch_add(1);
+      }
+      landed.fetch_add(1);
+      landed_flags[pending.index] = 1;
     }
-  }
-  return truncated;
+  });
+  return truncated.load();
 }
 
 size_t ProfileStore::remove(const std::string& command,
@@ -518,9 +605,11 @@ std::vector<Profile> ProfileStore::read_from(const Shard& shard,
   return out;
 }
 
-std::vector<Profile> ProfileStore::find(
+std::shared_ptr<const std::vector<Profile>> ProfileStore::find_shared(
     const std::string& command, const std::vector<std::string>& tags) const {
   const std::string tkey = tags_key(tags);
+  // Point lookups route to the single shard that owns the key — no
+  // cross-shard fan-out, no other shard's mutex or backend touched.
   Shard& shard = shard_for(command, tkey);
   const std::string key = index_key(command, tkey);
 
@@ -530,23 +619,43 @@ std::vector<Profile> ProfileStore::find(
   // (memory, docstore snapshots) keep a constant stamp.
   const bool caching = options_.cache_entries_per_shard > 0;
   const uint64_t stamp = caching ? shard.backend->cache_stamp() : 0;
+  const size_t max_bytes =
+      options_.cache_max_bytes == 0
+          ? 0
+          : std::max<size_t>(1, options_.cache_max_bytes / shards_.size());
 
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (caching) {
-    if (const auto* cached = shard.cache_lookup(key, stamp)) return *cached;
+    if (auto cached = shard.cache_lookup(key, stamp)) return cached;
   }
-  std::vector<Profile> out = read_from(shard, command, tkey);
-  shard.cache_store(key, out, stamp, options_.cache_entries_per_shard);
+  auto out = std::make_shared<const std::vector<Profile>>(
+      read_from(shard, command, tkey));
+  shard.cache_store(key, out, stamp, options_.cache_entries_per_shard,
+                    max_bytes);
   return out;
+}
+
+std::vector<Profile> ProfileStore::find(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  return *find_shared(command, tags);
+}
+
+std::shared_ptr<const Profile> ProfileStore::find_latest_shared(
+    const std::string& command, const std::vector<std::string>& tags) const {
+  auto all = find_shared(command, tags);
+  if (all->empty()) return nullptr;
+  // find_shared() orders by created_at (stable), so the true latest
+  // recording is at the back even when concurrent writers interleaved
+  // insertions. The aliasing constructor keeps the whole snapshot (and
+  // with it any mmap the profile decodes from) alive.
+  return std::shared_ptr<const Profile>(all, &all->back());
 }
 
 std::optional<Profile> ProfileStore::find_latest(
     const std::string& command, const std::vector<std::string>& tags) const {
-  auto all = find(command, tags);
-  if (all.empty()) return std::nullopt;
-  // find() orders by created_at (stable), so the true latest recording
-  // is at the back even when concurrent writers interleaved insertions.
-  return std::move(all.back());
+  auto latest = find_latest_shared(command, tags);
+  if (!latest) return std::nullopt;
+  return *latest;
 }
 
 std::map<std::string, MetricStats> ProfileStore::stats(
@@ -557,10 +666,11 @@ std::map<std::string, MetricStats> ProfileStore::stats(
 // --- flushing --------------------------------------------------------------
 
 void ProfileStore::flush_all_shards() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->backend->flush();
-  }
+  run_sharded(shards_.size(), [this](size_t i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.backend->flush();
+  });
 }
 
 void ProfileStore::flush() {
@@ -585,13 +695,15 @@ void ProfileStore::flush() {
 void ProfileStore::start_flush_worker() {
   flusher_ = std::make_unique<Flusher>();
   flusher_->policy = options_.flush_policy;
-  // The worker captures stable heap pointers (the Flusher and the
-  // Shards), so it survives moves of the ProfileStore object itself.
+  // The worker captures stable heap pointers (the Flusher, the Shards
+  // and the pool — process-wide or owned heap object), so it survives
+  // moves of the ProfileStore object itself.
   Flusher* f = flusher_.get();
+  sys::TaskPool* pool = pool_;
   std::vector<Shard*> shard_ptrs;
   shard_ptrs.reserve(shards_.size());
   for (auto& s : shards_) shard_ptrs.push_back(s.get());
-  f->worker = std::thread([f, shard_ptrs] {
+  f->worker = std::thread([f, shard_ptrs, pool] {
     using Clock = Flusher::Clock;
     std::unique_lock<std::mutex> lock(f->mutex);
     while (true) {
@@ -617,9 +729,14 @@ void ProfileStore::start_flush_worker() {
         f->dirty = 0;
         f->running = true;
         lock.unlock();
-        for (Shard* shard : shard_ptrs) {
-          std::lock_guard<std::mutex> shard_lock(shard->mutex);
-          shard->backend->flush();
+        const auto flush_one = [&shard_ptrs](size_t i) {
+          std::lock_guard<std::mutex> shard_lock(shard_ptrs[i]->mutex);
+          shard_ptrs[i]->backend->flush();
+        };
+        if (pool != nullptr && shard_ptrs.size() > 1) {
+          pool->parallel_for(shard_ptrs.size(), flush_one);
+        } else {
+          for (size_t i = 0; i < shard_ptrs.size(); ++i) flush_one(i);
         }
         lock.lock();
         f->running = false;
@@ -664,58 +781,80 @@ void ProfileStore::flush_async() {
 // --- sizing ----------------------------------------------------------------
 
 size_t ProfileStore::size() const {
-  size_t n = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    n += shard->backend->size();
-  }
-  return n;
+  std::atomic<size_t> n{0};
+  run_sharded(shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n.fetch_add(shard.backend->size());
+  });
+  return n.load();
 }
 
 ProfileStoreCacheStats ProfileStore::cache_stats() const {
+  // Serial on purpose: a cheap diagnostic walk over in-memory counters,
+  // not a hot path worth pool dispatch.
   ProfileStoreCacheStats out;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     out.hits += shard->cache_hits;
     out.misses += shard->cache_misses;
     out.invalidations += shard->cache_invalidations;
+    out.bytes += shard->cache_bytes;
   }
   return out;
 }
 
 std::vector<StoredProfileEntry> ProfileStore::list() const {
+  // One catalog task per shard; each writes its own slot, so no shared
+  // state beyond the pre-sized outer vector.
+  std::vector<std::vector<StoredProfileEntry>> per_shard(shards_.size());
+  run_sharded(shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    per_shard[i] = shard.backend->list();
+  });
   std::vector<StoredProfileEntry> out;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    std::vector<StoredProfileEntry> entries = shard->backend->list();
+  for (auto& entries : per_shard) {
     out.insert(out.end(), std::make_move_iterator(entries.begin()),
                std::make_move_iterator(entries.end()));
   }
+  // Deterministic catalog order, independent of shard count, shard
+  // placement and fan-out completion order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StoredProfileEntry& a, const StoredProfileEntry& b) {
+                     if (a.created_at != b.created_at) {
+                       return a.created_at < b.created_at;
+                     }
+                     if (a.command != b.command) return a.command < b.command;
+                     return store_tags_key(a.tags) < store_tags_key(b.tags);
+                   });
   return out;
 }
 
 size_t ProfileStore::convert_all() {
-  size_t rewritten = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+  std::atomic<size_t> rewritten{0};
+  run_sharded(shards_.size(), [&](size_t s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
     // Workload keys, not per-profile entries: read/remove/put operate
     // per (command, tags) group, so each group is rewritten atomically
-    // under the shard lock.
+    // under the shard lock (which the parallel fan-out keeps — one task
+    // per shard, each holding only its own lock).
     std::set<std::pair<std::string, std::string>> keys;
-    for (const auto& e : shard->backend->list()) {
+    for (const auto& e : shard.backend->list()) {
       keys.emplace(e.command, store_tags_key(e.tags));
     }
     for (const auto& [command, tkey] : keys) {
-      std::vector<Profile> profiles = shard->backend->read(command, tkey);
-      shard->backend->remove(command, tkey);
+      std::vector<Profile> profiles = shard.backend->read(command, tkey);
+      shard.backend->remove(command, tkey);
       for (const auto& p : profiles) {
-        shard->backend->put(p, tkey);
-        ++rewritten;
+        shard.backend->put(p, tkey);
+        rewritten.fetch_add(1);
       }
-      shard->cache_invalidate(index_key(command, tkey));
+      shard.cache_invalidate(index_key(command, tkey));
     }
-    shard->backend->flush();
-  }
+    shard.backend->flush();
+  });
   // The store's write format is now also the format of (almost) every
   // stored profile: record it so future opens without an explicit
   // option keep writing it. rename() keeps the meta readable at every
@@ -734,7 +873,7 @@ size_t ProfileStore::convert_all() {
       // No meta to update (unreadable): the conversion itself stands.
     }
   }
-  return rewritten;
+  return rewritten.load();
 }
 
 std::vector<json::Value> ProfileStore::shard_meta() const {

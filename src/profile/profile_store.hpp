@@ -21,6 +21,7 @@
 // shard, so per-workload ordering guarantees are preserved.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +31,10 @@
 #include "profile/profile.hpp"
 #include "profile/stats.hpp"
 #include "profile/store_backend.hpp"
+
+namespace synapse::sys {
+class TaskPool;
+}
 
 namespace synapse::profile {
 
@@ -71,6 +76,17 @@ struct ProfileStoreOptions {
   std::string format;
   size_t shards = 8;                   ///< clamped to >= 1
   size_t cache_entries_per_shard = 16; ///< LRU find() cache; 0 disables
+  /// Byte budget for the decoded-profile cache, split evenly across
+  /// shards (each cached entry is charged its Profile::decoded_bytes()
+  /// sum). 0 = no byte bound (the entry count alone bounds the cache);
+  /// an entry larger than a whole shard's budget is served but not
+  /// cached.
+  size_t cache_max_bytes = 64 * 1024 * 1024;
+  /// Worker threads for cross-shard operations (put_many, list,
+  /// convert_all, flush): 0 = share the process-wide sys::TaskPool,
+  /// 1 = serial (no pool), N >= 2 = a private pool of N threads owned
+  /// by this store.
+  size_t threads = 0;
   FlushPolicy flush_policy;            ///< time/size-triggered flushing
   /// Registry backend names resolve through (nullptr = the process-wide
   /// StoreBackendRegistry::instance()); must outlive the store.
@@ -82,6 +98,7 @@ struct ProfileStoreCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t invalidations = 0;  ///< cache entries dropped by writes
+  uint64_t bytes = 0;          ///< decoded bytes currently cached
 };
 
 class ProfileStore {
@@ -118,10 +135,29 @@ class ProfileStore {
   std::vector<Profile> find(const std::string& command,
                             const std::vector<std::string>& tags = {}) const;
 
+  /// find() without the copy-out: the returned vector is shared with
+  /// the store's decoded-profile cache, so a cache hit costs one
+  /// refcount bump instead of re-decoding (or deep-copying) every
+  /// profile. The snapshot is immutable and stays valid after
+  /// concurrent writes/removals/evictions (they replace cache entries,
+  /// never mutate them). Never null — an unknown workload yields an
+  /// empty vector.
+  std::shared_ptr<const std::vector<Profile>> find_shared(
+      const std::string& command,
+      const std::vector<std::string>& tags = {}) const;
+
   /// Profile with the latest recorded timestamp (created_at), not the
   /// latest insertion: concurrent writers may interleave insertions out
   /// of timestamp order.
   std::optional<Profile> find_latest(
+      const std::string& command,
+      const std::vector<std::string>& tags = {}) const;
+
+  /// find_latest without the copy: an aliasing pointer into the shared
+  /// find_shared() snapshot (the hot replay path — repeated emulation
+  /// of a hot profile skips decode AND copy). nullptr when the workload
+  /// has no recordings.
+  std::shared_ptr<const Profile> find_latest_shared(
       const std::string& command,
       const std::vector<std::string>& tags = {}) const;
 
@@ -165,7 +201,9 @@ class ProfileStore {
   static std::string detect_format(const std::string& directory);
 
   /// Catalog of every stored profile across all shards
-  /// (StoreBackend::list()), in no particular order.
+  /// (StoreBackend::list()), sorted by (created_at, command, tags) so
+  /// the output is deterministic across shard counts and across the
+  /// parallel per-shard fan-out.
   std::vector<StoredProfileEntry> list() const;
 
   /// Re-encode every stored profile in the store's current write format
@@ -180,6 +218,8 @@ class ProfileStore {
 
   size_t size() const;
   size_t shard_count() const;
+  /// Threads cross-shard operations fan out on (1 = serial store).
+  size_t task_threads() const;
   /// Registered backend name this store resolves through.
   const std::string& backend() const { return options_.backend; }
   /// Resolved write format ("json" or "binary").
@@ -204,6 +244,12 @@ class ProfileStore {
   std::vector<Profile> read_from(const Shard& shard,
                                  const std::string& command,
                                  const std::string& tkey) const;
+  /// Run body(i) for i in [0, count) — on the store's task pool when it
+  /// has one (options_.threads != 1), serially inline otherwise. Every
+  /// cross-shard operation goes through here; bodies lock at most one
+  /// shard, so shard-per-task never nests locks.
+  void run_sharded(size_t count,
+                   const std::function<void(size_t)>& body) const;
   void start_flush_worker();
   void flush_all_shards();
   /// Account `n` fresh buffered writes with the flush worker: arms the
@@ -226,6 +272,14 @@ class ProfileStore {
   void migrate_legacy_layout();
 
   ProfileStoreOptions options_;
+  /// Private pool when options_.threads >= 2; destroyed after shards_
+  /// would be unsafe only with outstanding tasks, and there are none:
+  /// every pool use blocks until its tasks finished (parallel_for), and
+  /// the flush worker joins first (flusher_ declared last).
+  std::unique_ptr<sys::TaskPool> owned_pool_;
+  /// The pool cross-shard ops run on: &shared(), owned_pool_.get(), or
+  /// nullptr for serial (threads == 1).
+  sys::TaskPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<Flusher> flusher_;
 };

@@ -17,6 +17,7 @@
 #include "profile/binary_codec.hpp"
 #include "profile/cluster_backend.hpp"
 #include "sys/error.hpp"
+#include "sys/mmap_file.hpp"
 #include "sys/procfs.hpp"
 
 namespace synapse::profile {
@@ -103,6 +104,34 @@ Profile parse_profile_bytes(std::string&& data, json::Arena& arena) {
   }
   arena.reset();
   return Profile::from_arena(json::parse(data, arena));
+}
+
+/// Open one stored profile file as a shared read-only buffer. SYNB
+/// files are mmap-ed when possible (`prefer_mmap`, decided from the
+/// file suffix) so decode is zero-copy against the page cache; JSON
+/// files and mmap failures (ENOENT from a racing remove(), mmap-less
+/// filesystems) fall back to a buffered slurp. nullptr when the file
+/// vanished entirely.
+std::shared_ptr<const sys::Blob> load_profile_blob(const std::string& path,
+                                                   bool prefer_mmap) {
+  if (prefer_mmap) {
+    if (auto mapped = sys::MappedBlob::map(path)) return mapped;
+  }
+  auto data = sys::slurp_file(path);
+  if (!data) return nullptr;
+  return std::make_shared<const sys::StringBlob>(std::move(*data));
+}
+
+/// parse_profile_bytes over a shared buffer: the SYNB path hands the
+/// buffer itself to the profile (zero-copy, keeps an mmap alive for the
+/// profile's lifetime), the JSON path parses out of it by view.
+Profile parse_profile_blob(std::shared_ptr<const sys::Blob> blob,
+                           json::Arena& arena) {
+  if (looks_like_binary_profile(blob->view())) {
+    return Profile::from_binary_view(std::move(blob));
+  }
+  arena.reset();
+  return Profile::from_arena(json::parse(blob->view(), arena));
 }
 
 // --- memory ---------------------------------------------------------------
@@ -208,9 +237,10 @@ class FilesBackend : public StoreBackend {
     std::vector<Profile> out;
     json::Arena arena;
     for (const auto& name : matching_files(command, tkey)) {
-      auto data = sys::slurp_file(directory_ + "/" + name);
-      if (!data) continue;  // racing remove()
-      Profile p = parse_profile_bytes(std::move(*data), arena);
+      auto blob = load_profile_blob(directory_ + "/" + name,
+                                    has_binary_profile_suffix(name));
+      if (!blob) continue;  // racing remove()
+      Profile p = parse_profile_blob(std::move(blob), arena);
       // Sanitization can collide; verify the real identity.
       if (p.command == command && store_tags_key(p.tags) == tkey) {
         out.push_back(std::move(p));
@@ -296,19 +326,22 @@ class FilesBackend : public StoreBackend {
     ::closedir(dir);
     for (const auto& name : names) {
       const std::string path = directory_ + "/" + name;
-      auto data = sys::slurp_file(path);
-      if (!data) continue;  // racing remove()
+      // Identity lives in the SYNB header, so a mapped list() touches
+      // only each file's first pages instead of reading whole blobs.
+      auto blob = load_profile_blob(path, has_binary_profile_suffix(name));
+      if (!blob) continue;  // racing remove()
+      const std::string_view data = blob->view();
       StoredProfileEntry e;
-      e.encoded_bytes = data->size();
+      e.encoded_bytes = data.size();
       try {
-        if (looks_like_binary_profile(*data)) {
-          BinaryProfileInfo info = decode_binary_identity(*data);
+        if (looks_like_binary_profile(data)) {
+          BinaryProfileInfo info = decode_binary_identity(data);
           e.command = std::move(info.command);
           e.tags = std::move(info.tags);
           e.created_at = info.created_at;
           e.format = "binary";
         } else {
-          const json::Value v = json::parse(*data);
+          const json::Value v = json::parse(std::string(data));
           e.command = v.get_or("command", std::string());
           if (v.contains("tags")) {
             for (const auto& t : v["tags"].as_array()) {
@@ -331,14 +364,16 @@ class FilesBackend : public StoreBackend {
   /// only. nullopt when the file vanished (racing remove()).
   std::optional<std::pair<std::string, std::string>> read_identity(
       const std::string& path) const {
-    auto data = sys::slurp_file(path);
-    if (!data) return std::nullopt;
-    if (looks_like_binary_profile(*data)) {
-      BinaryProfileInfo info = decode_binary_identity(*data);
+    auto blob =
+        load_profile_blob(path, has_binary_profile_suffix(path));
+    if (!blob) return std::nullopt;
+    const std::string_view data = blob->view();
+    if (looks_like_binary_profile(data)) {
+      BinaryProfileInfo info = decode_binary_identity(data);
       return std::make_pair(std::move(info.command),
                             store_tags_key(info.tags));
     }
-    const json::Value v = json::parse(*data);
+    const json::Value v = json::parse(std::string(data));
     std::vector<std::string> tags;
     if (v.contains("tags")) {
       for (const auto& t : v["tags"].as_array()) tags.push_back(t.as_string());

@@ -1,0 +1,38 @@
+#include "sys/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace synapse::sys {
+
+std::shared_ptr<MappedBlob> MappedBlob::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  // The mapping pins the pages; the descriptor is no longer needed.
+  ::close(fd);
+  return std::shared_ptr<MappedBlob>(new MappedBlob(addr, size));
+}
+
+MappedBlob::~MappedBlob() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace synapse::sys

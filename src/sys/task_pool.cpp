@@ -1,0 +1,145 @@
+#include "sys/task_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "sys/env.hpp"
+
+namespace synapse::sys {
+
+size_t TaskPool::default_thread_count() {
+  const long env = getenv_or("SYNAPSE_TASK_POOL_THREADS", 0L);
+  if (env >= 1) return static_cast<size_t>(env);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+TaskPool::TaskPool(size_t threads)
+    : threads_(threads == 0 ? default_thread_count() : threads) {}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain the queue before honouring stop (worker_loop), so
+  // every submitted task's future resolves.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool TaskPool::started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+void TaskPool::ensure_started_locked() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(threads_);
+  for (size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and drained
+    std::packaged_task<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();  // packaged_task routes exceptions into the future
+    lock.lock();
+  }
+}
+
+std::future<void> TaskPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_started_locked();
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+namespace {
+
+/// Shared between the caller and its helper tasks; helpers submitted
+/// to a busy pool may start (and find no index left) after the caller
+/// already returned, so everything they touch lives here.
+struct ParallelState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t count = 0;
+  const std::function<void(size_t)>* body = nullptr;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void run() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == count) {
+        // Lock before notifying so the caller's predicate check cannot
+        // slip between our increment and the notify.
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void TaskPool::parallel_for(size_t count,
+                            const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  const size_t helpers = std::min(threads_, count) - 1;
+  if (helpers == 0) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelState>();
+  state->count = count;
+  state->body = &body;
+  for (size_t h = 0; h < helpers; ++h) {
+    // Fire-and-forget: completion is tracked by state->done, and a
+    // helper that never grabs an index exits immediately. The caller
+    // participating below is what makes nested calls deadlock-free.
+    submit([state] { state->run(); });
+  }
+  state->run();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->done.load() == count; });
+  }
+  // `body` (and any reference the caller captured) may die on return:
+  // done == count guarantees no helper will dereference it again —
+  // stragglers only ever see next >= count.
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace synapse::sys

@@ -70,16 +70,19 @@ std::vector<std::string> backends_under_test() {
 class ProfileStoreConcurrency
     : public ::testing::TestWithParam<std::string> {
  protected:
-  profile::ProfileStore make_store() {
+  profile::ProfileStore make_store(size_t threads = 0) {
     const std::string backend = GetParam();
     if (backend == "memory") {
-      return profile::ProfileStore();
+      profile::ProfileStoreOptions options;
+      options.threads = threads;
+      return profile::ProfileStore(std::move(options));
     }
     dir_ = "/tmp/synapse_store_conc_" + backend;
     std::system(("rm -rf " + dir_).c_str());
     profile::ProfileStoreOptions options;
     options.backend = backend;
     options.directory = dir_;
+    options.threads = threads;
     if (backend == "cluster") {
       cluster_base_ = "/tmp/synapse_store_conc_cluster_instances";
       options.cluster_spec = ClusterFixture::write_spec(cluster_base_);
@@ -223,6 +226,124 @@ TEST_P(ProfileStoreConcurrency, ConcurrentFlushesAreSafe) {
 
   EXPECT_EQ(store.find("flush-cmd").size(),
             static_cast<size_t>(kThreads) * 40);
+}
+
+TEST_P(ProfileStoreConcurrency, PoolBackedPutManyRacesReadersAndRemove) {
+  // The pool-parallel cross-shard put_many path (options.threads > 1)
+  // racing concurrent readers and a remover. Invariants: stored[] is
+  // all-true for every successful batch, readers never observe a torn
+  // state, and the per-workload counts add up exactly once the remover
+  // and writers have joined.
+  auto store = make_store(/*threads=*/4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)store.find("hammer-0", {"pm"});
+      (void)store.find_latest_shared("hammer-1", {"pm"});
+      (void)store.list();
+      (void)store.size();
+      reads.fetch_add(1);
+    }
+  });
+
+  // The remover only ever touches the victim workload; writers re-seed
+  // it, so removal races a concurrent put of the same index.
+  std::atomic<size_t> removed{0};
+  std::thread remover([&] {
+    for (int i = 0; i < 30; ++i) {
+      removed.fetch_add(store.remove("victim", {"pm"}));
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kBatches = 10;
+  constexpr int kBatchSize = 24;
+  std::atomic<size_t> victim_puts{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<profile::Profile> batch;
+        for (int i = 0; i < kBatchSize; ++i) {
+          if (i % 8 == 7) {
+            batch.push_back(make_profile("victim", {"pm"}, t,
+                                         static_cast<double>(b)));
+          } else {
+            batch.push_back(make_profile("hammer-" + std::to_string(i % 4),
+                                         {"pm"}, t,
+                                         static_cast<double>(t * 100 + b)));
+          }
+        }
+        std::vector<bool> stored;
+        EXPECT_EQ(store.put_many(batch, &stored), 0u);
+        ASSERT_EQ(stored.size(), batch.size());
+        for (size_t i = 0; i < stored.size(); ++i) {
+          EXPECT_TRUE(stored[i]) << "batch " << b << " profile " << i;
+        }
+        victim_puts.fetch_add(kBatchSize / 8);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  remover.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_GE(reads.load(), 1u);
+  const size_t total_puts =
+      static_cast<size_t>(kThreads) * kBatches * kBatchSize;
+  const size_t hammer_puts = total_puts - victim_puts.load();
+  // Non-victim workloads were never removed: exact.
+  size_t hammer_found = 0;
+  for (int c = 0; c < 4; ++c) {
+    hammer_found +=
+        store.find("hammer-" + std::to_string(c), {"pm"}).size();
+  }
+  EXPECT_EQ(hammer_found, hammer_puts);
+  // Victim accounting: whatever the remover reaped plus what survives.
+  EXPECT_EQ(store.find("victim", {"pm"}).size() + removed.load(),
+            victim_puts.load());
+  EXPECT_EQ(store.size(), total_puts - removed.load());
+}
+
+TEST_P(ProfileStoreConcurrency, ConvertAllRacesReaders) {
+  // Shard-parallel convert_all() (json -> binary -> json -> ...) while
+  // readers hammer finds: every read observes the complete workload set
+  // and decoded totals survive every round trip.
+  auto store = make_store(/*threads=*/4);
+  constexpr int kWorkloads = 24;
+  for (int i = 0; i < kWorkloads; ++i) {
+    store.put(make_profile("conv-" + std::to_string(i), {"ca"},
+                           1000.0 + i, static_cast<double>(i)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      int step = r;
+      while (!stop.load()) {
+        const int i = (step += 7) % kWorkloads;
+        const auto found = store.find("conv-" + std::to_string(i), {"ca"});
+        ASSERT_EQ(found.size(), 1u);
+        EXPECT_DOUBLE_EQ(
+            found[0].totals.at(std::string(m::kCyclesUsed)), 1000.0 + i);
+        ASSERT_EQ(store.list().size(), static_cast<size_t>(kWorkloads));
+      }
+    });
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(store.convert_all(), static_cast<size_t>(kWorkloads))
+        << "round " << round;
+    EXPECT_EQ(store.size(), static_cast<size_t>(kWorkloads));
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(store.size(), static_cast<size_t>(kWorkloads));
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ProfileStoreConcurrency,

@@ -1,0 +1,195 @@
+// sys::TaskPool (the cross-shard store fan-out pool) and the sys::Blob
+// buffers the mmap read path decodes from.
+
+#include "sys/task_pool.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sys/mmap_file.hpp"
+
+namespace sys = synapse::sys;
+
+TEST(TaskPool, LazyStart) {
+  sys::TaskPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  EXPECT_FALSE(pool.started());
+  pool.submit([] {}).get();
+  EXPECT_TRUE(pool.started());
+}
+
+TEST(TaskPool, SubmitRunsTasksAndResolvesFutures) {
+  sys::TaskPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(TaskPool, SubmitDeliversExceptionsThroughFuture) {
+  sys::TaskPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  pool.submit([] {}).get();
+}
+
+TEST(TaskPool, ParallelForCoversEveryIndexExactlyOnce) {
+  sys::TaskPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<char> seen(kCount, 0);
+  std::atomic<size_t> calls{0};
+  pool.parallel_for(kCount, [&](size_t i) {
+    seen[i] += 1;
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(seen[i], 1) << "index " << i;
+  }
+}
+
+TEST(TaskPool, ParallelForZeroAndOneAndSingleThread) {
+  sys::TaskPool pool(1);
+  std::atomic<size_t> calls{0};
+  pool.parallel_for(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+  pool.parallel_for(1, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1u);
+  // Single-thread pools degrade to serial inline execution: no worker
+  // is ever needed.
+  pool.parallel_for(10, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 11u);
+  EXPECT_FALSE(pool.started());
+}
+
+TEST(TaskPool, ParallelForRethrowsFirstErrorAfterCompletingAllIndices) {
+  sys::TaskPool pool(4);
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("index 13");
+                        }),
+      std::runtime_error);
+  // Every index still ran — callers relying on per-index side effects
+  // (the store's stored[] contract) observe a complete pass.
+  EXPECT_EQ(executed.load(), 100u);
+}
+
+TEST(TaskPool, NestedParallelForDoesNotDeadlock) {
+  sys::TaskPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  // Outer tasks occupy every pool thread; inner parallel_for must make
+  // progress on the calling (pool worker) thread itself.
+  pool.parallel_for(4, [&](size_t) {
+    pool.parallel_for(8, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32u);
+}
+
+TEST(TaskPool, DestructionDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    sys::TaskPool pool(1);
+    // One slow task clogs the single worker; the rest sit in the queue
+    // when the destructor runs and must still execute.
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] {
+        usleep(1000);
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskPool, SharedPoolIsProcessWideAndUsable) {
+  sys::TaskPool& a = sys::TaskPool::shared();
+  sys::TaskPool& b = sys::TaskPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+  std::atomic<int> ran{0};
+  a.parallel_for(16, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskPool, ManyConcurrentParallelForCallers) {
+  sys::TaskPool pool(4);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(17, [&](size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 17u);
+}
+
+// --- sys::Blob --------------------------------------------------------------
+
+namespace {
+
+std::string write_temp(const std::string& contents) {
+  const std::string path =
+      "/tmp/synapse_blob_test_" + std::to_string(::getpid());
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  return path;
+}
+
+}  // namespace
+
+TEST(MappedBlob, MapsFileContentsExactly) {
+  const std::string contents = "SYNB-ish bytes \0 with a NUL inside";
+  const std::string path = write_temp(std::string("abc\0def", 7));
+  auto blob = sys::MappedBlob::map(path);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->view(), std::string_view("abc\0def", 7));
+  ::unlink(path.c_str());
+  (void)contents;
+}
+
+TEST(MappedBlob, MissingFileReturnsNull) {
+  EXPECT_EQ(sys::MappedBlob::map("/tmp/synapse_no_such_file_xyz"), nullptr);
+}
+
+TEST(MappedBlob, EmptyFileYieldsEmptyView) {
+  const std::string path = write_temp("");
+  auto blob = sys::MappedBlob::map(path);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_TRUE(blob->view().empty());
+  ::unlink(path.c_str());
+}
+
+TEST(MappedBlob, MappingSurvivesUnlink) {
+  const std::string path = write_temp("outlives deletion");
+  auto blob = sys::MappedBlob::map(path);
+  ASSERT_NE(blob, nullptr);
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+  // POSIX keeps mapped pages until the last munmap — this is what lets
+  // a decoded Profile outlive a concurrent store remove().
+  EXPECT_EQ(blob->view(), "outlives deletion");
+}
+
+TEST(StringBlob, OwnsItsBytes) {
+  std::string data = "owned";
+  sys::StringBlob blob(std::move(data));
+  EXPECT_EQ(blob.view(), "owned");
+}
