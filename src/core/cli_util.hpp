@@ -3,10 +3,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "profile/store_backend.hpp"
+#include "watchers/watcher.hpp"
 
 namespace synapse::cli {
 
@@ -48,6 +50,32 @@ inline std::vector<std::string> split_name_list(const std::string& list) {
   }
   flush();
   return names;
+}
+
+/// Parse a per-watcher gate override "NAME=FLOOR:BURST:THRESHOLD:HOLD"
+/// (--watcher-gate): four numbers — floor rate (Hz), burst rate (Hz,
+/// 0 = the watcher's sampling rate), open threshold, and quiet hold (s).
+/// Returns false on a malformed spec (shape only); range validation is
+/// Profiler::prepare_run's job, with a diagnostic naming the watcher.
+inline bool parse_gate_spec(const std::string& spec, std::string& name,
+                            watchers::GateParams& gate) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  name = spec.substr(0, eq);
+  double* fields[4] = {&gate.floor_hz, &gate.burst_hz, &gate.open_threshold,
+                       &gate.close_hold_s};
+  size_t pos = eq + 1;
+  for (int k = 0; k < 4; ++k) {
+    const size_t sep = k < 3 ? spec.find(':', pos) : spec.size();
+    if (sep == std::string::npos) return false;
+    const std::string field = spec.substr(pos, sep - pos);
+    if (field.empty()) return false;
+    char* end = nullptr;
+    *fields[k] = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0') return false;
+    pos = sep + 1;
+  }
+  return true;
 }
 
 }  // namespace synapse::cli

@@ -6,6 +6,7 @@
 //                   [--store-backend NAME] [--store-cluster SPEC.json]
 //                   [--kernel NAME] [--omp N | --ranks N]
 //                   [--atoms NAME[,NAME...]] [--net] [--replay-batch N]
+//                   [--pace auto|off|on]
 //                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--store-format json|binary]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
@@ -16,11 +17,16 @@
 // --replay-batch >= 2 replays through the async batched pipeline
 // (identical non-timing stats, amortized dispatch); --store-flush-ms /
 // --store-flush-max set the store's FlushPolicy (age / size triggers
-// for the background flush worker).
+// for the background flush worker). --pace controls replay pacing by
+// the recorded inter-sample gaps: auto (default) paces variable-rate
+// (adaptively recorded) profiles only, on paces everything, off never.
 //
 // --profile runs the scenario's emulation under the profiler (watcher
 // set from the scenario's `watchers` field) and stores the recorded
 // profile as "scenario:<name>" — the profile-then-emulate round trip.
+// The profiler's --scheduler (thread|multiplexed|adaptive) and gate
+// flags (--gate-floor/--gate-burst/--gate-threshold/--gate-hold,
+// --watcher-gate NAME=F:B:T:H) apply to such runs.
 
 #include <algorithm>
 #include <cstdio>
@@ -191,6 +197,41 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.emulator.replay_batch = static_cast<size_t>(n);
+    } else if (arg == "--pace") {
+      try {
+        options.emulator.pace = emulator::replay_pace_from_string(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--scheduler") {
+      try {
+        options.profiler.scheduler =
+            watchers::scheduler_mode_from_string(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--gate-floor") {
+      options.profiler.gate.floor_hz = std::atof(next());
+    } else if (arg == "--gate-burst") {
+      options.profiler.gate.burst_hz = std::atof(next());
+    } else if (arg == "--gate-threshold") {
+      options.profiler.gate.open_threshold = std::atof(next());
+    } else if (arg == "--gate-hold") {
+      options.profiler.gate.close_hold_s = std::atof(next());
+    } else if (arg == "--watcher-gate") {
+      const std::string spec = next();
+      std::string name;
+      watchers::GateParams gate;
+      if (!cli::parse_gate_spec(spec, name, gate)) {
+        std::fprintf(stderr,
+                     "synapse-emulate: --watcher-gate expects "
+                     "NAME=FLOOR:BURST:THRESHOLD:HOLD (got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.profiler.watcher_gates[name] = gate;
     } else if (arg == "--store-flush-ms") {
       const double ms = std::atof(next());
       if (ms <= 0.0) {
@@ -260,6 +301,8 @@ int main(int argc, char** argv) {
           "                [--atoms NAME[,NAME...]] [--net]\n"
           "                [--replay-batch N] (N >= 2: async batched replay\n"
           "                 pipeline; same non-timing stats)\n"
+          "                [--pace auto|off|on] (pace replay by recorded\n"
+          "                 inter-sample gaps; auto = variable-rate only)\n"
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: docstore background flush\n"
           "                 by age/size)\n"
@@ -275,7 +318,11 @@ int main(int argc, char** argv) {
           "                [--fs NAME] -- COMMAND...\n"
           "synapse-emulate --scenario NAME|FILE [--profile] [tuning...]\n"
           "                (--profile records the scenario run through the\n"
-          "                 profiler and stores it as scenario:<name>)\n"
+          "                 profiler and stores it as scenario:<name>;\n"
+          "                 [--scheduler thread|multiplexed|adaptive]\n"
+          "                 [--gate-floor HZ] [--gate-burst HZ]\n"
+          "                 [--gate-threshold X] [--gate-hold S]\n"
+          "                 [--watcher-gate NAME=F:B:T:H] tune it)\n"
           "synapse-emulate --list-scenarios\n"
           "registered atoms:");
       for (const auto& name : synapse::atoms::AtomRegistry::instance().names()) {

@@ -93,8 +93,19 @@ void print_profile(const Profile& p) {
     // (WatcherConfig::rate_overrides); 0 means "not recorded".
     const double rate =
         ts.sample_rate_hz > 0 ? ts.sample_rate_hz : p.sample_rate_hz;
-    std::printf("  %-10s %6zu samples @ %.1f Hz\n", ts.watcher.c_str(),
-                ts.size(), rate);
+    if (ts.variable_rate) {
+      // Adaptively recorded: the nominal rate is just the burst ceiling,
+      // so show the realized spacing instead.
+      const auto gaps = ts.gap_stats();
+      std::printf(
+          "  %-10s %6zu samples, variable rate (eff %.1f Hz, "
+          "gap min/mean/max %.3f/%.3f/%.3f s)\n",
+          ts.watcher.c_str(), ts.size(), ts.effective_rate_hz(), gaps.min_s,
+          gaps.mean_s, gaps.max_s);
+    } else {
+      std::printf("  %-10s %6zu samples @ %.1f Hz\n", ts.watcher.c_str(),
+                  ts.size(), rate);
+    }
   }
   std::printf("totals:\n");
   for (const auto& [metric, value] : p.totals) {

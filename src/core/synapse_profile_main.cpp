@@ -6,12 +6,22 @@
 //   synapse-profile [--rate HZ] [--tag TAG]... [--store DIR]
 //                   [--store-backend NAME] [--store-cluster SPEC.json]
 //                   [--watchers LIST] [--watcher-rate NAME=HZ]...
-//                   [--scheduler thread|multiplexed] [--store-batch N]
+//                   [--scheduler thread|multiplexed|adaptive]
+//                   [--gate-floor HZ] [--gate-burst HZ]
+//                   [--gate-threshold X] [--gate-hold S]
+//                   [--watcher-gate NAME=FLOOR:BURST:THRESHOLD:HOLD]...
+//                   [--store-batch N]
 //                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--store-threads N] [--store-cache-mb MB]
 //                   [--store-format json|binary]
 //                   [--resource NAME] -- COMMAND [ARGS...]
 //   synapse-profile --list-watchers | --list-store-backends
+//
+// The gate flags shape --scheduler adaptive (edge-triggered sampling):
+// closed gates poll at FLOOR Hz, an activity delta above THRESHOLD
+// opens the gate to BURST Hz (0 = the watcher's sampling rate), and
+// HOLD seconds of quiet closes it again. The recorded series are
+// variable-rate: their timestamps carry the effective rate trajectory.
 //
 // --store-flush-ms / --store-flush-max set the store's FlushPolicy:
 // the background worker flushes once the oldest unflushed write is MS
@@ -139,6 +149,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "synapse-profile: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--gate-floor") {
+      options.profiler.gate.floor_hz = std::atof(next());
+    } else if (arg == "--gate-burst") {
+      options.profiler.gate.burst_hz = std::atof(next());
+    } else if (arg == "--gate-threshold") {
+      options.profiler.gate.open_threshold = std::atof(next());
+    } else if (arg == "--gate-hold") {
+      options.profiler.gate.close_hold_s = std::atof(next());
+    } else if (arg == "--watcher-gate") {
+      const std::string spec = next();
+      std::string name;
+      watchers::GateParams gate;
+      if (!cli::parse_gate_spec(spec, name, gate)) {
+        std::fprintf(stderr,
+                     "synapse-profile: --watcher-gate expects "
+                     "NAME=FLOOR:BURST:THRESHOLD:HOLD (got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.profiler.watcher_gates[name] = gate;
     } else if (arg == "--store-batch") {
       options.store_batch = std::strtoull(next(), nullptr, 10);
       if (options.store_batch == 0) options.store_batch = 1;
@@ -196,8 +226,15 @@ int main(int argc, char** argv) {
           "                 cluster backend; implies --store-backend "
           "cluster)\n"
           "                [--watchers LIST] [--watcher-rate NAME=HZ]...\n"
-          "                [--scheduler thread|multiplexed] "
-          "[--store-batch N]\n"
+          "                [--scheduler thread|multiplexed|adaptive]\n"
+          "                [--gate-floor HZ] [--gate-burst HZ]\n"
+          "                [--gate-threshold X] [--gate-hold S]\n"
+          "                (adaptive-gate defaults: closed gates poll at\n"
+          "                 FLOOR Hz, an edge above THRESHOLD bursts at\n"
+          "                 BURST Hz, HOLD s of quiet closes again)\n"
+          "                [--watcher-gate NAME=FLOOR:BURST:THRESHOLD:HOLD]\n"
+          "                (per-watcher gate override)\n"
+          "                [--store-batch N]\n"
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: background flush by\n"
           "                 age/size on buffering backends)\n"
@@ -237,6 +274,17 @@ int main(int argc, char** argv) {
       if (std::find(set.begin(), set.end(), name) == set.end()) {
         std::fprintf(stderr,
                      "synapse-profile: --watcher-rate names '%s', which is "
+                     "not in the watcher set (running:",
+                     name.c_str());
+        for (const auto& w : set) std::fprintf(stderr, " %s", w.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
+    for (const auto& [name, gate] : options.profiler.watcher_gates) {
+      if (std::find(set.begin(), set.end(), name) == set.end()) {
+        std::fprintf(stderr,
+                     "synapse-profile: --watcher-gate names '%s', which is "
                      "not in the watcher set (running:",
                      name.c_str());
         for (const auto& w : set) std::fprintf(stderr, " %s", w.c_str());

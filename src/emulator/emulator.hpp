@@ -40,6 +40,21 @@ enum class ParallelMode {
   Process,  ///< N forked ranks (the OpenMPI substitute)
 };
 
+/// Replay pacing: whether the feed loop sleeps between deltas so the
+/// replay follows the profile's recorded inter-sample gaps (each
+/// SampleDelta::duration) instead of running as fast as the atoms
+/// allow. Pacing reproduces the recorded *timeline*; the atoms still
+/// reproduce the recorded *consumption*.
+enum class ReplayPace {
+  Auto,  ///< pace variable-rate (adaptively recorded) profiles only
+  Off,   ///< never pace: replay at full speed (the classic behaviour)
+  On,    ///< pace every profile by its recorded durations
+};
+
+/// Parse "auto" / "off" / "on" (throws sys::ConfigError otherwise).
+ReplayPace replay_pace_from_string(const std::string& name);
+const char* replay_pace_name(ReplayPace pace);
+
 struct EmulatorOptions {
   /// Declarative atom-set selection: the registry names to replay
   /// through, in dispatch order (e.g. {"compute", "storage", "my-gpu"}).
@@ -83,6 +98,15 @@ struct EmulatorOptions {
   /// back-pressures the producer once its queue holds this many
   /// batches. Clamped to >= 1.
   size_t replay_queue_depth = 4;
+
+  /// Pace the feed loop by the recorded inter-sample gaps (see
+  /// ReplayPace). Default Auto: variable-rate profiles replay on their
+  /// recorded timeline (a burst is replayed as a burst, an idle stretch
+  /// as an idle stretch), fixed-rate profiles replay at full speed as
+  /// before. Batch mode paces at batch granularity (the producer
+  /// releases each batch at its first sample's recorded offset),
+  /// keeping the batch-barrier and hook-order semantics untouched.
+  ReplayPace pace = ReplayPace::Auto;
 
   /// Ring-exchange bytes per rank per replayed sample in Process mode
   /// (0 = no communication, the paper's behaviour). Models the halo

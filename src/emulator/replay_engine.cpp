@@ -18,6 +18,25 @@ namespace synapse::emulator {
 
 namespace m = synapse::metrics;
 
+ReplayPace replay_pace_from_string(const std::string& name) {
+  if (name == "auto") return ReplayPace::Auto;
+  if (name == "off") return ReplayPace::Off;
+  if (name == "on") return ReplayPace::On;
+  throw sys::ConfigError("unknown replay pace: " + name +
+                         " (expected auto, off or on)");
+}
+
+const char* replay_pace_name(ReplayPace pace) {
+  switch (pace) {
+    case ReplayPace::Off:
+      return "off";
+    case ReplayPace::On:
+      return "on";
+    default:
+      return "auto";
+  }
+}
+
 ReplayEngine::ReplayEngine(EmulatorOptions options,
                            const atoms::AtomRegistry* registry)
     : options_(std::move(options)),
@@ -86,6 +105,20 @@ profile::SampleDelta scale_delta(profile::SampleDelta out,
     scale(m::kBytesWritten, opts.io_scale);
   }
   return out;
+}
+
+/// Resolve the pacing decision for this run (ReplayPace::Auto paces
+/// exactly the profiles whose gaps carry information).
+bool replay_paced(const EmulatorOptions& opts,
+                  const profile::Profile& profile) {
+  switch (opts.pace) {
+    case ReplayPace::On:
+      return true;
+    case ReplayPace::Off:
+      return false;
+    default:
+      return profile.variable_rate();
+  }
 }
 
 }  // namespace
@@ -162,8 +195,20 @@ void ReplayEngine::feed_single(
     const std::vector<std::unique_ptr<atoms::Atom>>& active,
     const SampleHook& per_sample_hook, EmulationResult& result) {
   auto deltas = profile.sample_deltas();
+  // Pacing clock: sample k is released at the sum of the recorded gaps
+  // (durations) of samples 1..k past the replay start. The first sample
+  // dispatches immediately — its duration describes the period BEFORE
+  // it, which the replay has no counterpart for.
+  const bool paced = replay_paced(opts, profile);
+  const double t0 = paced ? sys::steady_now() : 0.0;
+  double offset = 0.0;
   for (auto& raw : deltas) {
     const profile::SampleDelta delta = scale_delta(std::move(raw), opts);
+    if (paced && result.samples_replayed > 0) {
+      offset += delta.duration;
+      const double wait = t0 + offset - sys::steady_now();
+      if (wait > 0) sys::sleep_for(wait);
+    }
 
     // All resource consumptions of one sample start concurrently; the
     // sample ends when the last one completes (Fig. 2).
@@ -237,13 +282,24 @@ void ReplayEngine::feed_batched(
   // signal: once set, producing more work is pointless.
   std::atomic<bool> aborted{false};
   std::exception_ptr producer_error;
+  // Pacing happens in the producer, at batch granularity: each batch is
+  // released at its FIRST sample's recorded offset. Barrier and hook
+  // order are untouched — the sleep only delays production.
+  const bool paced = replay_paced(opts, profile);
+  const double t0 = paced ? sys::steady_now() : 0.0;
   std::thread producer([&] {
     try {
       auto deltas = profile.sample_deltas();
       std::shared_ptr<SampleBatch> batch;
       size_t index = 0;
+      double offset = 0.0;        ///< recorded time of the current sample
+      double batch_offset = 0.0;  ///< recorded time of the batch's first
       const auto dispatch = [&] {
         if (!batch || batch->deltas.empty()) return;
+        if (paced) {
+          const double wait = t0 + batch_offset - sys::steady_now();
+          if (wait > 0) sys::sleep_for(wait);
+        }
         batch->expect_consumers(queues.size());
         // The coordinator sees the batch first so completion latches
         // are awaited strictly in production order.
@@ -253,12 +309,15 @@ void ReplayEngine::feed_batched(
       };
       for (auto& raw : deltas) {
         if (aborted.load(std::memory_order_relaxed)) break;
+        profile::SampleDelta scaled = scale_delta(std::move(raw), opts);
+        if (index > 0) offset += scaled.duration;
         if (!batch) {
           batch = std::make_shared<SampleBatch>();
           batch->first_index = index;
           batch->deltas.reserve(batch_size);
+          batch_offset = offset;
         }
-        batch->deltas.push_back(scale_delta(std::move(raw), opts));
+        batch->deltas.push_back(std::move(scaled));
         ++index;
         if (batch->deltas.size() >= batch_size) dispatch();
       }

@@ -26,6 +26,12 @@
 //     (sample_queue.hpp). Each atom consumes its samples in recorded
 //     order, so non-timing stats are bit-identical to single mode; the
 //     barrier (and the per-sample hook) moves to batch granularity.
+//
+// Either mode optionally paces the feed by the recorded inter-sample
+// gaps (EmulatorOptions::pace; default: variable-rate profiles only).
+// Single mode sleeps before each delta, batch mode releases each batch
+// at its first sample's recorded offset — consumption order, barriers
+// and hook order are identical paced or not.
 
 #include <functional>
 #include <memory>

@@ -144,9 +144,14 @@ std::string encode_header(const Profile& p) {
   return json::dump(json::Value(std::move(root)));
 }
 
+struct ContainerHead {
+  std::string_view header;  ///< raw JSON header text
+  uint32_t version = 0;     ///< drives per-series framing in read_columns
+};
+
 /// Validate magic + version and position the cursor on the series
-/// framing (past the header). Returns the raw header text.
-std::string_view open_container(Cursor& c) {
+/// framing (past the header). Returns the raw header text + version.
+ContainerHead open_container(Cursor& c) {
   const std::string_view magic = c.bytes(4, "magic");
   if (std::memcmp(magic.data(), kBinaryMagic, 4) != 0) {
     throw CodecError(
@@ -154,13 +159,14 @@ std::string_view open_container(Cursor& c) {
         std::string(magic) + "\")");
   }
   const uint32_t version = c.u32("version");
-  if (version != kBinaryVersion) {
+  if (version < kBinaryMinVersion || version > kBinaryVersion) {
     throw CodecError("unsupported SYNB version " + std::to_string(version) +
-                     " (this build reads version " +
+                     " (this build reads versions " +
+                     std::to_string(kBinaryMinVersion) + ".." +
                      std::to_string(kBinaryVersion) + ")");
   }
   const uint32_t header_len = c.u32("header length");
-  return c.bytes(header_len, "JSON header");
+  return {c.bytes(header_len, "JSON header"), version};
 }
 
 }  // namespace
@@ -194,6 +200,18 @@ std::string encode_binary(const Profile& p) {
   for (const auto& ts : p.series) {
     put_string(out, ts.watcher);
     put_f64(out, ts.sample_rate_hz);
+
+    uint8_t flags = 0;
+    if (ts.variable_rate) flags |= 1u;
+    const bool has_gate = ts.gate.any();
+    if (has_gate) flags |= 2u;
+    out.push_back(static_cast<char>(flags));
+    if (has_gate) {
+      put_f64(out, ts.gate.floor_hz);
+      put_f64(out, ts.gate.burst_hz);
+      put_f64(out, ts.gate.open_threshold);
+      put_f64(out, ts.gate.close_hold_s);
+    }
 
     // Interned metric dictionary: the sorted union of metric names across
     // the series' samples. Sorted order matters — the columnar
@@ -250,7 +268,8 @@ double SeriesColumnsView::timestamp(size_t sample_index) const {
 namespace {
 
 /// Shared framing walk: header already consumed, cursor at series_count.
-ProfileColumnsView read_columns(Cursor& c) {
+/// `version` selects the per-series framing (v1 has no flags byte).
+ProfileColumnsView read_columns(Cursor& c, uint32_t version) {
   ProfileColumnsView out;
   const uint32_t series_count = c.u32("series count");
   // Bound the reserve by what the payload could possibly frame (each
@@ -262,6 +281,21 @@ ProfileColumnsView read_columns(Cursor& c) {
     SeriesColumnsView sv;
     sv.watcher = read_string(c, "watcher name");
     sv.rate_hz = c.f64("series rate");
+    if (version >= 2) {
+      const uint8_t flags = c.u8("series flags");
+      if (flags > 3) {
+        throw CodecError("corrupt SYNB container: series flags " +
+                         std::to_string(flags) + " at offset " +
+                         std::to_string(c.offset() - 1));
+      }
+      sv.variable_rate = (flags & 1u) != 0;
+      if ((flags & 2u) != 0) {
+        sv.gate.floor_hz = c.f64("gate floor_hz");
+        sv.gate.burst_hz = c.f64("gate burst_hz");
+        sv.gate.open_threshold = c.f64("gate open_threshold");
+        sv.gate.close_hold_s = c.f64("gate close_hold_s");
+      }
+    }
     const uint32_t metric_count = c.u32("metric count");
     // Same guard: every metric needs >= 9 framing bytes downstream.
     c.need(static_cast<uint64_t>(metric_count) * 9, "metric table");
@@ -311,19 +345,20 @@ ProfileColumnsView read_columns(Cursor& c) {
 
 ProfileColumnsView decode_columns(std::string_view data) {
   Cursor c(data);
-  open_container(c);  // validates magic/version, skips the header
-  return read_columns(c);
+  // Validates magic/version, skips the header.
+  const ContainerHead head = open_container(c);
+  return read_columns(c, head.version);
 }
 
 Profile decode_binary(std::string_view data) {
   Cursor c(data);
-  const std::string_view header = open_container(c);
-  const ProfileColumnsView cols = read_columns(c);
+  const ContainerHead head = open_container(c);
+  const ProfileColumnsView cols = read_columns(c, head.version);
 
   Profile p;
   try {
     // The header is the series-less to_json shape; from_json handles it.
-    p = Profile::from_json(json::parse(std::string(header)));
+    p = Profile::from_json(json::parse(std::string(head.header)));
   } catch (const json::JsonError& e) {
     throw CodecError(std::string("corrupt SYNB container: bad JSON header: ") +
                      e.what());
@@ -334,6 +369,8 @@ Profile decode_binary(std::string_view data) {
     TimeSeries ts;
     ts.watcher = std::string(sv.watcher);
     ts.sample_rate_hz = sv.rate_hz;
+    ts.variable_rate = sv.variable_rate;
+    ts.gate = sv.gate;
     ts.samples.resize(sv.sample_count);
     for (size_t i = 0; i < sv.sample_count; ++i) {
       ts.samples[i].timestamp = sv.timestamp(i);
@@ -368,7 +405,7 @@ Profile decode_binary(std::string_view data) {
 
 BinaryProfileInfo decode_binary_identity(std::string_view data) {
   Cursor c(data);
-  const std::string_view header = open_container(c);
+  const std::string_view header = open_container(c).header;
   BinaryProfileInfo info;
   try {
     const json::Value v = json::parse(std::string(header));
@@ -386,46 +423,26 @@ BinaryProfileInfo decode_binary_identity(std::string_view data) {
   return info;
 }
 
-std::vector<SampleDelta> sample_deltas_from_columns(
-    const ProfileColumnsView& columns, double profile_rate_hz) {
-  // Mirror of Profile::sample_deltas() over flat columns. Per-slot float
-  // operations happen in the same (series, sample) order as the map
-  // walk, so the two paths are bit-identical — a property the round-trip
-  // tests pin down.
-  double rate = profile_rate_hz;
-  for (const auto& sv : columns.series) rate = std::max(rate, sv.rate_hz);
-  if (rate <= 0.0) return {};
-  const double period = 1.0 / rate;
+namespace {
 
-  double origin = std::numeric_limits<double>::infinity();
-  for (const auto& sv : columns.series) {
-    if (sv.sample_count > 0) origin = std::min(origin, sv.timestamp(0));
-  }
-  if (!std::isfinite(origin)) return {};
+/// One accumulation lane per metric name, shared across series (the map
+/// walk accumulates into one slot per (bucket, metric) across series
+/// too). `present` distinguishes "never touched" from "delta sums to
+/// zero", matching map-key insertion semantics.
+struct Accum {
+  bool instantaneous = false;
+  std::vector<double> value;
+  std::vector<uint8_t> present;
+};
 
-  auto bucket_of = [origin, period](double t) {
-    return static_cast<size_t>(std::max(0.0, (t - origin) / period + 1e-9));
-  };
-
-  size_t max_bucket = 0;
-  for (const auto& sv : columns.series) {
-    for (size_t i = 0; i < sv.sample_count; ++i) {
-      max_bucket = std::max(max_bucket, bucket_of(sv.timestamp(i)));
-    }
-  }
-  const size_t buckets = max_bucket + 1;
-
-  // One accumulation lane per metric name, shared across series (the map
-  // walk accumulates into one slot per (bucket, metric) across series
-  // too). `present` distinguishes "never touched" from "delta sums to
-  // zero", matching map-key insertion semantics.
-  struct Accum {
-    bool instantaneous = false;
-    std::vector<double> value;
-    std::vector<uint8_t> present;
-  };
+/// The shared lane walk: per-slot float operations happen in the same
+/// (series, sample) order as the map walk, so the two paths are
+/// bit-identical — a property the round-trip tests pin down. `bucket_of`
+/// supplies the bucketing (fixed period or timestamp-union).
+template <typename BucketFn>
+std::map<std::string, Accum, std::less<>> accumulate_lanes(
+    const ProfileColumnsView& columns, size_t buckets, BucketFn bucket_of) {
   std::map<std::string, Accum, std::less<>> accums;
-
   std::vector<size_t> bucket;
   for (const auto& sv : columns.series) {
     bucket.resize(sv.sample_count);
@@ -469,11 +486,14 @@ std::vector<SampleDelta> sample_deltas_from_columns(
       }
     }
   }
+  return accums;
+}
 
+/// Lanes -> SampleDelta list. accums iterates in sorted name order, so
+/// every per-bucket map is built by appending at its end.
+std::vector<SampleDelta> emit_deltas(
+    const std::map<std::string, Accum, std::less<>>& accums, size_t buckets) {
   std::vector<SampleDelta> out(buckets);
-  for (auto& d : out) d.duration = period;
-  // accums iterates in sorted name order, so every per-bucket map is
-  // built by appending at its end.
   for (const auto& [name, acc] : accums) {
     for (size_t b = 0; b < buckets; ++b) {
       if (acc.present[b]) {
@@ -481,6 +501,76 @@ std::vector<SampleDelta> sample_deltas_from_columns(
       }
     }
   }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SampleDelta> sample_deltas_from_columns(
+    const ProfileColumnsView& columns, double profile_rate_hz) {
+  // Mirror of Profile::sample_deltas() over flat columns; see
+  // accumulate_lanes for the bit-identity contract.
+  double rate = profile_rate_hz;
+  for (const auto& sv : columns.series) rate = std::max(rate, sv.rate_hz);
+
+  bool variable = false;
+  for (const auto& sv : columns.series) variable = variable || sv.variable_rate;
+
+  if (variable) {
+    // Timestamp-union bucketing: same edges, same durations, same
+    // exact-double binary search as the map walk's variable branch.
+    std::vector<double> edges;
+    size_t total = 0;
+    for (const auto& sv : columns.series) total += sv.sample_count;
+    edges.reserve(total);
+    for (const auto& sv : columns.series) {
+      for (size_t i = 0; i < sv.sample_count; ++i) {
+        edges.push_back(sv.timestamp(i));
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    if (edges.empty()) return {};
+
+    const auto bucket_of = [&edges](double t) {
+      return static_cast<size_t>(
+          std::lower_bound(edges.begin(), edges.end(), t) - edges.begin());
+    };
+    auto out = emit_deltas(accumulate_lanes(columns, edges.size(), bucket_of),
+                           edges.size());
+    out[0].duration = rate > 0.0
+                          ? 1.0 / rate
+                          : (edges.size() > 1 ? edges[1] - edges[0] : 0.0);
+    for (size_t j = 1; j < edges.size(); ++j) {
+      out[j].duration = edges[j] - edges[j - 1];
+    }
+    return out;
+  }
+
+  if (rate <= 0.0) return {};
+  const double period = 1.0 / rate;
+
+  double origin = std::numeric_limits<double>::infinity();
+  for (const auto& sv : columns.series) {
+    if (sv.sample_count > 0) origin = std::min(origin, sv.timestamp(0));
+  }
+  if (!std::isfinite(origin)) return {};
+
+  auto bucket_of = [origin, period](double t) {
+    return static_cast<size_t>(std::max(0.0, (t - origin) / period + 1e-9));
+  };
+
+  size_t max_bucket = 0;
+  for (const auto& sv : columns.series) {
+    for (size_t i = 0; i < sv.sample_count; ++i) {
+      max_bucket = std::max(max_bucket, bucket_of(sv.timestamp(i)));
+    }
+  }
+  const size_t buckets = max_bucket + 1;
+
+  auto out = emit_deltas(accumulate_lanes(columns, buckets, bucket_of),
+                         buckets);
+  for (auto& d : out) d.duration = period;
   return out;
 }
 

@@ -15,15 +15,22 @@
 //
 // Container layout (all integers little-endian):
 //
-//   "SYNB" | u32 version=1 | u32 header_len | header JSON (compact)
+//   "SYNB" | u32 version=2 | u32 header_len | header JSON (compact)
 //   u32 series_count
 //   per series:
 //     u32 watcher_len | watcher bytes | f64 rate_hz
+//     u8 flags                                 (v2+; bit0 variable_rate,
+//                                               bit1 gate params follow)
+//     [f64 floor_hz | f64 burst_hz | f64 open_threshold | f64 close_hold_s]
+//                                              (v2+, only when bit1 set)
 //     u32 metric_count | per metric: u32 len | bytes     (sorted names)
 //     u32 sample_count | f64 timestamps[sample_count]
 //     per metric:
 //       u8 dense | [presence bitmap, (sample_count+7)/8 bytes when !dense]
 //       u32 value_count | f64 values[value_count]
+//
+// Version 1 containers (no flags byte, no gate) decode fine: every v1
+// series is fixed-rate by construction. Writers always emit version 2.
 //
 // Doubles survive exactly (raw IEEE-754 bits), so binary→JSON→binary
 // conversion is lossless modulo the JSON number printer, which is
@@ -49,7 +56,9 @@ class CodecError : public std::runtime_error {
 };
 
 inline constexpr char kBinaryMagic[4] = {'S', 'Y', 'N', 'B'};
-inline constexpr uint32_t kBinaryVersion = 1;
+inline constexpr uint32_t kBinaryVersion = 2;
+/// Oldest container version this build still reads.
+inline constexpr uint32_t kBinaryMinVersion = 1;
 
 /// Cheap magic-byte sniff used by store backends to route mixed-format
 /// reads. True only for data that starts with the SYNB magic.
@@ -100,6 +109,8 @@ struct MetricColumnView {
 struct SeriesColumnsView {
   std::string_view watcher;
   double rate_hz = 0.0;
+  bool variable_rate = false;  ///< v2 flag bit0; v1 series are fixed-rate
+  SeriesGate gate;             ///< v2 gate params (all zero when absent)
   const char* timestamps = nullptr;  ///< f64 little-endian
   uint32_t sample_count = 0;
   std::vector<MetricColumnView> metrics;
@@ -121,8 +132,10 @@ ProfileColumnsView decode_columns(std::string_view data);
 
 /// sample_deltas computed straight from columns, bit-identical to the
 /// map-walking Profile::sample_deltas() (same bucketing, same float
-/// accumulation order). `profile_rate_hz` is the profile-level rate the
-/// per-series rates are maxed against.
+/// accumulation order) — including the variable-rate timestamp-union
+/// bucketing when any series carries the variable_rate flag.
+/// `profile_rate_hz` is the profile-level rate the per-series rates are
+/// maxed against.
 std::vector<SampleDelta> sample_deltas_from_columns(
     const ProfileColumnsView& columns, double profile_rate_hz);
 

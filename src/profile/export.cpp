@@ -31,8 +31,11 @@ std::string format_double(double v) {
 }  // namespace
 
 std::string series_to_csv(const Profile& profile) {
-  std::string out = "watcher,timestamp,metric,value\n";
+  std::string out = "watcher,timestamp,metric,value,effective_rate_hz\n";
   for (const auto& ts : profile.series) {
+    // Measured, not nominal: for variable-rate (gated) series the two
+    // diverge, and the measured one is what plots should annotate.
+    const std::string rate = format_double(ts.effective_rate_hz());
     for (const auto& s : ts.samples) {
       for (const auto& [metric, value] : s.values) {
         out += csv_field(ts.watcher);
@@ -42,6 +45,8 @@ std::string series_to_csv(const Profile& profile) {
         out += csv_field(metric);
         out += ',';
         out += format_double(value);
+        out += ',';
+        out += rate;
         out += '\n';
       }
     }
@@ -55,8 +60,19 @@ std::string totals_to_csv(const std::vector<Profile>& profiles) {
   for (const auto& p : profiles) {
     for (const auto& [metric, value] : p.totals) columns.insert(metric);
   }
+  // Per-series effective-rate columns (rate_hz:<watcher>): the measured
+  // rate of each watcher's series. The profile-level sample_rate_hz
+  // alone misrepresents variable-rate (adaptively gated) recordings.
+  std::set<std::string> watchers;
+  for (const auto& p : profiles) {
+    for (const auto& ts : p.series) watchers.insert(ts.watcher);
+  }
 
   std::string out = "command,tags,created_at,sample_rate_hz";
+  for (const auto& w : watchers) {
+    out += ',';
+    out += csv_field("rate_hz:" + w);
+  }
   for (const auto& c : columns) {
     out += ',';
     out += csv_field(c);
@@ -76,6 +92,11 @@ std::string totals_to_csv(const std::vector<Profile>& profiles) {
     out += format_double(p.created_at);
     out += ',';
     out += format_double(p.sample_rate_hz);
+    for (const auto& w : watchers) {
+      out += ',';
+      const TimeSeries* ts = p.find_series(w);
+      if (ts != nullptr) out += format_double(ts->effective_rate_hz());
+    }
     for (const auto& c : columns) {
       out += ',';
       const auto it = p.totals.find(c);

@@ -16,11 +16,16 @@
 
 namespace synapse::profile {
 
-/// Tidy per-sample export of one profile.
+/// Tidy per-sample export of one profile. Each row carries the owning
+/// series' measured effective rate (effective_rate_hz column) so
+/// variable-rate recordings annotate their actual trajectory.
 std::string series_to_csv(const Profile& profile);
 
 /// One row per profile; the column set is the union of all totals.
-/// The first columns are command, tags, created_at, sample_rate_hz.
+/// The first columns are command, tags, created_at, sample_rate_hz,
+/// then one `rate_hz:<watcher>` column per watcher seen in any profile
+/// (the series' measured effective rate — for variable-rate series this
+/// is the number that matters, not the nominal rate).
 std::string totals_to_csv(const std::vector<Profile>& profiles);
 
 /// Write a string to a file (creates/truncates). Throws SystemError.

@@ -37,6 +37,29 @@ double TimeSeries::max(std::string_view metric) const {
   return best;
 }
 
+double TimeSeries::effective_rate_hz() const {
+  if (samples.size() < 2) return sample_rate_hz;
+  const double span = samples.back().timestamp - samples.front().timestamp;
+  if (!(span > 0.0)) return sample_rate_hz;
+  return static_cast<double>(samples.size() - 1) / span;
+}
+
+GapStats TimeSeries::gap_stats() const {
+  GapStats g;
+  if (samples.size() < 2) return g;
+  g.gaps = samples.size() - 1;
+  g.min_s = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double gap = samples[i].timestamp - samples[i - 1].timestamp;
+    g.min_s = std::min(g.min_s, gap);
+    g.max_s = std::max(g.max_s, gap);
+    sum += gap;
+  }
+  g.mean_s = sum / static_cast<double>(g.gaps);
+  return g;
+}
+
 json::Value SystemInfo::to_json() const {
   json::Object o;
   o["hostname"] = hostname;
@@ -90,6 +113,13 @@ size_t Profile::sample_count() const {
   return n;
 }
 
+bool Profile::variable_rate() const {
+  for (const auto& ts : series) {
+    if (ts.variable_rate) return true;
+  }
+  return false;
+}
+
 bool is_instantaneous_metric(std::string_view metric) {
   static const std::set<std::string, std::less<>> inst = {
       std::string(metrics::kMemResident), std::string(metrics::kMemPeak),
@@ -111,6 +141,7 @@ bool matches_payload_shape(const ProfileColumnsView& cols,
     const SeriesColumnsView& sv = cols.series[i];
     const TimeSeries& ts = series[i];
     if (sv.watcher != ts.watcher || sv.rate_hz != ts.sample_rate_hz ||
+        sv.variable_rate != ts.variable_rate ||
         sv.sample_count != ts.samples.size()) {
       return false;
     }
@@ -140,6 +171,59 @@ std::vector<SampleDelta> Profile::sample_deltas() const {
   // granularity, slower series simply contribute to fewer buckets.
   double rate = sample_rate_hz;
   for (const auto& ts : series) rate = std::max(rate, ts.sample_rate_hz);
+
+  if (variable_rate()) {
+    // Variable-rate profiles: the recorded timestamps ARE the buckets.
+    // Edges = sorted unique union of every sample instant across
+    // watchers; each delta's duration is the recorded gap to the
+    // previous edge, so the replay trajectory (burst density, idle
+    // stretches) survives exactly. Bucket lookup is an exact-double
+    // binary search — a sample always finds its own timestamp.
+    std::vector<double> edges;
+    size_t total = 0;
+    for (const auto& ts : series) total += ts.samples.size();
+    edges.reserve(total);
+    for (const auto& ts : series) {
+      for (const auto& s : ts.samples) edges.push_back(s.timestamp);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    if (edges.empty()) return {};
+
+    std::vector<SampleDelta> out(edges.size());
+    // The first bucket has no predecessor; fall back to the nominal
+    // (burst) period, then to the first recorded gap.
+    out[0].duration = rate > 0.0
+                          ? 1.0 / rate
+                          : (edges.size() > 1 ? edges[1] - edges[0] : 0.0);
+    for (size_t j = 1; j < edges.size(); ++j) {
+      out[j].duration = edges[j] - edges[j - 1];
+    }
+
+    const auto bucket_of = [&edges](double t) {
+      return static_cast<size_t>(
+          std::lower_bound(edges.begin(), edges.end(), t) - edges.begin());
+    };
+    for (const auto& ts : series) {
+      std::map<std::string, double> last_cumulative;
+      for (const auto& s : ts.samples) {
+        const size_t b = bucket_of(s.timestamp);
+        for (const auto& [metric, value] : s.values) {
+          if (is_instantaneous_metric(metric)) {
+            auto& slot = out[b].deltas[metric];
+            slot = std::max(slot, value);
+          } else {
+            double& prev = last_cumulative[metric];
+            const double delta = value - prev;
+            prev = value;
+            if (delta > 0) out[b].deltas[metric] += delta;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
   if (rate <= 0.0) return {};
   const double period = 1.0 / rate;
 
@@ -234,6 +318,15 @@ json::Value Profile::to_json() const {
     json::Object jts;
     jts["watcher"] = ts.watcher;
     if (ts.sample_rate_hz > 0) jts["rate_hz"] = ts.sample_rate_hz;
+    if (ts.variable_rate) jts["variable_rate"] = true;
+    if (ts.gate.any()) {
+      json::Object jg;
+      jg["floor_hz"] = ts.gate.floor_hz;
+      jg["burst_hz"] = ts.gate.burst_hz;
+      jg["open_threshold"] = ts.gate.open_threshold;
+      jg["close_hold_s"] = ts.gate.close_hold_s;
+      jts["gate"] = std::move(jg);
+    }
     json::Array jsamples;
     for (const auto& s : ts.samples) {
       json::Object js;
@@ -273,6 +366,14 @@ Profile Profile::from_json(const json::Value& v) {
       TimeSeries ts;
       ts.watcher = jts.get_or("watcher", std::string());
       ts.sample_rate_hz = jts.get_or("rate_hz", 0.0);
+      ts.variable_rate = jts.get_or("variable_rate", false);
+      if (jts.contains("gate")) {
+        const json::Value& jg = jts["gate"];
+        ts.gate.floor_hz = jg.get_or("floor_hz", 0.0);
+        ts.gate.burst_hz = jg.get_or("burst_hz", 0.0);
+        ts.gate.open_threshold = jg.get_or("open_threshold", 0.0);
+        ts.gate.close_hold_s = jg.get_or("close_hold_s", 0.0);
+      }
       for (const auto& js : jts["samples"].as_array()) {
         Sample s;
         s.timestamp = js.get_or("t", 0.0);
@@ -333,6 +434,14 @@ Profile Profile::from_arena(const json::ArenaValue& v) {
       TimeSeries ts;
       ts.watcher = jts->get_or("watcher", std::string());
       ts.sample_rate_hz = jts->get_or("rate_hz", 0.0);
+      ts.variable_rate = jts->get_or("variable_rate", false);
+      if (jts->contains("gate")) {
+        const json::ArenaValue& jg = (*jts)["gate"];
+        ts.gate.floor_hz = jg.get_or("floor_hz", 0.0);
+        ts.gate.burst_hz = jg.get_or("burst_hz", 0.0);
+        ts.gate.open_threshold = jg.get_or("open_threshold", 0.0);
+        ts.gate.close_hold_s = jg.get_or("close_hold_s", 0.0);
+      }
       const json::ArenaValue& jsamples = (*jts)["samples"];
       ts.samples.reserve(jsamples.size());
       for (const auto* js = jsamples.items_begin();

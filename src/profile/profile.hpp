@@ -39,13 +39,44 @@ struct Sample {
   void set(std::string_view metric, double value);
 };
 
+/// Gate parameters a variable-rate series was recorded under (the
+/// adaptive scheduler's open/close gate) — informational metadata that
+/// survives serialization so a replayed or exported profile explains
+/// its own rate trajectory. All zero = not recorded.
+struct SeriesGate {
+  double floor_hz = 0.0;
+  double burst_hz = 0.0;
+  double open_threshold = 0.0;
+  double close_hold_s = 0.0;
+
+  bool any() const {
+    return floor_hz != 0.0 || burst_hz != 0.0 || open_threshold != 0.0 ||
+           close_hold_s != 0.0;
+  }
+};
+
+/// min/mean/max spacing between consecutive samples of one series.
+struct GapStats {
+  size_t gaps = 0;  ///< sample_count - 1 (0 = no gaps, stats are 0)
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+};
+
 /// Ordered samples from one watcher.
 struct TimeSeries {
   std::string watcher;  ///< producing watcher name ("cpu", "mem", ...)
   /// Rate this series was sampled at. Watchers may run at individual
   /// rates (WatcherConfig::rate_overrides); 0 means "not recorded",
-  /// i.e. the profile-level Profile::sample_rate_hz applies.
+  /// i.e. the profile-level Profile::sample_rate_hz applies. For
+  /// variable-rate series this is the nominal burst rate; the recorded
+  /// timestamps are authoritative.
   double sample_rate_hz = 0.0;
+  /// Recorded under an edge-triggered (gated) scheduler: inter-sample
+  /// spacing varies, so consumers must bucket on timestamps instead of
+  /// deriving a fixed period from the rate.
+  bool variable_rate = false;
+  SeriesGate gate;  ///< gate the series was recorded under (if any)
   std::vector<Sample> samples;
 
   bool empty() const { return samples.empty(); }
@@ -56,6 +87,15 @@ struct TimeSeries {
 
   /// Maximum value of a metric across samples.
   double max(std::string_view metric) const;
+
+  /// Measured rate over the recorded span: (n-1) / (t_last - t_first).
+  /// Falls back to sample_rate_hz when fewer than two samples (or a
+  /// zero span) leave nothing to measure.
+  double effective_rate_hz() const;
+
+  /// Inter-sample gap statistics (the variable-rate trajectory summary
+  /// `synapse-inspect` prints).
+  GapStats gap_stats() const;
 };
 
 /// Static description of the machine the profile was taken on.
@@ -116,12 +156,21 @@ class Profile {
   /// Total number of samples across all watchers.
   size_t sample_count() const;
 
+  /// Any series recorded variable-rate (adaptive scheduler)? Such
+  /// profiles bucket sample_deltas() on the recorded timestamps and
+  /// replay paced by the recorded inter-sample gaps.
+  bool variable_rate() const;
+
   /// Merge all watcher series into one ordered list of per-period
   /// consumption deltas — the input to the emulator. Cumulative metrics
   /// are differenced; instantaneous metrics (listed internally) carry
-  /// their max within the period. Periods are formed on the union of all
-  /// watcher timestamps, rounded to the sampling period, preserving the
-  /// recorded order across resource types (paper Fig. 2/3 semantics).
+  /// their max within the period. For fixed-rate profiles, periods are
+  /// formed on the union of all watcher timestamps, rounded to the
+  /// sampling period, preserving the recorded order across resource
+  /// types (paper Fig. 2/3 semantics). For variable-rate profiles the
+  /// buckets are the recorded timestamps themselves (one bucket per
+  /// distinct instant across watchers) and each delta's duration is the
+  /// recorded gap to the previous bucket.
   ///
   /// Profiles decoded via from_binary() keep their SYNB payload and take
   /// a columnar fast path here (flat array walk, bit-identical result).

@@ -31,6 +31,12 @@ void CpuWatcher::sample(double now) {
   record(now, std::move(s));
 }
 
+std::optional<double> CpuWatcher::activity_counter() {
+  const auto stat = sys::read_proc_stat(config_.pid);
+  if (!stat) return std::nullopt;
+  return static_cast<double>(stat->utime_ticks + stat->stime_ticks);
+}
+
 void CpuWatcher::finalize(const std::vector<const Watcher*>& all,
                           std::map<std::string, double>& totals) {
   // Prefer the application's analytic counters when available: they are

@@ -29,6 +29,11 @@ class CpuWatcher final : public Watcher {
     return backend_ ? backend_->name() : "none";
   }
 
+ protected:
+  /// Primary counter: consumed CPU time (utime+stime ticks from
+  /// /proc/<pid>/stat) — one procfs read, no perf backend round trip.
+  std::optional<double> activity_counter() override;
+
  private:
   std::unique_ptr<sys::CounterBackend> backend_;
 };

@@ -40,6 +40,12 @@ void IoWatcher::sample(double now) {
   record(now, std::move(s));
 }
 
+std::optional<double> IoWatcher::activity_counter() {
+  const auto io = sys::read_proc_io(config_.pid);
+  if (!io) return std::nullopt;
+  return static_cast<double>(io->rchar) + static_cast<double>(io->wchar);
+}
+
 void IoWatcher::finalize(const std::vector<const Watcher*>& all,
                          std::map<std::string, double>& totals) {
   (void)all;

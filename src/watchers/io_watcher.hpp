@@ -19,6 +19,10 @@ class IoWatcher final : public Watcher {
   void finalize(const std::vector<const Watcher*>& all,
                 std::map<std::string, double>& totals) override;
 
+ protected:
+  /// Primary counter: total bytes requested (rchar + wchar).
+  std::optional<double> activity_counter() override;
+
  private:
   // Previous cumulative counters, for block-size deltas.
   double prev_rchar_ = 0.0;

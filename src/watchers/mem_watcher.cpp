@@ -23,6 +23,12 @@ void MemWatcher::sample(double now) {
   record(now, std::move(s));
 }
 
+std::optional<double> MemWatcher::activity_counter() {
+  const auto status = sys::read_proc_status(config_.pid);
+  if (!status) return std::nullopt;
+  return static_cast<double>(status->vm_rss_bytes);
+}
+
 void MemWatcher::finalize(const std::vector<const Watcher*>& all,
                           std::map<std::string, double>& totals) {
   totals[std::string(m::kMemPeak)] = series_.max(m::kMemPeak);

@@ -17,6 +17,11 @@ class MemWatcher final : public Watcher {
   void sample(double now) override;
   void finalize(const std::vector<const Watcher*>& all,
                 std::map<std::string, double>& totals) override;
+
+ protected:
+  /// Primary counter: resident set size — growth or shrinkage both
+  /// count as activity (poll() takes the absolute delta).
+  std::optional<double> activity_counter() override;
 };
 
 }  // namespace synapse::watchers

@@ -68,6 +68,12 @@ void NetWatcher::sample(double now) {
   record(now, std::move(s));
 }
 
+std::optional<double> NetWatcher::activity_counter() {
+  const auto t = read_netdev_totals(include_loopback_);
+  if (!t) return std::nullopt;
+  return static_cast<double>(t->rx_bytes) + static_cast<double>(t->tx_bytes);
+}
+
 void NetWatcher::finalize(const std::vector<const Watcher*>& all,
                           std::map<std::string, double>& totals) {
   (void)all;

@@ -38,6 +38,10 @@ class NetWatcher final : public Watcher {
   void finalize(const std::vector<const Watcher*>& all,
                 std::map<std::string, double>& totals) override;
 
+ protected:
+  /// Primary counter: rx + tx bytes over the watched interfaces.
+  std::optional<double> activity_counter() override;
+
  private:
   bool include_loopback_;
   NetDevTotals baseline_;

@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "profile/metrics.hpp"
+#include "sys/error.hpp"
 #include "resource/resource_spec.hpp"
 #include "sys/clock.hpp"
 #include "sys/cpuinfo.hpp"
@@ -48,11 +50,62 @@ std::string Profiler::make_trace_path() const {
          std::to_string(counter.fetch_add(1)) + ".bin";
 }
 
+namespace {
+
+/// Gate sanity shared by the defaults and every per-watcher override;
+/// `scope` names the watcher (or "gate defaults") in the diagnostic.
+void validate_gate(const GateParams& gate, const std::string& scope) {
+  if (!(gate.floor_hz > 0.0) || !std::isfinite(gate.floor_hz)) {
+    throw sys::ConfigError("profiler: " + scope +
+                           ": gate floor_hz must be a positive rate, got " +
+                           std::to_string(gate.floor_hz));
+  }
+  if (gate.burst_hz < 0.0 || !std::isfinite(gate.burst_hz)) {
+    throw sys::ConfigError(
+        "profiler: " + scope +
+        ": gate burst_hz must be >= 0 (0 = the watcher's sampling rate)");
+  }
+  if (gate.open_threshold < 0.0 || !std::isfinite(gate.open_threshold)) {
+    throw sys::ConfigError("profiler: " + scope +
+                           ": gate open_threshold must be >= 0");
+  }
+  if (gate.close_hold_s < 0.0 || !std::isfinite(gate.close_hold_s)) {
+    throw sys::ConfigError("profiler: " + scope +
+                           ": gate close_hold_s must be >= 0");
+  }
+}
+
+}  // namespace
+
 std::string Profiler::prepare_run() const {
   bool trace = false;
-  for (const auto& name : effective_watcher_set()) {
+  const std::vector<std::string> set = effective_watcher_set();
+  for (const auto& name : set) {
     registry().ensure_registered(name);  // throws before the spawn
     trace = trace || name == "trace";
+  }
+
+  // A non-positive rate used to be silently clamped to 1 Hz deep in the
+  // scheduler — sampling at a rate the user never asked for. Reject it
+  // here, before any child is spawned, naming the watcher.
+  for (const auto& name : set) {
+    const auto it = options_.watcher_rates.find(name);
+    const double rate =
+        it != options_.watcher_rates.end() ? it->second
+                                           : options_.sample_rate_hz;
+    if (!(rate > 0.0) || !std::isfinite(rate)) {
+      throw sys::ConfigError(
+          "profiler: watcher '" + name +
+          "' has a non-positive sampling rate (" + std::to_string(rate) +
+          " Hz) — " +
+          (it != options_.watcher_rates.end() ? "fix its rate override"
+                                              : "fix sample_rate_hz"));
+    }
+  }
+
+  validate_gate(options_.gate, "gate defaults");
+  for (const auto& [name, gate] : options_.watcher_gates) {
+    validate_gate(gate, "watcher '" + name + "'");
   }
   return trace ? make_trace_path() : std::string();
 }
@@ -132,6 +185,20 @@ profile::Profile Profiler::run(sys::ChildProcess child,
   config.adaptive = options_.adaptive;
   config.adaptive_window_s = options_.adaptive_window_s;
   config.adaptive_floor_hz = options_.adaptive_floor_hz;
+  config.gate = options_.gate;
+  config.gate_overrides = options_.watcher_gates;
+  if (options_.adaptive) {
+    // Legacy decay flags map onto the gate so `--adaptive` keeps its
+    // meaning under `--scheduler adaptive`: decay floor -> gate floor,
+    // startup window -> quiet hold. Explicit gate settings win.
+    const GateParams defaults;
+    if (config.gate.floor_hz == defaults.floor_hz) {
+      config.gate.floor_hz = options_.adaptive_floor_hz;
+    }
+    if (config.gate.close_hold_s == defaults.close_hold_s) {
+      config.gate.close_hold_s = options_.adaptive_window_s;
+    }
+  }
   config.trace_path = trace_path;
   config.rate_overrides = options_.watcher_rates;
 
@@ -180,10 +247,25 @@ profile::Profile Profiler::run(sys::ChildProcess child,
   const bool trace_has_counters =
       trace_w != nullptr && trace_w->series().last(m::kFlops) > 0;
 
+  const bool adaptive_mode = options_.scheduler == SchedulerMode::Adaptive;
   for (auto& w : watchers) {
     w->finalize(watcher_ptrs, p.totals);
     profile::TimeSeries ts = w->series();
     ts.sample_rate_hz = config.rate_for(w->name());
+    if (adaptive_mode) {
+      // Gated series are variable-rate: timestamps, not the nominal
+      // rate, are the source of truth downstream (sample_deltas
+      // switches to timestamp bucketing, replay paces by recorded
+      // gaps). The resolved gate rides along as series metadata and
+      // the nominal rate records the burst rate.
+      const GateParams gate = config.gate_for(w->name());
+      ts.variable_rate = true;
+      ts.gate.floor_hz = gate.floor_hz;
+      ts.gate.burst_hz = gate.burst_hz;
+      ts.gate.open_threshold = gate.open_threshold;
+      ts.gate.close_hold_s = gate.close_hold_s;
+      if (gate.burst_hz > 0) ts.sample_rate_hz = gate.burst_hz;
+    }
     if (trace_has_counters && ts.watcher == "cpu") {
       for (auto& s : ts.samples) {
         s.values.erase(std::string(m::kCyclesUsed));

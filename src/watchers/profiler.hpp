@@ -32,6 +32,13 @@ struct ProfilerOptions {
   bool adaptive = false;         ///< high rate during startup, then decay
   double adaptive_window_s = 2.0;
   double adaptive_floor_hz = 1.0;
+  /// Gate parameters for SchedulerMode::Adaptive (see watcher.hpp):
+  /// shared defaults plus per-watcher overrides. With the legacy
+  /// `adaptive` flag set, adaptive_floor_hz/adaptive_window_s map onto
+  /// gate.floor_hz/gate.close_hold_s unless the gate overrides them
+  /// explicitly — old flags keep working under the new scheduler.
+  GateParams gate;
+  std::map<std::string, GateParams> watcher_gates;
   /// Declarative watcher-set selection: registry names to attach, in
   /// order (e.g. {"cpu", "mem", "net"}). Empty = the registry's
   /// default_set() — every built-in except "net", whose system-wide
@@ -95,9 +102,11 @@ class Profiler {
                        const std::vector<std::string>& tags,
                        const std::string& trace_path);
   /// Shared entry-point setup: validates the watcher set against the
-  /// registry (throwing BEFORE any child is spawned) and returns the
-  /// trace side-channel path — "" when the trace watcher is not in the
-  /// set, so callers skip the env plumbing entirely.
+  /// registry and every configured per-watcher rate and gate (throwing
+  /// sys::ConfigError naming the watcher BEFORE any child is spawned),
+  /// and returns the trace side-channel path — "" when the trace
+  /// watcher is not in the set, so callers skip the env plumbing
+  /// entirely.
   std::string prepare_run() const;
   /// Instantiate the effective watcher set. Called BEFORE the child is
   /// spawned so construction-time state (the net watcher's counter

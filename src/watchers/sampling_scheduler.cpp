@@ -34,12 +34,20 @@ SchedulerMode scheduler_mode_from_string(const std::string& name) {
     return SchedulerMode::ThreadPerWatcher;
   }
   if (name == "multiplexed") return SchedulerMode::Multiplexed;
+  if (name == "adaptive") return SchedulerMode::Adaptive;
   throw sys::ConfigError("unknown scheduler mode: " + name +
-                         " (expected thread or multiplexed)");
+                         " (expected thread, multiplexed or adaptive)");
 }
 
 const char* scheduler_mode_name(SchedulerMode mode) {
-  return mode == SchedulerMode::Multiplexed ? "multiplexed" : "thread";
+  switch (mode) {
+    case SchedulerMode::Multiplexed:
+      return "multiplexed";
+    case SchedulerMode::Adaptive:
+      return "adaptive";
+    default:
+      return "thread";
+  }
 }
 
 SamplingScheduler::SamplingScheduler(SchedulerMode mode, ClockFn clock)
@@ -55,7 +63,9 @@ void SamplingScheduler::start(const std::vector<Watcher*>& watchers,
   terminate_.store(false, std::memory_order_relaxed);
   t0_ = clock_();
   running_ = true;
-  if (mode_ == SchedulerMode::Multiplexed) {
+  if (mode_ == SchedulerMode::Adaptive) {
+    run_adaptive();
+  } else if (mode_ == SchedulerMode::Multiplexed) {
     run_multiplexed();
   } else {
     run_thread_per_watcher();
@@ -137,6 +147,78 @@ void SamplingScheduler::run_multiplexed() {
           std::min(kSleepSlice, std::max(0.0, earliest - clock_()));
       if (wait > 0) sys::sleep_for(wait);
     }
+    for (auto& e : entries) {
+      e.watcher->sample(sys::wallclock_now());
+      e.watcher->post_process();
+    }
+  });
+}
+
+void SamplingScheduler::run_adaptive() {
+  threads_.emplace_back([this] {
+    sys::set_thread_name("syn:gate");
+    // Per-watcher gate state machine on the multiplexed due-time loop
+    // (the open/close gating an RFID reader applies to expensive decode:
+    // cheap amplitude probe always, full decode only past an edge).
+    struct Entry {
+      Watcher* watcher;
+      GateParams gate;     ///< resolved: burst_hz > 0
+      bool open = true;    ///< start open — the startup burst IS an edge
+      double next_due;     ///< steady-clock seconds
+      double last_active;  ///< steady clock of the last super-threshold poll
+    };
+    std::vector<Entry> entries;
+    entries.reserve(watchers_.size());
+    const double start = clock_();
+    for (Watcher* w : watchers_) {
+      w->pre_process(config_);
+      GateParams gate = config_.gate_for(w->name());
+      // Defensive floor for direct scheduler users; Profiler validates
+      // these (with a diagnostic naming the watcher) before any spawn.
+      if (!(gate.burst_hz > 0)) gate.burst_hz = 1.0;
+      if (!(gate.floor_hz > 0)) gate.floor_hz = 1.0;
+      w->poll();  // baseline the activity counter before the app runs
+      entries.push_back({w, gate, true, start, start});
+    }
+    while (!terminate_.load(std::memory_order_relaxed)) {
+      const double now = clock_();
+      double earliest = now + kSleepSlice;
+      for (auto& e : entries) {
+        if (e.next_due <= now) {
+          if (e.open) {
+            e.watcher->sample(sys::wallclock_now());
+            if (e.watcher->poll() > e.gate.open_threshold) {
+              e.last_active = now;
+            } else if (now - e.last_active >= e.gate.close_hold_s) {
+              // Quiet for the whole hold window: demote to the floor.
+              // The sample just taken is the closing record, so the
+              // replay side sees the burst's full cumulative extent.
+              e.open = false;
+            }
+          } else if (e.watcher->poll() > e.gate.open_threshold) {
+            // Edge: promote and anchor the burst with an immediate
+            // sample — the pre-edge cumulative state lands in a bucket
+            // of its own instead of smearing into the burst.
+            e.open = true;
+            e.last_active = now;
+            e.watcher->sample(sys::wallclock_now());
+          }
+          const double period =
+              1.0 / (e.open ? e.gate.burst_hz : e.gate.floor_hz);
+          // Same catch-up clamp as the multiplexed loop: keep cadence,
+          // never burst to catch up after a stall.
+          e.next_due += period;
+          const double after = clock_();
+          if (e.next_due <= after) e.next_due = after + period;
+        }
+        earliest = std::min(earliest, e.next_due);
+      }
+      const double wait =
+          std::min(kSleepSlice, std::max(0.0, earliest - clock_()));
+      if (wait > 0) sys::sleep_for(wait);
+    }
+    // Closing sample regardless of gate state: a closed gate must not
+    // cost the final cumulative totals.
     for (auto& e : entries) {
       e.watcher->sample(sys::wallclock_now());
       e.watcher->post_process();

@@ -2,7 +2,7 @@
 // Sampling scheduler: drives a set of watchers at their configured
 // rates until told to stop.
 //
-// Two modes:
+// Three modes:
 //
 //   ThreadPerWatcher - one thread per watcher, each looping at that
 //     watcher's rate with its own (unsynchronised) timestamps. This is
@@ -16,10 +16,22 @@
 //     that two watchers due at the same instant sample back-to-back
 //     rather than concurrently.
 //
-// In both modes every watcher receives pre_process() before its first
-// sample, a closing sample plus post_process() after stop(), and the
-// adaptive decay (high rate inside the startup window, floor rate
-// after) applies per watcher.
+//   Adaptive - edge-triggered sampling on the multiplexed due-time
+//     loop: an open/close gate per watcher (WatcherConfig::gate_for).
+//     While the gate is closed the watcher is only poll()ed at the
+//     gate's floor rate — no samples, near-zero cost during idle
+//     phases. A poll() delta above open_threshold is an edge: the gate
+//     opens, an anchoring sample is taken immediately, and the watcher
+//     samples at burst rate until close_hold_s of quiet demotes it
+//     again (taking one closing sample so the quiet tail is bounded).
+//     The series a gated watcher records is variable-rate: its
+//     timestamps ARE the effective rate trajectory.
+//
+// In every mode each watcher receives pre_process() before its first
+// sample and a closing sample plus post_process() after stop(). The
+// legacy adaptive decay (high rate inside the startup window, floor
+// rate after) applies per watcher in the thread/multiplexed modes;
+// Adaptive mode subsumes it with the gate.
 
 #include <atomic>
 #include <functional>
@@ -34,9 +46,11 @@ namespace synapse::watchers {
 enum class SchedulerMode {
   ThreadPerWatcher,  ///< paper-faithful, one sampling thread per watcher
   Multiplexed,       ///< one timer thread, per-watcher periods
+  Adaptive,          ///< one timer thread, edge-triggered gate per watcher
 };
 
-/// Parse "thread" / "multiplexed" (throws sys::ConfigError otherwise).
+/// Parse "thread" / "multiplexed" / "adaptive" (throws sys::ConfigError
+/// otherwise).
 SchedulerMode scheduler_mode_from_string(const std::string& name);
 const char* scheduler_mode_name(SchedulerMode mode);
 
@@ -70,6 +84,7 @@ class SamplingScheduler {
  private:
   void run_thread_per_watcher();
   void run_multiplexed();
+  void run_adaptive();
 
   SchedulerMode mode_;
   ClockFn clock_;  ///< never empty (defaulted in the constructor)

@@ -22,6 +22,12 @@ void SysWatcher::sample(double now) {
   if (!s.values.empty()) record(now, std::move(s));
 }
 
+std::optional<double> SysWatcher::activity_counter() {
+  const auto la = sys::read_loadavg();
+  if (!la) return std::nullopt;
+  return la->load1;
+}
+
 void SysWatcher::finalize(const std::vector<const Watcher*>& all,
                           std::map<std::string, double>& totals) {
   (void)all;

@@ -16,6 +16,12 @@ class SysWatcher final : public Watcher {
   void sample(double now) override;
   void finalize(const std::vector<const Watcher*>& all,
                 std::map<std::string, double>& totals) override;
+
+ protected:
+  /// Primary signal: the 1-minute load average. Not cumulative, but
+  /// |delta| still reads as "the machine's load is moving"; ambient
+  /// drift on a busy host is real activity for this watcher.
+  std::optional<double> activity_counter() override;
 };
 
 }  // namespace synapse::watchers

@@ -27,6 +27,14 @@ void TraceWatcher::sample(double now) {
   record(now, std::move(s));
 }
 
+std::optional<double> TraceWatcher::activity_counter() {
+  if (!reader_) return std::nullopt;
+  const auto counters = reader_->read();
+  if (!counters) return std::nullopt;
+  return static_cast<double>(counters->flops) +
+         static_cast<double>(counters->instructions);
+}
+
 bool TraceWatcher::has_data() const { return series_.last(m::kFlops) > 0; }
 
 void TraceWatcher::finalize(const std::vector<const Watcher*>& all,

@@ -25,6 +25,11 @@ class TraceWatcher final : public Watcher {
 
   bool has_data() const;
 
+ protected:
+  /// Primary counter: published flops + instructions (either moves when
+  /// the instrumented application does analytic work).
+  std::optional<double> activity_counter() override;
+
  private:
   std::unique_ptr<TraceReader> reader_;
 };

@@ -41,6 +41,15 @@ std::string watcher_of(const std::string& metric) {
   return dot == std::string::npos ? metric : metric.substr(0, dot);
 }
 
+/// "Still the compiled-in defaults" is the precedence test both the
+/// scheduler and the gate use: a caller that touched any field keeps it.
+bool gate_is_default(const watchers::GateParams& g) {
+  const watchers::GateParams d;
+  return g.floor_hz == d.floor_hz && g.burst_hz == d.burst_hz &&
+         g.open_threshold == d.open_threshold &&
+         g.close_hold_s == d.close_hold_s;
+}
+
 }  // namespace
 
 void ScenarioSpec::validate(
@@ -79,6 +88,26 @@ void ScenarioSpec::validate(
     if (!std::isfinite(scale) || scale <= 0.0) {
       throw sys::ConfigError(prefix + "scales must be finite and > 0");
     }
+  }
+  if (!scheduler.empty()) {
+    try {
+      watchers::scheduler_mode_from_string(scheduler);
+    } catch (const sys::ConfigError& e) {
+      throw sys::ConfigError(prefix + e.what());
+    }
+  }
+  if (!(gate.floor_hz > 0.0) || !std::isfinite(gate.floor_hz)) {
+    throw sys::ConfigError(prefix + "gate floor_hz must be a positive rate");
+  }
+  if (gate.burst_hz < 0.0 || !std::isfinite(gate.burst_hz)) {
+    throw sys::ConfigError(
+        prefix + "gate burst_hz must be >= 0 (0 = the sampling rate)");
+  }
+  if (gate.open_threshold < 0.0 || !std::isfinite(gate.open_threshold)) {
+    throw sys::ConfigError(prefix + "gate open_threshold must be >= 0");
+  }
+  if (gate.close_hold_s < 0.0 || !std::isfinite(gate.close_hold_s)) {
+    throw sys::ConfigError(prefix + "gate close_hold_s must be >= 0");
   }
   for (const auto& atom : atom_set) {
     registry.ensure_registered(atom);  // throws with the registered list
@@ -168,6 +197,15 @@ json::Value ScenarioSpec::to_json() const {
   root["deltas"] = std::move(deltas);
   root["repetitions"] = repetitions;
   if (replay_batch >= 1) root["replay_batch"] = replay_batch;
+  if (!scheduler.empty()) root["scheduler"] = scheduler;
+  if (!gate_is_default(gate)) {
+    json::Object jg;
+    jg["floor_hz"] = gate.floor_hz;
+    jg["burst_hz"] = gate.burst_hz;
+    jg["open_threshold"] = gate.open_threshold;
+    jg["close_hold_s"] = gate.close_hold_s;
+    root["gate"] = std::move(jg);
+  }
   json::Array jtags;
   for (const auto& t : tags) jtags.push_back(t);
   root["tags"] = std::move(jtags);
@@ -227,6 +265,22 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
                              "'replay_batch' must be an integer in [0, 1e6]");
     }
     spec.replay_batch = static_cast<size_t>(batch_raw);
+    spec.scheduler = v.get_or("scheduler", std::string());
+    if (v.contains("gate")) {
+      const json::Value& jg = v["gate"];
+      if (!jg.is_object()) {
+        throw sys::ConfigError(prefix + "'gate' must be an object");
+      }
+      const watchers::GateParams d;
+      spec.gate.floor_hz =
+          require_number(jg, "floor_hz", d.floor_hz, prefix);
+      spec.gate.burst_hz =
+          require_number(jg, "burst_hz", d.burst_hz, prefix);
+      spec.gate.open_threshold =
+          require_number(jg, "open_threshold", d.open_threshold, prefix);
+      spec.gate.close_hold_s =
+          require_number(jg, "close_hold_s", d.close_hold_s, prefix);
+    }
     if (v.contains("tags")) {
       for (const auto& t : v["tags"].as_array()) {
         spec.tags.push_back(t.as_string());
@@ -392,6 +446,15 @@ profile::Profile profile_scenario(const ScenarioSpec& spec,
   // process-wide one does not.
   spec.validate(reg, popts.registry);
   if (popts.watcher_set.empty()) popts.watcher_set = spec.watchers;
+  // Scheduler + gate follow the replay_batch precedence: the scenario
+  // speaks only where the caller kept the compiled-in defaults.
+  if (!spec.scheduler.empty() &&
+      popts.scheduler == watchers::SchedulerMode::ThreadPerWatcher) {
+    popts.scheduler = watchers::scheduler_mode_from_string(spec.scheduler);
+  }
+  if (!gate_is_default(spec.gate) && gate_is_default(popts.gate)) {
+    popts.gate = spec.gate;
+  }
 
   watchers::Profiler profiler(std::move(popts));
   return profiler.profile_function(

@@ -58,6 +58,18 @@ struct ScenarioSpec {
   /// outranks this, like --atoms over atom_set.
   size_t replay_batch = 0;
 
+  /// Sampling scheduler for profile-then-emulate round trips ("" =
+  /// inherit): "thread", "multiplexed" or "adaptive"
+  /// (watchers::scheduler_mode_from_string). Only consulted by
+  /// profile_scenario(), and only while the caller's ProfilerOptions
+  /// still carry the default mode — an explicit --scheduler wins, the
+  /// same precedence replay_batch follows.
+  std::string scheduler;
+  /// Gate defaults for the adaptive scheduler (watchers::GateParams),
+  /// applied under the same precedence: only when the caller left its
+  /// own gate defaults untouched.
+  watchers::GateParams gate;
+
   // Workload-override scales, multiplied into the base EmulatorOptions.
   double cycle_scale = 1.0;
   double memory_scale = 1.0;

@@ -59,6 +59,43 @@ std::vector<profile::Profile> fixture_profiles() {
   none.sample_rate_hz = 1.0;
   holes.series.push_back(std::move(none));
   out.push_back(std::move(holes));
+
+  // Adaptively recorded profile: variable-rate series with gate
+  // metadata and a burst-idle-burst timestamp trajectory, mixed with a
+  // fixed-rate sibling. Exercises the v2 per-series flags byte and the
+  // timestamp-bucketing parity path.
+  profile::Profile gated;
+  gated.command = "gated";
+  gated.sample_rate_hz = 100.0;
+  profile::TimeSeries vcpu;
+  vcpu.watcher = "cpu";
+  vcpu.sample_rate_hz = 100.0;
+  vcpu.variable_rate = true;
+  vcpu.gate.floor_hz = 2.0;
+  vcpu.gate.burst_hz = 100.0;
+  vcpu.gate.open_threshold = 0.5;
+  vcpu.gate.close_hold_s = 0.25;
+  const double trajectory[] = {5.00, 5.01, 5.02, 5.03, 7.50, 7.51, 7.52};
+  double cycles = 0.0;
+  for (const double t : trajectory) {
+    profile::Sample s;
+    s.timestamp = t;
+    cycles += 1e6;
+    s.values["cycles_used"] = cycles;
+    vcpu.samples.push_back(std::move(s));
+  }
+  gated.series.push_back(std::move(vcpu));
+  profile::TimeSeries fmem;
+  fmem.watcher = "mem";  // fixed-rate sibling: flags byte stays 0
+  fmem.sample_rate_hz = 10.0;
+  for (int i = 0; i < 4; ++i) {
+    profile::Sample s;
+    s.timestamp = 5.0 + 0.1 * i;
+    s.values["mem_resident"] = 4096.0 * (i + 1);
+    fmem.samples.push_back(std::move(s));
+  }
+  gated.series.push_back(std::move(fmem));
+  out.push_back(std::move(gated));
   return out;
 }
 
@@ -104,6 +141,23 @@ TEST(BinaryCodec, ColumnarDeltasMatchMapWalkBitForBit) {
     // `p` has no payload -> map walk; `decoded` -> columnar fast path.
     expect_same_deltas(decoded.sample_deltas(), p.sample_deltas());
   }
+}
+
+TEST(BinaryCodec, V2CarriesVariableRateAndGateMetadata) {
+  const auto fixtures = fixture_profiles();
+  const auto& gated = fixtures.back();  // the adaptive fixture above
+  ASSERT_EQ(gated.command, "gated");
+  const profile::Profile back =
+      profile::Profile::from_binary(gated.to_binary());
+  ASSERT_EQ(back.series.size(), 2u);
+  EXPECT_TRUE(back.series[0].variable_rate);
+  EXPECT_DOUBLE_EQ(back.series[0].gate.floor_hz, 2.0);
+  EXPECT_DOUBLE_EQ(back.series[0].gate.burst_hz, 100.0);
+  EXPECT_DOUBLE_EQ(back.series[0].gate.open_threshold, 0.5);
+  EXPECT_DOUBLE_EQ(back.series[0].gate.close_hold_s, 0.25);
+  EXPECT_FALSE(back.series[1].variable_rate);
+  EXPECT_FALSE(back.series[1].gate.any());
+  EXPECT_TRUE(back.variable_rate());
 }
 
 TEST(BinaryCodec, DropBinaryPayloadFallsBackToMapWalk) {

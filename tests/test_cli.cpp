@@ -437,3 +437,74 @@ TEST(Cli, WatcherFlagDiagnostics) {
   ::unlink(out.c_str());
   ::unlink((out + ".err").c_str());
 }
+
+TEST(Cli, AdaptiveProfileEmulateRoundTrip) {
+  StoreGuard guard;
+  const std::string out = "/tmp/synapse_cli_adaptive.txt";
+
+  // Record under the adaptive scheduler with explicit gate knobs.
+  auto status = run_tool(
+      {SYNAPSE_PROFILE_BIN, "--store", kStore, "--rate", "50", "--scheduler",
+       "adaptive", "--gate-floor", "5", "--gate-hold", "0.2",
+       "--watcher-gate", "cpu=5:50:0:0.2", "--tag", "adaptive", "--",
+       "sleep", "0.3"},
+      out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+
+  // The inspect listing explains the variable-rate trajectory (tag
+  // filters are conjunctive, so the query names the recording tag).
+  status = run_tool({SYNAPSE_INSPECT_BIN, "--store", kStore, "--tag",
+                     "adaptive", "show", "--", "sleep", "0.3"},
+                    out);
+  ASSERT_TRUE(status.success()) << slurp(out + ".err");
+  const std::string shown = slurp(out);
+  EXPECT_NE(shown.find("variable rate"), std::string::npos) << shown;
+  EXPECT_NE(shown.find("gap min/mean/max"), std::string::npos) << shown;
+
+  // The adaptive recording replays: single feed, batched pipeline, and
+  // with pacing disabled.
+  for (const std::vector<std::string> extra :
+       {std::vector<std::string>{},
+        std::vector<std::string>{"--replay-batch", "3"},
+        std::vector<std::string>{"--pace", "off"}}) {
+    std::vector<std::string> argv = {SYNAPSE_EMULATE_BIN, "--store", kStore,
+                                     "--tag", "adaptive"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    argv.insert(argv.end(), {"--", "sleep", "0.3"});
+    status = run_tool(argv, out);
+    ASSERT_TRUE(status.success()) << slurp(out + ".err");
+    EXPECT_NE(slurp(out).find("emulated: sleep 0.3"), std::string::npos);
+  }
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}
+
+TEST(Cli, AdaptiveFlagDiagnostics) {
+  const std::string out = "/tmp/synapse_cli_adaptive_diag.txt";
+  // Malformed --watcher-gate spec shapes.
+  auto status = run_tool({SYNAPSE_PROFILE_BIN, "--watcher-gate", "cpu=1:2",
+                          "--", "true"},
+                         out);
+  EXPECT_EQ(status.exit_code, 2);
+  // Gate override for a watcher outside the running set.
+  status = run_tool({SYNAPSE_PROFILE_BIN, "--watchers", "cpu",
+                     "--watcher-gate", "mem=1:0:0:2", "--", "true"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  EXPECT_NE(slurp(out + ".err").find("not in the watcher set"),
+            std::string::npos);
+  // Out-of-range gate values are rejected before any spawn, naming the
+  // watcher.
+  status = run_tool({SYNAPSE_PROFILE_BIN, "--scheduler", "adaptive",
+                     "--watcher-gate", "cpu=-1:0:0:2", "--", "sleep", "5"},
+                    out);
+  EXPECT_EQ(status.exit_code, 1);
+  EXPECT_NE(slurp(out + ".err").find("cpu"), std::string::npos);
+  // Unknown --pace value on the emulator side.
+  status = run_tool({SYNAPSE_EMULATE_BIN, "--pace", "sometimes", "--",
+                     "true"},
+                    out);
+  EXPECT_EQ(status.exit_code, 2);
+  ::unlink(out.c_str());
+  ::unlink((out + ".err").c_str());
+}

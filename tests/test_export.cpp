@@ -93,5 +93,6 @@ TEST(Export, EmptyInputs) {
   EXPECT_EQ(profile::totals_to_csv({}),
             "command,tags,created_at,sample_rate_hz\n");
   profile::Profile empty;
-  EXPECT_EQ(profile::series_to_csv(empty), "watcher,timestamp,metric,value\n");
+  EXPECT_EQ(profile::series_to_csv(empty),
+            "watcher,timestamp,metric,value,effective_rate_hz\n");
 }

@@ -214,6 +214,127 @@ TEST(Profile, PerSeriesSampleRateRoundTripsThroughJson) {
   }
 }
 
+TEST(Profile, EffectiveRateMeasuresRecordedSpan) {
+  profile::TimeSeries ts;
+  ts.sample_rate_hz = 100.0;
+  EXPECT_DOUBLE_EQ(ts.effective_rate_hz(), 100.0);  // nothing to measure
+  ts.samples.push_back(sample_at(10.0, {{m::kCyclesUsed, 1.0}}));
+  EXPECT_DOUBLE_EQ(ts.effective_rate_hz(), 100.0);  // one sample: ditto
+  ts.samples.push_back(sample_at(12.0, {{m::kCyclesUsed, 2.0}}));
+  ts.samples.push_back(sample_at(14.0, {{m::kCyclesUsed, 3.0}}));
+  // 2 gaps over 4 s -> 0.5 Hz, regardless of the nominal rate.
+  EXPECT_DOUBLE_EQ(ts.effective_rate_hz(), 0.5);
+}
+
+TEST(Profile, GapStatsSummarizeInterSampleSpacing) {
+  profile::TimeSeries ts;
+  EXPECT_EQ(ts.gap_stats().gaps, 0u);
+  ts.samples.push_back(sample_at(0.0, {}));
+  EXPECT_EQ(ts.gap_stats().gaps, 0u);
+  ts.samples.push_back(sample_at(0.1, {}));
+  ts.samples.push_back(sample_at(0.3, {}));
+  ts.samples.push_back(sample_at(1.3, {}));
+  const auto g = ts.gap_stats();
+  EXPECT_EQ(g.gaps, 3u);
+  EXPECT_DOUBLE_EQ(g.min_s, 0.1);
+  EXPECT_DOUBLE_EQ(g.max_s, 1.0);
+  EXPECT_NEAR(g.mean_s, 1.3 / 3.0, 1e-12);
+}
+
+TEST(Profile, VariableRateDeltasBucketOnRecordedTimestamps) {
+  // A burst-idle-burst trajectory: 3 samples 10 ms apart, a 2 s idle
+  // stretch, then 2 more. Timestamp bucketing must keep each recorded
+  // instant as its own delta with the recorded gap as its duration.
+  profile::Profile p;
+  p.sample_rate_hz = 100.0;
+  profile::TimeSeries cpu;
+  cpu.watcher = "cpu";
+  cpu.variable_rate = true;
+  const double times[] = {100.00, 100.01, 100.02, 102.02, 102.03};
+  double cumulative = 0.0;
+  for (const double t : times) {
+    cumulative += 250.0;
+    cpu.samples.push_back(sample_at(t, {{m::kCyclesUsed, cumulative}}));
+  }
+  p.series.push_back(cpu);
+
+  ASSERT_TRUE(p.variable_rate());
+  const auto deltas = p.sample_deltas();
+  ASSERT_EQ(deltas.size(), 5u);
+  EXPECT_DOUBLE_EQ(deltas[0].duration, 0.01);  // nominal first period
+  EXPECT_DOUBLE_EQ(deltas[1].duration, 100.01 - 100.00);
+  EXPECT_DOUBLE_EQ(deltas[3].duration, 102.02 - 100.02);  // the idle gap
+  EXPECT_DOUBLE_EQ(deltas[4].duration, 102.03 - 102.02);
+  double sum = 0.0;
+  for (const auto& d : deltas) sum += d.get(m::kCyclesUsed);
+  EXPECT_NEAR(sum, cumulative, 1e-9);
+}
+
+TEST(Profile, VariableRateDeltasUnionEdgesAcrossWatchers) {
+  // Two gated watchers with disjoint trajectories: the edge list is the
+  // union, and each watcher's cumulative deltas land at its own
+  // recorded instants. Conservation holds per metric.
+  profile::Profile p;
+  p.sample_rate_hz = 50.0;
+  profile::TimeSeries cpu;
+  cpu.watcher = "cpu";
+  cpu.variable_rate = true;
+  cpu.samples.push_back(sample_at(10.0, {{m::kCyclesUsed, 100.0}}));
+  cpu.samples.push_back(sample_at(10.5, {{m::kCyclesUsed, 300.0}}));
+  p.series.push_back(cpu);
+  profile::TimeSeries io;
+  io.watcher = "io";
+  io.variable_rate = true;
+  io.samples.push_back(sample_at(10.2, {{m::kBytesWritten, 40.0}}));
+  io.samples.push_back(sample_at(10.5, {{m::kBytesWritten, 90.0}}));  // shared edge
+  io.samples.push_back(sample_at(11.0, {{m::kBytesWritten, 90.0}}));
+  p.series.push_back(io);
+
+  const auto deltas = p.sample_deltas();
+  ASSERT_EQ(deltas.size(), 4u);  // 10.0, 10.2, 10.5 (shared), 11.0
+  EXPECT_DOUBLE_EQ(deltas[0].get(m::kCyclesUsed), 100.0);
+  EXPECT_DOUBLE_EQ(deltas[1].get(m::kBytesWritten), 40.0);
+  EXPECT_DOUBLE_EQ(deltas[2].get(m::kCyclesUsed), 200.0);
+  EXPECT_DOUBLE_EQ(deltas[2].get(m::kBytesWritten), 50.0);
+  EXPECT_DOUBLE_EQ(deltas[3].get(m::kBytesWritten), 0.0);
+  EXPECT_DOUBLE_EQ(deltas[2].duration, 10.5 - 10.2);
+  EXPECT_DOUBLE_EQ(deltas[3].duration, 11.0 - 10.5);
+}
+
+TEST(Profile, VariableRateFlagAndGateRoundTripThroughJson) {
+  profile::Profile p = make_profile();
+  p.series[0].variable_rate = true;
+  p.series[0].gate.floor_hz = 2.0;
+  p.series[0].gate.burst_hz = 50.0;
+  p.series[0].gate.open_threshold = 10.0;
+  p.series[0].gate.close_hold_s = 0.5;
+
+  const profile::Profile q = profile::Profile::from_json(p.to_json());
+  ASSERT_EQ(q.series.size(), p.series.size());
+  EXPECT_TRUE(q.series[0].variable_rate);
+  EXPECT_TRUE(q.series[0].gate.any());
+  EXPECT_DOUBLE_EQ(q.series[0].gate.floor_hz, 2.0);
+  EXPECT_DOUBLE_EQ(q.series[0].gate.burst_hz, 50.0);
+  EXPECT_DOUBLE_EQ(q.series[0].gate.open_threshold, 10.0);
+  EXPECT_DOUBLE_EQ(q.series[0].gate.close_hold_s, 0.5);
+  // Fixed-rate siblings stay unflagged and gate-less.
+  for (size_t i = 1; i < q.series.size(); ++i) {
+    EXPECT_FALSE(q.series[i].variable_rate) << i;
+    EXPECT_FALSE(q.series[i].gate.any()) << i;
+  }
+  EXPECT_TRUE(q.variable_rate());
+
+  // Deltas from the deserialized profile are identical (variable path).
+  const auto d1 = p.sample_deltas();
+  const auto d2 = q.sample_deltas();
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d1[i].duration, d2[i].duration) << i;
+    EXPECT_DOUBLE_EQ(d1[i].get(m::kCyclesUsed), d2[i].get(m::kCyclesUsed))
+        << i;
+  }
+}
+
 TEST(Profile, SampleDeltasBucketAtFastestSeriesRate) {
   // A profile-level 10 Hz rate with one 50 Hz series: buckets form at
   // 50 Hz, so the fast series' five samples land in distinct periods.

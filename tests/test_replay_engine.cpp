@@ -7,6 +7,7 @@
 #include "emulator/emulator.hpp"
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
+#include "sys/clock.hpp"
 #include "sys/error.hpp"
 
 namespace atoms = synapse::atoms;
@@ -372,4 +373,143 @@ TEST(ReplayEngine, SingleAndProcessParallelStatsParity) {
   // Both modes surface the same per-atom view.
   ASSERT_TRUE(rp.atom_stats.count("compute"));
   EXPECT_EQ(rp.atom_stats.at("compute").cycles, rp.compute.cycles);
+}
+
+namespace {
+
+/// Variable-rate profile with a known recorded trajectory: samples at
+/// the given offsets from t=100 s, tiny per-sample storage consumption
+/// so the replay itself is near-instant and wall time is dominated by
+/// pacing.
+profile::Profile variable_profile(const std::vector<double>& offsets) {
+  profile::Profile p;
+  p.command = "variable";
+  p.sample_rate_hz = 100.0;
+  profile::TimeSeries io;
+  io.watcher = "io";
+  io.sample_rate_hz = 100.0;
+  io.variable_rate = true;
+  double b = 0;
+  for (const double off : offsets) {
+    profile::Sample s;
+    s.timestamp = 100.0 + off;
+    b += 1024;
+    s.set(m::kBytesWritten, b);
+    io.samples.push_back(std::move(s));
+  }
+  p.series.push_back(io);
+  return p;
+}
+
+}  // namespace
+
+TEST(ReplayPacing, ParsesAndNamesRoundTrip) {
+  EXPECT_EQ(emulator::replay_pace_from_string("auto"),
+            emulator::ReplayPace::Auto);
+  EXPECT_EQ(emulator::replay_pace_from_string("off"),
+            emulator::ReplayPace::Off);
+  EXPECT_EQ(emulator::replay_pace_from_string("on"),
+            emulator::ReplayPace::On);
+  EXPECT_THROW(emulator::replay_pace_from_string("maybe"), sys::ConfigError);
+  for (const auto pace : {emulator::ReplayPace::Auto, emulator::ReplayPace::Off,
+                          emulator::ReplayPace::On}) {
+    EXPECT_EQ(emulator::replay_pace_from_string(emulator::replay_pace_name(pace)),
+              pace);
+  }
+}
+
+TEST(ReplayPacing, AutoPacesVariableRateProfilesByRecordedGaps) {
+  HostGuard guard;
+  // Burst of 3 samples 10 ms apart, then a 0.4 s idle gap: the paced
+  // replay must take at least the recorded span (~0.42 s), the unpaced
+  // one must not.
+  const auto p = variable_profile({0.0, 0.01, 0.02, 0.42});
+  ASSERT_TRUE(p.variable_rate());
+
+  auto opts = tmp_options();
+  opts.atom_set = {"storage"};
+  emulator::ReplayEngine paced(opts);
+  sys::Stopwatch watch;
+  const auto rp = paced.replay(p);
+  const double paced_s = watch.elapsed();
+
+  opts.pace = emulator::ReplayPace::Off;
+  emulator::ReplayEngine unpaced(opts);
+  watch.reset();
+  const auto ru = unpaced.replay(p);
+  const double unpaced_s = watch.elapsed();
+
+  EXPECT_GE(paced_s, 0.3);
+  EXPECT_LE(unpaced_s, 0.2);
+  // Pacing is timing-only: the consumed stats are identical.
+  EXPECT_EQ(rp.samples_replayed, ru.samples_replayed);
+  EXPECT_EQ(rp.storage.bytes_written, ru.storage.bytes_written);
+}
+
+TEST(ReplayPacing, AutoLeavesFixedRateProfilesUnpaced) {
+  HostGuard guard;
+  // 6 fixed-rate periods of 0.1 s: paced would take ~0.5 s; Auto must
+  // replay as fast as the atoms allow.
+  const auto p = synthetic_profile(6, 0, 1024);
+  ASSERT_FALSE(p.variable_rate());
+  auto opts = tmp_options();
+  opts.atom_set = {"storage"};
+  emulator::ReplayEngine engine(opts);
+  sys::Stopwatch watch;
+  engine.replay(p);
+  EXPECT_LE(watch.elapsed(), 0.2);
+}
+
+TEST(ReplayPacing, OnForcesPacingForFixedRateProfiles) {
+  HostGuard guard;
+  const auto p = synthetic_profile(4, 0, 1024);  // 0.1 s periods
+  auto opts = tmp_options();
+  opts.atom_set = {"storage"};
+  opts.pace = emulator::ReplayPace::On;
+  emulator::ReplayEngine engine(opts);
+  sys::Stopwatch watch;
+  const auto r = engine.replay(p);
+  // Samples 1..3 each wait one 0.1 s period behind the previous.
+  EXPECT_GE(watch.elapsed(), 0.25);
+  EXPECT_EQ(r.samples_replayed, 4u);
+}
+
+TEST(ReplayPacing, BatchedFeedPacesAtBatchGranularity) {
+  HostGuard guard;
+  // The idle gap lands on a batch boundary: batches are {s0,s1} and
+  // {s2,s3}, and the second batch's FIRST sample carries the 0.42 s
+  // recorded offset — batch-granularity pacing must wait for it.
+  const auto p = variable_profile({0.0, 0.01, 0.42, 0.43});
+  auto opts = tmp_options();
+  opts.atom_set = {"storage"};
+  opts.replay_batch = 2;
+  emulator::ReplayEngine engine(opts);
+  sys::Stopwatch watch;
+  const auto r = engine.replay(p);
+  // The final batch is released at the 0.42 s recorded offset.
+  EXPECT_GE(watch.elapsed(), 0.3);
+  EXPECT_EQ(r.samples_replayed, 4u);
+  EXPECT_EQ(r.storage.bytes_written, 4u * 1024);
+}
+
+TEST(ReplayPacing, PacedAndUnpacedBatchedStatsMatch) {
+  HostGuard guard;
+  const auto p = variable_profile({0.0, 0.05, 0.1, 0.3});
+  auto base = tmp_options();
+  base.atom_set = {"storage"};
+
+  auto paced_opts = base;
+  paced_opts.replay_batch = 2;
+  emulator::ReplayEngine paced(paced_opts);
+  const auto rp = paced.replay(p);
+
+  auto off_opts = base;
+  off_opts.replay_batch = 2;
+  off_opts.pace = emulator::ReplayPace::Off;
+  emulator::ReplayEngine unpaced(off_opts);
+  const auto ru = unpaced.replay(p);
+
+  ASSERT_TRUE(rp.atom_stats.count("storage"));
+  expect_stats_parity(rp.atom_stats.at("storage"),
+                      ru.atom_stats.at("storage"), "storage");
 }
