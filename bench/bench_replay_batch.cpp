@@ -11,6 +11,12 @@
 // by CI eyeballs, not exit codes) is batch >= 8 at least matching
 // single mode.
 //
+// Every mode runs twice: with the legacy map feed (replay_frames off,
+// the PR-over-PR baseline keys) and with the compiled frame feed
+// (columnar ReplayPlan + lane masks + lock-free SPSC rings). The
+// "frames" column is the frame feed's speedup over the map feed in the
+// same mode.
+//
 // A second, decode-bound section replays the same profile out of a
 // files-backed ProfileStore written once as JSON and once as SYNB
 // binary: the timed path is store read (parse/decode) + sample_deltas
@@ -61,10 +67,11 @@ profile::Profile make_dispatch_bound_profile(size_t samples) {
   return spec.make_profile();
 }
 
-double run_once(const profile::Profile& p, size_t batch) {
+double run_once(const profile::Profile& p, size_t batch, bool frames) {
   emulator::EmulatorOptions opts = bench::emu_options();
   opts.atom_set = {"compute", "memory", "storage"};
   opts.replay_batch = batch;
+  opts.replay_frames = frames;
   emulator::ReplayEngine engine(opts);
   const sys::Stopwatch w;
   const auto r = engine.replay(p);
@@ -75,6 +82,62 @@ double run_once(const profile::Profile& p, size_t batch) {
                p.sample_count() / 3);
   }
   return elapsed;
+}
+
+/// The feed-representation showcase: a memory atom with a 1 KiB
+/// alloc/free per sample — sub-microsecond of real work, so per-sample
+/// dispatch (map decode + wants() probing + batch latching vs lane
+/// reads through recycled frames) IS the wall time. The other atoms
+/// would mask the feed: storage does real file I/O per sample and the
+/// compute kernel has a fixed per-call floor, bounding their pipelines
+/// regardless of feed representation.
+void dispatch_bound_section(size_t samples) {
+  workload::ScenarioSpec spec;
+  spec.name = "replay-dispatch-bench";
+  spec.atom_set = {"memory"};
+  spec.source.samples = samples * 20;
+  spec.source.sample_rate_hz = 100.0;
+  spec.source.deltas[std::string(m::kMemAllocated)] = 1024.0;
+  spec.source.deltas[std::string(m::kMemFreed)] = 1024.0;
+  // SYNB round trip: a stored profile arrives with its binary payload,
+  // so the frame plan builds its columnar table straight off the
+  // decode_columns() views — no SampleDelta maps anywhere — while the
+  // map feed must still materialize one metric map per sample.
+  const profile::Profile p =
+      profile::Profile::from_binary(spec.make_profile().to_binary());
+  const double n = static_cast<double>(spec.source.samples);
+
+  bench::heading("Dispatch-bound feed — " +
+                 std::to_string(spec.source.samples) +
+                 " samples, memory atom, 1 KiB budgets");
+  bench::row("%-12s %10s %12s %10s %12s  %s", "mode", "map wall", "map/s",
+             "frame wall", "frames/s", "frames speedup");
+
+  for (const size_t batch : {size_t{1}, size_t{8}, size_t{32}}) {
+    emulator::EmulatorOptions opts = bench::emu_options();
+    opts.atom_set = {"memory"};
+    opts.replay_batch = batch;
+
+    opts.replay_frames = false;
+    sys::Stopwatch w;
+    emulator::ReplayEngine(opts).replay(p);
+    const double map_s = w.elapsed();
+
+    opts.replay_frames = true;
+    w.reset();
+    emulator::ReplayEngine(opts).replay(p);
+    const double frames_s = w.elapsed();
+
+    const std::string mode =
+        batch <= 1 ? "single" : "batch=" + std::to_string(batch);
+    bench::row("%-12s %9.3fs %10.0f/s %9.3fs %10.0f/s  %4.1fx", mode.c_str(),
+               map_s, n / map_s, frames_s, n / frames_s, map_s / frames_s);
+    const std::string key = batch <= 1 ? "single" : std::to_string(batch);
+    bench::results().record("dispatch", "map_" + key + "_per_s", n / map_s,
+                            "1/s");
+    bench::results().record("dispatch", "frames_" + key + "_per_s",
+                            n / frames_s, "1/s");
+  }
 }
 
 /// JSON-vs-binary replay out of a files store: read + sample_deltas +
@@ -225,25 +288,41 @@ int main(int argc, char** argv) {
   }
 
   const profile::Profile p = make_dispatch_bound_profile(samples);
+  // Two dimensions per mode: the legacy map feed (SampleDelta maps,
+  // per-sample wants() probing — the PR-over-PR baseline keys) and the
+  // compiled frame feed (columnar plan + lane masks + SPSC rings,
+  // replay_frames on). "frames" is the per-row speedup of the frame
+  // feed over the map feed in the SAME mode; "speedup" stays the map
+  // feed's gain over map single mode, as before.
   bench::heading("Replay feed modes — " + std::to_string(samples) +
                  " samples, compute+memory+storage");
-  bench::row("%-12s %10s %12s  %s", "mode", "wall", "samples/s", "speedup");
+  bench::row("%-12s %10s %12s %10s %12s  %8s %s", "mode", "map wall",
+             "map/s", "frame wall", "frames/s", "speedup", "frames");
 
-  const double single_s = run_once(p, 1);
   const double n = static_cast<double>(samples);
-  bench::row("%-12s %9.3fs %10.0f/s  %5s", "single", single_s, n / single_s,
-             "1.0x");
-
+  const double single_s = run_once(p, 1, false);
+  const double single_frames_s = run_once(p, 1, true);
+  bench::row("%-12s %9.3fs %10.0f/s %9.3fs %10.0f/s  %7s %5.1fx", "single",
+             single_s, n / single_s, single_frames_s, n / single_frames_s,
+             "1.0x", single_s / single_frames_s);
   bench::results().record("feed", "single_per_s", n / single_s, "1/s");
+  bench::results().record("feed", "frames_single_per_s", n / single_frames_s,
+                          "1/s");
+
   for (const size_t batch : {size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
-    const double batch_s = run_once(p, batch);
-    bench::row("%-12s %9.3fs %10.0f/s  %4.1fx",
+    const double batch_s = run_once(p, batch, false);
+    const double frames_s = run_once(p, batch, true);
+    bench::row("%-12s %9.3fs %10.0f/s %9.3fs %10.0f/s  %6.1fx %5.1fx",
                ("batch=" + std::to_string(batch)).c_str(), batch_s,
-               n / batch_s, single_s / batch_s);
+               n / batch_s, frames_s, n / frames_s, single_s / batch_s,
+               batch_s / frames_s);
     bench::results().record("feed", "batch" + std::to_string(batch) +
                             "_per_s", n / batch_s, "1/s");
+    bench::results().record("feed", "frames_batch" + std::to_string(batch) +
+                            "_per_s", n / frames_s, "1/s");
   }
 
+  dispatch_bound_section(samples);
   store_backed_section(samples);
   hot_cache_section(samples);
   bench::results().write();

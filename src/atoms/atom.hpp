@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "profile/delta_frame.hpp"
 #include "profile/profile.hpp"
 #include "watchers/trace.hpp"
 
@@ -44,6 +46,25 @@ inline void accumulate(AtomStats& into, const AtomStats& from) {
   into.samples_consumed += from.samples_consumed;
 }
 
+/// One atom's compiled dispatch decision over one DeltaTable, resolved
+/// once per replay by the emulator's ReplayPlan. A row is wanted when
+/// any trigger lane is positive — the exact predicate every built-in
+/// wants() implements, evaluated on dense lanes instead of map probes.
+/// Atoms that do not declare wanted_metrics() get `adapter = true`: the
+/// engine falls back to per-row unbox + wants()/consume().
+struct LaneMask {
+  std::vector<uint32_t> triggers;  ///< lanes whose value > 0 means "wanted"
+  bool adapter = false;  ///< dispatch through the legacy SampleDelta path
+  bool idle = false;     ///< none of the atom's metrics were recorded at all
+
+  bool row_wanted(const profile::DeltaFrame& frame, size_t row) const {
+    for (const uint32_t lane : triggers) {
+      if (frame.get(lane, row) > 0) return true;
+    }
+    return false;
+  }
+};
+
 class Atom {
  public:
   explicit Atom(std::string name) : name_(std::move(name)) {}
@@ -59,6 +80,27 @@ class Atom {
   /// the atom's dedicated thread; must be exception-safe (failures are
   /// recorded, not propagated, so one atom cannot wedge the barrier).
   virtual void consume(const profile::SampleDelta& delta) = 0;
+
+  /// The metric names whose positive per-sample delta means this atom
+  /// has work — the declarative form of wants(), resolved into a
+  /// LaneMask once per replay. An empty list (the default) means "not
+  /// declared": the engine keeps probing wants() per sample and frames
+  /// reach the atom through the unboxing consume_frame below.
+  virtual std::vector<std::string> wanted_metrics() const { return {}; }
+
+  /// Called once per replay with the profile's interned lane table,
+  /// before any frame is fed. Atoms that consume frames natively cache
+  /// their lane IDs here (atoms are built per replay, so the binding
+  /// cannot go stale).
+  virtual void bind_lanes(const profile::LaneTable& lanes) { (void)lanes; }
+
+  /// Consume every wanted row of one frame. Same exception contract as
+  /// consume(): failures are recorded, never propagated. The default
+  /// implementation is the compatibility adapter — it re-boxes each row
+  /// into a legacy SampleDelta and routes it through wants()/consume(),
+  /// so registry-registered custom atoms replay unmodified.
+  virtual void consume_frame(const profile::DeltaFrame& frame,
+                             const LaneMask& mask);
 
   const AtomStats& stats() const { return stats_; }
 

@@ -1,5 +1,7 @@
 #include "atoms/compute_atom.hpp"
 
+#include <exception>
+
 #include "profile/metrics.hpp"
 #include "resource/cache_model.hpp"
 #include "resource/resource_spec.hpp"
@@ -22,8 +24,31 @@ bool ComputeAtom::wants(const profile::SampleDelta& delta) const {
   return delta.get(m::kCyclesUsed) > 0;
 }
 
+std::vector<std::string> ComputeAtom::wanted_metrics() const {
+  return {std::string(m::kCyclesUsed)};
+}
+
+void ComputeAtom::bind_lanes(const profile::LaneTable& lanes) {
+  lane_cycles_ = lanes.id(m::kCyclesUsed);
+}
+
+void ComputeAtom::consume_frame(const profile::DeltaFrame& frame,
+                                const LaneMask& mask) {
+  for (size_t row = 0; row < frame.rows(); ++row) {
+    if (!mask.row_wanted(frame, row)) continue;
+    try {
+      consume_cycles(frame.get(lane_cycles_, row));
+    } catch (const std::exception&) {
+      // Same contract as consume(): record, never propagate.
+    }
+  }
+}
+
 void ComputeAtom::consume(const profile::SampleDelta& delta) {
-  const double cycles = delta.get(m::kCyclesUsed);
+  consume_cycles(delta.get(m::kCyclesUsed));
+}
+
+void ComputeAtom::consume_cycles(double cycles) {
   if (cycles <= 0) return;
 
   const auto& spec = resource::active_resource();

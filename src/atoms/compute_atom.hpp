@@ -38,11 +38,21 @@ class ComputeAtom final : public Atom {
   bool wants(const profile::SampleDelta& delta) const override;
   void consume(const profile::SampleDelta& delta) override;
 
+  std::vector<std::string> wanted_metrics() const override;
+  void bind_lanes(const profile::LaneTable& lanes) override;
+  void consume_frame(const profile::DeltaFrame& frame,
+                     const LaneMask& mask) override;
+
   const ComputeKernel& kernel() const { return *kernel_; }
 
  private:
+  /// The shared per-period arithmetic: both consume paths funnel the
+  /// cycle budget through here so map and frame replays are bit-equal.
+  void consume_cycles(double cycles);
+
   ComputeAtomOptions options_;
   std::unique_ptr<ComputeKernel> kernel_;
+  uint32_t lane_cycles_ = profile::LaneTable::kNoLane;
 };
 
 }  // namespace synapse::atoms

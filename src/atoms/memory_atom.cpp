@@ -1,6 +1,7 @@
 #include "atoms/memory_atom.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "profile/metrics.hpp"
 #include "sys/procfs.hpp"
@@ -58,8 +59,34 @@ void MemoryAtom::release(uint64_t bytes) {
 }
 
 void MemoryAtom::consume(const profile::SampleDelta& delta) {
-  const auto to_alloc = static_cast<uint64_t>(delta.get(m::kMemAllocated));
-  const auto to_free = static_cast<uint64_t>(delta.get(m::kMemFreed));
+  consume_bytes(delta.get(m::kMemAllocated), delta.get(m::kMemFreed));
+}
+
+std::vector<std::string> MemoryAtom::wanted_metrics() const {
+  return {std::string(m::kMemAllocated), std::string(m::kMemFreed)};
+}
+
+void MemoryAtom::bind_lanes(const profile::LaneTable& lanes) {
+  lane_allocated_ = lanes.id(m::kMemAllocated);
+  lane_freed_ = lanes.id(m::kMemFreed);
+}
+
+void MemoryAtom::consume_frame(const profile::DeltaFrame& frame,
+                               const LaneMask& mask) {
+  for (size_t row = 0; row < frame.rows(); ++row) {
+    if (!mask.row_wanted(frame, row)) continue;
+    try {
+      consume_bytes(frame.get(lane_allocated_, row),
+                    frame.get(lane_freed_, row));
+    } catch (const std::exception&) {
+      // Same contract as consume(): record, never propagate.
+    }
+  }
+}
+
+void MemoryAtom::consume_bytes(double allocated, double freed) {
+  const auto to_alloc = static_cast<uint64_t>(allocated);
+  const auto to_free = static_cast<uint64_t>(freed);
   if (to_alloc > 0) allocate(to_alloc);
   if (to_free > 0) release(to_free);
   stats_.samples_consumed += 1;

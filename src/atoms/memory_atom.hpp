@@ -33,15 +33,24 @@ class MemoryAtom final : public Atom {
   bool wants(const profile::SampleDelta& delta) const override;
   void consume(const profile::SampleDelta& delta) override;
 
+  std::vector<std::string> wanted_metrics() const override;
+  void bind_lanes(const profile::LaneTable& lanes) override;
+  void consume_frame(const profile::DeltaFrame& frame,
+                     const LaneMask& mask) override;
+
   uint64_t held_bytes() const { return held_bytes_; }
 
  private:
   void allocate(uint64_t bytes);
   void release(uint64_t bytes);
+  /// Shared per-period body of both consume paths.
+  void consume_bytes(double allocated, double freed);
 
   MemoryAtomOptions options_;
   std::deque<std::vector<char>> blocks_;
   uint64_t held_bytes_ = 0;
+  uint32_t lane_allocated_ = profile::LaneTable::kNoLane;
+  uint32_t lane_freed_ = profile::LaneTable::kNoLane;
 };
 
 }  // namespace synapse::atoms

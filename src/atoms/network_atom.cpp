@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <vector>
 
 #include "profile/metrics.hpp"
@@ -83,11 +84,36 @@ bool NetworkAtom::wants(const profile::SampleDelta& delta) const {
 }
 
 void NetworkAtom::consume(const profile::SampleDelta& delta) {
+  consume_traffic(delta.get(m::kNetBytesWritten), delta.get(m::kNetBytesRead));
+}
+
+std::vector<std::string> NetworkAtom::wanted_metrics() const {
+  return {std::string(m::kNetBytesWritten), std::string(m::kNetBytesRead)};
+}
+
+void NetworkAtom::bind_lanes(const profile::LaneTable& lanes) {
+  lane_written_ = lanes.id(m::kNetBytesWritten);
+  lane_read_ = lanes.id(m::kNetBytesRead);
+}
+
+void NetworkAtom::consume_frame(const profile::DeltaFrame& frame,
+                                const LaneMask& mask) {
+  for (size_t row = 0; row < frame.rows(); ++row) {
+    if (!mask.row_wanted(frame, row)) continue;
+    try {
+      consume_traffic(frame.get(lane_written_, row),
+                      frame.get(lane_read_, row));
+    } catch (const std::exception&) {
+      // Same contract as consume(): record, never propagate.
+    }
+  }
+}
+
+void NetworkAtom::consume_traffic(double bytes_written, double bytes_read) {
   // Reads and writes collapse onto the same loopback stream: the atom
   // emulates traffic volume, not topology (paper: partial support).
-  const auto total =
-      static_cast<uint64_t>(delta.get(m::kNetBytesWritten)) +
-      static_cast<uint64_t>(delta.get(m::kNetBytesRead));
+  const auto total = static_cast<uint64_t>(bytes_written) +
+                     static_cast<uint64_t>(bytes_read);
   if (total == 0) return;
 
   std::vector<char> buf(std::min<uint64_t>(options_.block_bytes, total));
@@ -103,8 +129,7 @@ void NetworkAtom::consume(const profile::SampleDelta& delta) {
     sent += static_cast<uint64_t>(n);
   }
   stats_.net_bytes_sent += sent;
-  stats_.net_bytes_received +=
-      static_cast<uint64_t>(delta.get(m::kNetBytesRead));
+  stats_.net_bytes_received += static_cast<uint64_t>(bytes_read);
   stats_.samples_consumed += 1;
 }
 

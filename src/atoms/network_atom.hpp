@@ -28,7 +28,17 @@ class NetworkAtom final : public Atom {
   bool wants(const profile::SampleDelta& delta) const override;
   void consume(const profile::SampleDelta& delta) override;
 
+  std::vector<std::string> wanted_metrics() const override;
+  void bind_lanes(const profile::LaneTable& lanes) override;
+  void consume_frame(const profile::DeltaFrame& frame,
+                     const LaneMask& mask) override;
+
  private:
+  /// Shared per-period body of both consume paths.
+  void consume_traffic(double bytes_written, double bytes_read);
+
+  uint32_t lane_written_ = profile::LaneTable::kNoLane;
+  uint32_t lane_read_ = profile::LaneTable::kNoLane;
   NetworkAtomOptions options_;
   int send_fd_ = -1;
   int recv_fd_ = -1;

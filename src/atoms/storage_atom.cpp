@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <exception>
 
 #include "profile/metrics.hpp"
 
@@ -29,20 +30,52 @@ bool StorageAtom::wants(const profile::SampleDelta& delta) const {
 }
 
 void StorageAtom::consume(const profile::SampleDelta& delta) {
-  const auto to_write = static_cast<uint64_t>(delta.get(m::kBytesWritten));
-  const auto to_read = static_cast<uint64_t>(delta.get(m::kBytesRead));
+  consume_io(delta.get(m::kBytesWritten), delta.get(m::kBytesRead),
+             delta.get(m::kBlockSizeWrite), delta.get(m::kBlockSizeRead));
+}
+
+std::vector<std::string> StorageAtom::wanted_metrics() const {
+  return {std::string(m::kBytesRead), std::string(m::kBytesWritten)};
+}
+
+void StorageAtom::bind_lanes(const profile::LaneTable& lanes) {
+  lane_read_ = lanes.id(m::kBytesRead);
+  lane_written_ = lanes.id(m::kBytesWritten);
+  lane_block_read_ = lanes.id(m::kBlockSizeRead);
+  lane_block_write_ = lanes.id(m::kBlockSizeWrite);
+}
+
+void StorageAtom::consume_frame(const profile::DeltaFrame& frame,
+                                const LaneMask& mask) {
+  for (size_t row = 0; row < frame.rows(); ++row) {
+    if (!mask.row_wanted(frame, row)) continue;
+    try {
+      consume_io(frame.get(lane_written_, row), frame.get(lane_read_, row),
+                 frame.get(lane_block_write_, row),
+                 frame.get(lane_block_read_, row));
+    } catch (const std::exception&) {
+      // Same contract as consume(): record, never propagate.
+    }
+  }
+}
+
+void StorageAtom::consume_io(double bytes_written, double bytes_read,
+                             double block_write_estimate,
+                             double block_read_estimate) {
+  const auto to_write = static_cast<uint64_t>(bytes_written);
+  const auto to_read = static_cast<uint64_t>(bytes_read);
 
   uint64_t wblock = options_.write_block_bytes;
   if (wblock == 0) {
-    const double estimated = delta.get(m::kBlockSizeWrite);
-    wblock = estimated >= 1.0 ? static_cast<uint64_t>(estimated)
-                              : kDefaultBlock;
+    wblock = block_write_estimate >= 1.0
+                 ? static_cast<uint64_t>(block_write_estimate)
+                 : kDefaultBlock;
   }
   uint64_t rblock = options_.read_block_bytes;
   if (rblock == 0) {
-    const double estimated = delta.get(m::kBlockSizeRead);
-    rblock = estimated >= 1.0 ? static_cast<uint64_t>(estimated)
-                              : kDefaultBlock;
+    rblock = block_read_estimate >= 1.0
+                 ? static_cast<uint64_t>(block_read_estimate)
+                 : kDefaultBlock;
   }
 
   const double cost_before =

@@ -35,15 +35,29 @@ class StorageAtom final : public Atom {
   bool wants(const profile::SampleDelta& delta) const override;
   void consume(const profile::SampleDelta& delta) override;
 
+  std::vector<std::string> wanted_metrics() const override;
+  void bind_lanes(const profile::LaneTable& lanes) override;
+  void consume_frame(const profile::DeltaFrame& frame,
+                     const LaneMask& mask) override;
+
   const resource::VirtualFilesystem& filesystem() const { return vfs_; }
 
  private:
   static constexpr uint64_t kDefaultBlock = 1024 * 1024;
 
+  /// Shared per-period body of both consume paths; block-size estimates
+  /// come from the profile when the options leave them 0.
+  void consume_io(double bytes_written, double bytes_read,
+                  double block_write_estimate, double block_read_estimate);
+
   StorageAtomOptions options_;
   resource::VirtualFilesystem vfs_;
   std::unique_ptr<resource::VirtualFile> file_;
   std::string file_name_;
+  uint32_t lane_read_ = profile::LaneTable::kNoLane;
+  uint32_t lane_written_ = profile::LaneTable::kNoLane;
+  uint32_t lane_block_read_ = profile::LaneTable::kNoLane;
+  uint32_t lane_block_write_ = profile::LaneTable::kNoLane;
 };
 
 }  // namespace synapse::atoms

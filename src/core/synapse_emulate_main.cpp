@@ -6,7 +6,7 @@
 //                   [--store-backend NAME] [--store-cluster SPEC.json]
 //                   [--kernel NAME] [--omp N | --ranks N]
 //                   [--atoms NAME[,NAME...]] [--net] [--replay-batch N]
-//                   [--pace auto|off|on]
+//                   [--pace auto|off|on] [--replay-frames on|off]
 //                   [--store-flush-ms MS] [--store-flush-max N]
 //                   [--store-format json|binary]
 //                   [--read-block KiB] [--write-block KiB] [--fs NAME]
@@ -204,6 +204,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "synapse-emulate: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--replay-frames") {
+      const std::string mode = next();
+      if (mode == "on") {
+        options.emulator.replay_frames = true;
+      } else if (mode == "off") {
+        options.emulator.replay_frames = false;
+      } else {
+        std::fprintf(stderr,
+                     "synapse-emulate: --replay-frames expects on or off "
+                     "(got '%s')\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (arg == "--scheduler") {
       try {
         options.profiler.scheduler =
@@ -303,6 +316,8 @@ int main(int argc, char** argv) {
           "                 pipeline; same non-timing stats)\n"
           "                [--pace auto|off|on] (pace replay by recorded\n"
           "                 inter-sample gaps; auto = variable-rate only)\n"
+          "                [--replay-frames on|off] (compiled columnar\n"
+          "                 replay plan; off = legacy map-based feed)\n"
           "                [--store-flush-ms MS] [--store-flush-max N]\n"
           "                (store FlushPolicy: docstore background flush\n"
           "                 by age/size)\n"

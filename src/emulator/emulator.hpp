@@ -99,6 +99,17 @@ struct EmulatorOptions {
   /// batches. Clamped to >= 1.
   size_t replay_queue_depth = 4;
 
+  /// Feed representation: true (default) compiles the replay into a
+  /// ReplayPlan — the profile's deltas become a columnar DeltaTable
+  /// with interned metric lanes, scale factors are baked into the
+  /// affected lanes once, and atoms consume DeltaFrames through
+  /// precomputed LaneMasks (batch mode additionally swaps the sample
+  /// queues for lock-free frame rings). false keeps the legacy
+  /// map-based SampleDelta feed. Non-timing stats are bit-identical
+  /// either way; the knob exists for A/B benchmarking and as an escape
+  /// hatch.
+  bool replay_frames = true;
+
   /// Pace the feed loop by the recorded inter-sample gaps (see
   /// ReplayPace). Default Auto: variable-rate profiles replay on their
   /// recorded timeline (a burst is replayed as a burst, an idle stretch

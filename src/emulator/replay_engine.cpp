@@ -4,10 +4,14 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <set>
+#include <string_view>
 #include <thread>
 #include <utility>
 
+#include "emulator/replay_plan.hpp"
 #include "emulator/sample_queue.hpp"
+#include "emulator/spsc_ring.hpp"
 #include "profile/metrics.hpp"
 #include "resource/resource_spec.hpp"
 #include "sys/clock.hpp"
@@ -84,7 +88,9 @@ namespace {
 /// Apply the emulator's workload overrides to one sample delta. Takes
 /// the delta by value so callers that are done with their copy (the
 /// replay feeders, which consume the decoded vector front to back) can
-/// move the metric map through instead of re-building it.
+/// move the metric map through instead of re-building it. Callers skip
+/// the call entirely under identity scaling (identity_scaling()), so
+/// the per-sample map rebuild only happens when a factor is active.
 profile::SampleDelta scale_delta(profile::SampleDelta out,
                                  const EmulatorOptions& opts) {
   auto scale = [&out](std::string_view key, double factor) {
@@ -120,6 +126,45 @@ bool replay_paced(const EmulatorOptions& opts,
       return profile.variable_rate();
   }
 }
+
+/// The hoisted wants() screen for the legacy map path: an atom whose
+/// declared metrics never appear in the replayed series set can never
+/// want a sample, so the feed loop drops it from dispatch up front
+/// (once per replay) instead of probing wants() per sample. Atoms that
+/// declare nothing stay in — their wants() may key on anything.
+std::vector<char> atoms_in_play(
+    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+    const std::vector<profile::SampleDelta>& deltas) {
+  std::set<std::string_view> recorded;
+  for (const auto& d : deltas) {
+    for (const auto& [metric, _] : d.deltas) recorded.insert(metric);
+  }
+  std::vector<char> in_play(active.size(), 1);
+  for (size_t i = 0; i < active.size(); ++i) {
+    const std::vector<std::string> wanted = active[i]->wanted_metrics();
+    if (wanted.empty()) continue;
+    in_play[i] = 0;
+    for (const auto& name : wanted) {
+      if (recorded.count(name) > 0) {
+        in_play[i] = 1;
+        break;
+      }
+    }
+  }
+  return in_play;
+}
+
+/// One recyclable slot of the frame pipeline: a row window plus the
+/// consumer countdown. `busy` hands the slot back and forth between the
+/// producer (fills, arms `remaining`, pushes) and the coordinator
+/// (waits for `remaining` to hit zero, fires hooks, releases) — the
+/// slot pool is what makes the steady state allocation-free.
+struct FrameTask {
+  size_t first_row = 0;
+  size_t rows = 0;
+  std::atomic<uint32_t> remaining{0};
+  std::atomic<bool> busy{false};
+};
 
 }  // namespace
 
@@ -175,7 +220,13 @@ EmulationResult ReplayEngine::replay(const profile::Profile& profile,
 
   // --- the global sample feed loop (section 4.2) ---------------------------
   if (opts.replay_batch >= 2) {
-    feed_batched(profile, opts, active, per_sample_hook, result);
+    if (opts.replay_frames) {
+      feed_batched_frames(profile, opts, active, per_sample_hook, result);
+    } else {
+      feed_batched(profile, opts, active, per_sample_hook, result);
+    }
+  } else if (opts.replay_frames) {
+    feed_single_frames(profile, opts, active, per_sample_hook, result);
   } else {
     feed_single(profile, opts, active, per_sample_hook, result);
   }
@@ -195,6 +246,8 @@ void ReplayEngine::feed_single(
     const std::vector<std::unique_ptr<atoms::Atom>>& active,
     const SampleHook& per_sample_hook, EmulationResult& result) {
   auto deltas = profile.sample_deltas();
+  const bool identity = identity_scaling(opts);
+  const std::vector<char> in_play = atoms_in_play(active, deltas);
   // Pacing clock: sample k is released at the sum of the recorded gaps
   // (durations) of samples 1..k past the replay start. The first sample
   // dispatches immediately — its duration describes the period BEFORE
@@ -203,7 +256,8 @@ void ReplayEngine::feed_single(
   const double t0 = paced ? sys::steady_now() : 0.0;
   double offset = 0.0;
   for (auto& raw : deltas) {
-    const profile::SampleDelta delta = scale_delta(std::move(raw), opts);
+    if (!identity) raw = scale_delta(std::move(raw), opts);
+    const profile::SampleDelta& delta = raw;
     if (paced && result.samples_replayed > 0) {
       offset += delta.duration;
       const double wait = t0 + offset - sys::steady_now();
@@ -213,7 +267,9 @@ void ReplayEngine::feed_single(
     // All resource consumptions of one sample start concurrently; the
     // sample ends when the last one completes (Fig. 2).
     std::vector<std::thread> workers;
-    for (const auto& atom : active) {
+    for (size_t i = 0; i < active.size(); ++i) {
+      if (in_play[i] == 0) continue;
+      const auto& atom = active[i];
       if (!atom->wants(delta)) continue;
       workers.emplace_back([&atom, &delta] {
         try {
@@ -226,6 +282,64 @@ void ReplayEngine::feed_single(
     }
     for (auto& w : workers) w.join();
     if (per_sample_hook) per_sample_hook(result.samples_replayed);
+    ++result.samples_replayed;
+  }
+}
+
+void ReplayEngine::feed_single_frames(
+    const profile::Profile& profile, const EmulatorOptions& opts,
+    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+    const SampleHook& per_sample_hook, EmulationResult& result) {
+  // The compiled loop: scale factors are already baked into the table's
+  // lanes, and per-atom dispatch is a trigger-lane read instead of a
+  // wants() map probe. Barrier and hook semantics are identical to
+  // feed_single — one thread per wanting atom per sample, sample ends
+  // when the last atom finishes.
+  const ReplayPlan plan(profile, opts, active);
+  const profile::DeltaTable& table = plan.table();
+  const bool paced = replay_paced(opts, profile);
+  const double t0 = paced ? sys::steady_now() : 0.0;
+  double offset = 0.0;
+  profile::SampleDelta boxed;  ///< per-row scratch for adapter atoms
+  for (size_t row = 0; row < table.rows(); ++row) {
+    if (paced && row > 0) {
+      offset += table.duration(row);
+      const double wait = t0 + offset - sys::steady_now();
+      if (wait > 0) sys::sleep_for(wait);
+    }
+    const profile::DeltaFrame frame = table.frame(row, 1);
+    // Adapter atoms see the legacy map shape; unbox the row once and
+    // share it across all of them (their wants() gates dispatch exactly
+    // like the map path).
+    if (plan.any_adapter()) boxed = table.unbox(row);
+
+    std::vector<std::thread> workers;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const atoms::LaneMask& mask = plan.mask(i);
+      if (mask.idle) continue;
+      atoms::Atom* atom = active[i].get();
+      if (mask.adapter) {
+        if (!atom->wants(boxed)) continue;
+        workers.emplace_back([atom, &boxed] {
+          try {
+            atom->consume(boxed);
+          } catch (const std::exception&) {
+            // Same contract as feed_single: record, never propagate.
+          }
+        });
+      } else {
+        if (!mask.row_wanted(frame, 0)) continue;
+        workers.emplace_back([atom, frame, &mask] {
+          try {
+            atom->consume_frame(frame, mask);
+          } catch (const std::exception&) {
+            // consume_frame must not throw; belt and braces.
+          }
+        });
+      }
+    }
+    for (auto& w : workers) w.join();
+    if (per_sample_hook) per_sample_hook(row);
     ++result.samples_replayed;
   }
 }
@@ -290,6 +404,7 @@ void ReplayEngine::feed_batched(
   std::thread producer([&] {
     try {
       auto deltas = profile.sample_deltas();
+      const bool identity = identity_scaling(opts);
       std::shared_ptr<SampleBatch> batch;
       size_t index = 0;
       double offset = 0.0;        ///< recorded time of the current sample
@@ -309,7 +424,8 @@ void ReplayEngine::feed_batched(
       };
       for (auto& raw : deltas) {
         if (aborted.load(std::memory_order_relaxed)) break;
-        profile::SampleDelta scaled = scale_delta(std::move(raw), opts);
+        profile::SampleDelta scaled =
+            identity ? std::move(raw) : scale_delta(std::move(raw), opts);
         if (index > 0) offset += scaled.duration;
         if (!batch) {
           batch = std::make_shared<SampleBatch>();
@@ -359,6 +475,139 @@ void ReplayEngine::feed_batched(
   for (auto& consumer : consumers) consumer.join();
   if (hook_error) std::rethrow_exception(hook_error);
   if (producer_error) std::rethrow_exception(producer_error);
+}
+
+void ReplayEngine::feed_batched_frames(
+    const profile::Profile& profile, const EmulatorOptions& opts,
+    const std::vector<std::unique_ptr<atoms::Atom>>& active,
+    const SampleHook& per_sample_hook, EmulationResult& result) {
+  // The compiled pipeline: the plan is built once up front (decode +
+  // scale — the work the map producer re-does per sample), then frames
+  // flow as {first_row, rows} windows over the shared table through
+  // lock-free SPSC rings, recycled from a fixed task pool — the steady
+  // state allocates nothing. Semantics mirror feed_batched exactly:
+  // per-atom consumption in recorded order, hooks fired in recorded
+  // order after every atom finished the batch, pacing at batch
+  // granularity.
+  const ReplayPlan plan(profile, opts, active);
+  const profile::DeltaTable& table = plan.table();
+  const size_t batch_size = opts.replay_batch;
+  const size_t depth = std::max<size_t>(1, opts.replay_queue_depth);
+
+  // Idle atoms (mask.idle: none of their metrics recorded) get no
+  // consumer thread and no ring at all — the hoisted form of the map
+  // path's per-sample wants() misses.
+  std::vector<size_t> engaged;
+  for (size_t i = 0; i < active.size(); ++i) {
+    if (!plan.mask(i).idle) engaged.push_back(i);
+  }
+
+  // The task pool: depth tasks can sit in the rings, one can be held by
+  // the coordinator and one by the producer — so depth + 2 slots mean
+  // the producer never waits on a slot that isn't about to free.
+  std::vector<FrameTask> pool(depth + 2);
+  std::vector<std::unique_ptr<SpscRing<FrameTask*>>> rings;
+  rings.reserve(engaged.size());
+  for (size_t k = 0; k < engaged.size(); ++k) {
+    rings.push_back(std::make_unique<SpscRing<FrameTask*>>(depth));
+  }
+  SpscRing<FrameTask*> inflight(depth);
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(engaged.size());
+  for (size_t k = 0; k < engaged.size(); ++k) {
+    atoms::Atom* atom = active[engaged[k]].get();
+    const atoms::LaneMask* mask = &plan.mask(engaged[k]);
+    SpscRing<FrameTask*>* ring = rings[k].get();
+    const profile::DeltaTable* tab = &table;
+    consumers.emplace_back([atom, mask, ring, tab] {
+      FrameTask* task = nullptr;
+      while (ring->pop(task)) {
+        try {
+          atom->consume_frame(tab->frame(task->first_row, task->rows), *mask);
+        } catch (const std::exception&) {
+          // consume_frame must not throw; belt and braces.
+        }
+        task->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  std::atomic<bool> aborted{false};
+  const bool paced = replay_paced(opts, profile);
+  const double t0 = paced ? sys::steady_now() : 0.0;
+  std::thread producer([&] {
+    // Slicing only — the decode already happened in the plan. Pacing
+    // keeps feed_batched's batch-granularity semantics: a batch is
+    // released at its first sample's recorded offset (sum of durations
+    // 1..first_row).
+    double offset = 0.0;
+    size_t covered = 0;  ///< offset includes durations 1..covered
+    size_t next_slot = 0;
+    for (size_t start = 0; start < table.rows(); start += batch_size) {
+      if (aborted.load(std::memory_order_relaxed)) break;
+      FrameTask* task = &pool[next_slot % pool.size()];
+      ++next_slot;
+      // Recycle: wait for the coordinator to release the slot. Abort
+      // check required — after a hook error nobody releases slots.
+      unsigned spins = 0;
+      while (task->busy.load(std::memory_order_acquire)) {
+        if (aborted.load(std::memory_order_relaxed)) return;
+        spsc_backoff(spins);
+      }
+      task->first_row = start;
+      task->rows = std::min(batch_size, table.rows() - start);
+      task->remaining.store(static_cast<uint32_t>(engaged.size()),
+                            std::memory_order_relaxed);
+      task->busy.store(true, std::memory_order_relaxed);
+      if (paced) {
+        for (size_t j = covered + 1; j <= start; ++j) {
+          offset += table.duration(j);
+        }
+        covered = start;
+        const double wait = t0 + offset - sys::steady_now();
+        if (wait > 0) sys::sleep_for(wait);
+      }
+      // The coordinator sees the task first (inflight before the atom
+      // rings) so completion is awaited strictly in production order;
+      // ring pushes publish the task fields to every consumer.
+      if (!inflight.push(task)) break;
+      for (const auto& ring : rings) {
+        if (!ring->push(task)) break;
+      }
+    }
+    inflight.close();
+    for (const auto& ring : rings) ring->close();
+  });
+
+  std::exception_ptr hook_error;
+  try {
+    FrameTask* task = nullptr;
+    while (inflight.pop(task)) {
+      // The frame barrier: every engaged atom decremented `remaining`.
+      unsigned spins = 0;
+      while (task->remaining.load(std::memory_order_acquire) != 0) {
+        spsc_backoff(spins);
+      }
+      for (size_t k = 0; k < task->rows; ++k) {
+        if (per_sample_hook) per_sample_hook(task->first_row + k);
+        ++result.samples_replayed;
+      }
+      task->busy.store(false, std::memory_order_release);
+    }
+  } catch (...) {
+    // Same shutdown dance as feed_batched: stop the producer (which may
+    // be blocked pushing or waiting for a slot this coordinator will
+    // never release), stop the consumers after their current frame.
+    hook_error = std::current_exception();
+    aborted.store(true, std::memory_order_relaxed);
+    inflight.close(/*discard_pending=*/true);
+    for (const auto& ring : rings) ring->close(/*discard_pending=*/true);
+  }
+
+  producer.join();
+  for (auto& consumer : consumers) consumer.join();
+  if (hook_error) std::rethrow_exception(hook_error);
 }
 
 }  // namespace synapse::emulator

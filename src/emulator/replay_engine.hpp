@@ -27,6 +27,16 @@
 //     order, so non-timing stats are bit-identical to single mode; the
 //     barrier (and the per-sample hook) moves to batch granularity.
 //
+// Orthogonally, EmulatorOptions::replay_frames (default on) compiles
+// each replay into a ReplayPlan (replay_plan.hpp): deltas become a
+// columnar DeltaTable with interned metric lanes, scale factors are
+// baked in once, and per-sample dispatch reads trigger lanes instead
+// of probing wants() with string keys. Batch mode then feeds
+// {first_row, rows} frame windows through lock-free SPSC rings
+// (spsc_ring.hpp), recycled from a fixed pool — the steady state
+// allocates nothing. Atoms that don't implement the frame interface
+// are fed through an unbox adapter and behave exactly as before.
+//
 // Either mode optionally paces the feed by the recorded inter-sample
 // gaps (EmulatorOptions::pace; default: variable-rate profiles only).
 // Single mode sleeps before each delta, batch mode releases each batch
@@ -93,6 +103,17 @@ class ReplayEngine {
                     const EmulatorOptions& opts,
                     const std::vector<std::unique_ptr<atoms::Atom>>& active,
                     const SampleHook& per_sample_hook, EmulationResult& result);
+  /// feed_single over a compiled ReplayPlan (replay_frames on).
+  void feed_single_frames(
+      const profile::Profile& profile, const EmulatorOptions& opts,
+      const std::vector<std::unique_ptr<atoms::Atom>>& active,
+      const SampleHook& per_sample_hook, EmulationResult& result);
+  /// feed_batched over a compiled ReplayPlan: frame windows through
+  /// lock-free SPSC rings, recycled from a fixed task pool.
+  void feed_batched_frames(
+      const profile::Profile& profile, const EmulatorOptions& opts,
+      const std::vector<std::unique_ptr<atoms::Atom>>& active,
+      const SampleHook& per_sample_hook, EmulationResult& result);
 
   EmulatorOptions options_;
   const atoms::AtomRegistry* registry_;  ///< not owned, never null

@@ -1,10 +1,11 @@
 #include "emulator/sample_queue.hpp"
 
-#include <algorithm>
-
 namespace synapse::emulator {
 
 // --- SampleBatch -----------------------------------------------------------
+// The latch is per batch and hit once per consumer per batch (never per
+// sample), so a mutex+cv is fine here; the hot per-batch handoff lives
+// in the SPSC ring underneath SampleQueue.
 
 void SampleBatch::expect_consumers(size_t n) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -23,44 +24,6 @@ void SampleBatch::mark_consumed() {
 void SampleBatch::wait_consumed() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return remaining_ == 0; });
-}
-
-// --- SampleQueue -----------------------------------------------------------
-
-SampleQueue::SampleQueue(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
-
-bool SampleQueue::push(std::shared_ptr<SampleBatch> batch) {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(batch));
-  }
-  cv_.notify_all();
-  return true;
-}
-
-std::shared_ptr<SampleBatch> SampleQueue::pop() {
-  std::shared_ptr<SampleBatch> batch;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return nullptr;  // closed and drained
-    batch = std::move(items_.front());
-    items_.pop_front();
-  }
-  cv_.notify_all();  // a blocked push may now proceed
-  return batch;
-}
-
-void SampleQueue::close(bool discard_pending) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-    if (discard_pending) items_.clear();
-  }
-  cv_.notify_all();
 }
 
 }  // namespace synapse::emulator

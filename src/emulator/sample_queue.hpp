@@ -10,14 +10,21 @@
 // recorded sample order, after every atom has consumed the batch).
 // The queues are bounded, so a slow consumer back-pressures the
 // producer instead of letting decoded batches pile up without limit.
+//
+// The queue itself is a lock-free SPSC ring (spsc_ring.hpp): each queue
+// has exactly one producer (the decode thread) and one consumer (its
+// atom thread, or the coordinator for the in-flight queue), so batch
+// handoff takes no locks. Only the per-batch completion latch — hit
+// once per batch, not per sample — still uses a mutex+cv.
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include <condition_variable>
+#include <mutex>
+
+#include "emulator/spsc_ring.hpp"
 #include "profile/profile.hpp"
 
 namespace synapse::emulator {
@@ -48,39 +55,41 @@ class SampleBatch {
   size_t remaining_ = 0;
 };
 
-/// Bounded FIFO of SampleBatch handles (mutex + condvar). One queue per
-/// consumer: batches are not competed for, every consumer sees every
-/// batch, so the producer pushes the same shared handle into each
-/// queue. push() blocks while the queue is at capacity (backpressure);
-/// pop() blocks until a batch arrives or the queue is closed and
-/// drained.
+/// Bounded FIFO of SampleBatch handles over a lock-free SPSC ring. One
+/// queue per consumer: batches are not competed for, every consumer
+/// sees every batch, so the producer pushes the same shared handle into
+/// each queue. push() blocks while the queue is at capacity
+/// (backpressure); pop() blocks until a batch arrives or the queue is
+/// closed and drained.
 class SampleQueue {
  public:
   /// `capacity` is clamped to >= 1 (a zero-capacity queue could never
   /// accept a push).
-  explicit SampleQueue(size_t capacity);
+  explicit SampleQueue(size_t capacity) : ring_(capacity) {}
 
   /// Enqueue, blocking while full. Returns false (and drops the batch)
   /// when the queue was closed — the consumer is gone, nobody will pop.
-  bool push(std::shared_ptr<SampleBatch> batch);
+  bool push(std::shared_ptr<SampleBatch> batch) {
+    return ring_.push(std::move(batch));
+  }
 
   /// Dequeue, blocking while empty. nullptr once the queue is closed
   /// AND drained — the consumer's termination signal.
-  std::shared_ptr<SampleBatch> pop();
+  std::shared_ptr<SampleBatch> pop() {
+    std::shared_ptr<SampleBatch> batch;
+    if (!ring_.pop(batch)) return nullptr;
+    return batch;
+  }
 
   /// No further pushes; pending batches remain poppable (a normal
-  /// end-of-stream must drain). `discard_pending` additionally drops
-  /// everything queued — the error-path variant, so consumers stop
+  /// end-of-stream must drain). `discard_pending` additionally stops
+  /// pop() immediately — the error-path variant, so consumers stop
   /// after the batch they are on instead of working through stale
-  /// backlog. Idempotent.
-  void close(bool discard_pending = false);
+  /// backlog. Idempotent; callable from any thread.
+  void close(bool discard_pending = false) { ring_.close(discard_pending); }
 
  private:
-  const size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<SampleBatch>> items_;
-  bool closed_ = false;
+  SpscRing<std::shared_ptr<SampleBatch>> ring_;
 };
 
 }  // namespace synapse::emulator

@@ -504,12 +504,19 @@ std::vector<SampleDelta> emit_deltas(
   return out;
 }
 
-}  // namespace
+/// The bucketing + accumulation shared by sample_deltas_from_columns
+/// and delta_table_from_columns: per-bucket durations plus one Accum
+/// lane per metric. Empty durations = no samples (empty output).
+struct LaneAccumulation {
+  std::vector<double> durations;
+  std::map<std::string, Accum, std::less<>> accums;
+};
 
-std::vector<SampleDelta> sample_deltas_from_columns(
-    const ProfileColumnsView& columns, double profile_rate_hz) {
+LaneAccumulation accumulate_columns(const ProfileColumnsView& columns,
+                                    double profile_rate_hz) {
   // Mirror of Profile::sample_deltas() over flat columns; see
   // accumulate_lanes for the bit-identity contract.
+  LaneAccumulation out;
   double rate = profile_rate_hz;
   for (const auto& sv : columns.series) rate = std::max(rate, sv.rate_hz);
 
@@ -530,31 +537,31 @@ std::vector<SampleDelta> sample_deltas_from_columns(
     }
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-    if (edges.empty()) return {};
+    if (edges.empty()) return out;
 
     const auto bucket_of = [&edges](double t) {
       return static_cast<size_t>(
           std::lower_bound(edges.begin(), edges.end(), t) - edges.begin());
     };
-    auto out = emit_deltas(accumulate_lanes(columns, edges.size(), bucket_of),
-                           edges.size());
-    out[0].duration = rate > 0.0
-                          ? 1.0 / rate
-                          : (edges.size() > 1 ? edges[1] - edges[0] : 0.0);
+    out.accums = accumulate_lanes(columns, edges.size(), bucket_of);
+    out.durations.resize(edges.size());
+    out.durations[0] = rate > 0.0
+                           ? 1.0 / rate
+                           : (edges.size() > 1 ? edges[1] - edges[0] : 0.0);
     for (size_t j = 1; j < edges.size(); ++j) {
-      out[j].duration = edges[j] - edges[j - 1];
+      out.durations[j] = edges[j] - edges[j - 1];
     }
     return out;
   }
 
-  if (rate <= 0.0) return {};
+  if (rate <= 0.0) return out;
   const double period = 1.0 / rate;
 
   double origin = std::numeric_limits<double>::infinity();
   for (const auto& sv : columns.series) {
     if (sv.sample_count > 0) origin = std::min(origin, sv.timestamp(0));
   }
-  if (!std::isfinite(origin)) return {};
+  if (!std::isfinite(origin)) return out;
 
   auto bucket_of = [origin, period](double t) {
     return static_cast<size_t>(std::max(0.0, (t - origin) / period + 1e-9));
@@ -568,10 +575,40 @@ std::vector<SampleDelta> sample_deltas_from_columns(
   }
   const size_t buckets = max_bucket + 1;
 
-  auto out = emit_deltas(accumulate_lanes(columns, buckets, bucket_of),
-                         buckets);
-  for (auto& d : out) d.duration = period;
+  out.accums = accumulate_lanes(columns, buckets, bucket_of);
+  out.durations.assign(buckets, period);
   return out;
+}
+
+}  // namespace
+
+std::vector<SampleDelta> sample_deltas_from_columns(
+    const ProfileColumnsView& columns, double profile_rate_hz) {
+  LaneAccumulation acc = accumulate_columns(columns, profile_rate_hz);
+  auto out = emit_deltas(acc.accums, acc.durations.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i].duration = acc.durations[i];
+  return out;
+}
+
+DeltaTable delta_table_from_columns(const ProfileColumnsView& columns,
+                                    double profile_rate_hz) {
+  LaneAccumulation acc = accumulate_columns(columns, profile_rate_hz);
+  // The accumulation map iterates in sorted name order — exactly the
+  // LaneTable's dictionary order — and its per-bucket value/present
+  // vectors ARE the table's columns; they move straight in.
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> values;
+  std::vector<std::vector<uint8_t>> present;
+  names.reserve(acc.accums.size());
+  values.reserve(acc.accums.size());
+  present.reserve(acc.accums.size());
+  for (auto& [name, lane] : acc.accums) {
+    names.push_back(name);
+    values.push_back(std::move(lane.value));
+    present.push_back(std::move(lane.present));
+  }
+  return DeltaTable(LaneTable(std::move(names)), std::move(acc.durations),
+                    std::move(values), std::move(present));
 }
 
 // --- base64 -----------------------------------------------------------------

@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "profile/delta_frame.hpp"
 #include "profile/profile.hpp"
 
 namespace synapse::profile {
@@ -138,6 +139,14 @@ ProfileColumnsView decode_columns(std::string_view data);
 /// maxed against.
 std::vector<SampleDelta> sample_deltas_from_columns(
     const ProfileColumnsView& columns, double profile_rate_hz);
+
+/// The same accumulation emitted as a columnar DeltaTable instead of
+/// per-sample maps (delta_frame.hpp): the compiled-replay input. Shares
+/// the bucketing and float-op order with sample_deltas_from_columns, so
+/// table cell (lane, row) is bit-identical to the map walk's value and
+/// presence mirrors map-key existence — no SampleDelta is materialized.
+DeltaTable delta_table_from_columns(const ProfileColumnsView& columns,
+                                    double profile_rate_hz);
 
 // --- base64 -----------------------------------------------------------------
 // Used by the docstore/cluster backends to carry SYNB blobs inside JSON

@@ -277,6 +277,21 @@ std::vector<SampleDelta> Profile::sample_deltas() const {
   return out;
 }
 
+DeltaTable Profile::delta_table() const {
+  if (binary_) {
+    try {
+      const ProfileColumnsView cols = decode_columns(binary_->view());
+      if (matches_payload_shape(cols, series)) {
+        return delta_table_from_columns(cols, sample_rate_hz);
+      }
+    } catch (const CodecError&) {
+      // Same contract as sample_deltas(): a damaged retained payload is
+      // not fatal, the materialized series below is authoritative.
+    }
+  }
+  return DeltaTable::from_deltas(sample_deltas());
+}
+
 void Profile::compute_derived() {
   const double used = total(metrics::kCyclesUsed);
   const double stalled_fe = total(metrics::kCyclesStalledFrontend);

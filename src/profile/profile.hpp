@@ -26,6 +26,8 @@ class Blob;
 
 namespace synapse::profile {
 
+class DeltaTable;
+
 /// Metric values observed at one sampling instant by one watcher.
 /// Values are cumulative-so-far where that makes sense (bytes, cycles)
 /// and instantaneous otherwise (resident memory, thread count); the
@@ -178,6 +180,14 @@ class Profile {
   /// timestamps; code that edits sample *values* of a decoded profile in
   /// place must call drop_binary_payload() first.
   std::vector<SampleDelta> sample_deltas() const;
+
+  /// sample_deltas() compiled into the columnar DeltaTable
+  /// (delta_frame.hpp): same rows, same durations, cell (lane, row)
+  /// bit-identical to the map entry, presence mirroring key existence.
+  /// Profiles with a retained SYNB payload build the table straight
+  /// from the columns (no per-sample maps); others re-shape the map
+  /// walk's output. This is what the replay engine's frame path feeds.
+  DeltaTable delta_table() const;
 
   /// Compute derived metrics (efficiency, utilization, FLOP/s) from
   /// totals + system info, following paper section 4.3 formulas.

@@ -1,0 +1,370 @@
+// The compiled replay plan (emulator/replay_plan.hpp +
+// profile/delta_frame.hpp): columnar DeltaTable construction, lane
+// interning, and — the load-bearing property — bit-identical non-timing
+// AtomStats between the frame feed (replay_frames on, the default) and
+// the legacy map feed, across the builtin scenario catalog, both feed
+// modes, fixed- and variable-rate profiles, and custom atoms that only
+// implement the legacy consume() interface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "emulator/emulator.hpp"
+#include "emulator/replay_engine.hpp"
+#include "emulator/replay_plan.hpp"
+#include "profile/binary_codec.hpp"
+#include "profile/delta_frame.hpp"
+#include "profile/metrics.hpp"
+#include "profile/profile.hpp"
+#include "resource/resource_spec.hpp"
+#include "sys/error.hpp"
+#include "workload/scenario.hpp"
+
+namespace atoms = synapse::atoms;
+namespace emulator = synapse::emulator;
+namespace profile = synapse::profile;
+namespace resource = synapse::resource;
+namespace workload = synapse::workload;
+namespace m = synapse::metrics;
+namespace sys = synapse::sys;
+
+namespace {
+
+struct HostGuard {
+  HostGuard() { resource::activate_resource("host"); }
+  ~HostGuard() { resource::activate_resource("host"); }
+};
+
+emulator::EmulatorOptions tmp_options() {
+  emulator::EmulatorOptions opts;
+  opts.storage.base_dir = "/tmp";
+  return opts;
+}
+
+/// Fixed-rate profile with compute, memory and storage consumption.
+profile::Profile fixed_profile(size_t samples) {
+  profile::Profile p;
+  p.command = "frames-fixed";
+  p.sample_rate_hz = 10.0;
+  profile::TimeSeries trace;
+  trace.watcher = "trace";
+  double cycles = 0, alloc = 0, bytes = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    profile::Sample s;
+    s.timestamp = 100.0 + static_cast<double>(i) * 0.1;
+    cycles += 1e6 + static_cast<double>(i);
+    alloc += 128 * 1024;
+    bytes += 32 * 1024;
+    s.set(m::kCyclesUsed, cycles);
+    s.set(m::kMemAllocated, alloc);
+    s.set(m::kBytesWritten, bytes);
+    trace.samples.push_back(std::move(s));
+  }
+  p.series.push_back(trace);
+  return p;
+}
+
+/// Variable-rate (adaptively gated) profile: io samples at explicit
+/// offsets, plus a second fixed-cadence series so the delta pipeline
+/// exercises the timestamp-union bucketing.
+profile::Profile variable_profile() {
+  profile::Profile p;
+  p.command = "frames-variable";
+  p.sample_rate_hz = 100.0;
+
+  profile::TimeSeries io;
+  io.watcher = "io";
+  io.sample_rate_hz = 100.0;
+  io.variable_rate = true;
+  double b = 0;
+  for (const double off : {0.0, 0.01, 0.02, 0.3, 0.31, 0.6}) {
+    profile::Sample s;
+    s.timestamp = 100.0 + off;
+    b += 4096;
+    s.set(m::kBytesWritten, b);
+    io.samples.push_back(std::move(s));
+  }
+  p.series.push_back(io);
+
+  profile::TimeSeries trace;
+  trace.watcher = "trace";
+  trace.sample_rate_hz = 100.0;
+  trace.variable_rate = true;
+  double cycles = 0;
+  for (const double off : {0.0, 0.15, 0.3, 0.45, 0.6}) {
+    profile::Sample s;
+    s.timestamp = 100.0 + off;
+    cycles += 5e5;
+    s.set(m::kCyclesUsed, cycles);
+    trace.samples.push_back(std::move(s));
+  }
+  p.series.push_back(trace);
+  return p;
+}
+
+void expect_stats_parity(const atoms::AtomStats& a, const atoms::AtomStats& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.flops, b.flops) << label;
+  EXPECT_EQ(a.bytes_read, b.bytes_read) << label;
+  EXPECT_EQ(a.bytes_written, b.bytes_written) << label;
+  EXPECT_EQ(a.bytes_allocated, b.bytes_allocated) << label;
+  EXPECT_EQ(a.bytes_freed, b.bytes_freed) << label;
+  EXPECT_EQ(a.net_bytes_sent, b.net_bytes_sent) << label;
+  EXPECT_EQ(a.net_bytes_received, b.net_bytes_received) << label;
+  EXPECT_EQ(a.samples_consumed, b.samples_consumed) << label;
+}
+
+/// Replay `p` twice with identical options except replay_frames, and
+/// require bit-identical non-timing stats for every atom.
+void expect_frame_map_parity(const profile::Profile& p,
+                             emulator::EmulatorOptions opts,
+                             const std::string& label,
+                             const atoms::AtomRegistry* registry = nullptr) {
+  opts.replay_frames = false;
+  emulator::ReplayEngine map_engine(opts, registry);
+  const auto rm = map_engine.replay(p);
+
+  opts.replay_frames = true;
+  emulator::ReplayEngine frame_engine(opts, registry);
+  const auto rf = frame_engine.replay(p);
+
+  EXPECT_EQ(rf.samples_replayed, rm.samples_replayed) << label;
+  ASSERT_EQ(rf.atom_stats.size(), rm.atom_stats.size()) << label;
+  for (const auto& [name, stats] : rm.atom_stats) {
+    ASSERT_TRUE(rf.atom_stats.count(name)) << label << "/" << name;
+    expect_stats_parity(rf.atom_stats.at(name), stats, label + "/" + name);
+  }
+}
+
+/// Legacy-interface custom atom: no wanted_metrics()/consume_frame()
+/// overrides, so the engine must route it through the unbox adapter.
+class TallyAtom final : public atoms::Atom {
+ public:
+  TallyAtom() : Atom("tally") {}
+  bool wants(const profile::SampleDelta& delta) const override {
+    return delta.get(m::kCyclesUsed) > 0;
+  }
+  void consume(const profile::SampleDelta& delta) override {
+    stats_.samples_consumed += 1;
+    stats_.cycles += delta.get(m::kCyclesUsed);
+  }
+};
+
+}  // namespace
+
+// --- DeltaTable construction ------------------------------------------------
+
+TEST(DeltaTable, LaneTableInternsSortedNames) {
+  const profile::LaneTable lanes({"alpha", "beta", "gamma"});
+  EXPECT_EQ(lanes.size(), 3u);
+  EXPECT_EQ(lanes.id("alpha"), 0u);
+  EXPECT_EQ(lanes.id("beta"), 1u);
+  EXPECT_EQ(lanes.id("gamma"), 2u);
+  EXPECT_EQ(lanes.id("delta"), profile::LaneTable::kNoLane);
+  EXPECT_EQ(lanes.name(1), "beta");
+}
+
+TEST(DeltaTable, UnboxMatchesSampleDeltasOnFixedRateProfile) {
+  const auto p = fixed_profile(6);
+  const auto deltas = p.sample_deltas();
+  const auto table = p.delta_table();
+  ASSERT_EQ(table.rows(), deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(table.duration(i), deltas[i].duration) << i;
+    const profile::SampleDelta row = table.unbox(i);
+    EXPECT_EQ(row.deltas, deltas[i].deltas) << i;
+    // Lane reads agree with map lookups, including absent keys (0.0).
+    for (const auto& [name, value] : deltas[i].deltas) {
+      EXPECT_EQ(table.get(table.lanes().id(name), i), value) << name;
+    }
+  }
+  EXPECT_EQ(table.get(profile::LaneTable::kNoLane, 0), 0.0);
+}
+
+TEST(DeltaTable, UnboxMatchesSampleDeltasOnBinaryPayload) {
+  // from_binary keeps the SYNB payload, so delta_table() takes the
+  // zero-copy columnar route; cells must still match the map walk.
+  auto p = profile::Profile::from_binary(fixed_profile(6).to_binary());
+  ASSERT_TRUE(p.has_binary_payload());
+  const auto deltas = p.sample_deltas();
+  const auto table = p.delta_table();
+  ASSERT_EQ(table.rows(), deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(table.duration(i), deltas[i].duration) << i;
+    EXPECT_EQ(table.unbox(i).deltas, deltas[i].deltas) << i;
+  }
+}
+
+TEST(DeltaTable, UnboxMatchesSampleDeltasOnVariableRateProfile) {
+  for (const bool binary : {false, true}) {
+    auto p = variable_profile();
+    if (binary) p = profile::Profile::from_binary(p.to_binary());
+    ASSERT_TRUE(p.variable_rate());
+    const auto deltas = p.sample_deltas();
+    const auto table = p.delta_table();
+    ASSERT_EQ(table.rows(), deltas.size()) << "binary=" << binary;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      EXPECT_EQ(table.duration(i), deltas[i].duration) << i;
+      EXPECT_EQ(table.unbox(i).deltas, deltas[i].deltas) << i;
+    }
+  }
+}
+
+TEST(DeltaTable, PresenceDistinguishesRecordedZeroFromAbsent) {
+  const auto p = fixed_profile(3);
+  const auto table = p.delta_table();
+  const uint32_t lane = table.lanes().id(m::kCyclesUsed);
+  ASSERT_NE(lane, profile::LaneTable::kNoLane);
+  EXPECT_TRUE(table.present(lane, 0));
+  // A metric the profile never recorded has no lane at all.
+  EXPECT_EQ(table.lanes().id(m::kNetBytesWritten),
+            profile::LaneTable::kNoLane);
+}
+
+// --- frame vs map engine parity ---------------------------------------------
+
+TEST(ReplayFrames, ParityAcrossBuiltinScenarioCatalog) {
+  HostGuard guard;
+  for (const auto& spec : workload::builtin_scenarios()) {
+    const auto p = spec.make_profile();
+    for (const size_t batch : {size_t{1}, size_t{3}, size_t{8}}) {
+      auto opts = spec.make_options(tmp_options());
+      opts.replay_batch = batch;
+      opts.pace = emulator::ReplayPace::Off;
+      expect_frame_map_parity(
+          p, opts, spec.name + "/batch" + std::to_string(batch));
+    }
+  }
+}
+
+TEST(ReplayFrames, ParityOnVariableRateProfile) {
+  HostGuard guard;
+  const auto p = variable_profile();
+  ASSERT_TRUE(p.variable_rate());
+  for (const size_t batch : {size_t{1}, size_t{3}, size_t{8}}) {
+    auto opts = tmp_options();
+    opts.replay_batch = batch;
+    opts.pace = emulator::ReplayPace::Off;  // parity, not timing
+    expect_frame_map_parity(p, opts, "variable/batch" + std::to_string(batch));
+  }
+}
+
+TEST(ReplayFrames, ParityOnBinaryPayloadProfile) {
+  HostGuard guard;
+  const auto p = profile::Profile::from_binary(fixed_profile(10).to_binary());
+  ASSERT_TRUE(p.has_binary_payload());
+  for (const size_t batch : {size_t{1}, size_t{3}, size_t{8}}) {
+    auto opts = tmp_options();
+    opts.replay_batch = batch;
+    expect_frame_map_parity(p, opts, "binary/batch" + std::to_string(batch));
+  }
+}
+
+TEST(ReplayFrames, ParityUnderWorkloadScales) {
+  HostGuard guard;
+  // Scales off the identity path: the frame plan bakes them into lanes
+  // once, the map path multiplies per sample — results must still be
+  // bit-identical (same single multiplication either way).
+  const auto p = fixed_profile(8);
+  auto opts = tmp_options();
+  opts.cycle_scale = 0.5;
+  opts.memory_scale = 2.0;
+  opts.io_scale = 3.0;
+  for (const size_t batch : {size_t{1}, size_t{4}}) {
+    opts.replay_batch = batch;
+    expect_frame_map_parity(p, opts, "scaled/batch" + std::to_string(batch));
+  }
+}
+
+TEST(ReplayFrames, LegacyCustomAtomRunsThroughAdapter) {
+  HostGuard guard;
+  // TallyAtom implements only wants()/consume(): the plan must mark it
+  // adapter-dispatched and unbox every row for it, in both feed modes.
+  atoms::AtomRegistry registry;
+  registry.register_atom("tally", [](const atoms::AtomBuildContext&) {
+    return std::make_unique<TallyAtom>();
+  });
+  const auto p = fixed_profile(9);
+  for (const size_t batch : {size_t{1}, size_t{4}}) {
+    auto opts = tmp_options();
+    opts.atom_set = {"compute", "tally"};
+    opts.replay_batch = batch;
+    opts.replay_frames = true;
+    emulator::ReplayEngine engine(opts, &registry);
+    const auto r = engine.replay(p);
+    ASSERT_TRUE(r.atom_stats.count("tally"));
+    EXPECT_EQ(r.atom_stats.at("tally").samples_consumed, 9u);
+    expect_frame_map_parity(p, opts, "tally/batch" + std::to_string(batch),
+                            &registry);
+  }
+}
+
+TEST(ReplayFrames, AtomWithNoRecordedMetricsStaysIdle) {
+  HostGuard guard;
+  // The profile records no network metrics: the plan marks the network
+  // atom idle (hoisted wants() miss) and it must consume nothing —
+  // exactly what per-sample wants() probing yields on the map path.
+  const auto p = fixed_profile(5);
+  for (const size_t batch : {size_t{1}, size_t{3}}) {
+    auto opts = tmp_options();
+    opts.emulate_network = true;
+    opts.replay_batch = batch;
+    expect_frame_map_parity(p, opts, "idle-net/batch" + std::to_string(batch));
+
+    opts.replay_frames = true;
+    emulator::ReplayEngine engine(opts);
+    const auto r = engine.replay(p);
+    EXPECT_EQ(r.network.samples_consumed, 0u);
+    EXPECT_EQ(r.network.net_bytes_sent, 0u);
+  }
+}
+
+TEST(ReplayFrames, FrameFeedFiresHooksInRecordedOrder) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.atom_set = {"memory"};
+  opts.replay_batch = 3;
+  opts.replay_frames = true;
+  emulator::ReplayEngine engine(opts);
+  std::vector<size_t> seen;
+  const auto r = engine.replay(fixed_profile(8), [&seen](size_t index) {
+    seen.push_back(index);
+  });
+  EXPECT_EQ(r.samples_replayed, 8u);
+  ASSERT_EQ(seen.size(), 8u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ReplayFrames, HookErrorAbortsFramePipelineWithoutDeadlock) {
+  HostGuard guard;
+  // A throwing hook must propagate out of replay() with the producer
+  // and consumers joined — the regression case is the producer spinning
+  // forever on a task slot the dead coordinator never releases.
+  auto opts = tmp_options();
+  opts.atom_set = {"memory"};
+  opts.replay_batch = 2;
+  opts.replay_queue_depth = 1;  // smallest pool: recycling under stress
+  opts.replay_frames = true;
+  emulator::ReplayEngine engine(opts);
+  EXPECT_THROW(engine.replay(fixed_profile(64),
+                             [](size_t index) {
+                               if (index >= 3) {
+                                 throw sys::SynapseError("hook failed");
+                               }
+                             }),
+               sys::SynapseError);
+}
+
+TEST(ReplayFrames, MapFeedStillAvailableBehindTheKnob) {
+  HostGuard guard;
+  auto opts = tmp_options();
+  opts.replay_frames = false;
+  emulator::ReplayEngine engine(opts);
+  const auto r = engine.replay(fixed_profile(4));
+  EXPECT_EQ(r.samples_replayed, 4u);
+  EXPECT_EQ(r.storage.bytes_written, 4u * 32 * 1024);
+}
